@@ -1,0 +1,202 @@
+//! Undo and redo logging as pluggable checkpoint-interval mechanisms.
+//!
+//! The Figure 3 study replays these schemes over recorded traces; this
+//! module additionally packages them as
+//! [`MemoryPersistence`] plug-ins so they can run
+//! inside the end-to-end checkpoint manager next to Prosper, Dirtybit,
+//! SSP, and Romulus. Both keep the tracked region in NVM (Table I) and
+//! perform per-store work during the interval — the defining
+//! inefficiency the paper's checkpoint approach avoids.
+
+use std::collections::HashSet;
+
+use prosper_gemos::checkpoint::{CheckpointOutcome, IntervalInfo, MemoryPersistence};
+use prosper_memsim::addr::VirtRange;
+use prosper_memsim::machine::Machine;
+use prosper_memsim::Cycles;
+use prosper_trace::record::MemAccess;
+
+/// Bytes per log entry (address + payload word).
+const LOG_ENTRY_BYTES: u64 = 16;
+
+/// Core cycles to order a log append before the data store.
+const UNDO_ORDER_CYCLES: Cycles = 60;
+
+/// Core cycles per redo append (no read of the old value needed).
+const REDO_APPEND_CYCLES: Cycles = 30;
+
+/// Undo logging: before the first store to each 8-byte location in an
+/// interval, the old value is read and appended to an NVM undo log;
+/// commit truncates the log.
+#[derive(Debug, Default)]
+pub struct UndoLogMechanism {
+    logged: HashSet<u64>,
+    log_cursor: u64,
+    /// Entries appended across the run.
+    pub entries: u64,
+}
+
+impl UndoLogMechanism {
+    /// Creates the mechanism with an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl MemoryPersistence for UndoLogMechanism {
+    fn name(&self) -> &'static str {
+        "UndoLog"
+    }
+
+    fn begin_interval(&mut self, _machine: &mut Machine, _region: VirtRange) {
+        self.logged.clear();
+    }
+
+    fn on_store(&mut self, machine: &mut Machine, access: &MemAccess) {
+        let granule = access.vaddr.raw() / 8;
+        if self.logged.insert(granule) {
+            // Read the old value and append it, ordered before the
+            // store itself.
+            machine.load(access.vaddr, 8);
+            let slot = machine.nvm_base() + (self.log_cursor % (1 << 20));
+            self.log_cursor += LOG_ENTRY_BYTES;
+            machine.persist_write(slot, LOG_ENTRY_BYTES);
+            machine.advance(UNDO_ORDER_CYCLES);
+            self.entries += 1;
+        }
+    }
+
+    fn end_interval(&mut self, machine: &mut Machine, _info: IntervalInfo) -> CheckpointOutcome {
+        let start = machine.now();
+        // Commit = truncate the undo log (the data is already home in
+        // NVM); cost scales with the entries to invalidate.
+        let meta_start = machine.now();
+        machine.advance(200 + self.logged.len() as u64 / 8);
+        let metadata_cycles = machine.now() - meta_start;
+        let bytes = self.logged.len() as u64 * LOG_ENTRY_BYTES;
+        self.logged.clear();
+        CheckpointOutcome {
+            bytes_copied: bytes,
+            cycles: machine.now() - start,
+            metadata_cycles,
+        }
+    }
+
+    fn region_in_dram(&self) -> bool {
+        false
+    }
+}
+
+/// Redo logging: every store appends `(addr, value)` to an NVM redo
+/// log; commit applies the log to the home locations.
+#[derive(Debug, Default)]
+pub struct RedoLogMechanism {
+    interval_entries: u64,
+    log_cursor: u64,
+    /// Entries appended across the run.
+    pub entries: u64,
+}
+
+impl RedoLogMechanism {
+    /// Creates the mechanism with an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl MemoryPersistence for RedoLogMechanism {
+    fn name(&self) -> &'static str {
+        "RedoLog"
+    }
+
+    fn begin_interval(&mut self, _machine: &mut Machine, _region: VirtRange) {
+        self.interval_entries = 0;
+    }
+
+    fn on_store(&mut self, machine: &mut Machine, access: &MemAccess) {
+        let slot = machine.nvm_base() + (self.log_cursor % (1 << 20));
+        self.log_cursor += LOG_ENTRY_BYTES;
+        machine.persist_write(slot, LOG_ENTRY_BYTES);
+        machine.advance(REDO_APPEND_CYCLES);
+        let _ = access;
+        self.interval_entries += 1;
+        self.entries += 1;
+    }
+
+    fn end_interval(&mut self, machine: &mut Machine, _info: IntervalInfo) -> CheckpointOutcome {
+        let start = machine.now();
+        let meta_start = machine.now();
+        machine.advance(200);
+        let metadata_cycles = machine.now() - meta_start;
+        // Apply the log to the home locations inside NVM.
+        let bytes = self.interval_entries * 8;
+        if bytes > 0 {
+            machine.bulk_copy_nvm_to_nvm(bytes);
+        }
+        self.interval_entries = 0;
+        CheckpointOutcome {
+            bytes_copied: bytes,
+            cycles: machine.now() - start,
+            metadata_cycles,
+        }
+    }
+
+    fn region_in_dram(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prosper_core::ProsperMechanism;
+    use prosper_gemos::checkpoint::CheckpointManager;
+    use prosper_memsim::config::MachineConfig;
+    use prosper_trace::workloads::{Workload, WorkloadProfile};
+
+    fn run(mech: &mut dyn MemoryPersistence) -> (u64, u64) {
+        let mut machine = Machine::new(MachineConfig::setup_i());
+        let mut mgr = CheckpointManager::new(&mut machine, 40_000);
+        let w = Workload::new(WorkloadProfile::gapbs_pr(), 13);
+        let res = mgr.run_stack_only(w, mech, 4);
+        (res.total_cycles, res.stack_stores)
+    }
+
+    #[test]
+    fn undo_logs_each_location_once_per_interval() {
+        let mut undo = UndoLogMechanism::new();
+        let (_, stores) = run(&mut undo);
+        assert!(undo.entries > 0);
+        assert!(
+            undo.entries < stores,
+            "dedup: {} entries for {} stores",
+            undo.entries,
+            stores
+        );
+    }
+
+    #[test]
+    fn redo_logs_every_store() {
+        let mut redo = RedoLogMechanism::new();
+        let (_, stores) = run(&mut redo);
+        assert_eq!(redo.entries, stores);
+    }
+
+    #[test]
+    fn both_slower_than_prosper() {
+        let (undo_cycles, _) = run(&mut UndoLogMechanism::new());
+        let (redo_cycles, _) = run(&mut RedoLogMechanism::new());
+        let (prosper_cycles, _) = run(&mut ProsperMechanism::with_defaults());
+        assert!(undo_cycles > prosper_cycles, "{undo_cycles} > {prosper_cycles}");
+        assert!(redo_cycles > prosper_cycles, "{redo_cycles} > {prosper_cycles}");
+    }
+
+    #[test]
+    fn redo_appends_at_least_as_many_entries_as_undo() {
+        let mut undo = UndoLogMechanism::new();
+        let mut redo = RedoLogMechanism::new();
+        run(&mut undo);
+        run(&mut redo);
+        assert!(redo.entries >= undo.entries);
+    }
+}

@@ -1,0 +1,112 @@
+//! The Table I capability matrix.
+//!
+//! The paper compares mechanisms along four axes: whether they achieve
+//! process persistence, work without compiler support, are stack-
+//! pointer aware, and allow the stack to live in DRAM.
+
+use serde::{Deserialize, Serialize};
+
+/// Capability flags of a persistence mechanism (Table I columns).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Capabilities {
+    /// Achieves process persistence (integrates with OS checkpoints).
+    pub process_persistence: bool,
+    /// Works without compiler support (crucial for the stack, which is
+    /// used indirectly through the compiler/runtime).
+    pub no_compiler_support: bool,
+    /// Stack-pointer awareness: the commit-time cost is determined by
+    /// the active stack region, not by every write in the interval.
+    pub sp_aware: bool,
+    /// Allows the stack region itself to live in DRAM.
+    pub stack_in_dram: bool,
+}
+
+/// A named row of the capability matrix.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct MechanismRow {
+    /// Mechanism name.
+    pub name: &'static str,
+    /// Its capabilities.
+    pub caps: Capabilities,
+}
+
+/// The full comparison table, Prosper included.
+pub fn capability_table() -> Vec<MechanismRow> {
+    vec![
+        MechanismRow {
+            name: "Flush/Undo/Redo logging",
+            caps: Capabilities {
+                process_persistence: false,
+                no_compiler_support: false,
+                sp_aware: false,
+                stack_in_dram: false,
+            },
+        },
+        MechanismRow {
+            name: "Romulus",
+            caps: Capabilities {
+                process_persistence: false,
+                no_compiler_support: false,
+                sp_aware: false,
+                stack_in_dram: false,
+            },
+        },
+        MechanismRow {
+            name: "SSP",
+            caps: Capabilities {
+                process_persistence: false,
+                no_compiler_support: true,
+                sp_aware: false,
+                stack_in_dram: false,
+            },
+        },
+        MechanismRow {
+            name: "Dirtybit (page granularity)",
+            caps: Capabilities {
+                process_persistence: true,
+                no_compiler_support: true,
+                sp_aware: true,
+                stack_in_dram: true,
+            },
+        },
+        MechanismRow {
+            name: "Prosper",
+            caps: Capabilities {
+                process_persistence: true,
+                no_compiler_support: true,
+                sp_aware: true,
+                stack_in_dram: true,
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prosper_has_all_capabilities() {
+        let table = capability_table();
+        let prosper = table.iter().find(|r| r.name == "Prosper").unwrap();
+        assert!(prosper.caps.process_persistence);
+        assert!(prosper.caps.no_compiler_support);
+        assert!(prosper.caps.sp_aware);
+        assert!(prosper.caps.stack_in_dram);
+    }
+
+    #[test]
+    fn nvm_resident_mechanisms_flagged() {
+        for row in capability_table() {
+            if row.name == "Romulus" || row.name == "SSP" {
+                assert!(!row.caps.stack_in_dram, "{} keeps stack in NVM", row.name);
+                assert!(!row.caps.sp_aware, "{} is not SP aware", row.name);
+            }
+        }
+    }
+
+    #[test]
+    fn table_covers_five_mechanism_classes() {
+        assert_eq!(capability_table().len(), 5);
+    }
+}

@@ -1,0 +1,176 @@
+//! The write-protect dirty-tracking baseline (SoftDirty-style).
+//!
+//! At the start of every interval the OS removes write permission from
+//! all mapped pages of the tracked range; the first write to each page
+//! then faults, the OS records the page dirty and restores the
+//! permission. Compared with Dirtybit this adds a page-fault per dirty
+//! page per interval — exactly the overhead LDT (and the paper) argue
+//! against.
+
+use prosper_gemos::checkpoint::{CheckpointOutcome, IntervalInfo, MemoryPersistence};
+use prosper_gemos::pagetable::{PageTable, StoreWalk};
+use prosper_memsim::addr::VirtRange;
+use prosper_memsim::machine::Machine;
+use prosper_memsim::Cycles;
+use prosper_memsim::PAGE_SIZE;
+use prosper_trace::record::MemAccess;
+
+/// Cycles for a write-protection fault: trap, VMA lookup, permission
+/// fix-up, TLB shootdown of the stale entry, return.
+const PROTECT_FAULT_CYCLES: Cycles = 4_000;
+
+/// Cycles for a minor demand-paging fault.
+const DEMAND_FAULT_CYCLES: Cycles = 2_500;
+
+/// OS cycles per PTE visited during the protect walk.
+const PER_PTE_WALK_CYCLES: Cycles = 10;
+
+/// Write-protect-based page-granularity checkpointing.
+#[derive(Debug)]
+pub struct WriteProtectMechanism {
+    table: PageTable,
+    next_pfn: u64,
+    /// Pages recorded dirty in the current interval (the fault log —
+    /// no end-of-interval PTE walk is needed to *find* dirty pages).
+    dirty_log: Vec<u64>,
+    /// Protection faults taken across the run.
+    pub protect_faults: u64,
+    /// Demand faults taken across the run.
+    pub demand_faults: u64,
+}
+
+impl Default for WriteProtectMechanism {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WriteProtectMechanism {
+    /// Creates the mechanism with an empty page table.
+    pub fn new() -> Self {
+        Self {
+            table: PageTable::new(),
+            next_pfn: 0x8_0000,
+            dirty_log: Vec::new(),
+            protect_faults: 0,
+            demand_faults: 0,
+        }
+    }
+}
+
+impl MemoryPersistence for WriteProtectMechanism {
+    fn name(&self) -> &'static str {
+        "WriteProtect"
+    }
+
+    fn begin_interval(&mut self, machine: &mut Machine, region: VirtRange) {
+        self.dirty_log.clear();
+        let walked = self.table.write_protect(region);
+        machine.advance(walked * PER_PTE_WALK_CYCLES);
+    }
+
+    fn on_store(&mut self, machine: &mut Machine, access: &MemAccess) {
+        match self.table.store_walk(access.vaddr) {
+            StoreWalk::Ok(_) => {}
+            StoreWalk::WriteFault => {
+                self.protect_faults += 1;
+                machine.advance(PROTECT_FAULT_CYCLES);
+                self.table.grant_write(access.vaddr);
+                self.dirty_log.push(access.vaddr.page_number());
+            }
+            StoreWalk::NotPresent => {
+                self.demand_faults += 1;
+                machine.advance(DEMAND_FAULT_CYCLES);
+                self.table.map(access.vaddr.page_number(), self.next_pfn);
+                self.next_pfn += 1;
+                self.dirty_log.push(access.vaddr.page_number());
+                let _ = self.table.store_walk(access.vaddr);
+            }
+        }
+    }
+
+    fn end_interval(&mut self, machine: &mut Machine, _info: IntervalInfo) -> CheckpointOutcome {
+        let start = machine.now();
+        // The dirty set is already known from the fault log; dedup it.
+        let meta_start = machine.now();
+        self.dirty_log.sort_unstable();
+        self.dirty_log.dedup();
+        machine.advance(self.dirty_log.len() as u64 * 4);
+        let metadata_cycles = machine.now() - meta_start;
+
+        let bytes = self.dirty_log.len() as u64 * PAGE_SIZE;
+        if bytes > 0 {
+            machine.bulk_copy_dram_to_nvm(bytes);
+        }
+        let pages = std::mem::take(&mut self.dirty_log);
+        let _ = pages;
+
+        CheckpointOutcome {
+            bytes_copied: bytes,
+            cycles: machine.now() - start,
+            metadata_cycles,
+        }
+    }
+
+    fn region_in_dram(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prosper_gemos::checkpoint::CheckpointManager;
+    use prosper_memsim::config::MachineConfig;
+    use prosper_trace::micro::{MicroBench, MicroSpec};
+
+    fn run(spec: MicroSpec, intervals: u64) -> (WriteProtectMechanism, u64, u64) {
+        let mut machine = Machine::new(MachineConfig::setup_i());
+        let mut mgr = CheckpointManager::new(&mut machine, 30_000);
+        let mut mech = WriteProtectMechanism::new();
+        let bench = MicroBench::new(spec, 7);
+        let res = mgr.run_stack_only(bench, &mut mech, intervals);
+        (mech, res.bytes_copied, res.total_cycles)
+    }
+
+    #[test]
+    fn faults_repeat_every_interval() {
+        let (mech, bytes, _) = run(MicroSpec::Stream { array_bytes: 8192 }, 4);
+        // Each interval re-protects, so pages fault again.
+        assert!(
+            mech.protect_faults >= 3,
+            "protect faults: {}",
+            mech.protect_faults
+        );
+        assert_eq!(bytes % PAGE_SIZE, 0);
+    }
+
+    #[test]
+    fn slower_than_dirtybit_due_to_faults() {
+        let spec = MicroSpec::Stream { array_bytes: 16384 };
+        let (_, _, wp_cycles) = run(spec, 4);
+        let mut machine = Machine::new(MachineConfig::setup_i());
+        let mut mgr = CheckpointManager::new(&mut machine, 30_000);
+        let mut db = crate::dirtybit::DirtybitMechanism::new();
+        let bench = MicroBench::new(spec, 7);
+        let db_res = mgr.run_stack_only(bench, &mut db, 4);
+        assert!(
+            wp_cycles > db_res.total_cycles,
+            "write-protect {wp_cycles} > dirtybit {}",
+            db_res.total_cycles
+        );
+    }
+
+    #[test]
+    fn copy_size_matches_dirtybit() {
+        // Both track at page granularity, so copy sizes agree.
+        let spec = MicroSpec::Sparse { pages: 8 };
+        let (_, wp_bytes, _) = run(spec, 2);
+        let mut machine = Machine::new(MachineConfig::setup_i());
+        let mut mgr = CheckpointManager::new(&mut machine, 30_000);
+        let mut db = crate::dirtybit::DirtybitMechanism::new();
+        let bench = MicroBench::new(spec, 7);
+        let db_res = mgr.run_stack_only(bench, &mut db, 2);
+        assert_eq!(wp_bytes, db_res.bytes_copied);
+    }
+}

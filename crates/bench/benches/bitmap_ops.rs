@@ -1,0 +1,62 @@
+//! Criterion bench: dirty-bitmap inspection/coalescing throughput —
+//! the dominant metadata cost of a Prosper checkpoint.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use prosper_core::bitmap::{BitmapGeometry, DirtyBitmap};
+use prosper_memsim::addr::{VirtAddr, VirtRange};
+
+fn geometry() -> BitmapGeometry {
+    BitmapGeometry {
+        range_start: VirtAddr::new(0x7000_0000),
+        bitmap_base: VirtAddr::new(0x1000_0000),
+        granularity: 8,
+    }
+}
+
+fn bench_inspect(c: &mut Criterion) {
+    let geom = geometry();
+    let mut group = c.benchmark_group("bitmap_inspect_and_clear");
+    for density in [1u64, 8, 32] {
+        group.bench_with_input(
+            BenchmarkId::new("bits_per_word", density),
+            &density,
+            |b, &density| {
+                b.iter_with_setup(
+                    || {
+                        let mut bm = DirtyBitmap::new();
+                        for w in 0..512u64 {
+                            let mut value = 0u32;
+                            for bit in 0..density {
+                                value |= 1 << (bit * (32 / density.max(1)) % 32);
+                            }
+                            bm.write_word(0x1000_0000 + w * 4, value);
+                        }
+                        bm
+                    },
+                    |mut bm| {
+                        let active = VirtRange::new(
+                            VirtAddr::new(0x7000_0000),
+                            VirtAddr::new(0x7000_0000 + 512 * 256),
+                        );
+                        black_box(bm.inspect_and_clear(&geom, active))
+                    },
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    c.bench_function("bitmap_merge_word", |b| {
+        let mut bm = DirtyBitmap::new();
+        let mut w = 0u64;
+        b.iter(|| {
+            w = (w + 4) % 4096;
+            bm.merge_word(black_box(0x1000_0000 + w), black_box(0xff00_00ff));
+        });
+    });
+}
+
+criterion_group!(benches, bench_inspect, bench_merge);
+criterion_main!(benches);

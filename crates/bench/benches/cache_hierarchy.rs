@@ -1,0 +1,45 @@
+//! Criterion bench: machine-model access throughput (the simulator
+//! substrate's hot path).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use prosper_memsim::addr::VirtAddr;
+use prosper_memsim::config::MachineConfig;
+use prosper_memsim::machine::Machine;
+
+fn bench_l1_hits(c: &mut Criterion) {
+    c.bench_function("machine_store_l1_hit", |b| {
+        let mut m = Machine::new(MachineConfig::setup_i());
+        m.store(VirtAddr::new(0x1000), 8);
+        b.iter(|| black_box(m.store(black_box(VirtAddr::new(0x1000)), 8)));
+    });
+}
+
+fn bench_streaming_misses(c: &mut Criterion) {
+    c.bench_function("machine_load_stream_miss", |b| {
+        let mut m = Machine::new(MachineConfig::setup_i());
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(64) % (1 << 28);
+            black_box(m.load(black_box(VirtAddr::new(0x100_0000 + addr)), 8))
+        });
+    });
+}
+
+fn bench_injected_traffic(c: &mut Criterion) {
+    c.bench_function("machine_inject_store", |b| {
+        let mut m = Machine::new(MachineConfig::setup_i());
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = (addr + 64) % (1 << 20);
+            m.inject_store(black_box(VirtAddr::new(0x2000_0000 + addr)), 4);
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_l1_hits,
+    bench_streaming_misses,
+    bench_injected_traffic
+);
+criterion_main!(benches);

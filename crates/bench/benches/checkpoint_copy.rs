@@ -1,0 +1,39 @@
+//! Criterion bench: end-to-end checkpoint cost of Prosper vs Dirtybit
+//! on a Sparse interval (the paper's best case for sub-page tracking).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use prosper_baselines::DirtybitMechanism;
+use prosper_core::ProsperMechanism;
+use prosper_gemos::checkpoint::{CheckpointManager, MemoryPersistence};
+use prosper_memsim::config::MachineConfig;
+use prosper_memsim::machine::Machine;
+use prosper_trace::micro::{MicroBench, MicroSpec};
+
+fn run_intervals(mech: &mut dyn MemoryPersistence) -> u64 {
+    let mut machine = Machine::new(MachineConfig::setup_i());
+    let mut mgr = CheckpointManager::new(&mut machine, 30_000);
+    let bench = MicroBench::new(MicroSpec::Sparse { pages: 16 }, 1);
+    let res = mgr.run_stack_only(bench, mech, 2);
+    res.checkpoint_cycles
+}
+
+fn bench_prosper_checkpoint(c: &mut Criterion) {
+    c.bench_function("checkpoint_sparse_prosper", |b| {
+        b.iter(|| {
+            let mut mech = ProsperMechanism::with_defaults();
+            black_box(run_intervals(&mut mech))
+        });
+    });
+}
+
+fn bench_dirtybit_checkpoint(c: &mut Criterion) {
+    c.bench_function("checkpoint_sparse_dirtybit", |b| {
+        b.iter(|| {
+            let mut mech = DirtybitMechanism::new();
+            black_box(run_intervals(&mut mech))
+        });
+    });
+}
+
+criterion_group!(benches, bench_prosper_checkpoint, bench_dirtybit_checkpoint);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion bench: lookup-table record/flush throughput under the
+//! paper's default configuration and both allocation policies.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use prosper_core::lookup::{AllocPolicy, LookupTable};
+
+fn bench_record_hit(c: &mut Criterion) {
+    c.bench_function("lookup_record_hit", |b| {
+        let mut table = LookupTable::new(16, 24, 8, AllocPolicy::AccumulateAndApply);
+        let mut read = |_addr: u64| 0u32;
+        // Warm one entry; subsequent records hit.
+        table.record(0x100, 0, &mut read);
+        let mut bit = 0u32;
+        b.iter(|| {
+            bit = (bit + 1) % 20; // stay below HWM=24
+            black_box(table.record(black_box(0x100), bit, &mut read))
+        });
+    });
+}
+
+fn bench_record_scatter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lookup_record_scatter");
+    for policy in [AllocPolicy::AccumulateAndApply, AllocPolicy::LoadAndUpdate] {
+        group.bench_function(format!("{policy:?}"), |b| {
+            let mut table = LookupTable::new(16, 24, 8, policy);
+            let mut read = |_addr: u64| 0u32;
+            let mut word = 0u64;
+            b.iter(|| {
+                word = word.wrapping_add(4).wrapping_mul(2862933555777941757) % (1 << 20);
+                black_box(table.record(black_box(word & !3), 3, &mut read))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_flush_all(c: &mut Criterion) {
+    c.bench_function("lookup_flush_all_16_entries", |b| {
+        b.iter_with_setup(
+            || {
+                let mut table = LookupTable::new(16, 24, 8, AllocPolicy::AccumulateAndApply);
+                let mut read = |_addr: u64| 0u32;
+                for i in 0..16u64 {
+                    table.record(i * 4, 0, &mut read);
+                }
+                table
+            },
+            |mut table| {
+                let mut read = |_addr: u64| 0u32;
+                black_box(table.flush_all(&mut read))
+            },
+        );
+    });
+}
+
+criterion_group!(benches, bench_record_hit, bench_record_scatter, bench_flush_all);
+criterion_main!(benches);

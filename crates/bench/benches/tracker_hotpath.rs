@@ -1,0 +1,44 @@
+//! Criterion bench: the tracker's per-store hot path — the SOI filter
+//! plus the lookup-table update. This is the logic that sits next to
+//! the L1D in hardware; in the simulator it must be cheap enough to
+//! run per store across millions of events.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use prosper_core::tracker::{DirtyTracker, TrackerConfig};
+use prosper_memsim::addr::{VirtAddr, VirtRange};
+
+fn tracker() -> (DirtyTracker, VirtRange) {
+    let range = VirtRange::new(VirtAddr::new(0x7000_0000), VirtAddr::new(0x7080_0000));
+    let mut t = DirtyTracker::new(TrackerConfig::default());
+    t.configure(range, VirtAddr::new(0x1000_0000));
+    (t, range)
+}
+
+fn bench_soi_hit(c: &mut Criterion) {
+    c.bench_function("tracker_observe_soi_coalesced", |b| {
+        let (mut t, range) = tracker();
+        b.iter(|| black_box(t.observe_store(black_box(range.start() + 64), 8)));
+    });
+}
+
+fn bench_soi_scatter(c: &mut Criterion) {
+    c.bench_function("tracker_observe_soi_scatter", |b| {
+        let (mut t, range) = tracker();
+        let mut offset = 0u64;
+        b.iter(|| {
+            offset = (offset + 4096 + 8) % 0x7f_0000;
+            black_box(t.observe_store(black_box(range.start() + offset), 8))
+        });
+    });
+}
+
+fn bench_filtered_out(c: &mut Criterion) {
+    c.bench_function("tracker_observe_non_soi", |b| {
+        let (mut t, _) = tracker();
+        // Heap address: filtered by the range comparator.
+        b.iter(|| black_box(t.observe_store(black_box(VirtAddr::new(0x5555_0000_0000)), 8)));
+    });
+}
+
+criterion_group!(benches, bench_soi_hit, bench_soi_scatter, bench_filtered_out);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Runs the design-choice ablations DESIGN.md calls out: bitmap-store
+//! coalescing (straw-man vs lookup table), the allocation policy
+//! (Accumulate-and-Apply vs Load-and-Update), and the adaptive
+//! granularity extension.
+
+fn main() {
+    let (_, t) = prosper_bench::ablation::ablation_coalescing();
+    t.print();
+    let (_, t) = prosper_bench::ablation::ablation_alloc_policy();
+    t.print();
+    let (_, t) = prosper_bench::ablation::ablation_table_size();
+    t.print();
+    let (_, t, g) = prosper_bench::ablation::ablation_adaptive();
+    t.print();
+    println!("adaptive policy settled at {g} B granularity on Stream");
+}

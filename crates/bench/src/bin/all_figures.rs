@@ -1,0 +1,75 @@
+//! Runs every table and figure of the evaluation in sequence and,
+//! with `--json <path>`, writes the structured results consumed by
+//! EXPERIMENTS.md.
+
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct AllResults {
+    fig1: Vec<prosper_bench::fig_motivation::Fig1Row>,
+    fig2_beyond_fraction: f64,
+    fig3: Vec<prosper_bench::fig_motivation::Fig3Row>,
+    fig4: Vec<prosper_bench::fig_motivation::Fig4Row>,
+    fig8: Vec<prosper_bench::fig_performance::Fig8Row>,
+    fig9: Vec<prosper_bench::fig_performance::Fig9Row>,
+    fig10: Vec<prosper_bench::fig_micro::Fig10Row>,
+    fig11: Vec<prosper_bench::fig_micro::Fig11Row>,
+    fig12: Vec<prosper_bench::fig_overhead::Fig12Row>,
+    fig13: Vec<prosper_bench::fig_overhead::Fig13Row>,
+    ctx_switch: prosper_bench::misc::CtxSwitchResult,
+}
+
+fn main() {
+    let json_path = {
+        let mut args = std::env::args().skip(1);
+        match (args.next().as_deref(), args.next()) {
+            (Some("--json"), Some(path)) => Some(path),
+            _ => None,
+        }
+    };
+
+    prosper_bench::misc::table1().print();
+    let (fig1, t) = prosper_bench::fig_motivation::fig1();
+    t.print();
+    let (_, fig2_beyond_fraction, t) = prosper_bench::fig_motivation::fig2();
+    t.print();
+    let (fig3, t) = prosper_bench::fig_motivation::fig3();
+    t.print();
+    let (fig4, t) = prosper_bench::fig_motivation::fig4();
+    t.print();
+    let (fig8, t) = prosper_bench::fig_performance::fig8();
+    t.print();
+    let (fig9, t) = prosper_bench::fig_performance::fig9();
+    t.print();
+    let (fig10, ta, tb) = prosper_bench::fig_micro::fig10();
+    ta.print();
+    tb.print();
+    let (fig11, t) = prosper_bench::fig_micro::fig11();
+    t.print();
+    let (fig12, t) = prosper_bench::fig_overhead::fig12();
+    t.print();
+    let (fig13, t) = prosper_bench::fig_overhead::fig13();
+    t.print();
+    let (ctx_switch, t) = prosper_bench::misc::ctx_switch_overhead();
+    t.print();
+    prosper_bench::misc::energy_area().print();
+
+    if let Some(path) = json_path {
+        let all = AllResults {
+            fig1,
+            fig2_beyond_fraction,
+            fig3,
+            fig4,
+            fig8,
+            fig9,
+            fig10,
+            fig11,
+            fig12,
+            fig13,
+            ctx_switch,
+        };
+        let json = serde_json::to_string_pretty(&all).expect("results serialize");
+        std::fs::write(&path, json).expect("write results file");
+        eprintln!("wrote {path}");
+    }
+}

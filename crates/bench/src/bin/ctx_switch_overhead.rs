@@ -1,0 +1,7 @@
+//! Regenerates the context-switch overhead study (Section V): the
+//! Prosper tracker save/restore cost across alternating threads.
+
+fn main() {
+    let (_, table) = prosper_bench::misc::ctx_switch_overhead();
+    table.print();
+}

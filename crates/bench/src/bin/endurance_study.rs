@@ -1,0 +1,8 @@
+//! Quantifies Section II's endurance argument: NVM write volume under
+//! DRAM-stack checkpointing (Prosper, Dirtybit) vs NVM-resident-stack
+//! mechanisms (SSP, Romulus).
+
+fn main() {
+    let (_, table) = prosper_bench::endurance::endurance_study();
+    table.print();
+}

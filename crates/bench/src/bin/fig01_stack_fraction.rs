@@ -1,0 +1,7 @@
+//! Regenerates Figure 1: fraction of memory operations to the stack
+//! region for Gapbs_pr, G500_sssp, and Ycsb_mem.
+
+fn main() {
+    let (_, table) = prosper_bench::fig_motivation::fig1();
+    table.print();
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 2: stack writes vs writes beyond the interval-
+//! final SP for Ycsb_mem.
+
+fn main() {
+    let (_, fraction, table) = prosper_bench::fig_motivation::fig2();
+    table.print();
+    println!(
+        "aggregate writes beyond final SP: {:.1}% (paper: >36% on average)",
+        fraction * 100.0
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 3: flush/undo/redo persistence for the stack
+//! with and without stack-pointer awareness, normalized to a DRAM run
+//! with no persistence.
+
+fn main() {
+    let (_, table) = prosper_bench::fig_motivation::fig3();
+    table.print();
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 4: stack checkpoint copy size under page (4 KiB)
+//! vs byte (8 B) granularity dirty tracking.
+
+fn main() {
+    let (_, table) = prosper_bench::fig_motivation::fig4();
+    table.print();
+}

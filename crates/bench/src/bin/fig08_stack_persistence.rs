@@ -1,0 +1,13 @@
+//! Regenerates Figure 8: stack-persistence overhead of Romulus,
+//! SSP-{10us,100us,1ms}, Dirtybit, and Prosper.
+
+fn main() {
+    let (rows, table) = prosper_bench::fig_performance::fig8();
+    table.print();
+    let mean: f64 = rows
+        .iter()
+        .map(|r| r.of("SSP-10us") / r.of("Prosper"))
+        .sum::<f64>()
+        / rows.len() as f64;
+    println!("mean Prosper reduction vs SSP-10us: {mean:.2}x (paper: 2.1x avg, 3.6x max)");
+}

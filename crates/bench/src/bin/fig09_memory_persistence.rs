@@ -1,0 +1,12 @@
+//! Regenerates Figure 9: whole-memory persistence combining SSP for
+//! the heap with SSP / Dirtybit / Prosper for the stack.
+
+fn main() {
+    let (rows, table) = prosper_bench::fig_performance::fig9();
+    table.print();
+    let best = rows
+        .iter()
+        .map(|r| r.ssp_only / r.ssp_prosper)
+        .fold(f64::MIN, f64::max);
+    println!("max SSP+Prosper reduction vs SSP-only: {best:.2}x (paper: up to 2.6x)");
+}

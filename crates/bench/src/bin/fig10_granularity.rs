@@ -1,0 +1,9 @@
+//! Regenerates Figure 10: checkpoint size (a) and checkpoint time
+//! normalized to Dirtybit (b) for the Table III micro-benchmarks at
+//! tracking granularities of 8–128 bytes.
+
+fn main() {
+    let (_, size_table, time_table) = prosper_bench::fig_micro::fig10();
+    size_table.print();
+    time_table.print();
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 11: checkpoint size vs checkpoint interval
+//! (1/5/10 ms) for Quicksort and Recursive at depths 4, 8, 16.
+
+fn main() {
+    let (_, table) = prosper_bench::fig_micro::fig11();
+    table.print();
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 13: tracker bitmap loads/stores as functions of
+//! the HWM (LWM = 4) and LWM (HWM = 24) thresholds, for mcf and SSSP.
+
+fn main() {
+    let (_, table) = prosper_bench::fig_overhead::fig13();
+    table.print();
+}

@@ -1,0 +1,7 @@
+//! Concurrent per-core tracking: three persistent workloads on three
+//! cores of a shared-L3 machine, each with its own Prosper tracker.
+
+fn main() {
+    let (_, table) = prosper_bench::multicore_study::multicore_study(120_000);
+    table.print();
+}

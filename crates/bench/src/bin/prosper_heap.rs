@@ -1,0 +1,8 @@
+//! Extension study: Prosper tracking the heap region as well as the
+//! stack (Section III's generality claim), compared against the
+//! paper's best combination (SSP heap + Prosper stack).
+
+fn main() {
+    let (_, table) = prosper_bench::fig_performance::prosper_everywhere();
+    table.print();
+}

@@ -1,0 +1,17 @@
+//! Demonstrates the multi-process deployment: three persistent
+//! workloads share one core under a timeslice scheduler; the OS
+//! saves/restores the Prosper tracker across switches and checkpoints
+//! each process's stack at its own consistency intervals.
+
+use prosper_trace::workloads::WorkloadProfile;
+
+fn main() {
+    let profiles = [
+        WorkloadProfile::gapbs_pr(),
+        WorkloadProfile::g500_sssp(),
+        WorkloadProfile::ycsb_mem(),
+    ];
+    let result = prosper_bench::scheduler::run_scheduled(&profiles, 20_000, 60_000, 36);
+    prosper_bench::scheduler::render(&result).print();
+    println!("total simulated cycles: {}", result.total_cycles);
+}

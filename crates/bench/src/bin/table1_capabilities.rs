@@ -1,0 +1,6 @@
+//! Regenerates Table I: the capability comparison of memory
+//! persistence mechanisms.
+
+fn main() {
+    prosper_bench::misc::table1().print();
+}

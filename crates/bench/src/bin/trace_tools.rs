@@ -1,0 +1,85 @@
+//! Trace tooling: record workload trace windows to JSON files and
+//! inspect them — the counterpart of the artifact's shipped traces.
+//!
+//! ```sh
+//! # Record 50k events of Gapbs_pr:
+//! cargo run --release -p prosper-bench --bin trace_tools -- record Gapbs_pr 50000 /tmp/gapbs.json
+//! # Summarise a recorded trace:
+//! cargo run --release -p prosper-bench --bin trace_tools -- info /tmp/gapbs.json
+//! ```
+
+use prosper_trace::analysis;
+use prosper_trace::tracefile::TraceFile;
+use prosper_trace::workloads::{Workload, WorkloadProfile};
+use std::process::ExitCode;
+
+fn profile_by_name(name: &str) -> Option<WorkloadProfile> {
+    let mut all = WorkloadProfile::applications();
+    all.extend(WorkloadProfile::tracking_overhead_set());
+    all.into_iter().find(|p| p.name == name)
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: trace_tools record <workload> <events> <out.json>");
+    eprintln!("       trace_tools info <trace.json>");
+    eprintln!("workloads: Gapbs_pr, G500_sssp, Ycsb_mem, 605.mcf_s, 620.omnetpp_s, ...");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("record") if args.len() == 4 => {
+            let Some(profile) = profile_by_name(&args[1]) else {
+                eprintln!("unknown workload {}", args[1]);
+                return usage();
+            };
+            let Ok(events) = args[2].parse::<usize>() else {
+                return usage();
+            };
+            let mut w = Workload::new(profile, 0x5eed);
+            let file = TraceFile::record(&mut w, 0x5eed, events);
+            let json = file.to_json().expect("trace serializes");
+            if let Err(e) = std::fs::write(&args[3], json) {
+                eprintln!("cannot write {}: {e}", args[3]);
+                return ExitCode::FAILURE;
+            }
+            println!("recorded {events} events of {} to {}", args[1], args[3]);
+            ExitCode::SUCCESS
+        }
+        Some("info") if args.len() == 2 => {
+            let json = match std::fs::read_to_string(&args[1]) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read {}: {e}", args[1]);
+                    return ExitCode::FAILURE;
+                }
+            };
+            let file = match TraceFile::from_json(&json) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("malformed trace: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut replay = file.replayer();
+            let accesses = file
+                .events
+                .iter()
+                .filter(|e| e.as_access().is_some())
+                .count() as u64;
+            let mix = analysis::operation_mix(&mut replay, accesses.min(100_000));
+            println!("benchmark:   {}", file.benchmark);
+            println!("seed:        {}", file.seed);
+            println!("events:      {}", file.events.len());
+            println!("stack ops:   {:.1}%", mix.stack_fraction() * 100.0);
+            println!("stack wr:    {:.1}%", mix.stack_write_share() * 100.0);
+            let mut replay = file.replayer();
+            let traj = analysis::sp_trajectory(&mut replay, accesses.min(100_000));
+            println!("max depth:   {} bytes", traj.max_depth_bytes);
+            println!("SP moves:    {}", traj.sp_moves);
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

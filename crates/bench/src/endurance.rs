@@ -1,0 +1,111 @@
+//! NVM write-volume (endurance) study.
+//!
+//! Section II of the paper argues that "considering the write-
+//! intensive nature of the stack region, maintaining the stack in NVM
+//! leads to performance and endurance issues" — one of the three
+//! reasons to prefer a DRAM-resident stack with periodic checkpoints.
+//! This study quantifies the argument on our model: the total NVM
+//! write volume per mechanism is a direct proxy for cell wear.
+
+use prosper_baselines::{DirtybitMechanism, RomulusMechanism, SspMechanism};
+use prosper_core::ProsperMechanism;
+use prosper_gemos::checkpoint::{CheckpointManager, MemoryPersistence};
+use prosper_memsim::config::MachineConfig;
+use prosper_memsim::machine::Machine;
+use prosper_trace::workloads::{Workload, WorkloadProfile};
+use serde::Serialize;
+
+use crate::report::Table;
+use crate::scale::{DEFAULT_INTERVALS, INTERVAL_10MS, SEED, SSP_1MS};
+
+/// One mechanism's endurance measurements.
+#[derive(Clone, Debug, Serialize)]
+pub struct EnduranceRow {
+    /// Mechanism name.
+    pub mechanism: String,
+    /// NVM line writes over the run.
+    pub nvm_line_writes: u64,
+    /// Writes to the hottest NVM line.
+    pub hottest_line_writes: u64,
+}
+
+fn run(profile: &WorkloadProfile, mech: &mut dyn MemoryPersistence) -> EnduranceRow {
+    let mut machine = Machine::new(MachineConfig::setup_i());
+    let mut mgr = CheckpointManager::new(&mut machine, INTERVAL_10MS);
+    let w = Workload::new(profile.clone(), SEED);
+    mgr.run_stack_only(w, mech, DEFAULT_INTERVALS);
+    let wear = machine.controller().nvm().wear_stats();
+    EnduranceRow {
+        mechanism: mech.name().to_string(),
+        nvm_line_writes: wear.total_line_writes,
+        hottest_line_writes: wear.max_line_writes,
+    }
+}
+
+/// Runs the endurance comparison on Gapbs_pr (the stack-heaviest
+/// workload): Prosper and Dirtybit (DRAM stack, checkpoint writes
+/// only) vs Romulus and SSP (NVM-resident stack).
+pub fn endurance_study() -> (Vec<EnduranceRow>, Table) {
+    let profile = WorkloadProfile::gapbs_pr();
+    let rows = vec![
+        run(&profile, &mut ProsperMechanism::with_defaults()),
+        run(&profile, &mut DirtybitMechanism::new()),
+        run(&profile, &mut SspMechanism::new(SSP_1MS)),
+        run(&profile, &mut RomulusMechanism::new()),
+    ];
+    let mut table = Table::new(
+        "NVM write volume per mechanism (endurance proxy, Gapbs_pr)",
+        &["mechanism", "NVM line writes", "hottest line"],
+    );
+    for r in &rows {
+        table.push_row(&[
+            r.mechanism.clone(),
+            r.nvm_line_writes.to_string(),
+            r.hottest_line_writes.to_string(),
+        ]);
+    }
+    (rows, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkpointing_writes_less_nvm_than_nvm_residence() {
+        let (rows, _) = endurance_study();
+        let by_name = |n: &str| {
+            rows.iter()
+                .find(|r| r.mechanism.contains(n))
+                .unwrap_or_else(|| panic!("{n} missing"))
+        };
+        let prosper = by_name("Prosper");
+        let romulus = by_name("Romulus");
+        let ssp = by_name("SSP");
+        assert!(
+            prosper.nvm_line_writes < romulus.nvm_line_writes,
+            "Prosper {} < Romulus {}",
+            prosper.nvm_line_writes,
+            romulus.nvm_line_writes
+        );
+        assert!(
+            prosper.nvm_line_writes < ssp.nvm_line_writes,
+            "Prosper {} < SSP {}",
+            prosper.nvm_line_writes,
+            ssp.nvm_line_writes
+        );
+        // Sub-page tracking also writes less than page-granularity
+        // checkpointing.
+        let dirtybit = by_name("Dirtybit");
+        assert!(prosper.nvm_line_writes < dirtybit.nvm_line_writes);
+    }
+
+    #[test]
+    fn all_mechanisms_write_something() {
+        let (rows, _) = endurance_study();
+        for r in &rows {
+            assert!(r.nvm_line_writes > 0, "{} persisted nothing", r.mechanism);
+            assert!(r.hottest_line_writes >= 1);
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! The micro-benchmark studies: Figures 10–11 (Setup-I).
+
+use prosper_baselines::DirtybitMechanism;
+use prosper_core::tracker::TrackerConfig;
+use prosper_core::ProsperMechanism;
+use prosper_gemos::checkpoint::CheckpointManager;
+use prosper_memsim::config::MachineConfig;
+use prosper_memsim::machine::Machine;
+use prosper_memsim::Cycles;
+use prosper_trace::micro::{MicroBench, MicroSpec};
+use serde::Serialize;
+
+use crate::report::{bytes, ratio, Table};
+use crate::scale::{DEFAULT_INTERVALS, INTERVAL_10MS, INTERVAL_1MS, INTERVAL_5MS, SEED};
+
+/// Tracking granularities swept in Figure 10.
+pub const GRANULARITIES: [u64; 5] = [8, 16, 32, 64, 128];
+
+/// Outcome of one (micro-benchmark, mechanism) run.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct MicroRun {
+    /// Mean checkpoint size per interval in bytes.
+    pub mean_ckpt_bytes: f64,
+    /// Mean checkpoint time per interval in cycles.
+    pub mean_ckpt_cycles: f64,
+}
+
+fn run_prosper(spec: MicroSpec, granularity: u64, interval: Cycles) -> MicroRun {
+    let mut machine = Machine::new(MachineConfig::setup_i());
+    let mut mgr = CheckpointManager::new(&mut machine, interval);
+    let mut mech = ProsperMechanism::new(TrackerConfig::default().with_granularity(granularity));
+    let bench = MicroBench::new(spec, SEED);
+    let res = mgr.run_stack_only(bench, &mut mech, DEFAULT_INTERVALS);
+    MicroRun {
+        mean_ckpt_bytes: res.mean_checkpoint_bytes(),
+        mean_ckpt_cycles: res.mean_checkpoint_cycles(),
+    }
+}
+
+fn run_dirtybit(spec: MicroSpec, interval: Cycles) -> MicroRun {
+    let mut machine = Machine::new(MachineConfig::setup_i());
+    let mut mgr = CheckpointManager::new(&mut machine, interval);
+    let mut mech = DirtybitMechanism::new();
+    let bench = MicroBench::new(spec, SEED);
+    let res = mgr.run_stack_only(bench, &mut mech, DEFAULT_INTERVALS);
+    MicroRun {
+        mean_ckpt_bytes: res.mean_checkpoint_bytes(),
+        mean_ckpt_cycles: res.mean_checkpoint_cycles(),
+    }
+}
+
+/// One Figure 10 row.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig10Row {
+    /// Micro-benchmark name.
+    pub benchmark: String,
+    /// Prosper result per granularity, in [`GRANULARITIES`] order.
+    pub prosper: Vec<MicroRun>,
+    /// The Dirtybit (page-granularity) reference.
+    pub dirtybit: MicroRun,
+}
+
+impl Fig10Row {
+    /// Prosper checkpoint time at granularity index `i`, normalized to
+    /// Dirtybit (Figure 10b's y-axis).
+    pub fn normalized_time(&self, i: usize) -> f64 {
+        self.prosper[i].mean_ckpt_cycles / self.dirtybit.mean_ckpt_cycles.max(1.0)
+    }
+}
+
+/// Figure 10: checkpoint size (a) and normalized checkpoint time (b)
+/// for the Table III micro-benchmarks across tracking granularities.
+pub fn fig10() -> (Vec<Fig10Row>, Table, Table) {
+    let mut rows = Vec::new();
+    for spec in MicroSpec::all_default() {
+        let prosper = GRANULARITIES
+            .iter()
+            .map(|&g| run_prosper(spec, g, INTERVAL_10MS))
+            .collect();
+        let dirtybit = run_dirtybit(spec, INTERVAL_10MS);
+        rows.push(Fig10Row {
+            benchmark: spec.name().to_string(),
+            prosper,
+            dirtybit,
+        });
+    }
+    let mut size_table = Table::new(
+        "Figure 10a: mean stack checkpoint size per interval",
+        &["benchmark", "8B", "16B", "32B", "64B", "128B", "Dirtybit(4K)"],
+    );
+    let mut time_table = Table::new(
+        "Figure 10b: checkpoint time normalized to Dirtybit",
+        &["benchmark", "8B", "16B", "32B", "64B", "128B"],
+    );
+    for r in &rows {
+        let mut cells = vec![r.benchmark.clone()];
+        cells.extend(r.prosper.iter().map(|p| bytes(p.mean_ckpt_bytes)));
+        cells.push(bytes(r.dirtybit.mean_ckpt_bytes));
+        size_table.push_row(&cells);
+
+        let mut cells = vec![r.benchmark.clone()];
+        cells.extend((0..GRANULARITIES.len()).map(|i| ratio(r.normalized_time(i))));
+        time_table.push_row(&cells);
+    }
+    (rows, size_table, time_table)
+}
+
+/// One Figure 11 row: checkpoint size vs checkpoint interval.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig11Row {
+    /// Benchmark label (Quicksort, Rec-4, Rec-8, Rec-16).
+    pub benchmark: String,
+    /// Mean checkpoint size at 1 ms intervals.
+    pub ms1: MicroRun,
+    /// Mean checkpoint size at 5 ms intervals.
+    pub ms5: MicroRun,
+    /// Mean checkpoint size at 10 ms intervals.
+    pub ms10: MicroRun,
+}
+
+impl Fig11Row {
+    /// Per-byte checkpoint time (cycles/byte) at 1 ms and 10 ms — the
+    /// paper's Rec-4 observation (22 ns vs 11 ns per byte).
+    pub fn per_byte_time(&self) -> (f64, f64) {
+        (
+            self.ms1.mean_ckpt_cycles / self.ms1.mean_ckpt_bytes.max(1.0),
+            self.ms10.mean_ckpt_cycles / self.ms10.mean_ckpt_bytes.max(1.0),
+        )
+    }
+}
+
+/// Figure 11: influence of the checkpoint interval (1/5/10 ms) on the
+/// checkpoint size, for Quicksort and Recursive at depths 4/8/16, at
+/// 8-byte granularity.
+pub fn fig11() -> (Vec<Fig11Row>, Table) {
+    let specs = [
+        ("Quicksort", MicroSpec::Quicksort { elements: 4096 }),
+        ("Rec-4", MicroSpec::Recursive { depth: 4 }),
+        ("Rec-8", MicroSpec::Recursive { depth: 8 }),
+        ("Rec-16", MicroSpec::Recursive { depth: 16 }),
+    ];
+    let mut rows = Vec::new();
+    for (label, spec) in specs {
+        rows.push(Fig11Row {
+            benchmark: label.to_string(),
+            ms1: run_prosper(spec, 8, INTERVAL_1MS),
+            ms5: run_prosper(spec, 8, INTERVAL_5MS),
+            ms10: run_prosper(spec, 8, INTERVAL_10MS),
+        });
+    }
+    let mut table = Table::new(
+        "Figure 11: mean checkpoint size vs checkpoint interval (8 B granularity)",
+        &["benchmark", "1ms", "5ms", "10ms", "cyc/B @1ms", "cyc/B @10ms"],
+    );
+    for r in &rows {
+        let (pb1, pb10) = r.per_byte_time();
+        table.push_row(&[
+            r.benchmark.clone(),
+            bytes(r.ms1.mean_ckpt_bytes),
+            bytes(r.ms5.mean_ckpt_bytes),
+            bytes(r.ms10.mean_ckpt_bytes),
+            format!("{pb1:.1}"),
+            format!("{pb10:.1}"),
+        ]);
+    }
+    (rows, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig10_sparse_is_prospers_best_case() {
+        let (rows, _, _) = fig10();
+        let sparse = rows.iter().find(|r| r.benchmark == "Sparse").unwrap();
+        // Paper: 99% checkpoint-size reduction vs page granularity and
+        // a large checkpoint-time win.
+        let reduction = sparse.dirtybit.mean_ckpt_bytes / sparse.prosper[0].mean_ckpt_bytes.max(1.0);
+        assert!(
+            reduction > 20.0,
+            "Sparse size reduction {reduction} (paper: ~100x)"
+        );
+        assert!(
+            sparse.normalized_time(0) < 0.7,
+            "Sparse checkpoint time well below Dirtybit: {}",
+            sparse.normalized_time(0)
+        );
+    }
+
+    #[test]
+    fn fig10_stream_is_prospers_worst_case() {
+        let (rows, _, _) = fig10();
+        let stream = rows.iter().find(|r| r.benchmark == "Stream").unwrap();
+        let sparse = rows.iter().find(|r| r.benchmark == "Sparse").unwrap();
+        // Dense writes leave little size advantage, so Stream's
+        // normalized time sits far above Sparse's.
+        assert!(stream.normalized_time(0) > sparse.normalized_time(0));
+        // Dirty size at 8 B roughly equals the page-granularity size
+        // for a fully-streamed array (within 2x).
+        let ratio = stream.dirtybit.mean_ckpt_bytes / stream.prosper[0].mean_ckpt_bytes.max(1.0);
+        assert!(ratio < 4.0, "Stream page/byte ratio small: {ratio}");
+    }
+
+    #[test]
+    fn fig10_size_monotone_in_granularity() {
+        let (rows, _, _) = fig10();
+        for r in &rows {
+            for pair in r.prosper.windows(2) {
+                assert!(
+                    pair[1].mean_ckpt_bytes >= pair[0].mean_ckpt_bytes * 0.95,
+                    "{}: coarser granularity must not shrink the checkpoint",
+                    r.benchmark
+                );
+            }
+            // And page granularity is the upper bound.
+            assert!(r.dirtybit.mean_ckpt_bytes >= r.prosper[0].mean_ckpt_bytes * 0.9);
+        }
+    }
+
+    #[test]
+    fn fig11_recursive_grows_with_interval_quicksort_benefits() {
+        let (rows, _) = fig11();
+        let rec16 = rows.iter().find(|r| r.benchmark == "Rec-16").unwrap();
+        assert!(
+            rec16.ms10.mean_ckpt_bytes >= rec16.ms1.mean_ckpt_bytes,
+            "Recursive checkpoint grows with the interval"
+        );
+        let quick = rows.iter().find(|r| r.benchmark == "Quicksort").unwrap();
+        // Quicksort coalesces: size grows sublinearly vs the 10x
+        // interval increase.
+        assert!(
+            quick.ms10.mean_ckpt_bytes < quick.ms1.mean_ckpt_bytes * 10.0,
+            "Quicksort coalesces across the longer interval"
+        );
+    }
+
+    #[test]
+    fn fig11_short_intervals_cost_more_per_byte() {
+        let (rows, _) = fig11();
+        let rec4 = rows.iter().find(|r| r.benchmark == "Rec-4").unwrap();
+        let (pb1, pb10) = rec4.per_byte_time();
+        assert!(
+            pb1 > pb10,
+            "per-byte time higher at 1ms ({pb1}) than 10ms ({pb10}) — paper: 22ns vs 11ns"
+        );
+    }
+}

@@ -1,0 +1,312 @@
+//! The end-to-end persistence-performance experiments: Figures 8–9
+//! (Setup-I).
+
+use prosper_baselines::{DirtybitMechanism, RomulusMechanism, SspMechanism};
+use prosper_core::ProsperMechanism;
+use prosper_gemos::checkpoint::{CheckpointManager, MemoryPersistence, NoPersistence};
+use prosper_memsim::addr::{VirtAddr, VirtRange};
+use prosper_memsim::config::MachineConfig;
+use prosper_memsim::machine::Machine;
+use prosper_trace::workloads::{Workload, WorkloadProfile};
+use serde::Serialize;
+
+use crate::report::{ratio, Table};
+use crate::scale::{DEFAULT_INTERVALS, INTERVAL_10MS, SEED, SSP_100US, SSP_10US, SSP_1MS};
+
+/// Heap region used for whole-memory persistence (matches the
+/// workloads' heap base and largest footprint).
+fn heap_region() -> VirtRange {
+    VirtRange::new(
+        VirtAddr::new(0x5555_0000_0000),
+        VirtAddr::new(0x5555_2000_0000),
+    )
+}
+
+/// Runs one workload with a stack mechanism (and optional heap
+/// mechanism), returning total cycles.
+fn run_config(
+    profile: &WorkloadProfile,
+    stack_mech: &mut dyn MemoryPersistence,
+    heap_mech: Option<&mut dyn MemoryPersistence>,
+) -> u64 {
+    let mut machine = Machine::new(MachineConfig::setup_i());
+    let mut mgr = CheckpointManager::new(&mut machine, INTERVAL_10MS);
+    let w = Workload::new(profile.clone(), SEED);
+    let res = mgr.run(w, stack_mech, heap_mech, heap_region(), DEFAULT_INTERVALS);
+    res.total_cycles
+}
+
+/// One Figure 8 row: a workload's normalized execution time under
+/// each stack-persistence mechanism.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig8Row {
+    /// Workload name.
+    pub workload: String,
+    /// Normalized execution time per mechanism, `(name, ratio)`.
+    pub mechanisms: Vec<(String, f64)>,
+}
+
+impl Fig8Row {
+    /// Normalized time of the named mechanism.
+    pub fn of(&self, name: &str) -> f64 {
+        self.mechanisms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("mechanism {name} missing"))
+    }
+}
+
+/// Figure 8: stack-persistence overhead of Romulus, SSP (three
+/// consolidation intervals), Dirtybit, and Prosper, normalized to
+/// no-persistence execution time.
+pub fn fig8() -> (Vec<Fig8Row>, Table) {
+    let mut rows = Vec::new();
+    for profile in WorkloadProfile::applications() {
+        let baseline = run_config(&profile, &mut NoPersistence, None) as f64;
+        let mut mechanisms: Vec<(String, f64)> = Vec::new();
+
+        let mut romulus = RomulusMechanism::new();
+        mechanisms.push((
+            "Romulus".into(),
+            run_config(&profile, &mut romulus, None) as f64 / baseline,
+        ));
+        for (mk, label) in [
+            (SSP_10US, "SSP-10us"),
+            (SSP_100US, "SSP-100us"),
+            (SSP_1MS, "SSP-1ms"),
+        ] {
+            let mut ssp = SspMechanism::new(mk);
+            mechanisms.push((
+                label.into(),
+                run_config(&profile, &mut ssp, None) as f64 / baseline,
+            ));
+        }
+        let mut dirtybit = DirtybitMechanism::new();
+        mechanisms.push((
+            "Dirtybit".into(),
+            run_config(&profile, &mut dirtybit, None) as f64 / baseline,
+        ));
+        let mut prosper = ProsperMechanism::with_defaults();
+        mechanisms.push((
+            "Prosper".into(),
+            run_config(&profile, &mut prosper, None) as f64 / baseline,
+        ));
+
+        rows.push(Fig8Row {
+            workload: profile.name.to_string(),
+            mechanisms,
+        });
+    }
+    let mut table = Table::new(
+        "Figure 8: stack persistence — execution time normalized to no persistence",
+        &[
+            "workload", "Romulus", "SSP-10us", "SSP-100us", "SSP-1ms", "Dirtybit", "Prosper",
+        ],
+    );
+    for r in &rows {
+        table.push_row(&[
+            r.workload.clone(),
+            ratio(r.of("Romulus")),
+            ratio(r.of("SSP-10us")),
+            ratio(r.of("SSP-100us")),
+            ratio(r.of("SSP-1ms")),
+            ratio(r.of("Dirtybit")),
+            ratio(r.of("Prosper")),
+        ]);
+    }
+    (rows, table)
+}
+
+/// One Figure 9 row: whole-memory (heap + stack) persistence.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig9Row {
+    /// Workload name.
+    pub workload: String,
+    /// SSP consolidation label this row belongs to.
+    pub ssp_interval: String,
+    /// SSP for both heap and stack.
+    pub ssp_only: f64,
+    /// SSP heap + Dirtybit stack.
+    pub ssp_dirtybit: f64,
+    /// SSP heap + Prosper stack.
+    pub ssp_prosper: f64,
+}
+
+/// Figure 9: memory-state persistence with SSP on the heap and
+/// {SSP, Dirtybit, Prosper} on the stack, for the three consolidation
+/// intervals.
+pub fn fig9() -> (Vec<Fig9Row>, Table) {
+    let mut rows = Vec::new();
+    for profile in WorkloadProfile::applications() {
+        let baseline = run_config(&profile, &mut NoPersistence, None) as f64;
+        for (mk, label) in [
+            (SSP_10US, "10us"),
+            (SSP_100US, "100us"),
+            (SSP_1MS, "1ms"),
+        ] {
+            let ssp_only = {
+                let mut stack = SspMechanism::new(mk);
+                let mut heap = SspMechanism::new(mk);
+                run_config(&profile, &mut stack, Some(&mut heap)) as f64 / baseline
+            };
+            let ssp_dirtybit = {
+                let mut stack = DirtybitMechanism::new();
+                let mut heap = SspMechanism::new(mk);
+                run_config(&profile, &mut stack, Some(&mut heap)) as f64 / baseline
+            };
+            let ssp_prosper = {
+                let mut stack = ProsperMechanism::with_defaults();
+                let mut heap = SspMechanism::new(mk);
+                run_config(&profile, &mut stack, Some(&mut heap)) as f64 / baseline
+            };
+            rows.push(Fig9Row {
+                workload: profile.name.to_string(),
+                ssp_interval: label.to_string(),
+                ssp_only,
+                ssp_dirtybit,
+                ssp_prosper,
+            });
+        }
+    }
+    let mut table = Table::new(
+        "Figure 9: memory persistence (heap via SSP) — execution time \
+         normalized to no persistence",
+        &["workload", "SSP intvl", "SSP", "SSP+Dirtybit", "SSP+Prosper"],
+    );
+    for r in &rows {
+        table.push_row(&[
+            r.workload.clone(),
+            r.ssp_interval.clone(),
+            ratio(r.ssp_only),
+            ratio(r.ssp_dirtybit),
+            ratio(r.ssp_prosper),
+        ]);
+    }
+    (rows, table)
+}
+
+/// One row of the Prosper-everywhere extension study.
+#[derive(Clone, Debug, Serialize)]
+pub struct ProsperHeapRow {
+    /// Workload name.
+    pub workload: String,
+    /// SSP-1ms heap + Prosper stack (the paper's best combination).
+    pub ssp_heap: f64,
+    /// Prosper tracking both heap and stack (the generality claim of
+    /// Section III: "we can use Prosper to track modifications to
+    /// dynamically allocated virtual address range in the heap").
+    pub prosper_heap: f64,
+}
+
+/// Extension: Prosper tracking the heap range as well as the stack,
+/// against the paper's SSP-heap combination.
+pub fn prosper_everywhere() -> (Vec<ProsperHeapRow>, Table) {
+    let mut rows = Vec::new();
+    for profile in WorkloadProfile::applications() {
+        let baseline = run_config(&profile, &mut NoPersistence, None) as f64;
+        let ssp_heap = {
+            let mut stack = ProsperMechanism::with_defaults();
+            let mut heap = SspMechanism::new(SSP_1MS);
+            run_config(&profile, &mut stack, Some(&mut heap)) as f64 / baseline
+        };
+        let prosper_heap = {
+            let mut stack = ProsperMechanism::with_defaults();
+            let mut heap = ProsperMechanism::with_defaults();
+            run_config(&profile, &mut stack, Some(&mut heap)) as f64 / baseline
+        };
+        rows.push(ProsperHeapRow {
+            workload: profile.name.to_string(),
+            ssp_heap,
+            prosper_heap,
+        });
+    }
+    let mut table = Table::new(
+        "Extension: Prosper on the heap too, vs SSP-1ms heap (stack via Prosper in both)",
+        &["workload", "SSP-1ms heap", "Prosper heap"],
+    );
+    for r in &rows {
+        table.push_row(&[
+            r.workload.clone(),
+            ratio(r.ssp_heap),
+            ratio(r.prosper_heap),
+        ]);
+    }
+    (rows, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_ordering_matches_paper() {
+        let (rows, _) = fig8();
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            let prosper = r.of("Prosper");
+            assert!(
+                prosper < r.of("Romulus"),
+                "{}: Prosper beats Romulus",
+                r.workload
+            );
+            assert!(
+                prosper < r.of("SSP-10us"),
+                "{}: Prosper beats SSP-10us",
+                r.workload
+            );
+            assert!(
+                prosper < r.of("SSP-1ms"),
+                "{}: Prosper beats SSP-1ms",
+                r.workload
+            );
+            assert!(
+                r.of("SSP-10us") >= r.of("SSP-1ms"),
+                "{}: SSP overhead falls with a longer consolidation interval",
+                r.workload
+            );
+            assert!(
+                prosper <= r.of("Dirtybit") * 1.05,
+                "{}: Prosper at least matches Dirtybit on applications",
+                r.workload
+            );
+            assert!(prosper >= 1.0, "persistence is never free");
+        }
+    }
+
+    #[test]
+    fn prosper_heap_competitive_with_ssp_heap() {
+        let (rows, _) = prosper_everywhere();
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(
+                r.prosper_heap <= r.ssp_heap * 1.05,
+                "{}: Prosper-heap {} vs SSP-heap {}",
+                r.workload,
+                r.prosper_heap,
+                r.ssp_heap
+            );
+            assert!(r.prosper_heap >= 1.0);
+        }
+    }
+
+    #[test]
+    fn fig9_prosper_combo_wins() {
+        let (rows, _) = fig9();
+        assert_eq!(rows.len(), 9);
+        for r in &rows {
+            assert!(
+                r.ssp_prosper <= r.ssp_only,
+                "{} ({}): SSP+Prosper beats SSP-everywhere",
+                r.workload,
+                r.ssp_interval
+            );
+            assert!(
+                r.ssp_prosper <= r.ssp_dirtybit * 1.05,
+                "{} ({}): SSP+Prosper at least matches SSP+Dirtybit",
+                r.workload,
+                r.ssp_interval
+            );
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Remaining evaluation items: Table I, the context-switch overhead
+//! study, and the energy/area numbers (Section V).
+
+use prosper_baselines::mechanism::capability_table;
+use prosper_core::energy::EnergyModel;
+use prosper_core::multithread::MultiThreadTracker;
+use prosper_core::tracker::TrackerConfig;
+use prosper_memsim::addr::{VirtAddr, VirtRange};
+use prosper_memsim::config::MachineConfig;
+use prosper_memsim::machine::Machine;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+use crate::report::Table;
+use crate::scale::SEED;
+
+/// Table I rendered as a results table.
+pub fn table1() -> Table {
+    let mut table = Table::new(
+        "Table I: comparison of memory persistence mechanisms",
+        &[
+            "mechanism",
+            "process persistence",
+            "no compiler support",
+            "SP aware",
+            "stack in DRAM",
+        ],
+    );
+    let tick = |b: bool| if b { "yes" } else { "no" }.to_string();
+    for row in capability_table() {
+        table.push_row(&[
+            row.name.to_string(),
+            tick(row.caps.process_persistence),
+            tick(row.caps.no_compiler_support),
+            tick(row.caps.sp_aware),
+            tick(row.caps.stack_in_dram),
+        ]);
+    }
+    table
+}
+
+/// Result of the context-switch overhead study.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct CtxSwitchResult {
+    /// Switches performed.
+    pub switches: u64,
+    /// Mean Prosper-added cycles per switch (paper: ~870).
+    pub mean_overhead_cycles: f64,
+}
+
+/// Reproduces the two-thread context-switch study: each thread
+/// performs random writes to its own stack; the scheduler alternates
+/// them, and we measure the tracker save/restore overhead.
+pub fn ctx_switch_overhead() -> (CtxSwitchResult, Table) {
+    let mut machine = Machine::new(MachineConfig::setup_i());
+    let mut mt = MultiThreadTracker::new(TrackerConfig::default());
+    let s0 = VirtRange::new(VirtAddr::new(0x7000_0000), VirtAddr::new(0x7080_0000));
+    let s1 = VirtRange::new(VirtAddr::new(0x7100_0000), VirtAddr::new(0x7180_0000));
+    mt.register_thread(0, s0, VirtAddr::new(0x1000_0000));
+    mt.register_thread(1, s1, VirtAddr::new(0x1100_0000));
+
+    let mut rng = StdRng::seed_from_u64(SEED);
+    mt.schedule(&mut machine, 0);
+    let mut total_overhead = 0u64;
+    let mut switches = 0u64;
+    for round in 0..200u64 {
+        let (range, next) = if round % 2 == 0 { (s0, 1) } else { (s1, 0) };
+        // The micro-benchmark: a fixed number of random writes to the
+        // running thread's stack between timer interrupts.
+        for _ in 0..64 {
+            let offset = rng.gen_range(0..0x8000u64 / 8) * 8;
+            mt.observe_store(&mut machine, range.start() + offset, 8);
+        }
+        total_overhead += mt.schedule(&mut machine, next);
+        switches += 1;
+    }
+    let result = CtxSwitchResult {
+        switches,
+        mean_overhead_cycles: total_overhead as f64 / switches as f64,
+    };
+    let mut table = Table::new(
+        "Context-switch overhead of Prosper (paper: ~870 cycles average)",
+        &["switches", "mean Prosper overhead (cycles)"],
+    );
+    table.push_row(&[
+        result.switches.to_string(),
+        format!("{:.0}", result.mean_overhead_cycles),
+    ]);
+    (result, table)
+}
+
+/// The energy/area numbers as reported in Section V.
+pub fn energy_area() -> Table {
+    let m = EnergyModel::paper_cacti_7nm();
+    let mut table = Table::new(
+        "Energy and area of the 16-entry lookup table (CACTI-P, 7nm FinFET)",
+        &["quantity", "value"],
+    );
+    table.push_row(&["dynamic read energy / access".to_string(), format!("{} nJ", m.read_nj)]);
+    table.push_row(&["dynamic write energy / access".to_string(), format!("{} nJ", m.write_nj)]);
+    table.push_row(&["bank leakage power".to_string(), format!("{} mW", m.leakage_mw)]);
+    table.push_row(&["area".to_string(), format!("{} mm^2", m.area_mm2)]);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_all_mechanisms() {
+        let t = table1();
+        assert_eq!(t.rows.len(), 5);
+        let rendered = t.render();
+        assert!(rendered.contains("Prosper"));
+        assert!(rendered.contains("Romulus"));
+    }
+
+    #[test]
+    fn ctx_switch_overhead_in_paper_ballpark() {
+        let (res, _) = ctx_switch_overhead();
+        assert_eq!(res.switches, 200);
+        assert!(
+            (300.0..1800.0).contains(&res.mean_overhead_cycles),
+            "mean overhead {} cycles (paper: ~870)",
+            res.mean_overhead_cycles
+        );
+    }
+
+    #[test]
+    fn energy_table_reports_paper_constants() {
+        let t = energy_area();
+        let s = t.render();
+        assert!(s.contains("0.000773194"));
+        assert!(s.contains("0.000128375"));
+        assert!(s.contains("0.01067596"));
+        assert!(s.contains("0.000704786"));
+    }
+}

@@ -1,0 +1,48 @@
+//! Experiment scaling constants (see the crate docs and
+//! EXPERIMENTS.md).
+
+use prosper_memsim::Cycles;
+
+/// Budget cycles representing one 10 ms consistency interval
+/// (down-scaled from the paper's 30 M cycles at 3 GHz).
+pub const INTERVAL_10MS: Cycles = 120_000;
+
+/// Budget cycles representing 5 ms.
+pub const INTERVAL_5MS: Cycles = INTERVAL_10MS / 2;
+
+/// Budget cycles representing 1 ms.
+pub const INTERVAL_1MS: Cycles = INTERVAL_10MS / 10;
+
+/// Consistency intervals per experiment (down-scaled from the paper's
+/// 100–6000).
+pub const DEFAULT_INTERVALS: u64 = 12;
+
+/// Intervals for the Figure 2 study (the paper aggregates 100).
+pub const FIG2_INTERVALS: u64 = 40;
+
+/// SSP consolidation-thread invocation intervals, scaled by the same
+/// factor as the consistency interval so the relative frequencies
+/// (1000×, 100×, 10× per interval) match the paper's 10 µs/100 µs/1 ms
+/// against 10 ms.
+pub const SSP_10US: Cycles = INTERVAL_10MS / 1000;
+/// See [`SSP_10US`].
+pub const SSP_100US: Cycles = INTERVAL_10MS / 100;
+/// See [`SSP_10US`].
+pub const SSP_1MS: Cycles = INTERVAL_10MS / 10;
+
+/// Deterministic seed shared by all experiments.
+pub const SEED: u64 = 0x5eed_2024;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_ratios_match_paper() {
+        assert_eq!(INTERVAL_10MS / INTERVAL_1MS, 10);
+        assert_eq!(INTERVAL_10MS / INTERVAL_5MS, 2);
+        assert_eq!(INTERVAL_10MS / SSP_10US, 1000);
+        assert_eq!(INTERVAL_10MS / SSP_100US, 100);
+        assert_eq!(INTERVAL_10MS / SSP_1MS, 10);
+    }
+}

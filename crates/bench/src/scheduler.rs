@@ -1,0 +1,233 @@
+//! A timeslice scheduler composing the full multi-process story:
+//! several persistent workloads share one core, the OS context-
+//! switches between them (saving/restoring the Prosper tracker state
+//! with the quiescence protocol), and each process's stack is
+//! checkpointed at its own consistency intervals.
+//!
+//! This is the end-to-end shape of the paper's GemOS deployment
+//! (Sections III-C/III-D): per-thread bitmap areas, tracker state as
+//! part of the architectural context, and checkpoints that inspect
+//! only the owning thread's active region.
+
+use prosper_core::multithread::MultiThreadTracker;
+use prosper_core::tracker::TrackerConfig;
+use prosper_gemos::context::BASELINE_SWITCH_CYCLES;
+use prosper_memsim::addr::{VirtAddr, VirtRange};
+use prosper_memsim::config::MachineConfig;
+use prosper_memsim::machine::Machine;
+use prosper_memsim::Cycles;
+use prosper_trace::record::{AccessKind, Region, TraceEvent};
+use prosper_trace::source::TraceSource;
+use prosper_trace::stack::StackModel;
+use prosper_trace::workloads::{Workload, WorkloadProfile};
+use serde::Serialize;
+
+use crate::report::Table;
+use crate::scale::SEED;
+
+/// Per-process result of a scheduled run.
+#[derive(Clone, Debug, Serialize)]
+pub struct ScheduledProcess {
+    /// Workload name.
+    pub name: String,
+    /// Stack stores the process performed.
+    pub stack_stores: u64,
+    /// Bytes its checkpoints copied.
+    pub bytes_copied: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+}
+
+/// Aggregate result of the scheduled run.
+#[derive(Clone, Debug, Serialize)]
+pub struct ScheduleResult {
+    /// Per-process outcomes.
+    pub processes: Vec<ScheduledProcess>,
+    /// Context switches performed.
+    pub switches: u64,
+    /// Mean Prosper-added cycles per switch.
+    pub mean_switch_overhead: f64,
+    /// Total cycles of the run.
+    pub total_cycles: Cycles,
+}
+
+/// Runs `profiles` round-robin with the given timeslice, checkpointing
+/// each process's stack every `interval` cycles of *its own* runtime.
+///
+/// # Panics
+///
+/// Panics if `profiles` is empty or the timeslice is zero.
+pub fn run_scheduled(
+    profiles: &[WorkloadProfile],
+    timeslice: Cycles,
+    interval: Cycles,
+    slices: u64,
+) -> ScheduleResult {
+    assert!(!profiles.is_empty(), "need at least one process");
+    assert!(timeslice > 0, "timeslice must be positive");
+
+    let mut machine = Machine::new(MachineConfig::setup_i());
+    let mut mt = MultiThreadTracker::new(TrackerConfig::default());
+
+    // One stack range and bitmap area per process.
+    let mut workloads = Vec::new();
+    for (i, profile) in profiles.iter().enumerate() {
+        let top = VirtAddr::new(0x7000_0000_0000 + (i as u64) * 0x1_0000_0000);
+        let stack = StackModel::with_layout(i as u32, top, 8 * 1024 * 1024);
+        mt.register_thread(
+            i as u32,
+            stack.reserved_range(),
+            VirtAddr::new(0x1000_0000 + (i as u64) * 0x100_0000),
+        );
+        workloads.push(Workload::with_stack(profile.clone(), SEED + i as u64, stack));
+    }
+
+    let mut results: Vec<ScheduledProcess> = profiles
+        .iter()
+        .map(|p| ScheduledProcess {
+            name: p.name.to_string(),
+            stack_stores: 0,
+            bytes_copied: 0,
+            checkpoints: 0,
+        })
+        .collect();
+    let mut runtime: Vec<Cycles> = vec![0; profiles.len()];
+    let mut next_ckpt: Vec<Cycles> = vec![interval; profiles.len()];
+    let mut switch_overhead = 0u64;
+    let mut switches = 0u64;
+
+    mt.schedule(&mut machine, 0);
+    let mut current = 0usize;
+
+    for _ in 0..slices {
+        // Run the current process for one timeslice.
+        let slice_end = runtime[current] + timeslice;
+        while runtime[current] < slice_end {
+            let ev = workloads[current].next_event();
+            runtime[current] += ev.budget_cycles();
+            match ev {
+                TraceEvent::Compute(c) => machine.advance(c),
+                TraceEvent::Access(a) => {
+                    match a.kind {
+                        AccessKind::Load => machine.load(a.vaddr, u64::from(a.size)),
+                        AccessKind::Store => machine.store(a.vaddr, u64::from(a.size)),
+                    };
+                    if a.region == Region::Stack && a.kind == AccessKind::Store {
+                        results[current].stack_stores += 1;
+                        mt.observe_store(&mut machine, a.vaddr, u64::from(a.size));
+                    }
+                }
+            }
+        }
+
+        // Its consistency interval may have elapsed: checkpoint.
+        if runtime[current] >= next_ckpt[current] {
+            next_ckpt[current] += interval;
+            mt.tracker_mut().flush();
+            let top = workloads[current].stack().top();
+            let watermark = mt.tracker().min_soi_watermark().unwrap_or(top);
+            let geom = mt.tracker().geometry();
+            let (runs, _, _) = mt
+                .tracker_mut()
+                .bitmap_mut()
+                .inspect_and_clear(&geom, VirtRange::new(watermark, top));
+            let bytes: u64 = runs.iter().map(|r| r.len).sum();
+            if bytes > 0 {
+                machine.bulk_copy_dram_to_nvm(bytes);
+            }
+            results[current].bytes_copied += bytes;
+            results[current].checkpoints += 1;
+            mt.tracker_mut().reset_watermark();
+        }
+
+        // Timer interrupt: switch to the next process.
+        let next = (current + 1) % profiles.len();
+        if next != current {
+            machine.advance(BASELINE_SWITCH_CYCLES);
+            switch_overhead += mt.schedule(&mut machine, next as u32);
+            switches += 1;
+            current = next;
+        }
+    }
+
+    ScheduleResult {
+        processes: results,
+        switches,
+        mean_switch_overhead: if switches == 0 {
+            0.0
+        } else {
+            switch_overhead as f64 / switches as f64
+        },
+        total_cycles: machine.now(),
+    }
+}
+
+/// Renders a [`ScheduleResult`] as a table.
+pub fn render(result: &ScheduleResult) -> Table {
+    let mut table = Table::new(
+        format!(
+            "Timeslice scheduling: {} switches, mean tracker save/restore {:.0} cycles",
+            result.switches, result.mean_switch_overhead
+        ),
+        &["process", "stack stores", "bytes copied", "checkpoints"],
+    );
+    for p in &result.processes {
+        table.push_row(&[
+            p.name.clone(),
+            p.stack_stores.to_string(),
+            p.bytes_copied.to_string(),
+            p.checkpoints.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_processes_share_the_core() {
+        let profiles = [WorkloadProfile::gapbs_pr(), WorkloadProfile::ycsb_mem()];
+        let res = run_scheduled(&profiles, 20_000, 60_000, 24);
+        assert_eq!(res.processes.len(), 2);
+        assert_eq!(res.switches, 24);
+        for p in &res.processes {
+            assert!(p.stack_stores > 0, "{} ran", p.name);
+            assert!(p.checkpoints >= 3, "{} checkpointed", p.name);
+            assert!(p.bytes_copied > 0, "{} persisted data", p.name);
+        }
+        // Gapbs is stack-heavy relative to Ycsb.
+        assert!(res.processes[0].stack_stores > res.processes[1].stack_stores);
+        assert!(res.mean_switch_overhead > 0.0);
+        assert!(
+            res.mean_switch_overhead < 3_000.0,
+            "switch overhead stays in the hundreds-of-cycles regime: {}",
+            res.mean_switch_overhead
+        );
+    }
+
+    #[test]
+    fn single_process_never_switches() {
+        let profiles = [WorkloadProfile::g500_sssp()];
+        let res = run_scheduled(&profiles, 20_000, 40_000, 8);
+        assert_eq!(res.switches, 0);
+        assert_eq!(res.mean_switch_overhead, 0.0);
+        assert!(res.processes[0].checkpoints > 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let profiles = [WorkloadProfile::gapbs_pr(), WorkloadProfile::mcf()];
+        let a = run_scheduled(&profiles, 15_000, 45_000, 12);
+        let b = run_scheduled(&profiles, 15_000, 45_000, 12);
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(a.processes[0].bytes_copied, b.processes[0].bytes_copied);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn empty_process_list_rejected() {
+        run_scheduled(&[], 1000, 1000, 1);
+    }
+}

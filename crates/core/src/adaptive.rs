@@ -1,0 +1,268 @@
+//! Adaptive policies the paper leaves as future work, implemented as
+//! optional extensions:
+//!
+//! * **Dynamic granularity** (end of the Figure 10 discussion:
+//!   "Granularity setting should be dynamically adjusted (from the OS
+//!   layer) to reduce the overhead for workloads like Stream") — after
+//!   each checkpoint the OS inspects the measured dirty *density* of
+//!   the interval and coarsens or refines the tracking granularity MSR
+//!   for the next interval.
+//! * **Dynamic HWM/LWM** (Figure 13 discussion: "a dynamic scheme
+//!   based on the access pattern is left as a future direction") — the
+//!   OS watches the tracker's bitmap-traffic counters and nudges the
+//!   watermarks in the direction that reduced traffic, a simple
+//!   one-dimensional hill climb per knob.
+//!
+//! Both policies only consume information the Prosper hardware already
+//! exposes (bitmap word counts, lookup-table counters), so they are
+//! faithful OS-layer extensions rather than new hardware.
+
+use serde::{Deserialize, Serialize};
+
+use crate::lookup::LookupStats;
+
+/// Granularities the OS may select (multiples of 8 bytes, as the
+/// tracker supports).
+pub const GRANULARITY_LADDER: [u64; 5] = [8, 16, 32, 64, 128];
+
+/// OS policy that adapts tracking granularity to the observed dirty
+/// density.
+///
+/// Density is `dirty bytes / (dirty granules × granularity)` — i.e.
+/// how full the copied granules actually were. Dense intervals
+/// (Stream-like) waste bitmap-processing effort at fine granularity,
+/// so the policy coarsens; sparse intervals refine.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct GranularityAdapter {
+    /// Current ladder index.
+    index: usize,
+    /// Coarsen when the mean set-bit run exceeds this many granules.
+    pub coarsen_run_threshold: f64,
+    /// Refine when the mean set-bit run falls below this.
+    pub refine_run_threshold: f64,
+}
+
+impl Default for GranularityAdapter {
+    fn default() -> Self {
+        Self {
+            index: 0,
+            coarsen_run_threshold: 16.0,
+            refine_run_threshold: 3.0,
+        }
+    }
+}
+
+impl GranularityAdapter {
+    /// Creates an adapter starting at the given granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `granularity` is not on the ladder.
+    pub fn starting_at(granularity: u64) -> Self {
+        let index = GRANULARITY_LADDER
+            .iter()
+            .position(|&g| g == granularity)
+            .expect("granularity must be one of 8/16/32/64/128");
+        Self {
+            index,
+            ..Self::default()
+        }
+    }
+
+    /// Current granularity in bytes.
+    pub fn granularity(&self) -> u64 {
+        GRANULARITY_LADDER[self.index]
+    }
+
+    /// Feeds one checkpoint's observation: the number of copy runs and
+    /// the bytes they covered. Returns the granularity for the next
+    /// interval.
+    pub fn observe(&mut self, runs: u64, bytes: u64) -> u64 {
+        if runs == 0 {
+            return self.granularity();
+        }
+        let granules_per_run = bytes as f64 / self.granularity() as f64 / runs as f64;
+        if granules_per_run > self.coarsen_run_threshold
+            && self.index + 1 < GRANULARITY_LADDER.len()
+        {
+            self.index += 1;
+        } else if granules_per_run < self.refine_run_threshold && self.index > 0 {
+            self.index -= 1;
+        }
+        self.granularity()
+    }
+}
+
+/// OS policy that hill-climbs the HWM and LWM to minimise bitmap
+/// traffic, using the per-interval delta of the tracker's
+/// loads+stores counters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct WatermarkTuner {
+    /// Current high-water-mark.
+    pub hwm: u32,
+    /// Current low-water-mark.
+    pub lwm: u32,
+    /// Traffic observed in the previous interval.
+    last_traffic: Option<u64>,
+    /// Direction of the last HWM move (+1 / -1).
+    direction: i32,
+    /// Cumulative counter snapshot at the last observation.
+    last_snapshot: u64,
+    /// Alternate between tuning HWM (even intervals) and LWM (odd).
+    step: u64,
+}
+
+impl Default for WatermarkTuner {
+    fn default() -> Self {
+        Self {
+            hwm: 24,
+            lwm: 8,
+            last_traffic: None,
+            direction: 1,
+            last_snapshot: 0,
+            step: 0,
+        }
+    }
+}
+
+impl WatermarkTuner {
+    /// Creates a tuner starting from the given watermarks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lwm > hwm`.
+    pub fn new(hwm: u32, lwm: u32) -> Self {
+        assert!(lwm <= hwm, "LWM must not exceed HWM");
+        Self {
+            hwm,
+            lwm,
+            ..Self::default()
+        }
+    }
+
+    /// HWM step size per adjustment.
+    const HWM_STEP: u32 = 4;
+    /// LWM step size per adjustment.
+    const LWM_STEP: u32 = 2;
+
+    /// Feeds the tracker's cumulative lookup stats after a checkpoint;
+    /// returns the `(hwm, lwm)` to program for the next interval.
+    pub fn observe(&mut self, stats: &LookupStats) -> (u32, u32) {
+        let cumulative = stats.bitmap_loads + stats.bitmap_stores;
+        let traffic = cumulative - self.last_snapshot;
+        self.last_snapshot = cumulative;
+
+        if let Some(last) = self.last_traffic {
+            // If traffic got worse, reverse direction.
+            if traffic > last {
+                self.direction = -self.direction;
+            }
+            if self.step.is_multiple_of(2) {
+                let delta = Self::HWM_STEP as i32 * self.direction;
+                let hwm = (self.hwm as i32 + delta).clamp(4, 32) as u32;
+                self.hwm = hwm.max(self.lwm);
+            } else {
+                let delta = Self::LWM_STEP as i32 * self.direction;
+                let lwm = (self.lwm as i32 + delta).clamp(1, 16) as u32;
+                self.lwm = lwm.min(self.hwm);
+            }
+        }
+        self.last_traffic = Some(traffic);
+        self.step += 1;
+        (self.hwm, self.lwm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adapter_coarsens_on_dense_runs() {
+        let mut a = GranularityAdapter::default();
+        assert_eq!(a.granularity(), 8);
+        // 4 runs covering 4096 bytes at 8B => 128 granules/run: dense.
+        assert_eq!(a.observe(4, 4096), 16);
+        assert_eq!(a.observe(4, 8192), 32);
+    }
+
+    #[test]
+    fn adapter_refines_on_sparse_runs() {
+        let mut a = GranularityAdapter::starting_at(128);
+        // 100 runs covering 12800 bytes at 128B = 1 granule/run.
+        assert_eq!(a.observe(100, 12_800), 64);
+        assert_eq!(a.observe(100, 6_400), 32);
+    }
+
+    #[test]
+    fn adapter_saturates_at_ladder_ends() {
+        let mut a = GranularityAdapter::starting_at(128);
+        for _ in 0..10 {
+            a.observe(1, 1_000_000);
+        }
+        assert_eq!(a.granularity(), 128);
+        let mut a = GranularityAdapter::default();
+        for _ in 0..10 {
+            a.observe(100, 800);
+        }
+        assert_eq!(a.granularity(), 8);
+    }
+
+    #[test]
+    fn adapter_holds_steady_in_the_middle_band() {
+        let mut a = GranularityAdapter::starting_at(32);
+        // 8 granules per run: between the thresholds.
+        assert_eq!(a.observe(10, 10 * 8 * 32), 32);
+    }
+
+    #[test]
+    fn empty_interval_changes_nothing() {
+        let mut a = GranularityAdapter::starting_at(32);
+        assert_eq!(a.observe(0, 0), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "granularity must be one of")]
+    fn off_ladder_start_rejected() {
+        GranularityAdapter::starting_at(24);
+    }
+
+    #[test]
+    fn tuner_reverses_when_traffic_worsens() {
+        let mut t = WatermarkTuner::default();
+        let mut stats = LookupStats::default();
+        let hwm0 = t.hwm;
+        // Interval 1 (step 0): baseline, no tuning yet.
+        stats.bitmap_loads = 100;
+        t.observe(&stats);
+        // Interval 2 (step 1, LWM turn): worse traffic flips direction.
+        stats.bitmap_loads = 400;
+        t.observe(&stats);
+        // Interval 3 (step 2, HWM turn): still worsening, HWM moves
+        // against the original direction.
+        stats.bitmap_loads = 1000;
+        let (hwm1, _) = t.observe(&stats);
+        assert!(hwm1 != hwm0, "HWM was adjusted: {hwm1} vs {hwm0}");
+    }
+
+    #[test]
+    fn tuner_keeps_invariants() {
+        let mut t = WatermarkTuner::default();
+        let mut stats = LookupStats::default();
+        for i in 0..50u64 {
+            stats.bitmap_loads += (i * 37) % 97;
+            stats.bitmap_stores += (i * 13) % 53;
+            let (hwm, lwm) = t.observe(&stats);
+            assert!(lwm <= hwm, "LWM {lwm} <= HWM {hwm}");
+            assert!((4..=32).contains(&hwm));
+            assert!((1..=16).contains(&lwm));
+        }
+    }
+
+    #[test]
+    fn tuner_first_observation_keeps_defaults() {
+        let mut t = WatermarkTuner::default();
+        let stats = LookupStats::default();
+        assert_eq!(t.observe(&stats), (24, 8));
+    }
+}

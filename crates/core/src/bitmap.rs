@@ -1,0 +1,349 @@
+//! The dirty bitmap in DRAM and the OS-side inspection that turns set
+//! bits into coalesced copy runs.
+//!
+//! Each bit covers `granularity` bytes of the tracked range; a 32-bit
+//! bitmap word therefore covers `32 * granularity` bytes. The OS
+//! inspects the bitmap **only over the active stack region** reported
+//! by the tracker, coalescing contiguous set bits (the paper inspects
+//! eight bitmap bytes at a time) into `(start, len)` copy runs, and
+//! clears the touched words before the next interval.
+
+use prosper_memsim::addr::{VirtAddr, VirtRange};
+use serde::{Deserialize, Serialize};
+
+/// Geometry tying a bitmap to the range it tracks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct BitmapGeometry {
+    /// First byte of the tracked range.
+    pub range_start: VirtAddr,
+    /// Virtual base address of the bitmap area itself (in DRAM).
+    pub bitmap_base: VirtAddr,
+    /// Bytes covered by one bit (multiple of 8).
+    pub granularity: u64,
+}
+
+impl BitmapGeometry {
+    /// Bytes covered by one 32-bit bitmap word.
+    pub fn bytes_per_word(&self) -> u64 {
+        32 * self.granularity
+    }
+
+    /// Maps a tracked address to `(bitmap word address, bit index)` —
+    /// the computation the tracker hardware performs per SOI (Fig. 7).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `addr` precedes the tracked range.
+    pub fn locate(&self, addr: VirtAddr) -> (u64, u32) {
+        debug_assert!(addr >= self.range_start, "address below tracked range");
+        let granule = (addr - self.range_start) / self.granularity;
+        let word = granule / 32;
+        let bit = (granule % 32) as u32;
+        (self.bitmap_base.raw() + word * 4, bit)
+    }
+
+    /// Inverse of [`Self::locate`]: the first tracked address covered
+    /// by bit `bit` of the word at `word_addr`.
+    pub fn granule_start(&self, word_addr: u64, bit: u32) -> VirtAddr {
+        let word = (word_addr - self.bitmap_base.raw()) / 4;
+        self.range_start + (word * 32 + u64::from(bit)) * self.granularity
+    }
+
+    /// Number of bitmap words needed to cover `range_bytes` of tracked
+    /// memory.
+    pub fn words_for(&self, range_bytes: u64) -> u64 {
+        range_bytes.div_ceil(self.bytes_per_word())
+    }
+}
+
+/// One coalesced copy run produced by bitmap inspection.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct CopyRun {
+    /// First dirty byte.
+    pub start: VirtAddr,
+    /// Length in bytes (a multiple of the granularity).
+    pub len: u64,
+}
+
+/// The functional dirty bitmap: actual word storage (the machine model
+/// charges the memory traffic; this holds the values).
+#[derive(Clone, Debug, Default)]
+pub struct DirtyBitmap {
+    /// Sparse storage: word address -> value. Sparse because stacks
+    /// touch a tiny fraction of their reserved range.
+    words: std::collections::BTreeMap<u64, u32>,
+}
+
+impl DirtyBitmap {
+    /// Creates an all-zero bitmap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads a word (unset words are zero).
+    pub fn read_word(&self, word_addr: u64) -> u32 {
+        self.words.get(&word_addr).copied().unwrap_or(0)
+    }
+
+    /// Writes a word (removing zero words to stay sparse).
+    pub fn write_word(&mut self, word_addr: u64, value: u32) {
+        if value == 0 {
+            self.words.remove(&word_addr);
+        } else {
+            self.words.insert(word_addr, value);
+        }
+    }
+
+    /// ORs `value` into a word.
+    pub fn merge_word(&mut self, word_addr: u64, value: u32) {
+        let v = self.read_word(word_addr) | value;
+        self.write_word(word_addr, v);
+    }
+
+    /// Number of set bits across the whole bitmap.
+    pub fn total_set_bits(&self) -> u64 {
+        self.words.values().map(|v| u64::from(v.count_ones())).sum()
+    }
+
+    /// Number of non-zero words.
+    pub fn nonzero_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// OS inspection over the active region: walks the bitmap words
+    /// covering `active`, coalesces contiguous set bits into copy
+    /// runs, and clears the words.
+    ///
+    /// Returns `(runs, words_read, words_cleared)`; the caller charges
+    /// `words_read` bitmap loads and `words_cleared` bitmap stores to
+    /// the machine.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use prosper_core::bitmap::{BitmapGeometry, DirtyBitmap};
+    /// use prosper_memsim::addr::{VirtAddr, VirtRange};
+    ///
+    /// let geom = BitmapGeometry {
+    ///     range_start: VirtAddr::new(0x7000_0000),
+    ///     bitmap_base: VirtAddr::new(0x1000_0000),
+    ///     granularity: 8,
+    /// };
+    /// let mut bm = DirtyBitmap::new();
+    /// // Bits 0..3 of the first word: granules 0..3 are dirty.
+    /// bm.merge_word(0x1000_0000, 0b1111);
+    /// let active = VirtRange::new(VirtAddr::new(0x7000_0000), VirtAddr::new(0x7000_0100));
+    /// let (runs, _, _) = bm.inspect_and_clear(&geom, active);
+    /// assert_eq!(runs.len(), 1);
+    /// assert_eq!(runs[0].len, 32); // four 8-byte granules coalesced
+    /// ```
+    pub fn inspect_and_clear(
+        &mut self,
+        geom: &BitmapGeometry,
+        active: VirtRange,
+    ) -> (Vec<CopyRun>, u64, u64) {
+        if active.is_empty() {
+            return (Vec::new(), 0, 0);
+        }
+        let first_word = geom.locate(active.start().max(geom.range_start)).0;
+        let last_word = geom.locate(active.end() - 1u64).0;
+        let mut runs: Vec<CopyRun> = Vec::new();
+        let mut words_read = 0u64;
+        let mut words_cleared = 0u64;
+        let mut current: Option<(u64, u64)> = None; // (start_raw, len)
+
+        let mut word_addr = first_word;
+        while word_addr <= last_word {
+            words_read += 1;
+            let value = self.read_word(word_addr);
+            if value != 0 {
+                for bit in 0..32 {
+                    if value & (1 << bit) == 0 {
+                        if let Some((s, l)) = current.take() {
+                            runs.push(CopyRun {
+                                start: VirtAddr::new(s),
+                                len: l,
+                            });
+                        }
+                        continue;
+                    }
+                    let g_start = geom.granule_start(word_addr, bit).raw();
+                    match current {
+                        Some((s, l)) if s + l == g_start => {
+                            current = Some((s, l + geom.granularity));
+                        }
+                        Some((s, l)) => {
+                            runs.push(CopyRun {
+                                start: VirtAddr::new(s),
+                                len: l,
+                            });
+                            current = Some((g_start, geom.granularity));
+                        }
+                        None => current = Some((g_start, geom.granularity)),
+                    }
+                }
+                self.write_word(word_addr, 0);
+                words_cleared += 1;
+            } else if let Some((s, l)) = current.take() {
+                runs.push(CopyRun {
+                    start: VirtAddr::new(s),
+                    len: l,
+                });
+            }
+            word_addr += 4;
+        }
+        if let Some((s, l)) = current {
+            runs.push(CopyRun {
+                start: VirtAddr::new(s),
+                len: l,
+            });
+        }
+        (runs, words_read, words_cleared)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom(granularity: u64) -> BitmapGeometry {
+        BitmapGeometry {
+            range_start: VirtAddr::new(0x7000_0000),
+            bitmap_base: VirtAddr::new(0x1000_0000),
+            granularity,
+        }
+    }
+
+    #[test]
+    fn locate_roundtrips() {
+        let g = geom(8);
+        for off in [0u64, 7, 8, 255, 256, 4096, 123456] {
+            let addr = VirtAddr::new(0x7000_0000 + off);
+            let (word, bit) = g.locate(addr);
+            let back = g.granule_start(word, bit);
+            assert!(back <= addr && addr - back < 8, "granule contains addr");
+        }
+    }
+
+    #[test]
+    fn word_covers_32_granules() {
+        let g = geom(8);
+        assert_eq!(g.bytes_per_word(), 256);
+        let (w0, b0) = g.locate(VirtAddr::new(0x7000_0000));
+        let (w1, b1) = g.locate(VirtAddr::new(0x7000_0000 + 255));
+        assert_eq!(w0, w1);
+        assert_eq!(b0, 0);
+        assert_eq!(b1, 31);
+        let (w2, _) = g.locate(VirtAddr::new(0x7000_0000 + 256));
+        assert_eq!(w2, w0 + 4);
+        assert_eq!(g.words_for(257), 2);
+    }
+
+    #[test]
+    fn merge_and_count() {
+        let mut b = DirtyBitmap::new();
+        b.merge_word(0x100, 0b101);
+        b.merge_word(0x100, 0b110);
+        assert_eq!(b.read_word(0x100), 0b111);
+        assert_eq!(b.total_set_bits(), 3);
+        assert_eq!(b.nonzero_words(), 1);
+        b.write_word(0x100, 0);
+        assert_eq!(b.nonzero_words(), 0);
+    }
+
+    #[test]
+    fn inspection_coalesces_contiguous_bits() {
+        let g = geom(8);
+        let mut b = DirtyBitmap::new();
+        let (word, _) = g.locate(VirtAddr::new(0x7000_0000));
+        // Bits 0..4 contiguous, bit 8 isolated.
+        b.write_word(word, 0b1_0000_1111);
+        let active = VirtRange::new(VirtAddr::new(0x7000_0000), VirtAddr::new(0x7000_0100));
+        let (runs, read, cleared) = b.inspect_and_clear(&g, active);
+        assert_eq!(
+            runs,
+            vec![
+                CopyRun {
+                    start: VirtAddr::new(0x7000_0000),
+                    len: 32
+                },
+                CopyRun {
+                    start: VirtAddr::new(0x7000_0040),
+                    len: 8
+                },
+            ]
+        );
+        assert_eq!(read, 1);
+        assert_eq!(cleared, 1);
+        assert_eq!(b.total_set_bits(), 0, "inspection clears");
+    }
+
+    #[test]
+    fn runs_span_word_boundaries() {
+        let g = geom(8);
+        let mut b = DirtyBitmap::new();
+        let base = VirtAddr::new(0x7000_0000);
+        let (w0, _) = g.locate(base);
+        // Last bit of word 0 and first bit of word 1: one contiguous run.
+        b.write_word(w0, 1 << 31);
+        b.write_word(w0 + 4, 1);
+        let active = VirtRange::new(base, base + 512);
+        let (runs, read, _) = b.inspect_and_clear(&g, active);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].start, base + 31 * 8);
+        assert_eq!(runs[0].len, 16);
+        assert_eq!(read, 2);
+    }
+
+    #[test]
+    fn inspection_bounded_by_active_region() {
+        let g = geom(8);
+        let mut b = DirtyBitmap::new();
+        let base = VirtAddr::new(0x7000_0000);
+        // Dirty data both inside and outside the active window.
+        let (w_far, _) = g.locate(base + 64 * 1024);
+        b.write_word(w_far, 0xffff_ffff);
+        let (w_near, _) = g.locate(base);
+        b.write_word(w_near, 1);
+        let active = VirtRange::new(base, base + 256);
+        let (runs, read, _) = b.inspect_and_clear(&g, active);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(read, 1, "only the active window is walked");
+        // The far word survives untouched (its interval will handle it).
+        assert_eq!(b.read_word(w_far), 0xffff_ffff);
+    }
+
+    #[test]
+    fn empty_active_region_is_free() {
+        let g = geom(8);
+        let mut b = DirtyBitmap::new();
+        let active = VirtRange::new(VirtAddr::new(0x7000_0000), VirtAddr::new(0x7000_0000));
+        let (runs, read, cleared) = b.inspect_and_clear(&g, active);
+        assert!(runs.is_empty());
+        assert_eq!((read, cleared), (0, 0));
+    }
+
+    #[test]
+    fn coarse_granularity_shrinks_bitmap() {
+        let g8 = geom(8);
+        let g128 = geom(128);
+        assert!(g128.words_for(1 << 20) < g8.words_for(1 << 20));
+        let (_, bit8) = g8.locate(VirtAddr::new(0x7000_0000 + 128));
+        let (_, bit128) = g128.locate(VirtAddr::new(0x7000_0000 + 128));
+        assert_eq!(bit8, 16);
+        assert_eq!(bit128, 1);
+    }
+
+    #[test]
+    fn run_lengths_are_granularity_multiples() {
+        let g = geom(16);
+        let mut b = DirtyBitmap::new();
+        let base = VirtAddr::new(0x7000_0000);
+        let (w, _) = g.locate(base);
+        b.write_word(w, 0b11);
+        let (runs, _, _) =
+            b.inspect_and_clear(&g, VirtRange::new(base, base + 1024));
+        assert_eq!(runs[0].len, 32);
+        assert_eq!(runs[0].len % 16, 0);
+    }
+}

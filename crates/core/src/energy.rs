@@ -1,0 +1,124 @@
+//! Energy and area accounting for the tracker's lookup table
+//! (Section V, "Energy and area overhead").
+//!
+//! The paper models the 16-entry lookup table (two read ports, one
+//! write port) with CACTI-P at 7 nm FinFET and reports per-access
+//! dynamic energies, bank leakage power, and area. We take those
+//! published constants and multiply by the access counts the tracker
+//! actually performs, exactly as the paper does.
+
+use serde::{Deserialize, Serialize};
+
+use crate::lookup::LookupStats;
+
+/// CACTI-P constants published in the paper (7 nm FinFET, 16 entries,
+/// 2R1W).
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Dynamic read energy per access, nanojoules.
+    pub read_nj: f64,
+    /// Dynamic write energy per access, nanojoules.
+    pub write_nj: f64,
+    /// Leakage power of a bank, milliwatts.
+    pub leakage_mw: f64,
+    /// Area, square millimetres.
+    pub area_mm2: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::paper_cacti_7nm()
+    }
+}
+
+impl EnergyModel {
+    /// The exact constants reported in the paper.
+    pub fn paper_cacti_7nm() -> Self {
+        Self {
+            read_nj: 0.000_773_194,
+            write_nj: 0.000_128_375,
+            leakage_mw: 0.010_675_96,
+            area_mm2: 0.000_704_786,
+        }
+    }
+
+    /// Dynamic energy (nJ) for the given lookup activity.
+    ///
+    /// Every SOI performs one associative search (a read); every
+    /// value update or allocation performs a write; flush/eviction
+    /// traffic performs one read per drained entry.
+    pub fn dynamic_energy_nj(&self, stats: &LookupStats) -> f64 {
+        let reads = stats.searches + stats.hwm_flushes + stats.lwm_evictions
+            + stats.random_evictions;
+        let writes = stats.hits + stats.allocations;
+        reads as f64 * self.read_nj + writes as f64 * self.write_nj
+    }
+
+    /// Leakage energy (nJ) over a run of `cycles` at `core_hz`.
+    pub fn leakage_energy_nj(&self, cycles: u64, core_hz: u64) -> f64 {
+        let seconds = cycles as f64 / core_hz as f64;
+        // mW * s = mJ; convert to nJ.
+        self.leakage_mw * seconds * 1e6
+    }
+
+    /// Total energy (nJ) for a run.
+    pub fn total_energy_nj(&self, stats: &LookupStats, cycles: u64, core_hz: u64) -> f64 {
+        self.dynamic_energy_nj(stats) + self.leakage_energy_nj(cycles, core_hz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants_exact() {
+        let m = EnergyModel::paper_cacti_7nm();
+        assert_eq!(m.read_nj, 0.000_773_194);
+        assert_eq!(m.write_nj, 0.000_128_375);
+        assert_eq!(m.leakage_mw, 0.010_675_96);
+        assert_eq!(m.area_mm2, 0.000_704_786);
+    }
+
+    #[test]
+    fn dynamic_energy_scales_with_accesses() {
+        let m = EnergyModel::default();
+        let mut s = LookupStats {
+            searches: 1000,
+            hits: 900,
+            allocations: 100,
+            ..LookupStats::default()
+        };
+        let e1 = m.dynamic_energy_nj(&s);
+        s.searches = 2000;
+        let e2 = m.dynamic_energy_nj(&s);
+        assert!(e2 > e1);
+        // 1000 extra reads at read_nj each.
+        assert!((e2 - e1 - 1000.0 * m.read_nj).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leakage_proportional_to_time() {
+        let m = EnergyModel::default();
+        let one_second = m.leakage_energy_nj(3_000_000_000, 3_000_000_000);
+        // 0.01067596 mW for 1 s = 0.01067596 mJ = 10675.96 nJ.
+        assert!((one_second - 10_675.96).abs() < 1e-6);
+        assert_eq!(m.leakage_energy_nj(0, 3_000_000_000), 0.0);
+    }
+
+    #[test]
+    fn total_is_sum() {
+        let m = EnergyModel::default();
+        let s = LookupStats {
+            searches: 10,
+            hits: 5,
+            allocations: 5,
+            ..Default::default()
+        };
+        let total = m.total_energy_nj(&s, 3000, 3_000_000_000);
+        assert!(
+            (total - m.dynamic_energy_nj(&s) - m.leakage_energy_nj(3000, 3_000_000_000)).abs()
+                < 1e-12
+        );
+    }
+}

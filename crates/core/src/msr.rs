@@ -1,0 +1,180 @@
+//! The custom per-core model-specific registers (MSRs) through which
+//! the Prosper OS component programs and interrogates the tracker
+//! hardware (Section III-D).
+//!
+//! Four configuration MSRs carry the stack address range (two MSRs),
+//! the tracking granularity, and the bitmap base address; a control
+//! MSR starts/stops tracking and requests flushes; a status MSR
+//! exposes the outstanding load/store counters (for the quiescence
+//! handshake) and the active-region watermark.
+
+use prosper_memsim::addr::{VirtAddr, VirtRange};
+use serde::{Deserialize, Serialize};
+
+/// Cycles charged per MSR write (WRMSR is serialising; tens of cycles
+/// on real hardware).
+pub const MSR_WRITE_CYCLES: u64 = 50;
+
+/// Cycles charged per MSR read (RDMSR).
+pub const MSR_READ_CYCLES: u64 = 30;
+
+/// Identifier of each custom MSR.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum MsrId {
+    /// Inclusive low bound of the tracked (stack) range.
+    StackRangeLo,
+    /// Exclusive high bound of the tracked (stack) range.
+    StackRangeHi,
+    /// Tracking granularity in bytes (multiple of 8).
+    Granularity,
+    /// Base virtual address of the dirty-bitmap area.
+    BitmapBase,
+    /// Control: bit 0 = tracking enabled, bit 1 = flush requested.
+    Control,
+    /// Status (read-only from software): outstanding operations and
+    /// watermark validity.
+    Status,
+}
+
+/// Control-register bit: tracking enabled.
+pub const CTRL_ENABLE: u64 = 1 << 0;
+/// Control-register bit: flush of the lookup table requested.
+pub const CTRL_FLUSH: u64 = 1 << 1;
+
+/// The per-core MSR bank.
+#[derive(Clone, Copy, Default, Debug, Serialize, Deserialize)]
+pub struct MsrBank {
+    /// Tracked range low bound.
+    pub stack_lo: u64,
+    /// Tracked range high bound (exclusive).
+    pub stack_hi: u64,
+    /// Granularity in bytes.
+    pub granularity: u64,
+    /// Bitmap base virtual address.
+    pub bitmap_base: u64,
+    /// Control bits.
+    pub control: u64,
+    /// Outstanding tracker-issued loads (quiescence counter).
+    pub outstanding_loads: u64,
+    /// Outstanding tracker-issued stores (quiescence counter).
+    pub outstanding_stores: u64,
+    /// Lowest tracked address observed this interval (the maximum
+    /// active stack region shared with the OS at interval end).
+    pub min_addr_watermark: u64,
+}
+
+impl MsrBank {
+    /// Writes a configuration/control MSR.
+    ///
+    /// # Panics
+    ///
+    /// Panics on writes to the read-only status MSR or on an invalid
+    /// granularity (zero or not a multiple of 8).
+    pub fn write(&mut self, id: MsrId, value: u64) {
+        match id {
+            MsrId::StackRangeLo => self.stack_lo = value,
+            MsrId::StackRangeHi => self.stack_hi = value,
+            MsrId::Granularity => {
+                assert!(
+                    value >= 8 && value.is_multiple_of(8),
+                    "granularity must be a non-zero multiple of 8 bytes, got {value}"
+                );
+                self.granularity = value;
+            }
+            MsrId::BitmapBase => self.bitmap_base = value,
+            MsrId::Control => self.control = value,
+            MsrId::Status => panic!("status MSR is read-only"),
+        }
+    }
+
+    /// Reads an MSR.
+    pub fn read(&self, id: MsrId) -> u64 {
+        match id {
+            MsrId::StackRangeLo => self.stack_lo,
+            MsrId::StackRangeHi => self.stack_hi,
+            MsrId::Granularity => self.granularity,
+            MsrId::BitmapBase => self.bitmap_base,
+            MsrId::Control => self.control,
+            MsrId::Status => {
+                // Pack the counters: loads in bits 0..24, stores in
+                // 24..48, watermark-valid in bit 63.
+                (self.outstanding_loads & 0xff_ffff)
+                    | ((self.outstanding_stores & 0xff_ffff) << 24)
+            }
+        }
+    }
+
+    /// The programmed tracked range.
+    pub fn tracked_range(&self) -> VirtRange {
+        VirtRange::new(VirtAddr::new(self.stack_lo), VirtAddr::new(self.stack_hi))
+    }
+
+    /// `true` while tracking is enabled.
+    pub fn tracking_enabled(&self) -> bool {
+        self.control & CTRL_ENABLE != 0
+    }
+
+    /// `true` while a flush is pending.
+    pub fn flush_requested(&self) -> bool {
+        self.control & CTRL_FLUSH != 0
+    }
+
+    /// `true` when no tracker-issued operations are in flight — the
+    /// condition the OS polls for in step two of the quiescence
+    /// protocol.
+    pub fn quiescent(&self) -> bool {
+        self.outstanding_loads == 0 && self.outstanding_stores == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_and_read_back() {
+        let mut b = MsrBank::default();
+        b.write(MsrId::StackRangeLo, 0x1000);
+        b.write(MsrId::StackRangeHi, 0x9000);
+        b.write(MsrId::Granularity, 16);
+        b.write(MsrId::BitmapBase, 0xb000_0000);
+        b.write(MsrId::Control, CTRL_ENABLE);
+        assert_eq!(b.read(MsrId::StackRangeLo), 0x1000);
+        assert_eq!(b.read(MsrId::Granularity), 16);
+        assert_eq!(b.tracked_range().len(), 0x8000);
+        assert!(b.tracking_enabled());
+        assert!(!b.flush_requested());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 8")]
+    fn odd_granularity_rejected() {
+        MsrBank::default().write(MsrId::Granularity, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "read-only")]
+    fn status_write_rejected() {
+        MsrBank::default().write(MsrId::Status, 1);
+    }
+
+    #[test]
+    fn quiescence_reflects_counters() {
+        let mut b = MsrBank::default();
+        assert!(b.quiescent());
+        b.outstanding_loads = 2;
+        assert!(!b.quiescent());
+        assert_eq!(b.read(MsrId::Status) & 0xff_ffff, 2);
+        b.outstanding_loads = 0;
+        b.outstanding_stores = 1;
+        assert!(!b.quiescent());
+        assert_eq!((b.read(MsrId::Status) >> 24) & 0xff_ffff, 1);
+    }
+
+    #[test]
+    fn control_flags() {
+        let mut b = MsrBank::default();
+        b.write(MsrId::Control, CTRL_ENABLE | CTRL_FLUSH);
+        assert!(b.tracking_enabled() && b.flush_requested());
+    }
+}

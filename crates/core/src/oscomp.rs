@@ -1,0 +1,441 @@
+//! The Prosper OS component (Section III-A, Figure 5).
+//!
+//! Implements the [`MemoryPersistence`] plug-in for the GemOS
+//! checkpoint manager. Per interval the component:
+//!
+//! 1. programs the tracker MSRs (range, granularity, bitmap base) and
+//!    resets the active-region watermark;
+//! 2. lets the tracker record SOIs off the critical path (the bitmap
+//!    loads/stores the lookup table emits are injected into the
+//!    machine as background traffic);
+//! 3. at the interval end runs the **two-step quiescence** protocol —
+//!    request a flush, overlap preparation work, poll the outstanding
+//!    counters;
+//! 4. inspects the dirty bitmap **only over the maximum active stack
+//!    region** reported by the tracker, coalescing contiguous bits
+//!    into copy runs;
+//! 5. copies the runs DRAM → NVM staging buffer, then applies the
+//!    staging buffer to the per-thread persistent stack (two-step
+//!    commit);
+//! 6. clears the inspected bitmap words for the next interval.
+
+use prosper_gemos::checkpoint::{CheckpointOutcome, IntervalInfo, MemoryPersistence};
+use prosper_memsim::addr::{VirtAddr, VirtRange};
+use prosper_memsim::machine::Machine;
+use prosper_memsim::Cycles;
+use prosper_trace::record::MemAccess;
+
+use crate::adaptive::{GranularityAdapter, WatermarkTuner};
+use crate::bitmap::CopyRun;
+use crate::lookup::BitmapOp;
+use crate::msr::{MSR_READ_CYCLES, MSR_WRITE_CYCLES};
+use crate::tracker::{DirtyTracker, TrackerConfig};
+
+/// Fixed per-run overhead of the copy loop (loop control, address
+/// arithmetic, issuing the copy) in cycles.
+const PER_RUN_OVERHEAD: Cycles = 60;
+
+/// Cycles for the OS to poll the status MSR until quiescent. The
+/// functional tracker quiesces immediately, so a single poll suffices;
+/// the paper overlaps preparation work here.
+const QUIESCE_POLL_CYCLES: Cycles = MSR_READ_CYCLES;
+
+/// Virtual address where the OS places the per-thread bitmap area.
+const DEFAULT_BITMAP_BASE: u64 = 0x1000_0000;
+
+/// Per-interval telemetry for the Figure 10/11 analyses.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct ProsperIntervalStats {
+    /// Copy runs produced by inspection.
+    pub runs: u64,
+    /// Bytes copied to NVM.
+    pub bytes: u64,
+    /// Bitmap words read during inspection.
+    pub words_read: u64,
+    /// Bitmap words cleared.
+    pub words_cleared: u64,
+}
+
+/// Prosper as a pluggable memory-persistence mechanism.
+#[derive(Debug)]
+pub struct ProsperMechanism {
+    tracker: DirtyTracker,
+    bitmap_base: VirtAddr,
+    /// Aggregate of all interval stats.
+    pub totals: ProsperIntervalStats,
+    /// Stats of the most recent interval.
+    pub last_interval: ProsperIntervalStats,
+    /// Runs of the most recent interval (for data-plane consumers).
+    last_runs: Vec<CopyRun>,
+    /// Optional dynamic-granularity policy (future-work extension).
+    granularity_adapter: Option<GranularityAdapter>,
+    /// Optional dynamic HWM/LWM policy (future-work extension).
+    watermark_tuner: Option<WatermarkTuner>,
+}
+
+impl ProsperMechanism {
+    /// Builds the mechanism with the given tracker configuration.
+    pub fn new(cfg: TrackerConfig) -> Self {
+        Self {
+            tracker: DirtyTracker::new(cfg),
+            bitmap_base: VirtAddr::new(DEFAULT_BITMAP_BASE),
+            totals: ProsperIntervalStats::default(),
+            last_interval: ProsperIntervalStats::default(),
+            last_runs: Vec::new(),
+            granularity_adapter: None,
+            watermark_tuner: None,
+        }
+    }
+
+    /// Builds the mechanism with the paper's default configuration
+    /// (16-entry table, HWM 24, LWM 8, 8-byte granularity).
+    pub fn with_defaults() -> Self {
+        Self::new(TrackerConfig::default())
+    }
+
+    /// Enables the OS-layer dynamic-granularity policy (the extension
+    /// the paper suggests for Stream-like workloads).
+    pub fn with_adaptive_granularity(mut self) -> Self {
+        self.granularity_adapter = Some(GranularityAdapter::starting_at(
+            self.tracker.config().granularity,
+        ));
+        self
+    }
+
+    /// Enables the OS-layer dynamic HWM/LWM tuner (the extension the
+    /// paper leaves as future work after Figure 13).
+    pub fn with_adaptive_watermarks(mut self) -> Self {
+        self.watermark_tuner = Some(WatermarkTuner::new(
+            self.tracker.config().hwm,
+            self.tracker.config().lwm,
+        ));
+        self
+    }
+
+    /// Current tracking granularity (changes over time under the
+    /// adaptive policy).
+    pub fn current_granularity(&self) -> u64 {
+        self.tracker.config().granularity
+    }
+
+    /// The underlying tracker (for Figure 12/13 counters).
+    pub fn tracker(&self) -> &DirtyTracker {
+        &self.tracker
+    }
+
+    /// Copy runs produced by the most recent checkpoint (data-plane
+    /// consumers mirror these into a persistent stack store).
+    pub fn last_runs(&self) -> &[CopyRun] {
+        &self.last_runs
+    }
+
+    /// Injects tracker-emitted bitmap traffic into the machine as
+    /// background (off-critical-path) operations.
+    fn inject_ops(machine: &mut Machine, ops: &[BitmapOp]) {
+        for op in ops {
+            match op {
+                BitmapOp::Load(addr) => machine.inject_load(VirtAddr::new(*addr), 4),
+                BitmapOp::Store(addr, _) => machine.inject_store(VirtAddr::new(*addr), 4),
+            }
+        }
+    }
+}
+
+impl MemoryPersistence for ProsperMechanism {
+    fn name(&self) -> &'static str {
+        "Prosper"
+    }
+
+    fn begin_interval(&mut self, machine: &mut Machine, region: VirtRange) {
+        // Program the four configuration MSRs + control.
+        self.tracker.configure(region, self.bitmap_base);
+        self.tracker.reset_watermark();
+        machine.advance(5 * MSR_WRITE_CYCLES);
+    }
+
+    fn on_store(&mut self, machine: &mut Machine, access: &MemAccess) {
+        // The tracker snoops the store without stalling it; only the
+        // coalesced bitmap traffic reaches the memory system.
+        let ops = self
+            .tracker
+            .observe_store(access.vaddr, u64::from(access.size));
+        Self::inject_ops(machine, &ops);
+    }
+
+    fn end_interval(&mut self, machine: &mut Machine, info: IntervalInfo) -> CheckpointOutcome {
+        let ckpt_start = machine.now();
+
+        // Step 1: request the flush (control MSR write); inject the
+        // drained lookup-table entries.
+        machine.advance(MSR_WRITE_CYCLES);
+        let ops = self.tracker.flush();
+        Self::inject_ops(machine, &ops);
+
+        // Step 2: the OS overlaps preparation, then polls quiescence.
+        machine.advance(QUIESCE_POLL_CYCLES);
+        debug_assert!(self.tracker.quiescent());
+
+        // Inspection window: the tracker's watermark bounds the active
+        // region; nothing dirty ⇒ nothing to walk.
+        let meta_start = machine.now();
+        let mut stats = ProsperIntervalStats::default();
+        let mut runs = Vec::new();
+        if let Some(dirty) = self.tracker.dirty_window() {
+            // The tracker's watermarks bound every set bit exactly, so
+            // inspection never walks past the dirty window — crucial
+            // when tracking a large heap range.
+            let lo = dirty.start().max(info.region.start());
+            let hi = dirty.end().min(info.region.end()).max(lo);
+            let window = VirtRange::new(lo, hi);
+            let geom = self.tracker.geometry();
+            let (r, words_read, words_cleared) =
+                self.tracker.bitmap_mut().inspect_and_clear(&geom, window);
+            runs = r;
+            stats.words_read = words_read;
+            stats.words_cleared = words_cleared;
+            // The OS reads the bitmap eight bytes at a time and writes
+            // back the cleared words.
+            let mut addr = geom.locate(window.start()).0;
+            let mut read_left = words_read;
+            while read_left > 0 {
+                machine.load(VirtAddr::new(addr), 8);
+                addr += 8;
+                read_left = read_left.saturating_sub(2);
+            }
+            for _ in 0..words_cleared.div_ceil(2) {
+                machine.store(VirtAddr::new(geom.bitmap_base.raw()), 8);
+            }
+        }
+        let metadata_cycles = machine.now() - meta_start;
+
+        // Two-step copy: DRAM → NVM staging buffer, then staging →
+        // per-thread persistent stack (both in NVM).
+        let mut bytes = 0u64;
+        for run in &runs {
+            machine.advance(PER_RUN_OVERHEAD);
+            machine.bulk_copy_dram_to_nvm(run.len);
+            bytes += run.len;
+        }
+        if bytes > 0 {
+            machine.bulk_copy_nvm_to_nvm(bytes);
+        }
+
+        stats.runs = runs.len() as u64;
+        stats.bytes = bytes;
+        self.last_interval = stats;
+        self.totals.runs += stats.runs;
+        self.totals.bytes += stats.bytes;
+        self.totals.words_read += stats.words_read;
+        self.totals.words_cleared += stats.words_cleared;
+        self.last_runs = runs;
+
+        // Adaptive extensions: the inspection above cleared every set
+        // bit (the watermark bounds all dirty state), so retuning the
+        // geometry or the table thresholds here is safe. Each MSR
+        // rewrite costs a WRMSR.
+        if let Some(adapter) = self.granularity_adapter.as_mut() {
+            let next = adapter.observe(stats.runs, stats.bytes);
+            if next != self.tracker.config().granularity {
+                self.tracker.set_granularity(next);
+                machine.advance(MSR_WRITE_CYCLES);
+            }
+        }
+        if let Some(tuner) = self.watermark_tuner.as_mut() {
+            let lookup = self.tracker.lookup_stats();
+            let (hwm, lwm) = tuner.observe(&lookup);
+            let cfg = self.tracker.config();
+            if (hwm, lwm) != (cfg.hwm, cfg.lwm) {
+                self.tracker.set_watermarks(hwm, lwm);
+                machine.advance(MSR_WRITE_CYCLES);
+            }
+        }
+
+        CheckpointOutcome {
+            bytes_copied: bytes,
+            cycles: machine.now() - ckpt_start,
+            metadata_cycles,
+        }
+    }
+
+    fn region_in_dram(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prosper_gemos::checkpoint::CheckpointManager;
+    use prosper_memsim::config::MachineConfig;
+    use prosper_trace::micro::{MicroBench, MicroSpec};
+    use prosper_trace::workloads::{Workload, WorkloadProfile};
+
+    fn run_micro(spec: MicroSpec, cfg: TrackerConfig, intervals: u64) -> (ProsperIntervalStats, u64) {
+        let mut machine = Machine::new(MachineConfig::setup_i());
+        let mut mgr = CheckpointManager::new(&mut machine, 30_000);
+        let mut mech = ProsperMechanism::new(cfg);
+        let bench = MicroBench::new(spec, 7);
+        let res = mgr.run_stack_only(bench, &mut mech, intervals);
+        (mech.totals, res.bytes_copied)
+    }
+
+    #[test]
+    fn end_to_end_copies_dirty_bytes() {
+        let (totals, bytes) = run_micro(
+            MicroSpec::Stream { array_bytes: 8192 },
+            TrackerConfig::default(),
+            3,
+        );
+        assert!(bytes > 0);
+        assert_eq!(totals.bytes, bytes);
+        assert!(totals.runs > 0);
+        assert!(totals.words_read >= totals.words_cleared);
+    }
+
+    #[test]
+    fn sparse_copies_far_less_than_page_granularity_would() {
+        let (totals, _) = run_micro(
+            MicroSpec::Sparse { pages: 16 },
+            TrackerConfig::default(),
+            2,
+        );
+        // 16 pages × 2 intervals at page granularity would be ≥128 KiB;
+        // Prosper copies the few dirtied bytes (4 B data + activation
+        // records per frame, rounded to 8 B granules).
+        assert!(
+            totals.bytes < 32 * 1024,
+            "sparse checkpoint stayed small: {} B",
+            totals.bytes
+        );
+    }
+
+    #[test]
+    fn coarser_granularity_copies_more() {
+        let spec = MicroSpec::Sparse { pages: 16 };
+        let (fine, _) = run_micro(spec, TrackerConfig::default().with_granularity(8), 2);
+        let (coarse, _) = run_micro(spec, TrackerConfig::default().with_granularity(128), 2);
+        assert!(
+            coarse.bytes >= fine.bytes,
+            "coarse {} >= fine {}",
+            coarse.bytes,
+            fine.bytes
+        );
+    }
+
+    #[test]
+    fn quiescent_after_every_interval() {
+        let mut machine = Machine::new(MachineConfig::setup_i());
+        let mut mgr = CheckpointManager::new(&mut machine, 20_000);
+        let mut mech = ProsperMechanism::with_defaults();
+        let w = Workload::new(WorkloadProfile::gapbs_pr(), 1);
+        mgr.run_stack_only(w, &mut mech, 4);
+        assert!(mech.tracker().quiescent());
+        assert_eq!(mech.tracker().resident_entries(), 0);
+    }
+
+    #[test]
+    fn no_stack_stores_means_free_checkpoint() {
+        // A "workload" that never stores to the stack: end_interval
+        // must skip inspection entirely (watermark is None).
+        let mut machine = Machine::new(MachineConfig::setup_i());
+        let mut mech = ProsperMechanism::with_defaults();
+        let region = VirtRange::new(VirtAddr::new(0x7000_0000), VirtAddr::new(0x7010_0000));
+        mech.begin_interval(&mut machine, region);
+        let info = IntervalInfo {
+            region,
+            active: region,
+            final_sp: region.end(),
+        };
+        let outcome = mech.end_interval(&mut machine, info);
+        assert_eq!(outcome.bytes_copied, 0);
+        assert_eq!(mech.last_interval.words_read, 0);
+    }
+
+    #[test]
+    fn adaptive_granularity_changes_config_between_intervals() {
+        let mut machine = Machine::new(MachineConfig::setup_i());
+        let mut mgr = CheckpointManager::new(&mut machine, 40_000);
+        let mut mech = ProsperMechanism::with_defaults().with_adaptive_granularity();
+        assert_eq!(mech.current_granularity(), 8);
+        let bench = MicroBench::new(
+            MicroSpec::Stream {
+                array_bytes: 64 * 1024,
+            },
+            3,
+        );
+        mgr.run_stack_only(bench, &mut mech, 6);
+        assert!(
+            mech.current_granularity() > 8,
+            "dense Stream coarsens: {}",
+            mech.current_granularity()
+        );
+    }
+
+    #[test]
+    fn adaptive_watermarks_stay_legal_under_load() {
+        let mut machine = Machine::new(MachineConfig::setup_i());
+        let mut mgr = CheckpointManager::new(&mut machine, 40_000);
+        let mut mech = ProsperMechanism::with_defaults().with_adaptive_watermarks();
+        let w = Workload::new(WorkloadProfile::mcf(), 11);
+        mgr.run_stack_only(w, &mut mech, 8);
+        let cfg = *mech.tracker().config();
+        assert!(cfg.lwm <= cfg.hwm);
+        assert!((1..=32).contains(&cfg.hwm));
+        assert!(cfg.lwm >= 1);
+    }
+
+    #[test]
+    fn inspection_window_is_bounded_by_dirty_extent() {
+        // A single store at a known address must produce a one-word
+        // inspection, not a walk of the whole reserved range.
+        let mut machine = Machine::new(MachineConfig::setup_i());
+        let mut mech = ProsperMechanism::with_defaults();
+        let region = VirtRange::new(VirtAddr::new(0x7000_0000), VirtAddr::new(0x7080_0000));
+        mech.begin_interval(&mut machine, region);
+        let a = prosper_trace::record::MemAccess {
+            tid: 0,
+            kind: prosper_trace::record::AccessKind::Store,
+            vaddr: region.start() + 0x40_0000,
+            size: 8,
+            region: prosper_trace::record::Region::Stack,
+            sp: region.start(),
+        };
+        mech.on_store(&mut machine, &a);
+        let info = IntervalInfo {
+            region,
+            active: region,
+            final_sp: region.start(),
+        };
+        let outcome = mech.end_interval(&mut machine, info);
+        assert_eq!(outcome.bytes_copied, 8);
+        assert_eq!(
+            mech.last_interval.words_read, 1,
+            "dirty window bounds the walk to one bitmap word"
+        );
+    }
+
+    #[test]
+    fn tracker_traffic_is_injected_not_charged() {
+        let mut machine = Machine::new(MachineConfig::setup_i());
+        let mut mech = ProsperMechanism::with_defaults();
+        let region = VirtRange::new(VirtAddr::new(0x7000_0000), VirtAddr::new(0x7010_0000));
+        mech.begin_interval(&mut machine, region);
+        // Scatter stores across many bitmap words to force evictions.
+        for i in 0..2000u64 {
+            let a = prosper_trace::record::MemAccess {
+                tid: 0,
+                kind: prosper_trace::record::AccessKind::Store,
+                vaddr: region.start() + (i * 509) % 0x10_0000,
+                size: 8,
+                region: prosper_trace::record::Region::Stack,
+                sp: region.start(),
+            };
+            mech.on_store(&mut machine, &a);
+        }
+        let s = machine.stats();
+        assert!(
+            s.injected_loads + s.injected_stores > 0,
+            "evictions produced bitmap traffic"
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests: per-thread tracking isolation under arbitrary
+//! schedule interleavings.
+
+use proptest::prelude::*;
+use prosper_core::multithread::MultiThreadTracker;
+use prosper_core::tracker::TrackerConfig;
+use prosper_memsim::addr::{VirtAddr, VirtRange};
+use prosper_memsim::config::MachineConfig;
+use prosper_memsim::machine::Machine;
+use std::collections::BTreeSet;
+
+const THREADS: u32 = 3;
+const STACK_BYTES: u64 = 0x10_000;
+
+fn stack_range(tid: u32) -> VirtRange {
+    let top = 0x7000_0000 + u64::from(tid + 1) * 0x100_0000;
+    VirtRange::new(VirtAddr::new(top - STACK_BYTES), VirtAddr::new(top))
+}
+
+fn bitmap_base(tid: u32) -> VirtAddr {
+    VirtAddr::new(0x1000_0000 + u64::from(tid) * 0x10_0000)
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Schedule thread `tid`.
+    Schedule(u32),
+    /// Store at `offset` in the *current* thread's stack.
+    OwnStore(u64),
+    /// Store into thread `victim`'s stack (cross-stack).
+    CrossStore(u32, u64),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        2 => (0..THREADS).prop_map(Op::Schedule),
+        8 => (0u64..STACK_BYTES / 8).prop_map(|s| Op::OwnStore(s * 8)),
+        1 => ((0..THREADS), (0u64..STACK_BYTES / 8))
+            .prop_map(|(v, s)| Op::CrossStore(v, s * 8)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Whatever the interleaving: every own-stack store is tracked,
+    /// every cross-stack store faults (never silently tracked against
+    /// the wrong bitmap), and the flushed bitmap reflects exactly the
+    /// dirtied granules.
+    #[test]
+    fn isolation_under_arbitrary_schedules(ops in prop::collection::vec(arb_op(), 1..200)) {
+        let mut machine = Machine::new(MachineConfig::setup_i());
+        let mut mt = MultiThreadTracker::new(TrackerConfig::default());
+        for tid in 0..THREADS {
+            mt.register_thread(tid, stack_range(tid), bitmap_base(tid));
+        }
+        mt.schedule(&mut machine, 0);
+
+        let mut expected_granules: BTreeSet<(u32, u64)> = BTreeSet::new();
+        let mut expected_faults = 0u64;
+
+        for op in &ops {
+            match op {
+                Op::Schedule(tid) => {
+                    mt.schedule(&mut machine, *tid);
+                }
+                Op::OwnStore(offset) => {
+                    let tid = mt.current_thread().unwrap();
+                    let addr = stack_range(tid).start() + *offset;
+                    mt.observe_store(&mut machine, addr, 8);
+                    expected_granules.insert((tid, *offset / 8));
+                }
+                Op::CrossStore(victim, offset) => {
+                    let current = mt.current_thread().unwrap();
+                    if *victim == current {
+                        let addr = stack_range(current).start() + *offset;
+                        mt.observe_store(&mut machine, addr, 8);
+                        expected_granules.insert((current, *offset / 8));
+                    } else {
+                        let addr = stack_range(*victim).start() + *offset;
+                        mt.observe_store(&mut machine, addr, 8);
+                        expected_faults += 1;
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(mt.cross_stack_faults, expected_faults);
+
+        // Flush and check the bitmap: each thread's granules appear in
+        // its own bitmap area, and the total equals the expected set.
+        mt.tracker_mut().flush();
+        let total_bits = mt.tracker().bitmap().total_set_bits();
+        prop_assert_eq!(total_bits, expected_granules.len() as u64);
+        for &(tid, granule) in &expected_granules {
+            let word_addr = bitmap_base(tid).raw() + (granule / 32) * 4;
+            let bit = (granule % 32) as u32;
+            prop_assert!(
+                mt.tracker().bitmap().read_word(word_addr) & (1 << bit) != 0,
+                "granule {granule} of thread {tid} missing from its bitmap"
+            );
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Sparse byte-addressable memory images.
+//!
+//! Used as the data plane of the crash-consistency machinery: the
+//! workload's ground-truth memory, the NVM persistent stack, and the
+//! NVM staging buffer are all [`MemoryImage`]s. Copies between them
+//! model the checkpoint data movement, and restore-after-crash
+//! verification compares images byte for byte.
+
+use std::collections::BTreeMap;
+
+use prosper_memsim::addr::{VirtAddr, VirtRange};
+
+/// Granularity of internal chunks (one 4 KiB page per chunk).
+const CHUNK: u64 = 4096;
+
+/// A sparse, byte-addressable memory image.
+///
+/// Unwritten bytes read as zero, matching demand-zeroed anonymous
+/// memory.
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct MemoryImage {
+    chunks: BTreeMap<u64, Box<[u8; CHUNK as usize]>>,
+}
+
+impl MemoryImage {
+    /// Creates an empty (all-zero) image.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn chunk_mut(&mut self, id: u64) -> &mut [u8; CHUNK as usize] {
+        self.chunks
+            .entry(id)
+            .or_insert_with(|| Box::new([0u8; CHUNK as usize]))
+    }
+
+    /// Writes `bytes` starting at `addr`.
+    pub fn write(&mut self, addr: VirtAddr, bytes: &[u8]) {
+        let mut pos = addr.raw();
+        let mut remaining = bytes;
+        while !remaining.is_empty() {
+            let id = pos / CHUNK;
+            let off = (pos % CHUNK) as usize;
+            let take = remaining.len().min(CHUNK as usize - off);
+            self.chunk_mut(id)[off..off + take].copy_from_slice(&remaining[..take]);
+            pos += take as u64;
+            remaining = &remaining[take..];
+        }
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    pub fn read(&self, addr: VirtAddr, len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        let mut pos = addr.raw();
+        let mut remaining = len;
+        while remaining > 0 {
+            let id = pos / CHUNK;
+            let off = (pos % CHUNK) as usize;
+            let take = remaining.min(CHUNK as usize - off);
+            match self.chunks.get(&id) {
+                Some(chunk) => out.extend_from_slice(&chunk[off..off + take]),
+                None => out.extend(std::iter::repeat_n(0u8, take)),
+            }
+            pos += take as u64;
+            remaining -= take;
+        }
+        out
+    }
+
+    /// Writes a little-endian `u64` at `addr`.
+    pub fn write_u64(&mut self, addr: VirtAddr, value: u64) {
+        self.write(addr, &value.to_le_bytes());
+    }
+
+    /// Reads a little-endian `u64` at `addr`.
+    pub fn read_u64(&self, addr: VirtAddr) -> u64 {
+        let bytes = self.read(addr, 8);
+        u64::from_le_bytes(bytes.try_into().expect("read returned 8 bytes"))
+    }
+
+    /// Copies `len` bytes at `addr` from `src` into `self` (same
+    /// addresses) — the checkpoint copy primitive.
+    pub fn copy_range_from(&mut self, src: &MemoryImage, addr: VirtAddr, len: usize) {
+        let data = src.read(addr, len);
+        self.write(addr, &data);
+    }
+
+    /// Returns `true` if `self` and `other` agree over `range`.
+    pub fn matches(&self, other: &MemoryImage, range: VirtRange) -> bool {
+        // Compare chunk by chunk to stay cheap on sparse images.
+        let mut pos = range.start().raw();
+        let end = range.end().raw();
+        while pos < end {
+            let take = ((end - pos).min(CHUNK - pos % CHUNK)) as usize;
+            if self.read(VirtAddr::new(pos), take) != other.read(VirtAddr::new(pos), take) {
+                return false;
+            }
+            pos += take as u64;
+        }
+        true
+    }
+
+    /// First differing address within `range`, if any (for diagnostics).
+    pub fn first_mismatch(&self, other: &MemoryImage, range: VirtRange) -> Option<VirtAddr> {
+        let mut pos = range.start().raw();
+        let end = range.end().raw();
+        while pos < end {
+            let take = ((end - pos).min(CHUNK - pos % CHUNK)) as usize;
+            let a = self.read(VirtAddr::new(pos), take);
+            let b = other.read(VirtAddr::new(pos), take);
+            if let Some(i) = a.iter().zip(&b).position(|(x, y)| x != y) {
+                return Some(VirtAddr::new(pos + i as u64));
+            }
+            pos += take as u64;
+        }
+        None
+    }
+
+    /// Number of materialised 4 KiB chunks (diagnostics).
+    pub fn resident_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_reads_zero() {
+        let img = MemoryImage::new();
+        assert_eq!(img.read(VirtAddr::new(0x5000), 4), vec![0, 0, 0, 0]);
+        assert_eq!(img.resident_chunks(), 0);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut img = MemoryImage::new();
+        img.write(VirtAddr::new(0x1234), b"hello");
+        assert_eq!(img.read(VirtAddr::new(0x1234), 5), b"hello");
+        assert_eq!(img.read(VirtAddr::new(0x1233), 1), vec![0]);
+    }
+
+    #[test]
+    fn write_across_chunk_boundary() {
+        let mut img = MemoryImage::new();
+        let addr = VirtAddr::new(CHUNK - 2);
+        img.write(addr, &[1, 2, 3, 4]);
+        assert_eq!(img.read(addr, 4), vec![1, 2, 3, 4]);
+        assert_eq!(img.resident_chunks(), 2);
+    }
+
+    #[test]
+    fn u64_helpers() {
+        let mut img = MemoryImage::new();
+        img.write_u64(VirtAddr::new(0x100), 0xdead_beef_cafe_f00d);
+        assert_eq!(img.read_u64(VirtAddr::new(0x100)), 0xdead_beef_cafe_f00d);
+    }
+
+    #[test]
+    fn copy_range_between_images() {
+        let mut a = MemoryImage::new();
+        let mut b = MemoryImage::new();
+        a.write(VirtAddr::new(0x2000), &[9; 128]);
+        b.copy_range_from(&a, VirtAddr::new(0x2000), 128);
+        let range = VirtRange::new(VirtAddr::new(0x2000), VirtAddr::new(0x2080));
+        assert!(a.matches(&b, range));
+    }
+
+    #[test]
+    fn mismatch_located() {
+        let mut a = MemoryImage::new();
+        let b = MemoryImage::new();
+        a.write(VirtAddr::new(0x3005), &[1]);
+        let range = VirtRange::new(VirtAddr::new(0x3000), VirtAddr::new(0x3010));
+        assert!(!a.matches(&b, range));
+        assert_eq!(a.first_mismatch(&b, range), Some(VirtAddr::new(0x3005)));
+    }
+
+    #[test]
+    fn matches_empty_range() {
+        let a = MemoryImage::new();
+        let b = MemoryImage::new();
+        let range = VirtRange::new(VirtAddr::new(0x100), VirtAddr::new(0x100));
+        assert!(a.matches(&b, range));
+        assert_eq!(a.first_mismatch(&b, range), None);
+    }
+}

@@ -1,0 +1,41 @@
+//! # prosper-gemos
+//!
+//! A GemOS-like operating-system model for the Prosper reproduction.
+//!
+//! The paper builds its end-to-end checkpoint solution on GemOS, a small
+//! teaching OS running on gem5, extended with hybrid-memory (DRAM+NVM)
+//! support and a periodic application checkpoint/restore subsystem. This
+//! crate models the pieces of that OS the experiments exercise:
+//!
+//! * [`pte`] / [`pagetable`] — 4 KiB paging with present/writable/
+//!   accessed/dirty bits, dirty-bit reset/collect walks (the Dirtybit
+//!   baseline) and write-protect fault tracking (the SoftDirty-style
+//!   baseline);
+//! * [`physmem`] — DRAM and NVM frame allocators over the hybrid layout;
+//! * [`image`] — sparse byte-addressable memory images used as ground
+//!   truth and persistent copies in crash-consistency tests;
+//! * [`process`] — processes, threads, register state, and VMAs;
+//! * [`checkpoint`] — the [`checkpoint::MemoryPersistence`] plug-in
+//!   trait implemented by Prosper and every baseline, plus the
+//!   [`checkpoint::CheckpointManager`] that drives periodic-interval
+//!   experiments end to end;
+//! * [`context`] — context-switch cost modelling with tracker
+//!   save/restore participants;
+//! * [`crash`] — crash injection and restore verification.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod checkpoint;
+pub mod context;
+pub mod crash;
+pub mod image;
+pub mod pagetable;
+pub mod physmem;
+pub mod process;
+pub mod pte;
+pub mod restore;
+
+pub use checkpoint::{CheckpointManager, CheckpointOutcome, MemoryPersistence};
+pub use pagetable::PageTable;
+pub use process::Process;

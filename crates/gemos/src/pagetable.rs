@@ -1,0 +1,242 @@
+//! A per-process page table with the walks the dirty-tracking
+//! baselines perform.
+//!
+//! Both page-granularity baselines in the paper require the OS to walk
+//! the page table at interval boundaries:
+//!
+//! * the **Dirtybit** approach resets the PTE dirty bits at the start
+//!   of an interval and collects them at the end;
+//! * the **write-protect** approach clears the writable bits at the
+//!   start and takes a page fault on the first write to each page.
+//!
+//! The walks return how many PTEs were visited so callers can charge
+//! the OS processing cost to the machine model.
+
+use std::collections::BTreeMap;
+
+use prosper_memsim::addr::{PhysAddr, VirtAddr, VirtRange};
+use prosper_memsim::PAGE_SIZE;
+
+use crate::pte::Pte;
+
+/// A sparse page table mapping virtual page numbers to PTEs.
+#[derive(Clone, Default, Debug)]
+pub struct PageTable {
+    entries: BTreeMap<u64, Pte>,
+}
+
+/// Result of simulating a store through the page table.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StoreWalk {
+    /// Translation succeeded; dirty/accessed bits were updated by the
+    /// hardware walker.
+    Ok(PhysAddr),
+    /// The page is present but write-protected: the OS takes a write
+    /// fault (the write-protect tracking baseline's capture point).
+    WriteFault,
+    /// No translation: a demand-paging fault (stack growth).
+    NotPresent,
+}
+
+impl PageTable {
+    /// Creates an empty page table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Maps virtual page `vpn` to physical frame `pfn`.
+    pub fn map(&mut self, vpn: u64, pfn: u64) {
+        self.entries.insert(vpn, Pte::new(pfn));
+    }
+
+    /// Removes the mapping for `vpn`, returning the old entry.
+    pub fn unmap(&mut self, vpn: u64) -> Option<Pte> {
+        self.entries.remove(&vpn)
+    }
+
+    /// Returns the entry for `vpn`.
+    pub fn entry(&self, vpn: u64) -> Option<&Pte> {
+        self.entries.get(&vpn)
+    }
+
+    /// Number of mapped pages.
+    pub fn mapped_pages(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Translates a virtual address for a load; sets the accessed bit.
+    pub fn load_walk(&mut self, vaddr: VirtAddr) -> Option<PhysAddr> {
+        let pte = self.entries.get_mut(&vaddr.page_number())?;
+        if !pte.present {
+            return None;
+        }
+        pte.accessed = true;
+        Some(pte.frame_addr() + vaddr.page_offset())
+    }
+
+    /// Translates a virtual address for a store, updating the
+    /// accessed/dirty bits exactly as the hardware walker would.
+    pub fn store_walk(&mut self, vaddr: VirtAddr) -> StoreWalk {
+        let Some(pte) = self.entries.get_mut(&vaddr.page_number()) else {
+            return StoreWalk::NotPresent;
+        };
+        if !pte.present {
+            return StoreWalk::NotPresent;
+        }
+        if !pte.writable {
+            return StoreWalk::WriteFault;
+        }
+        pte.accessed = true;
+        pte.dirty = true;
+        StoreWalk::Ok(pte.frame_addr() + vaddr.page_offset())
+    }
+
+    /// Dirtybit interval start: clears the dirty bit on every mapped
+    /// page of `range`. Returns the number of PTEs walked.
+    pub fn reset_dirty(&mut self, range: VirtRange) -> u64 {
+        let mut walked = 0;
+        for vpn in range.pages() {
+            if let Some(pte) = self.entries.get_mut(&vpn) {
+                pte.dirty = false;
+                walked += 1;
+            }
+        }
+        walked
+    }
+
+    /// Dirtybit interval end: collects the dirty pages of `range`.
+    /// Returns `(dirty page numbers, PTEs walked)`.
+    pub fn collect_dirty(&self, range: VirtRange) -> (Vec<u64>, u64) {
+        let mut dirty = Vec::new();
+        let mut walked = 0;
+        for vpn in range.pages() {
+            if let Some(pte) = self.entries.get(&vpn) {
+                walked += 1;
+                if pte.dirty {
+                    dirty.push(vpn);
+                }
+            }
+        }
+        (dirty, walked)
+    }
+
+    /// Write-protect interval start: clears the writable bit on every
+    /// mapped page of `range`. Returns the number of PTEs walked.
+    pub fn write_protect(&mut self, range: VirtRange) -> u64 {
+        let mut walked = 0;
+        for vpn in range.pages() {
+            if let Some(pte) = self.entries.get_mut(&vpn) {
+                pte.writable = false;
+                walked += 1;
+            }
+        }
+        walked
+    }
+
+    /// Handles a write fault taken by the protect-based tracker: grants
+    /// write access again so subsequent stores proceed fault-free.
+    pub fn grant_write(&mut self, vaddr: VirtAddr) {
+        if let Some(pte) = self.entries.get_mut(&vaddr.page_number()) {
+            pte.writable = true;
+            pte.dirty = true;
+        }
+    }
+
+    /// Maps every page of `range` to consecutive frames starting at
+    /// `first_pfn` (convenience for tests and the checkpoint manager).
+    pub fn map_range(&mut self, range: VirtRange, first_pfn: u64) {
+        for (i, vpn) in range.pages().enumerate() {
+            self.map(vpn, first_pfn + i as u64);
+        }
+    }
+
+    /// Total bytes of mapped memory.
+    pub fn mapped_bytes(&self) -> u64 {
+        self.entries.len() as u64 * PAGE_SIZE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_with(range: VirtRange) -> PageTable {
+        let mut pt = PageTable::new();
+        pt.map_range(range, 100);
+        pt
+    }
+
+    fn r(start: u64, end: u64) -> VirtRange {
+        VirtRange::new(VirtAddr::new(start), VirtAddr::new(end))
+    }
+
+    #[test]
+    fn map_and_translate() {
+        let mut pt = table_with(r(0x10000, 0x12000));
+        let pa = pt.load_walk(VirtAddr::new(0x10008)).unwrap();
+        assert_eq!(pa.raw(), 100 * 4096 + 8);
+        assert!(pt.entry(0x10).unwrap().accessed);
+        assert_eq!(pt.mapped_pages(), 2);
+        assert_eq!(pt.mapped_bytes(), 8192);
+    }
+
+    #[test]
+    fn store_walk_sets_dirty() {
+        let mut pt = table_with(r(0x10000, 0x11000));
+        match pt.store_walk(VirtAddr::new(0x10100)) {
+            StoreWalk::Ok(pa) => assert_eq!(pa.raw(), 100 * 4096 + 0x100),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(pt.entry(0x10).unwrap().dirty);
+    }
+
+    #[test]
+    fn unmapped_store_faults() {
+        let mut pt = PageTable::new();
+        assert_eq!(pt.store_walk(VirtAddr::new(0x999000)), StoreWalk::NotPresent);
+        assert_eq!(pt.load_walk(VirtAddr::new(0x999000)), None);
+    }
+
+    #[test]
+    fn dirtybit_reset_and_collect() {
+        let range = r(0x20000, 0x24000); // 4 pages
+        let mut pt = table_with(range);
+        pt.store_walk(VirtAddr::new(0x20010));
+        pt.store_walk(VirtAddr::new(0x23010));
+        let (dirty, walked) = pt.collect_dirty(range);
+        assert_eq!(dirty, vec![0x20, 0x23]);
+        assert_eq!(walked, 4);
+        assert_eq!(pt.reset_dirty(range), 4);
+        let (dirty, _) = pt.collect_dirty(range);
+        assert!(dirty.is_empty());
+    }
+
+    #[test]
+    fn write_protect_faults_then_granted() {
+        let range = r(0x30000, 0x31000);
+        let mut pt = table_with(range);
+        assert_eq!(pt.write_protect(range), 1);
+        let a = VirtAddr::new(0x30040);
+        assert_eq!(pt.store_walk(a), StoreWalk::WriteFault);
+        pt.grant_write(a);
+        assert!(matches!(pt.store_walk(a), StoreWalk::Ok(_)));
+        assert!(pt.entry(0x30).unwrap().dirty);
+    }
+
+    #[test]
+    fn walks_skip_unmapped_pages() {
+        let mut pt = table_with(r(0x40000, 0x41000));
+        // Walk a wider range; only the mapped page counts.
+        assert_eq!(pt.reset_dirty(r(0x3f000, 0x43000)), 1);
+        let (_, walked) = pt.collect_dirty(r(0x3f000, 0x43000));
+        assert_eq!(walked, 1);
+    }
+
+    #[test]
+    fn unmap_removes_translation() {
+        let mut pt = table_with(r(0x50000, 0x51000));
+        assert!(pt.unmap(0x50).is_some());
+        assert_eq!(pt.store_walk(VirtAddr::new(0x50000)), StoreWalk::NotPresent);
+        assert!(pt.unmap(0x50).is_none());
+    }
+}

@@ -1,0 +1,202 @@
+//! Physical frame allocators over the hybrid DRAM+NVM layout.
+//!
+//! The paper's GemOS port places process working memory in DRAM and
+//! checkpoints in NVM. [`PhysMemory`] hands out 4 KiB frames from
+//! either pool and supports contiguous NVM region reservations for
+//! checkpoint areas (persistent stacks, staging buffers, commit
+//! bitmaps).
+
+use prosper_memsim::addr::PhysAddr;
+use prosper_memsim::config::MemoryLayout;
+use prosper_memsim::PAGE_SIZE;
+
+/// Error returned when a pool is exhausted.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct OutOfMemory {
+    /// Which pool ran dry.
+    pub pool: Pool,
+}
+
+impl std::fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "out of {:?} frames", self.pool)
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+/// The two physical pools.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Pool {
+    /// Volatile pool backing process memory.
+    Dram,
+    /// Non-volatile pool backing checkpoints.
+    Nvm,
+}
+
+/// Frame allocator over the hybrid layout.
+#[derive(Clone, Debug)]
+pub struct PhysMemory {
+    layout: MemoryLayout,
+    dram_next: u64,
+    dram_free: Vec<u64>,
+    nvm_next: u64,
+    nvm_free: Vec<u64>,
+}
+
+impl PhysMemory {
+    /// Creates an allocator over `layout`.
+    pub fn new(layout: MemoryLayout) -> Self {
+        Self {
+            layout,
+            dram_next: 0,
+            dram_free: Vec::new(),
+            nvm_next: layout.dram_bytes / PAGE_SIZE,
+            nvm_free: Vec::new(),
+        }
+    }
+
+    /// The layout this allocator serves.
+    pub fn layout(&self) -> MemoryLayout {
+        self.layout
+    }
+
+    fn pool_limit_pfn(&self, pool: Pool) -> u64 {
+        match pool {
+            Pool::Dram => self.layout.dram_bytes / PAGE_SIZE,
+            Pool::Nvm => (self.layout.dram_bytes + self.layout.nvm_bytes) / PAGE_SIZE,
+        }
+    }
+
+    /// Allocates one frame from `pool`, returning its frame number.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfMemory`] when the pool is exhausted.
+    pub fn alloc(&mut self, pool: Pool) -> Result<u64, OutOfMemory> {
+        let limit = self.pool_limit_pfn(pool);
+        let (free, next) = match pool {
+            Pool::Dram => (&mut self.dram_free, &mut self.dram_next),
+            Pool::Nvm => (&mut self.nvm_free, &mut self.nvm_next),
+        };
+        if let Some(pfn) = free.pop() {
+            return Ok(pfn);
+        }
+        if *next >= limit {
+            return Err(OutOfMemory { pool });
+        }
+        let pfn = *next;
+        *next += 1;
+        Ok(pfn)
+    }
+
+    /// Returns a frame to its pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame number does not belong to either pool.
+    pub fn free(&mut self, pfn: u64) {
+        let dram_limit = self.layout.dram_bytes / PAGE_SIZE;
+        if pfn < dram_limit {
+            self.dram_free.push(pfn);
+        } else if pfn < self.pool_limit_pfn(Pool::Nvm) {
+            self.nvm_free.push(pfn);
+        } else {
+            panic!("frame {pfn} outside installed memory");
+        }
+    }
+
+    /// Reserves a contiguous NVM region of `bytes` (page-rounded),
+    /// returning its base physical address. Used for persistent stacks
+    /// and staging buffers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfMemory`] if the NVM pool cannot satisfy the
+    /// reservation contiguously.
+    pub fn reserve_nvm_region(&mut self, bytes: u64) -> Result<PhysAddr, OutOfMemory> {
+        let pages = bytes.div_ceil(PAGE_SIZE).max(1);
+        let limit = self.pool_limit_pfn(Pool::Nvm);
+        if self.nvm_next + pages > limit {
+            return Err(OutOfMemory { pool: Pool::Nvm });
+        }
+        let base = self.nvm_next;
+        self.nvm_next += pages;
+        Ok(PhysAddr::new(base * PAGE_SIZE))
+    }
+
+    /// Frames still available in `pool` (ignoring the free list's
+    /// fragmentation, which does not matter for 4 KiB frames).
+    pub fn available_frames(&self, pool: Pool) -> u64 {
+        let (free, next) = match pool {
+            Pool::Dram => (&self.dram_free, self.dram_next),
+            Pool::Nvm => (&self.nvm_free, self.nvm_next),
+        };
+        self.pool_limit_pfn(pool) - next + free.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> PhysMemory {
+        PhysMemory::new(MemoryLayout {
+            dram_bytes: 4 * PAGE_SIZE,
+            nvm_bytes: 4 * PAGE_SIZE,
+        })
+    }
+
+    #[test]
+    fn dram_and_nvm_frames_disjoint() {
+        let mut pm = small();
+        let d = pm.alloc(Pool::Dram).unwrap();
+        let n = pm.alloc(Pool::Nvm).unwrap();
+        assert!(d < 4);
+        assert!((4..8).contains(&n));
+    }
+
+    #[test]
+    fn exhaustion_reported() {
+        let mut pm = small();
+        for _ in 0..4 {
+            pm.alloc(Pool::Dram).unwrap();
+        }
+        let err = pm.alloc(Pool::Dram).unwrap_err();
+        assert_eq!(err.pool, Pool::Dram);
+        assert!(err.to_string().contains("Dram"));
+    }
+
+    #[test]
+    fn free_recycles() {
+        let mut pm = small();
+        let a = pm.alloc(Pool::Dram).unwrap();
+        pm.free(a);
+        assert_eq!(pm.alloc(Pool::Dram).unwrap(), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside installed memory")]
+    fn free_bad_frame_panics() {
+        small().free(99);
+    }
+
+    #[test]
+    fn nvm_region_reservation() {
+        let mut pm = small();
+        let base = pm.reserve_nvm_region(2 * PAGE_SIZE + 1).unwrap();
+        assert_eq!(base.raw(), 4 * PAGE_SIZE);
+        // 3 pages consumed, 1 left.
+        assert_eq!(pm.available_frames(Pool::Nvm), 1);
+        assert!(pm.reserve_nvm_region(2 * PAGE_SIZE).is_err());
+    }
+
+    #[test]
+    fn available_frames_counts_freelist() {
+        let mut pm = small();
+        let a = pm.alloc(Pool::Dram).unwrap();
+        assert_eq!(pm.available_frames(Pool::Dram), 3);
+        pm.free(a);
+        assert_eq!(pm.available_frames(Pool::Dram), 4);
+    }
+}

@@ -1,0 +1,53 @@
+//! Page-table entries with the x86-64-style status bits the paper's
+//! dirty-tracking baselines rely on.
+
+use prosper_memsim::addr::PhysAddr;
+use serde::{Deserialize, Serialize};
+
+/// A page-table entry for one 4 KiB page.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Pte {
+    /// Physical frame number backing the page.
+    pub pfn: u64,
+    /// Present bit: the translation is valid.
+    pub present: bool,
+    /// Writable bit: stores are allowed. The write-protect tracking
+    /// baseline clears this to force faults on first write.
+    pub writable: bool,
+    /// Accessed bit, set by the page-table walker on any access.
+    pub accessed: bool,
+    /// Dirty bit, set by the page-table walker on a write. The
+    /// Dirtybit (LDT-style) baseline resets and collects this.
+    pub dirty: bool,
+}
+
+impl Pte {
+    /// A present, writable, clean entry mapping frame `pfn`.
+    pub fn new(pfn: u64) -> Self {
+        Self {
+            pfn,
+            present: true,
+            writable: true,
+            accessed: false,
+            dirty: false,
+        }
+    }
+
+    /// Physical address of the frame's first byte.
+    pub fn frame_addr(&self) -> PhysAddr {
+        PhysAddr::new(self.pfn * prosper_memsim::PAGE_SIZE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_entry_is_clean_and_writable() {
+        let pte = Pte::new(5);
+        assert!(pte.present && pte.writable);
+        assert!(!pte.accessed && !pte.dirty);
+        assert_eq!(pte.frame_addr().raw(), 5 * 4096);
+    }
+}

@@ -1,0 +1,236 @@
+//! Full process checkpoint/restore: registers + memory, with
+//! torn-write-safe register slots.
+//!
+//! The GemOS baseline persists the register state of every thread at
+//! each checkpoint alongside the memory mechanisms. A crash can land
+//! mid-write, so the store keeps **two register slots per thread**
+//! (ping-pong) with a sequence number and a validity marker written
+//! last; recovery picks the newest valid slot. The memory side is
+//! delegated to whatever [`crate::crash::Persistent`] implementation
+//! the process uses (Prosper's persistent stack in the full system).
+
+use serde::{Deserialize, Serialize};
+
+use crate::process::RegisterFile;
+
+/// One persisted register slot.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq, Serialize, Deserialize)]
+struct RegSlot {
+    regs: RegisterFile,
+    sequence: u64,
+    /// Written last; a torn write leaves it false.
+    valid: bool,
+}
+
+/// Torn-write-safe register checkpoint area for one thread.
+#[derive(Clone, Default, Debug, Serialize, Deserialize)]
+pub struct RegisterStore {
+    slots: [RegSlot; 2],
+    next_sequence: u64,
+}
+
+/// Error returned when no valid register checkpoint exists.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct NoValidCheckpoint;
+
+impl std::fmt::Display for NoValidCheckpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("no valid register checkpoint found")
+    }
+}
+
+impl std::error::Error for NoValidCheckpoint {}
+
+impl RegisterStore {
+    /// Creates an empty store (no checkpoint yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Persists `regs` into the older slot (ping-pong), marking it
+    /// valid only after the payload is "written".
+    pub fn checkpoint(&mut self, regs: RegisterFile) {
+        self.next_sequence += 1;
+        let idx = self.older_slot();
+        // Model the write order: invalidate, write payload, validate.
+        self.slots[idx].valid = false;
+        self.slots[idx].regs = regs;
+        self.slots[idx].sequence = self.next_sequence;
+        self.slots[idx].valid = true;
+    }
+
+    /// Begins a checkpoint but "crashes" before the validity marker is
+    /// written — for crash-injection tests.
+    pub fn checkpoint_torn(&mut self, regs: RegisterFile) {
+        self.next_sequence += 1;
+        let idx = self.older_slot();
+        self.slots[idx].valid = false;
+        self.slots[idx].regs = regs;
+        self.slots[idx].sequence = self.next_sequence;
+        // valid stays false: the crash hit here.
+    }
+
+    fn older_slot(&self) -> usize {
+        if self.slots[0].sequence <= self.slots[1].sequence {
+            0
+        } else {
+            1
+        }
+    }
+
+    /// Recovers the newest valid register state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NoValidCheckpoint`] if neither slot is valid (no
+    /// checkpoint ever completed).
+    pub fn recover(&self) -> Result<(RegisterFile, u64), NoValidCheckpoint> {
+        self.slots
+            .iter()
+            .filter(|s| s.valid)
+            .max_by_key(|s| s.sequence)
+            .map(|s| (s.regs, s.sequence))
+            .ok_or(NoValidCheckpoint)
+    }
+}
+
+/// A whole-process checkpoint store: per-thread register stores plus a
+/// sequence counter that ties register and memory state together.
+#[derive(Clone, Default, Debug)]
+pub struct ProcessCheckpointStore {
+    registers: Vec<RegisterStore>,
+    /// Sequence of the last complete whole-process checkpoint.
+    pub committed_sequence: u64,
+}
+
+impl ProcessCheckpointStore {
+    /// Creates a store for `threads` threads.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            registers: vec![RegisterStore::new(); threads],
+            committed_sequence: 0,
+        }
+    }
+
+    /// Number of threads covered.
+    pub fn threads(&self) -> usize {
+        self.registers.len()
+    }
+
+    /// Checkpoints all threads' registers and bumps the process
+    /// sequence (memory mechanisms commit separately but under the
+    /// same checkpoint boundary).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `regs` does not provide one register file per thread.
+    pub fn checkpoint(&mut self, regs: &[RegisterFile]) {
+        assert_eq!(regs.len(), self.registers.len(), "one register file per thread");
+        for (store, r) in self.registers.iter_mut().zip(regs) {
+            store.checkpoint(*r);
+        }
+        self.committed_sequence += 1;
+    }
+
+    /// Recovers all threads' registers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NoValidCheckpoint`] if any thread lacks a valid slot.
+    pub fn recover(&self) -> Result<Vec<RegisterFile>, NoValidCheckpoint> {
+        self.registers
+            .iter()
+            .map(|s| s.recover().map(|(r, _)| r))
+            .collect()
+    }
+
+    /// Access to one thread's register store (crash-injection tests).
+    pub fn thread_store_mut(&mut self, tid: usize) -> &mut RegisterStore {
+        &mut self.registers[tid]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn regs(marker: u64) -> RegisterFile {
+        let mut r = RegisterFile::default();
+        r.gpr[0] = marker;
+        r.rip = 0x400000 + marker;
+        r
+    }
+
+    #[test]
+    fn empty_store_cannot_recover() {
+        let s = RegisterStore::new();
+        assert_eq!(s.recover(), Err(NoValidCheckpoint));
+        assert!(NoValidCheckpoint.to_string().contains("no valid"));
+    }
+
+    #[test]
+    fn recover_returns_latest() {
+        let mut s = RegisterStore::new();
+        s.checkpoint(regs(1));
+        s.checkpoint(regs(2));
+        s.checkpoint(regs(3));
+        let (r, seq) = s.recover().unwrap();
+        assert_eq!(r.gpr[0], 3);
+        assert_eq!(seq, 3);
+    }
+
+    #[test]
+    fn torn_write_falls_back_to_previous() {
+        let mut s = RegisterStore::new();
+        s.checkpoint(regs(1));
+        s.checkpoint(regs(2));
+        s.checkpoint_torn(regs(3));
+        let (r, seq) = s.recover().unwrap();
+        assert_eq!(r.gpr[0], 2, "torn slot skipped");
+        assert_eq!(seq, 2);
+    }
+
+    #[test]
+    fn torn_first_checkpoint_recovers_nothing() {
+        let mut s = RegisterStore::new();
+        s.checkpoint_torn(regs(1));
+        assert_eq!(s.recover(), Err(NoValidCheckpoint));
+    }
+
+    #[test]
+    fn ping_pong_alternates_slots() {
+        let mut s = RegisterStore::new();
+        s.checkpoint(regs(1));
+        s.checkpoint(regs(2));
+        // Both slots now valid with sequences 1 and 2; a torn third
+        // write may only destroy the *older* one.
+        s.checkpoint_torn(regs(3));
+        let (r, _) = s.recover().unwrap();
+        assert_eq!(r.gpr[0], 2);
+    }
+
+    #[test]
+    fn process_store_covers_all_threads() {
+        let mut p = ProcessCheckpointStore::new(3);
+        p.checkpoint(&[regs(10), regs(20), regs(30)]);
+        p.checkpoint(&[regs(11), regs(21), regs(31)]);
+        assert_eq!(p.committed_sequence, 2);
+        let rec = p.recover().unwrap();
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec[1].gpr[0], 21);
+    }
+
+    #[test]
+    fn one_torn_thread_fails_whole_recovery() {
+        let mut p = ProcessCheckpointStore::new(2);
+        p.thread_store_mut(0).checkpoint(regs(1));
+        p.thread_store_mut(1).checkpoint_torn(regs(2));
+        assert!(p.recover().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "one register file per thread")]
+    fn wrong_thread_count_rejected() {
+        ProcessCheckpointStore::new(2).checkpoint(&[regs(1)]);
+    }
+}

@@ -1,0 +1,367 @@
+//! Virtual and physical address newtypes and address-range helpers.
+//!
+//! The Prosper hardware filters *stores of interest* by comparing the
+//! store's **virtual** address against the stack range programmed by the
+//! OS (the paper places the comparator near the L1D precisely because
+//! the virtual stack range is contiguous while its physical mapping need
+//! not be). Keeping [`VirtAddr`] and [`PhysAddr`] as distinct types makes
+//! it impossible to accidentally compare across the two spaces.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Sub};
+
+use crate::{CACHE_LINE, PAGE_SIZE};
+
+macro_rules! addr_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+        )]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Creates an address from a raw 64-bit value.
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw 64-bit value of the address.
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// Returns the address rounded down to `align` bytes.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `align` is zero or not a power of two.
+            pub fn align_down(self, align: u64) -> Self {
+                assert!(align.is_power_of_two(), "alignment must be a power of two");
+                Self(self.0 & !(align - 1))
+            }
+
+            /// Returns the address rounded up to `align` bytes.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `align` is zero or not a power of two, or if
+            /// rounding up overflows.
+            pub fn align_up(self, align: u64) -> Self {
+                assert!(align.is_power_of_two(), "alignment must be a power of two");
+                Self(
+                    self.0
+                        .checked_add(align - 1)
+                        .expect("address overflow while aligning up")
+                        & !(align - 1),
+                )
+            }
+
+            /// Returns the start of the 64-byte cache line containing
+            /// this address.
+            pub fn cache_line(self) -> Self {
+                self.align_down(CACHE_LINE)
+            }
+
+            /// Returns the start of the 4 KiB page containing this
+            /// address.
+            pub fn page(self) -> Self {
+                self.align_down(PAGE_SIZE)
+            }
+
+            /// Returns the zero-based index of the 4 KiB page containing
+            /// this address.
+            pub fn page_number(self) -> u64 {
+                self.0 / PAGE_SIZE
+            }
+
+            /// Returns the byte offset of this address within its page.
+            pub fn page_offset(self) -> u64 {
+                self.0 % PAGE_SIZE
+            }
+
+            /// Returns `true` if the address is aligned to `align` bytes.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `align` is zero or not a power of two.
+            pub fn is_aligned(self, align: u64) -> bool {
+                assert!(align.is_power_of_two(), "alignment must be a power of two");
+                self.0 & (align - 1) == 0
+            }
+
+            /// Returns the address `offset` bytes above this one, or
+            /// `None` on overflow.
+            pub fn checked_add(self, offset: u64) -> Option<Self> {
+                self.0.checked_add(offset).map(Self)
+            }
+
+            /// Returns the address `offset` bytes below this one, or
+            /// `None` on underflow.
+            pub fn checked_sub(self, offset: u64) -> Option<Self> {
+                self.0.checked_sub(offset).map(Self)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({:#x})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+
+        impl fmt::UpperHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::UpperHex::fmt(&self.0, f)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for u64 {
+            fn from(addr: $name) -> u64 {
+                addr.0
+            }
+        }
+
+        impl Add<u64> for $name {
+            type Output = Self;
+
+            fn add(self, rhs: u64) -> Self {
+                Self(self.0 + rhs)
+            }
+        }
+
+        impl Sub<u64> for $name {
+            type Output = Self;
+
+            fn sub(self, rhs: u64) -> Self {
+                Self(self.0 - rhs)
+            }
+        }
+
+        impl Sub<$name> for $name {
+            type Output = u64;
+
+            fn sub(self, rhs: $name) -> u64 {
+                self.0 - rhs.0
+            }
+        }
+    };
+}
+
+addr_type! {
+    /// A virtual address in a simulated process address space.
+    VirtAddr
+}
+
+addr_type! {
+    /// A physical address in the simulated DRAM+NVM physical space.
+    PhysAddr
+}
+
+/// A half-open range `[start, end)` of virtual addresses.
+///
+/// Used for the stack region programmed into the Prosper MSRs and for
+/// VMAs in the OS model.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct VirtRange {
+    start: VirtAddr,
+    end: VirtAddr,
+}
+
+impl VirtRange {
+    /// Creates a new range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn new(start: VirtAddr, end: VirtAddr) -> Self {
+        assert!(start <= end, "range start {start} above end {end}");
+        Self { start, end }
+    }
+
+    /// Creates a range from a start address and a length in bytes.
+    pub fn from_start_len(start: VirtAddr, len: u64) -> Self {
+        Self::new(start, start + len)
+    }
+
+    /// Returns the inclusive lower bound.
+    pub fn start(&self) -> VirtAddr {
+        self.start
+    }
+
+    /// Returns the exclusive upper bound.
+    pub fn end(&self) -> VirtAddr {
+        self.end
+    }
+
+    /// Returns the size of the range in bytes.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Returns `true` if the range contains no addresses.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Returns `true` if `addr` falls inside the range.
+    pub fn contains(&self, addr: VirtAddr) -> bool {
+        self.start <= addr && addr < self.end
+    }
+
+    /// Returns `true` if the `len`-byte access starting at `addr`
+    /// overlaps the range at all.
+    pub fn overlaps_access(&self, addr: VirtAddr, len: u64) -> bool {
+        if self.is_empty() || len == 0 {
+            return false;
+        }
+        addr < self.end && addr + len > self.start
+    }
+
+    /// Returns the intersection of two ranges, or `None` if disjoint.
+    pub fn intersect(&self, other: &VirtRange) -> Option<VirtRange> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        (start < end).then(|| VirtRange::new(start, end))
+    }
+
+    /// Iterates over the page numbers covered by the range.
+    pub fn pages(&self) -> impl Iterator<Item = u64> {
+        let first = self.start.page_number();
+        let last = if self.is_empty() {
+            first
+        } else {
+            (self.end - 1u64).page_number() + 1
+        };
+        first..last
+    }
+}
+
+impl fmt::Display for VirtRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn align_down_and_up() {
+        let a = VirtAddr::new(0x1234);
+        assert_eq!(a.align_down(0x1000).raw(), 0x1000);
+        assert_eq!(a.align_up(0x1000).raw(), 0x2000);
+        assert_eq!(VirtAddr::new(0x2000).align_up(0x1000).raw(), 0x2000);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn align_rejects_non_power_of_two() {
+        VirtAddr::new(0x10).align_down(3);
+    }
+
+    #[test]
+    fn cache_line_and_page_helpers() {
+        let a = PhysAddr::new(4096 + 65);
+        assert_eq!(a.cache_line().raw(), 4096 + 64);
+        assert_eq!(a.page().raw(), 4096);
+        assert_eq!(a.page_number(), 1);
+        assert_eq!(a.page_offset(), 65);
+    }
+
+    #[test]
+    fn arithmetic_and_conversions() {
+        let a = VirtAddr::new(100);
+        assert_eq!((a + 28).raw(), 128);
+        assert_eq!((a - 50u64).raw(), 50);
+        assert_eq!(VirtAddr::new(130) - a, 30);
+        assert_eq!(u64::from(a), 100);
+        assert_eq!(VirtAddr::from(7u64).raw(), 7);
+        assert_eq!(a.checked_add(u64::MAX), None);
+        assert_eq!(a.checked_sub(101), None);
+        assert_eq!(a.checked_sub(100), Some(VirtAddr::new(0)));
+    }
+
+    #[test]
+    fn is_aligned() {
+        assert!(VirtAddr::new(0x40).is_aligned(64));
+        assert!(!VirtAddr::new(0x41).is_aligned(64));
+    }
+
+    #[test]
+    fn display_and_debug_format_hex() {
+        let a = VirtAddr::new(0xdead);
+        assert_eq!(format!("{a}"), "0xdead");
+        assert_eq!(format!("{a:?}"), "VirtAddr(0xdead)");
+        assert_eq!(format!("{a:x}"), "dead");
+        assert_eq!(format!("{a:X}"), "DEAD");
+    }
+
+    #[test]
+    fn range_contains_and_overlap() {
+        let r = VirtRange::new(VirtAddr::new(100), VirtAddr::new(200));
+        assert_eq!(r.len(), 100);
+        assert!(!r.is_empty());
+        assert!(r.contains(VirtAddr::new(100)));
+        assert!(r.contains(VirtAddr::new(199)));
+        assert!(!r.contains(VirtAddr::new(200)));
+        assert!(r.overlaps_access(VirtAddr::new(90), 11));
+        assert!(!r.overlaps_access(VirtAddr::new(90), 10));
+        assert!(r.overlaps_access(VirtAddr::new(199), 8));
+        assert!(!r.overlaps_access(VirtAddr::new(200), 8));
+        assert!(!r.overlaps_access(VirtAddr::new(150), 0));
+    }
+
+    #[test]
+    fn empty_range_overlaps_nothing() {
+        let r = VirtRange::new(VirtAddr::new(100), VirtAddr::new(100));
+        assert!(r.is_empty());
+        assert!(!r.overlaps_access(VirtAddr::new(100), 8));
+        assert_eq!(r.pages().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "above end")]
+    fn inverted_range_panics() {
+        VirtRange::new(VirtAddr::new(2), VirtAddr::new(1));
+    }
+
+    #[test]
+    fn range_intersection() {
+        let a = VirtRange::new(VirtAddr::new(0), VirtAddr::new(100));
+        let b = VirtRange::new(VirtAddr::new(50), VirtAddr::new(150));
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i.start().raw(), 50);
+        assert_eq!(i.end().raw(), 100);
+        let c = VirtRange::new(VirtAddr::new(200), VirtAddr::new(300));
+        assert_eq!(a.intersect(&c), None);
+    }
+
+    #[test]
+    fn range_pages_iteration() {
+        let r = VirtRange::new(VirtAddr::new(4095), VirtAddr::new(4097));
+        let pages: Vec<u64> = r.pages().collect();
+        assert_eq!(pages, vec![0, 1]);
+        let r2 = VirtRange::from_start_len(VirtAddr::new(8192), 4096);
+        assert_eq!(r2.pages().collect::<Vec<_>>(), vec![2]);
+    }
+}

@@ -1,0 +1,311 @@
+//! A set-associative, write-back/write-allocate cache with LRU
+//! replacement and an MSHR-occupancy model.
+//!
+//! The cache is *functional for tags only*: it tracks which lines are
+//! present and dirty so that hit/miss/writeback behaviour (and thus
+//! latency and downstream traffic) is faithful, but it does not store
+//! data — data movement in the simulator is carried by the workload and
+//! OS models.
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::PhysAddr;
+use crate::config::CacheConfig;
+use crate::stats::LevelStats;
+
+/// Outcome of a cache lookup-and-fill.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct CacheAccessResult {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// Physical line address of a dirty victim that must be written
+    /// back to the next level, if the fill evicted one.
+    pub writeback: Option<PhysAddr>,
+}
+
+/// Kind of access presented to a cache.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// Demand or injected load.
+    Read,
+    /// Demand or injected store (marks the line dirty).
+    Write,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Higher = more recently used.
+    lru: u64,
+}
+
+impl Line {
+    const INVALID: Line = Line {
+        tag: 0,
+        valid: false,
+        dirty: false,
+        lru: 0,
+    };
+}
+
+/// A single cache level.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: u64,
+    lines: Vec<Line>,
+    lru_clock: u64,
+    stats: LevelStats,
+}
+
+impl Cache {
+    /// Builds an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid (see [`CacheConfig::sets`]).
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets();
+        let total = sets * u64::from(cfg.ways);
+        Self {
+            cfg,
+            sets,
+            lines: vec![Line::INVALID; total as usize],
+            lru_clock: 0,
+            stats: LevelStats::default(),
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> LevelStats {
+        self.stats
+    }
+
+    fn index_of(&self, line_addr: u64) -> (u64, u64) {
+        let set = (line_addr / self.cfg.line_bytes) & (self.sets - 1);
+        let tag = line_addr / self.cfg.line_bytes / self.sets;
+        (set, tag)
+    }
+
+    fn set_slice(&mut self, set: u64) -> &mut [Line] {
+        let ways = self.cfg.ways as usize;
+        let start = set as usize * ways;
+        &mut self.lines[start..start + ways]
+    }
+
+    /// Looks up `addr` (any byte address), filling the line on a miss.
+    ///
+    /// Returns whether the access hit and any dirty victim evicted by
+    /// the fill. The line is marked dirty on `Write`.
+    pub fn access(&mut self, addr: PhysAddr, kind: AccessKind) -> CacheAccessResult {
+        let line_addr = addr.cache_line().raw();
+        let (set, tag) = self.index_of(line_addr);
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+        let sets = self.sets;
+        let line_bytes = self.cfg.line_bytes;
+
+        let ways = self.set_slice(set);
+        // Hit path.
+        if let Some(line) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = clock;
+            if kind == AccessKind::Write {
+                line.dirty = true;
+            }
+            self.stats.hits += 1;
+            return CacheAccessResult {
+                hit: true,
+                writeback: None,
+            };
+        }
+
+        // Miss: pick an invalid way, else the LRU way.
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.lru + 1 } else { 0 })
+            .expect("cache set has at least one way");
+        let writeback = (victim.valid && victim.dirty).then(|| {
+            PhysAddr::new((victim.tag * sets + set) * line_bytes)
+        });
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty: kind == AccessKind::Write,
+            lru: clock,
+        };
+        self.stats.misses += 1;
+        if writeback.is_some() {
+            self.stats.writebacks += 1;
+        }
+        CacheAccessResult {
+            hit: false,
+            writeback,
+        }
+    }
+
+    /// Returns `true` if the line containing `addr` is present.
+    pub fn contains(&self, addr: PhysAddr) -> bool {
+        let line_addr = addr.cache_line().raw();
+        let set = (line_addr / self.cfg.line_bytes) & (self.sets - 1);
+        let tag = line_addr / self.cfg.line_bytes / self.sets;
+        let ways = self.cfg.ways as usize;
+        let start = set as usize * ways;
+        self.lines[start..start + ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidates the line containing `addr`, returning `true` if the
+    /// line was present and dirty (i.e. a `clwb`/`clflush`-style
+    /// operation would generate a write-back).
+    pub fn flush_line(&mut self, addr: PhysAddr) -> bool {
+        let line_addr = addr.cache_line().raw();
+        let (set, tag) = self.index_of(line_addr);
+        let ways = self.set_slice(set);
+        if let Some(line) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
+            let was_dirty = line.dirty;
+            // clwb semantics: the line stays resident but becomes clean.
+            line.dirty = false;
+            if was_dirty {
+                self.stats.writebacks += 1;
+            }
+            was_dirty
+        } else {
+            false
+        }
+    }
+
+    /// Invalidates every line, returning the number of dirty lines that
+    /// would have been written back.
+    pub fn flush_all(&mut self) -> u64 {
+        let mut dirty = 0;
+        for line in &mut self.lines {
+            if line.valid && line.dirty {
+                dirty += 1;
+            }
+            *line = Line::INVALID;
+        }
+        self.stats.writebacks += dirty;
+        dirty
+    }
+
+    /// Number of currently valid lines (for tests and diagnostics).
+    pub fn valid_lines(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 64B = 512B cache.
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            ways: 2,
+            latency: 1,
+            mshrs: 4,
+            line_bytes: 64,
+        })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        let a = PhysAddr::new(0x1000);
+        assert!(!c.access(a, AccessKind::Read).hit);
+        assert!(c.access(a, AccessKind::Read).hit);
+        assert!(c.access(a + 63, AccessKind::Read).hit, "same line hits");
+        assert!(!c.access(a + 64, AccessKind::Read).hit, "next line misses");
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Three lines mapping to the same set (set stride = 4 sets * 64B = 256B).
+        let a = PhysAddr::new(0);
+        let b = PhysAddr::new(256);
+        let d = PhysAddr::new(512);
+        c.access(a, AccessKind::Read);
+        c.access(b, AccessKind::Read);
+        c.access(a, AccessKind::Read); // a is now MRU
+        c.access(d, AccessKind::Read); // evicts b
+        assert!(c.contains(a));
+        assert!(!c.contains(b));
+        assert!(c.contains(d));
+    }
+
+    #[test]
+    fn dirty_victim_writeback_address() {
+        let mut c = tiny();
+        let a = PhysAddr::new(0);
+        let b = PhysAddr::new(256);
+        let d = PhysAddr::new(512);
+        c.access(a, AccessKind::Write);
+        c.access(b, AccessKind::Read);
+        let res = c.access(d, AccessKind::Read); // evicts a (LRU), which is dirty
+        assert_eq!(res.writeback, Some(a));
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_victim_no_writeback() {
+        let mut c = tiny();
+        c.access(PhysAddr::new(0), AccessKind::Read);
+        c.access(PhysAddr::new(256), AccessKind::Read);
+        let res = c.access(PhysAddr::new(512), AccessKind::Read);
+        assert_eq!(res.writeback, None);
+    }
+
+    #[test]
+    fn flush_line_clwb_semantics() {
+        let mut c = tiny();
+        let a = PhysAddr::new(0x40);
+        c.access(a, AccessKind::Write);
+        assert!(c.flush_line(a), "dirty line reports writeback");
+        assert!(c.contains(a), "clwb keeps the line resident");
+        assert!(!c.flush_line(a), "second flush finds a clean line");
+        assert!(!c.flush_line(PhysAddr::new(0x4000)), "absent line");
+    }
+
+    #[test]
+    fn flush_all_counts_dirty() {
+        let mut c = tiny();
+        c.access(PhysAddr::new(0), AccessKind::Write);
+        c.access(PhysAddr::new(64), AccessKind::Write);
+        c.access(PhysAddr::new(128), AccessKind::Read);
+        assert_eq!(c.flush_all(), 2);
+        assert_eq!(c.valid_lines(), 0);
+    }
+
+    #[test]
+    fn write_marks_dirty_on_hit_too() {
+        let mut c = tiny();
+        let a = PhysAddr::new(0);
+        c.access(a, AccessKind::Read);
+        c.access(a, AccessKind::Write);
+        assert!(c.flush_line(a));
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut c = tiny();
+        for i in 0..4 {
+            c.access(PhysAddr::new(i * 64), AccessKind::Read);
+        }
+        for i in 0..4 {
+            assert!(c.contains(PhysAddr::new(i * 64)));
+        }
+        assert_eq!(c.valid_lines(), 4);
+    }
+}

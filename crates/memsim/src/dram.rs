@@ -1,0 +1,117 @@
+//! DDR4-like DRAM device model.
+//!
+//! Models per-bank open rows (row-buffer hits vs misses) and sustained
+//! bandwidth for bulk transfers. Latencies come from
+//! [`config::DramConfig`](crate::config::DramConfig).
+
+use crate::addr::PhysAddr;
+use crate::config::DramConfig;
+use crate::Cycles;
+
+/// A DRAM device with per-bank open-row tracking.
+#[derive(Clone, Debug)]
+pub struct Dram {
+    cfg: DramConfig,
+    /// Open row per bank, `None` if the bank is precharged.
+    open_rows: Vec<Option<u64>>,
+    /// Line reads served.
+    pub reads: u64,
+    /// Line writes absorbed.
+    pub writes: u64,
+    /// Row-buffer hits observed.
+    pub row_hits: u64,
+}
+
+impl Dram {
+    /// Builds a device with all banks precharged.
+    pub fn new(cfg: DramConfig) -> Self {
+        Self {
+            open_rows: vec![None; cfg.banks as usize],
+            cfg,
+            reads: 0,
+            writes: 0,
+            row_hits: 0,
+        }
+    }
+
+    /// The configuration this device was built with.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    fn bank_and_row(&self, addr: PhysAddr) -> (usize, u64) {
+        let row = addr.raw() / self.cfg.row_bytes;
+        let bank = (row % u64::from(self.cfg.banks)) as usize;
+        (bank, row)
+    }
+
+    /// Services a single line-sized access and returns its latency.
+    pub fn access(&mut self, addr: PhysAddr, is_write: bool) -> Cycles {
+        let (bank, row) = self.bank_and_row(addr);
+        let hit = self.open_rows[bank] == Some(row);
+        self.open_rows[bank] = Some(row);
+        if is_write {
+            self.writes += 1;
+        } else {
+            self.reads += 1;
+        }
+        if hit {
+            self.row_hits += 1;
+            self.cfg.row_hit
+        } else {
+            self.cfg.row_miss
+        }
+    }
+
+    /// Cycles needed to stream `bytes` at the sustained bandwidth,
+    /// ignoring first-access latency (used for bulk copies where the
+    /// access stream is fully pipelined).
+    pub fn stream_cycles(&self, bytes: u64) -> Cycles {
+        (bytes as f64 / self.cfg.bytes_per_cycle).ceil() as Cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DramConfig;
+
+    #[test]
+    fn row_hit_cheaper_than_miss() {
+        let mut d = Dram::new(DramConfig::ddr4_2400());
+        let a = PhysAddr::new(0);
+        let first = d.access(a, false);
+        let second = d.access(a + 64, false);
+        assert!(first > second, "first access opens the row");
+        assert_eq!(d.row_hits, 1);
+        assert_eq!(d.reads, 2);
+    }
+
+    #[test]
+    fn different_rows_same_bank_conflict() {
+        let cfg = DramConfig::ddr4_2400();
+        let mut d = Dram::new(cfg);
+        let a = PhysAddr::new(0);
+        // Same bank is revisited every banks*row_bytes bytes.
+        let stride = u64::from(cfg.banks) * cfg.row_bytes;
+        let b = PhysAddr::new(stride);
+        d.access(a, false);
+        let lat = d.access(b, false);
+        assert_eq!(lat, cfg.row_miss);
+    }
+
+    #[test]
+    fn writes_counted_separately() {
+        let mut d = Dram::new(DramConfig::ddr4_2400());
+        d.access(PhysAddr::new(0), true);
+        assert_eq!(d.writes, 1);
+        assert_eq!(d.reads, 0);
+    }
+
+    #[test]
+    fn stream_bandwidth() {
+        let d = Dram::new(DramConfig::ddr4_2400());
+        assert_eq!(d.stream_cycles(64), 10); // 64 / 6.4
+        assert_eq!(d.stream_cycles(0), 0);
+    }
+}

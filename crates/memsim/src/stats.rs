@@ -1,0 +1,191 @@
+//! Simulation counters.
+//!
+//! Every component of the hierarchy records its events into a
+//! [`MemStats`] snapshot; experiments diff snapshots across phases
+//! (for example, user-mode vs checkpoint-time traffic in Figure 12).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Sub;
+
+use crate::Cycles;
+
+/// Per-cache-level hit/miss counters.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct LevelStats {
+    /// Accesses that hit in this level.
+    pub hits: u64,
+    /// Accesses that missed and were forwarded down.
+    pub misses: u64,
+    /// Dirty lines written back to the next level on eviction.
+    pub writebacks: u64,
+}
+
+impl LevelStats {
+    /// Total accesses observed by the level.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in `[0, 1]`; zero when the level saw no traffic.
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+impl Sub for LevelStats {
+    type Output = LevelStats;
+
+    fn sub(self, rhs: LevelStats) -> LevelStats {
+        LevelStats {
+            hits: self.hits - rhs.hits,
+            misses: self.misses - rhs.misses,
+            writebacks: self.writebacks - rhs.writebacks,
+        }
+    }
+}
+
+/// Aggregate counters for a simulated machine.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct MemStats {
+    /// Demand loads issued by the core.
+    pub loads: u64,
+    /// Demand stores issued by the core.
+    pub stores: u64,
+    /// L1D counters.
+    pub l1d: LevelStats,
+    /// L2 counters.
+    pub l2: LevelStats,
+    /// L3 counters.
+    pub l3: LevelStats,
+    /// Line reads served by DRAM.
+    pub dram_reads: u64,
+    /// Line writes absorbed by DRAM.
+    pub dram_writes: u64,
+    /// DRAM row-buffer hits.
+    pub dram_row_hits: u64,
+    /// Line reads served by NVM.
+    pub nvm_reads: u64,
+    /// Line writes absorbed by NVM.
+    pub nvm_writes: u64,
+    /// Cycles spent stalled because the NVM write buffer was full.
+    pub nvm_write_stall_cycles: Cycles,
+    /// Total simulated cycles elapsed.
+    pub cycles: Cycles,
+    /// Extra (non-demand) accesses injected by snooping hardware such as
+    /// the Prosper tracker's bitmap loads/stores.
+    pub injected_loads: u64,
+    /// Extra stores injected by snooping hardware.
+    pub injected_stores: u64,
+}
+
+impl MemStats {
+    /// Total demand accesses.
+    pub fn demand_accesses(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// Total bytes moved to/from NVM assuming line-sized transfers.
+    pub fn nvm_line_transfers(&self) -> u64 {
+        self.nvm_reads + self.nvm_writes
+    }
+}
+
+impl Sub for MemStats {
+    type Output = MemStats;
+
+    fn sub(self, rhs: MemStats) -> MemStats {
+        MemStats {
+            loads: self.loads - rhs.loads,
+            stores: self.stores - rhs.stores,
+            l1d: self.l1d - rhs.l1d,
+            l2: self.l2 - rhs.l2,
+            l3: self.l3 - rhs.l3,
+            dram_reads: self.dram_reads - rhs.dram_reads,
+            dram_writes: self.dram_writes - rhs.dram_writes,
+            dram_row_hits: self.dram_row_hits - rhs.dram_row_hits,
+            nvm_reads: self.nvm_reads - rhs.nvm_reads,
+            nvm_writes: self.nvm_writes - rhs.nvm_writes,
+            nvm_write_stall_cycles: self.nvm_write_stall_cycles - rhs.nvm_write_stall_cycles,
+            cycles: self.cycles - rhs.cycles,
+            injected_loads: self.injected_loads - rhs.injected_loads,
+            injected_stores: self.injected_stores - rhs.injected_stores,
+        }
+    }
+}
+
+impl fmt::Display for MemStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cycles={} loads={} stores={} (injected {}L/{}S)",
+            self.cycles, self.loads, self.stores, self.injected_loads, self.injected_stores
+        )?;
+        writeln!(
+            f,
+            "L1D {}/{} L2 {}/{} L3 {}/{} (hits/misses)",
+            self.l1d.hits, self.l1d.misses, self.l2.hits, self.l2.misses, self.l3.hits,
+            self.l3.misses
+        )?;
+        write!(
+            f,
+            "DRAM r={} w={} rowhit={} | NVM r={} w={} wstall={}",
+            self.dram_reads,
+            self.dram_writes,
+            self.dram_row_hits,
+            self.nvm_reads,
+            self.nvm_writes,
+            self.nvm_write_stall_cycles
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_ratios() {
+        let l = LevelStats {
+            hits: 3,
+            misses: 1,
+            writebacks: 0,
+        };
+        assert_eq!(l.accesses(), 4);
+        assert!((l.miss_ratio() - 0.25).abs() < 1e-12);
+        assert_eq!(LevelStats::default().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_diff() {
+        let a = MemStats {
+            loads: 10,
+            cycles: 100,
+            l1d: LevelStats {
+                hits: 8,
+                ..LevelStats::default()
+            },
+            ..MemStats::default()
+        };
+        let mut b = a;
+        b.loads = 25;
+        b.cycles = 260;
+        b.l1d.hits = 20;
+        let d = b - a;
+        assert_eq!(d.loads, 15);
+        assert_eq!(d.cycles, 160);
+        assert_eq!(d.l1d.hits, 12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = format!("{}", MemStats::default());
+        assert!(s.contains("cycles=0"));
+        assert!(s.contains("NVM"));
+    }
+}

@@ -1,0 +1,55 @@
+//! # prosper-trace
+//!
+//! Workload and micro-benchmark memory-trace generation for the Prosper
+//! reproduction.
+//!
+//! The paper drives its experiments with (a) Pin/SniP traces of real
+//! applications (Gapbs_pr, G500_sssp, Ycsb_mem, SPEC CPU 2017) and (b)
+//! the Table III micro-benchmarks. Neither the proprietary traces nor
+//! the original binaries are available here, so this crate provides:
+//!
+//! * an explicit **program-stack model** ([`stack::StackModel`]) with
+//!   frames, downward growth, SP tracking, and activation-record write
+//!   semantics;
+//! * the **Table III micro-benchmarks** ([`micro`]) implemented
+//!   faithfully from their descriptions (Random, Stream, Sparse,
+//!   Quicksort, Recursive, Normal, Poisson);
+//! * **synthetic stand-ins** for the application benchmarks
+//!   ([`workloads`]) parameterised to match each workload's published
+//!   stack characteristics (stack-operation fraction from Fig. 1,
+//!   writes-beyond-final-SP from Fig. 2, stack spatial-locality classes
+//!   from Fig. 13);
+//! * **consistency-interval** splitting ([`interval`]) used by every
+//!   checkpoint experiment.
+//!
+//! All generators are deterministic given a seed.
+//!
+//! # Example
+//!
+//! ```
+//! use prosper_trace::workloads::{Workload, WorkloadProfile};
+//! use prosper_trace::record::TraceEvent;
+//! use prosper_trace::source::TraceSource;
+//!
+//! let mut w = Workload::new(WorkloadProfile::gapbs_pr(), 42);
+//! match w.next_event() {
+//!     TraceEvent::Access(a) => assert!(a.size > 0),
+//!     TraceEvent::Compute(c) => assert!(c > 0),
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+pub mod interval;
+pub mod micro;
+pub mod record;
+pub mod source;
+pub mod stack;
+pub mod tracefile;
+pub mod workloads;
+
+pub use record::{AccessKind, MemAccess, Region, TraceEvent};
+pub use source::TraceSource;
+pub use workloads::{Workload, WorkloadProfile};

@@ -1,0 +1,497 @@
+//! The Table III micro-benchmarks.
+//!
+//! | Category | Name | Description (from the paper) |
+//! |---|---|---|
+//! | Access pattern | `Random` | Write to random elements of an array allocated in the stack |
+//! | Access pattern | `Stream` | Write to all elements of an array allocated on stack sequentially |
+//! | Access pattern | `Sparse` | Write to 4 KiB-spaced elements of stack memory across recursive invocations |
+//! | Function invocation | `Quicksort` | Sort elements of an array allocated in the heap |
+//! | Function invocation | `Recursive` | Recursive function invocation with parameterised call depth |
+//! | Access intensity | `Normal` | Normally distributed stack writes between computation operations |
+//! | Access intensity | `Poisson` | Poisson distributed stack writes between computation operations |
+//!
+//! `Sparse`, `Random`, and `Stream` explore the best, average, and worst
+//! case for Prosper respectively; `Normal` uses µ=63, σ=20 and `Poisson`
+//! uses λ=63, with a compute block of one thousand register increments
+//! between write bursts, exactly as Section IV-A specifies.
+//!
+//! Every micro-benchmark is an infinite, deterministic (seeded) stream
+//! of [`TraceEvent`]s produced through a real [`StackModel`], so SP
+//! movement and activation records are faithful.
+
+use std::collections::VecDeque;
+
+use prosper_memsim::addr::VirtAddr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal, Poisson};
+
+use crate::record::{AccessKind, MemAccess, Region, TraceEvent};
+use crate::source::TraceSource;
+use crate::stack::StackModel;
+
+/// Cycles consumed by the compute block between write bursts in the
+/// access-intensity micro-benchmarks (one thousand register
+/// increments).
+pub const COMPUTE_BLOCK_CYCLES: u64 = 1000;
+
+/// Identifier for a Table III micro-benchmark, including parameters.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum MicroSpec {
+    /// Random writes into a stack array of the given size.
+    Random {
+        /// Stack array size in bytes.
+        array_bytes: u64,
+    },
+    /// Sequential writes over the whole stack array.
+    Stream {
+        /// Stack array size in bytes.
+        array_bytes: u64,
+    },
+    /// 4-byte writes, one per 4 KiB page, across recursive invocations.
+    Sparse {
+        /// Number of 4 KiB frames (pages) touched per recursion sweep.
+        pages: u32,
+    },
+    /// Quicksort over a heap array (stack carries the recursion).
+    Quicksort {
+        /// Number of 8-byte elements sorted.
+        elements: u32,
+    },
+    /// Repeated recursion to a parameterised depth.
+    Recursive {
+        /// Call depth per sweep.
+        depth: u32,
+    },
+    /// Normally distributed write-burst lengths (µ=63, σ=20).
+    Normal {
+        /// Stack array size in bytes the bursts write into.
+        array_bytes: u64,
+    },
+    /// Poisson distributed write-burst lengths (λ=63).
+    Poisson {
+        /// Stack array size in bytes the bursts write into.
+        array_bytes: u64,
+    },
+}
+
+impl MicroSpec {
+    /// The paper's display name for the micro-benchmark.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MicroSpec::Random { .. } => "Random",
+            MicroSpec::Stream { .. } => "Stream",
+            MicroSpec::Sparse { .. } => "Sparse",
+            MicroSpec::Quicksort { .. } => "Quicksort",
+            MicroSpec::Recursive { .. } => "Recursive",
+            MicroSpec::Normal { .. } => "Normal",
+            MicroSpec::Poisson { .. } => "Poisson",
+        }
+    }
+
+    /// Default parameterisation used by the figures (64 KiB arrays,
+    /// 32-page sparse sweeps, 4096-element quicksort, depth-8
+    /// recursion).
+    pub fn all_default() -> Vec<MicroSpec> {
+        vec![
+            MicroSpec::Random {
+                array_bytes: 64 * 1024,
+            },
+            MicroSpec::Stream {
+                array_bytes: 64 * 1024,
+            },
+            MicroSpec::Sparse { pages: 32 },
+            MicroSpec::Quicksort { elements: 4096 },
+            MicroSpec::Recursive { depth: 8 },
+            MicroSpec::Normal {
+                array_bytes: 64 * 1024,
+            },
+            MicroSpec::Poisson {
+                array_bytes: 64 * 1024,
+            },
+        ]
+    }
+}
+
+/// A running micro-benchmark emitting an infinite trace.
+#[derive(Debug)]
+pub struct MicroBench {
+    spec: MicroSpec,
+    stack: StackModel,
+    rng: StdRng,
+    queue: VecDeque<TraceEvent>,
+    /// Streaming cursor (Stream/Normal/Poisson).
+    cursor: u64,
+    /// Heap base used by Quicksort.
+    heap_base: u64,
+}
+
+/// Heap segment base address used by micro-benchmarks that touch the
+/// heap (Quicksort's element array).
+const HEAP_BASE: u64 = 0x5555_0000_0000;
+
+impl MicroBench {
+    /// Instantiates a micro-benchmark with a deterministic seed.
+    pub fn new(spec: MicroSpec, seed: u64) -> Self {
+        let mut bench = Self {
+            spec,
+            stack: StackModel::new(0),
+            rng: StdRng::seed_from_u64(seed),
+            queue: VecDeque::new(),
+            cursor: 0,
+            heap_base: HEAP_BASE,
+        };
+        bench.setup();
+        bench
+    }
+
+    /// The benchmark's specification.
+    pub fn spec(&self) -> MicroSpec {
+        self.spec
+    }
+
+    fn setup(&mut self) {
+        match self.spec {
+            MicroSpec::Random { array_bytes }
+            | MicroSpec::Stream { array_bytes }
+            | MicroSpec::Normal { array_bytes }
+            | MicroSpec::Poisson { array_bytes } => {
+                // main() owns the array for the whole run.
+                let ev = self.stack.push_frame(array_bytes + 64, 2);
+                self.queue.extend(ev);
+            }
+            MicroSpec::Sparse { .. } | MicroSpec::Recursive { .. } => {
+                let ev = self.stack.push_frame(64, 2);
+                self.queue.extend(ev);
+            }
+            MicroSpec::Quicksort { .. } => {
+                let ev = self.stack.push_frame(64, 2);
+                self.queue.extend(ev);
+            }
+        }
+    }
+
+    fn heap_access(&self, kind: AccessKind, offset: u64, size: u32) -> TraceEvent {
+        TraceEvent::Access(MemAccess {
+            tid: self.stack.tid(),
+            kind,
+            vaddr: VirtAddr::new(self.heap_base + offset),
+            size,
+            region: Region::Heap,
+            sp: self.stack.sp(),
+        })
+    }
+
+    /// Refills the queue with the next phase of the benchmark.
+    fn refill(&mut self) {
+        match self.spec {
+            MicroSpec::Random { array_bytes } => {
+                // A burst of writes to random 8-byte elements, then a
+                // short compute gap.
+                for _ in 0..64 {
+                    let slot = self.rng.gen_range(0..array_bytes / 8);
+                    self.queue.push_back(self.stack.write_local(slot * 8, 8));
+                }
+                self.queue.push_back(TraceEvent::Compute(64));
+            }
+            MicroSpec::Stream { array_bytes } => {
+                let slots = array_bytes / 8;
+                for _ in 0..64 {
+                    let slot = self.cursor % slots;
+                    self.cursor += 1;
+                    self.queue.push_back(self.stack.write_local(slot * 8, 8));
+                }
+                self.queue.push_back(TraceEvent::Compute(64));
+            }
+            MicroSpec::Sparse { pages } => {
+                // Recursive descent: each call consumes a 4 KiB frame
+                // and dirties 4 bytes of it, then everything returns.
+                for _ in 0..pages {
+                    let ev = self.stack.push_frame(4096 - 32, 1);
+                    self.queue.extend(ev);
+                    self.queue.push_back(self.stack.write_local(8, 4));
+                    self.queue.push_back(TraceEvent::Compute(32));
+                }
+                for _ in 0..pages {
+                    let ev = self.stack.pop_frame();
+                    self.queue.extend(ev);
+                }
+                self.queue.push_back(TraceEvent::Compute(256));
+            }
+            MicroSpec::Quicksort { elements } => {
+                self.refill_quicksort(elements);
+            }
+            MicroSpec::Recursive { depth } => {
+                // The recursive function's frame size depends on its
+                // argument (a stack-allocated scratch array), so
+                // consecutive sweeps shift the frame addresses and do
+                // not coalesce across a long interval — the behaviour
+                // behind Figure 11's "Recursive checkpoint size grows
+                // with the interval" observation.
+                let wobble = 8 * (self.cursor % 24);
+                self.cursor += 1;
+                for _ in 0..depth {
+                    let ev = self.stack.push_frame(96 + wobble, 3);
+                    self.queue.extend(ev);
+                    self.queue.push_back(self.stack.write_local(16, 8));
+                    self.queue.push_back(self.stack.write_local(24, 8));
+                    self.queue.push_back(TraceEvent::Compute(48));
+                }
+                for _ in 0..depth {
+                    let ev = self.stack.pop_frame();
+                    self.queue.extend(ev);
+                }
+                // Compute lull between sweeps: result processing. Its
+                // length varies, so short (1 ms-scale) intervals
+                // sometimes contain no stack modification at all and
+                // pay only the fixed checkpoint costs (the paper's
+                // per-byte-time argument against tiny intervals).
+                let lull = 2_000 + (self.cursor % 7) * 2_500;
+                self.queue.push_back(TraceEvent::Compute(lull));
+            }
+            MicroSpec::Normal { array_bytes } => {
+                let dist = Normal::new(63.0f64, 20.0).expect("valid normal parameters");
+                let n = dist.sample(&mut self.rng).round().max(0.0) as u64;
+                self.burst_writes(n, array_bytes);
+                self.queue.push_back(TraceEvent::Compute(COMPUTE_BLOCK_CYCLES));
+            }
+            MicroSpec::Poisson { array_bytes } => {
+                let dist = Poisson::new(63.0).expect("valid poisson parameter");
+                let n = dist.sample(&mut self.rng) as u64;
+                self.burst_writes(n, array_bytes);
+                self.queue.push_back(TraceEvent::Compute(COMPUTE_BLOCK_CYCLES));
+            }
+        }
+    }
+
+    fn burst_writes(&mut self, n: u64, array_bytes: u64) {
+        let slots = array_bytes / 8;
+        for _ in 0..n {
+            let slot = self.cursor % slots;
+            self.cursor += 1;
+            self.queue.push_back(self.stack.write_local(slot * 8, 8));
+        }
+    }
+
+    /// One full quicksort over the heap array, emitting its recursion
+    /// as real frame pushes/pops and its partition phase as heap
+    /// traffic. The recursion structure is the real quicksort recursion
+    /// tree on a freshly shuffled array.
+    fn refill_quicksort(&mut self, elements: u32) {
+        // Build a shuffled array of indices to obtain a realistic
+        // recursion tree (we sort the values, tracking comparisons).
+        let n = elements as usize;
+        let mut vals: Vec<u32> = (0..elements).collect();
+        // Fisher-Yates with our seeded RNG.
+        for i in (1..n).rev() {
+            let j = self.rng.gen_range(0..=i);
+            vals.swap(i, j);
+        }
+        // Iterative quicksort mirroring the recursive call structure:
+        // each "call" pushes a stack frame; partition emits heap
+        // accesses.
+        enum Op {
+            Call(usize, usize),
+            Ret,
+        }
+        let mut ops = vec![Op::Call(0, n)];
+        while let Some(op) = ops.pop() {
+            match op {
+                Op::Call(lo, hi) => {
+                    let ev = self.stack.push_frame(64, 2);
+                    self.queue.extend(ev);
+                    if hi - lo <= 1 {
+                        ops.push(Op::Ret);
+                        continue;
+                    }
+                    // Lomuto partition on vals[lo..hi].
+                    let pivot = vals[hi - 1];
+                    self.queue
+                        .push_back(self.heap_access(AccessKind::Load, (hi as u64 - 1) * 8, 8));
+                    let mut i = lo;
+                    for j in lo..hi - 1 {
+                        self.queue
+                            .push_back(self.heap_access(AccessKind::Load, j as u64 * 8, 8));
+                        if vals[j] <= pivot {
+                            vals.swap(i, j);
+                            self.queue
+                                .push_back(self.heap_access(AccessKind::Store, i as u64 * 8, 8));
+                            self.queue
+                                .push_back(self.heap_access(AccessKind::Store, j as u64 * 8, 8));
+                            i += 1;
+                        }
+                    }
+                    vals.swap(i, hi - 1);
+                    self.queue
+                        .push_back(self.heap_access(AccessKind::Store, i as u64 * 8, 8));
+                    // Local loop variables live in the frame.
+                    self.queue.push_back(self.stack.write_local(16, 8));
+                    self.queue.push_back(self.stack.write_local(24, 8));
+                    // Recurse: push Ret first so calls run before it.
+                    ops.push(Op::Ret);
+                    ops.push(Op::Call(i + 1, hi));
+                    ops.push(Op::Call(lo, i));
+                }
+                Op::Ret => {
+                    let ev = self.stack.pop_frame();
+                    self.queue.extend(ev);
+                }
+            }
+        }
+        debug_assert!(vals.windows(2).all(|w| w[0] <= w[1]), "quicksort sorted");
+        self.queue.push_back(TraceEvent::Compute(512));
+    }
+}
+
+impl TraceSource for MicroBench {
+    fn next_event(&mut self) -> TraceEvent {
+        loop {
+            if let Some(ev) = self.queue.pop_front() {
+                return ev;
+            }
+            self.refill();
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        self.spec.name()
+    }
+
+    fn stack(&self) -> &StackModel {
+        &self.stack
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Region;
+
+    fn collect(spec: MicroSpec, n: usize) -> Vec<TraceEvent> {
+        let mut b = MicroBench::new(spec, 1);
+        (0..n).map(|_| b.next_event()).collect()
+    }
+
+    fn stack_stores(events: &[TraceEvent]) -> Vec<&MemAccess> {
+        events
+            .iter()
+            .filter_map(|e| e.as_access())
+            .filter(|a| a.is_stack_store())
+            .collect()
+    }
+
+    #[test]
+    fn random_writes_spread_over_array() {
+        let ev = collect(MicroSpec::Random { array_bytes: 4096 }, 2000);
+        let stores = stack_stores(&ev);
+        assert!(stores.len() > 1000);
+        let distinct: std::collections::HashSet<u64> =
+            stores.iter().map(|a| a.vaddr.raw()).collect();
+        assert!(distinct.len() > 100, "random spreads across slots");
+    }
+
+    #[test]
+    fn stream_writes_are_sequential() {
+        let ev = collect(MicroSpec::Stream { array_bytes: 4096 }, 200);
+        let stores = stack_stores(&ev);
+        // After the setup frame, consecutive stream writes advance by 8.
+        let tail = &stores[stores.len() - 10..];
+        for pair in tail.windows(2) {
+            let delta = pair[1].vaddr.raw() as i64 - pair[0].vaddr.raw() as i64;
+            assert!(delta == 8 || delta < 0, "sequential or wrapped: {delta}");
+        }
+    }
+
+    #[test]
+    fn sparse_touches_one_word_per_page() {
+        let ev = collect(MicroSpec::Sparse { pages: 8 }, 400);
+        let stores = stack_stores(&ev);
+        let four_byte: Vec<_> = stores.iter().filter(|a| a.size == 4).collect();
+        assert!(!four_byte.is_empty());
+        // The 4-byte writes land on distinct 4 KiB pages.
+        let pages: std::collections::HashSet<u64> =
+            four_byte.iter().map(|a| a.vaddr.page_number()).collect();
+        assert!(pages.len() >= 4, "writes hit distinct pages: {}", pages.len());
+    }
+
+    #[test]
+    fn quicksort_emits_heap_traffic_and_recursion() {
+        let ev = collect(MicroSpec::Quicksort { elements: 64 }, 3000);
+        let heap = ev
+            .iter()
+            .filter_map(|e| e.as_access())
+            .filter(|a| a.region == Region::Heap)
+            .count();
+        assert!(heap > 100, "partition generates heap traffic");
+        assert!(!stack_stores(&ev).is_empty(), "recursion writes the stack");
+    }
+
+    #[test]
+    fn recursive_reaches_configured_depth() {
+        let mut b = MicroBench::new(MicroSpec::Recursive { depth: 16 }, 3);
+        let top = b.stack().top().raw();
+        let mut deepest = 0;
+        for _ in 0..2000 {
+            if let Some(a) = b.next_event().as_access() {
+                deepest = deepest.max(top - a.sp.raw());
+            }
+        }
+        // 16 frames of 96 B (+ base frame 64 B).
+        assert!(deepest >= 16 * 96, "deepest stack use {deepest}");
+    }
+
+    #[test]
+    fn normal_and_poisson_have_compute_blocks() {
+        for spec in [
+            MicroSpec::Normal { array_bytes: 4096 },
+            MicroSpec::Poisson { array_bytes: 4096 },
+        ] {
+            let ev = collect(spec, 3000);
+            let blocks = ev
+                .iter()
+                .filter(|e| matches!(e, TraceEvent::Compute(c) if *c == COMPUTE_BLOCK_CYCLES))
+                .count();
+            assert!(blocks > 5, "{:?} produced {blocks} compute blocks", spec);
+            let stores = stack_stores(&ev).len();
+            // Mean burst is 63 writes per compute block.
+            let per_block = stores as f64 / blocks as f64;
+            assert!(
+                (30.0..110.0).contains(&per_block),
+                "{:?}: {per_block} writes/block",
+                spec
+            );
+        }
+    }
+
+    #[test]
+    fn determinism_across_same_seed() {
+        let a = collect(MicroSpec::Random { array_bytes: 4096 }, 500);
+        let b = collect(MicroSpec::Random { array_bytes: 4096 }, 500);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = collect(MicroSpec::Random { array_bytes: 4096 }, 500);
+        let mut bench = MicroBench::new(MicroSpec::Random { array_bytes: 4096 }, 99);
+        let b: Vec<TraceEvent> = (0..500).map(|_| bench.next_event()).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn all_default_covers_table_iii() {
+        let names: Vec<&str> = MicroSpec::all_default().iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Random",
+                "Stream",
+                "Sparse",
+                "Quicksort",
+                "Recursive",
+                "Normal",
+                "Poisson"
+            ]
+        );
+    }
+}

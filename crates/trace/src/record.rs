@@ -1,0 +1,132 @@
+//! Trace record types shared by all generators and consumers.
+
+use prosper_memsim::addr::VirtAddr;
+use prosper_memsim::Cycles;
+use serde::{Deserialize, Serialize};
+
+/// Whether an access reads or writes memory.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A load.
+    Load,
+    /// A store.
+    Store,
+}
+
+/// Which logical memory segment an access targets.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Region {
+    /// The program stack (the segment Prosper tracks).
+    Stack,
+    /// The heap.
+    Heap,
+    /// Globals / other mapped memory.
+    Other,
+}
+
+/// A single memory access in a trace.
+///
+/// Each access carries the **stack-pointer value at the time of the
+/// access**: SP awareness (Section II-A of the paper) and the
+/// writes-beyond-final-SP analysis (Figure 2) both need to relate
+/// accesses to the SP trajectory.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct MemAccess {
+    /// Issuing software thread.
+    pub tid: u32,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Target virtual address.
+    pub vaddr: VirtAddr,
+    /// Access size in bytes (1–64 for demand accesses).
+    pub size: u32,
+    /// Memory segment classification.
+    pub region: Region,
+    /// Stack-pointer value when the access issued (stack grows down,
+    /// so the active stack region is `[sp, stack_top)`).
+    pub sp: VirtAddr,
+}
+
+impl MemAccess {
+    /// `true` for stores into the stack region — the *stores of
+    /// interest* the Prosper hardware filters.
+    pub fn is_stack_store(&self) -> bool {
+        self.kind == AccessKind::Store && self.region == Region::Stack
+    }
+
+    /// `true` if the access lies below (outside) the active region
+    /// defined by stack pointer `sp` — i.e. at an address lower than
+    /// `sp` for a downward-growing stack.
+    pub fn is_beyond_sp(&self, sp: VirtAddr) -> bool {
+        self.vaddr < sp
+    }
+}
+
+/// One event in a generated trace.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A memory access.
+    Access(MemAccess),
+    /// A block of pure compute consuming the given number of cycles.
+    Compute(Cycles),
+}
+
+impl TraceEvent {
+    /// Returns the access if this event is one.
+    pub fn as_access(&self) -> Option<&MemAccess> {
+        match self {
+            TraceEvent::Access(a) => Some(a),
+            TraceEvent::Compute(_) => None,
+        }
+    }
+
+    /// Nominal cycle cost of the event for interval budgeting (memory
+    /// accesses are budgeted at one issue slot; their true latency is
+    /// decided by the machine model).
+    pub fn budget_cycles(&self) -> Cycles {
+        match self {
+            TraceEvent::Access(_) => 1,
+            TraceEvent::Compute(c) => *c,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acc(kind: AccessKind, region: Region, addr: u64, sp: u64) -> MemAccess {
+        MemAccess {
+            tid: 0,
+            kind,
+            vaddr: VirtAddr::new(addr),
+            size: 8,
+            region,
+            sp: VirtAddr::new(sp),
+        }
+    }
+
+    #[test]
+    fn stack_store_classification() {
+        assert!(acc(AccessKind::Store, Region::Stack, 100, 100).is_stack_store());
+        assert!(!acc(AccessKind::Load, Region::Stack, 100, 100).is_stack_store());
+        assert!(!acc(AccessKind::Store, Region::Heap, 100, 100).is_stack_store());
+    }
+
+    #[test]
+    fn beyond_sp_means_below_sp() {
+        let a = acc(AccessKind::Store, Region::Stack, 0x1000, 0x1100);
+        assert!(a.is_beyond_sp(VirtAddr::new(0x1100)));
+        assert!(!a.is_beyond_sp(VirtAddr::new(0x1000)));
+        assert!(!a.is_beyond_sp(VirtAddr::new(0x0800)));
+    }
+
+    #[test]
+    fn event_budget() {
+        let a = acc(AccessKind::Load, Region::Heap, 0, 0);
+        assert_eq!(TraceEvent::Access(a).budget_cycles(), 1);
+        assert_eq!(TraceEvent::Compute(500).budget_cycles(), 500);
+        assert!(TraceEvent::Access(a).as_access().is_some());
+        assert!(TraceEvent::Compute(1).as_access().is_none());
+    }
+}

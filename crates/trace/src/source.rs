@@ -1,0 +1,92 @@
+//! The [`TraceSource`] trait: an infinite, deterministic stream of
+//! trace events produced over a live [`StackModel`].
+
+use crate::record::TraceEvent;
+use crate::stack::StackModel;
+
+/// An infinite trace generator.
+///
+/// All workloads and micro-benchmarks implement this; experiment
+/// harnesses pull events until a cycle budget is exhausted. The
+/// underlying [`StackModel`] is exposed so that the OS layer can learn
+/// the stack range to program into the tracker and so that analyses
+/// can read the SP watermark.
+pub trait TraceSource {
+    /// Produces the next event. Never exhausts.
+    fn next_event(&mut self) -> TraceEvent;
+
+    /// Human-readable benchmark name (as printed in the paper's
+    /// figures).
+    fn name(&self) -> &'static str;
+
+    /// The stack model of the (primary) thread.
+    fn stack(&self) -> &StackModel;
+}
+
+impl<S: TraceSource + ?Sized> TraceSource for &mut S {
+    fn next_event(&mut self) -> TraceEvent {
+        (**self).next_event()
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn stack(&self) -> &StackModel {
+        (**self).stack()
+    }
+}
+
+impl<S: TraceSource + ?Sized> TraceSource for Box<S> {
+    fn next_event(&mut self) -> TraceEvent {
+        (**self).next_event()
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn stack(&self) -> &StackModel {
+        (**self).stack()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{AccessKind, MemAccess, Region};
+    use prosper_memsim::addr::VirtAddr;
+
+    /// Minimal source used to check object-safety and defaults.
+    #[derive(Debug)]
+    struct OneWord(StackModel);
+
+    impl TraceSource for OneWord {
+        fn next_event(&mut self) -> TraceEvent {
+            TraceEvent::Access(MemAccess {
+                tid: 0,
+                kind: AccessKind::Store,
+                vaddr: VirtAddr::new(0x100),
+                size: 8,
+                region: Region::Other,
+                sp: self.0.sp(),
+            })
+        }
+
+        fn name(&self) -> &'static str {
+            "one-word"
+        }
+
+        fn stack(&self) -> &StackModel {
+            &self.0
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mut boxed: Box<dyn TraceSource> = Box::new(OneWord(StackModel::new(0)));
+        assert_eq!(boxed.name(), "one-word");
+        assert!(boxed.next_event().as_access().is_some());
+        assert_eq!(boxed.stack().tid(), 0);
+    }
+}

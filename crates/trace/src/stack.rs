@@ -1,0 +1,355 @@
+//! An explicit program-stack model.
+//!
+//! The stack grows **downward** from `stack_top`. A frame push moves SP
+//! down by the frame size and writes the activation record (return
+//! address, saved registers, spilled locals); a pop moves SP back up.
+//! This grow/shrink pattern — and the fact that writes cluster inside
+//! activation records near the SP — is exactly the usage character the
+//! paper argues generic persistence mechanisms handle poorly.
+//!
+//! The model tracks the **minimum SP watermark** within a tracking
+//! interval, which is the "maximum active stack region" the Prosper
+//! hardware exports to the OS so that bitmap inspection can be bounded
+//! (Section III-A).
+
+use prosper_memsim::addr::{VirtAddr, VirtRange};
+use serde::{Deserialize, Serialize};
+
+use crate::record::{AccessKind, MemAccess, Region, TraceEvent};
+
+/// Default top-of-stack virtual address (matches the canonical Linux
+/// x86-64 user stack top used by the paper's GemOS port).
+pub const DEFAULT_STACK_TOP: u64 = 0x7fff_ff00_0000;
+
+/// Default maximum stack size (8 MiB, the common RLIMIT_STACK).
+pub const DEFAULT_STACK_LIMIT: u64 = 8 * 1024 * 1024;
+
+/// A pushed stack frame.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+struct Frame {
+    /// SP value after this frame was pushed (frame occupies
+    /// `[sp, prev_sp)`).
+    sp: u64,
+    /// SP value before the push (for pop).
+    prev_sp: u64,
+}
+
+/// The stack model for one software thread.
+///
+/// # Examples
+///
+/// ```
+/// use prosper_trace::stack::StackModel;
+///
+/// let mut stack = StackModel::new(0);
+/// let top = stack.sp();
+/// let events = stack.push_frame(64, 2); // call: ret addr + 2 saves
+/// assert_eq!(events.len(), 3);
+/// assert_eq!(stack.sp(), top - 64u64);
+/// stack.pop_frame();
+/// assert_eq!(stack.sp(), top);
+/// assert_eq!(stack.min_sp_watermark(), top - 64u64);
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StackModel {
+    tid: u32,
+    top: u64,
+    limit: u64,
+    sp: u64,
+    frames: Vec<Frame>,
+    min_sp_watermark: u64,
+}
+
+impl StackModel {
+    /// Creates an empty stack for thread `tid` with the default layout.
+    pub fn new(tid: u32) -> Self {
+        Self::with_layout(tid, VirtAddr::new(DEFAULT_STACK_TOP), DEFAULT_STACK_LIMIT)
+    }
+
+    /// Creates an empty stack with an explicit top address and size
+    /// limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is zero or larger than `top`.
+    pub fn with_layout(tid: u32, top: VirtAddr, limit: u64) -> Self {
+        assert!(limit > 0, "stack limit must be positive");
+        assert!(limit <= top.raw(), "stack would wrap below address zero");
+        Self {
+            tid,
+            top: top.raw(),
+            limit,
+            sp: top.raw(),
+            frames: Vec::new(),
+            min_sp_watermark: top.raw(),
+        }
+    }
+
+    /// Issuing thread id.
+    pub fn tid(&self) -> u32 {
+        self.tid
+    }
+
+    /// Current stack pointer.
+    pub fn sp(&self) -> VirtAddr {
+        VirtAddr::new(self.sp)
+    }
+
+    /// Top-of-stack address (highest address, exclusive).
+    pub fn top(&self) -> VirtAddr {
+        VirtAddr::new(self.top)
+    }
+
+    /// The full reserved stack range `[top - limit, top)` — this is
+    /// what the OS programs into the Prosper stack-range MSRs.
+    pub fn reserved_range(&self) -> VirtRange {
+        VirtRange::new(VirtAddr::new(self.top - self.limit), VirtAddr::new(self.top))
+    }
+
+    /// The currently active region `[sp, top)`.
+    pub fn active_range(&self) -> VirtRange {
+        VirtRange::new(self.sp(), self.top())
+    }
+
+    /// Lowest SP observed since the last [`Self::reset_watermark`] —
+    /// the maximum active stack region of the current interval.
+    pub fn min_sp_watermark(&self) -> VirtAddr {
+        VirtAddr::new(self.min_sp_watermark)
+    }
+
+    /// Resets the watermark to the current SP (called by the OS at the
+    /// start of each tracking interval).
+    pub fn reset_watermark(&mut self) {
+        self.min_sp_watermark = self.sp;
+    }
+
+    /// Current call depth in frames.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Bytes of stack currently in use.
+    pub fn used_bytes(&self) -> u64 {
+        self.top - self.sp
+    }
+
+    fn access(&self, kind: AccessKind, vaddr: u64, size: u32) -> MemAccess {
+        MemAccess {
+            tid: self.tid,
+            kind,
+            vaddr: VirtAddr::new(vaddr),
+            size,
+            region: Region::Stack,
+            sp: VirtAddr::new(self.sp),
+        }
+    }
+
+    /// Pushes a frame of `frame_bytes` (8-byte aligned internally) and
+    /// emits the activation-record writes: the return address plus
+    /// `saved_words` 8-byte saves at the top of the new frame.
+    ///
+    /// Returns the emitted events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the push would exceed the stack limit.
+    pub fn push_frame(&mut self, frame_bytes: u64, saved_words: u32) -> Vec<TraceEvent> {
+        let frame_bytes = frame_bytes.max(16).next_multiple_of(8);
+        let prev_sp = self.sp;
+        let new_sp = self
+            .sp
+            .checked_sub(frame_bytes)
+            .expect("stack pointer underflow");
+        assert!(
+            self.top - new_sp <= self.limit,
+            "stack overflow: frame of {frame_bytes} bytes exceeds limit {}",
+            self.limit
+        );
+        self.sp = new_sp;
+        self.min_sp_watermark = self.min_sp_watermark.min(new_sp);
+        self.frames.push(Frame {
+            sp: new_sp,
+            prev_sp,
+        });
+
+        let mut ev = Vec::with_capacity(saved_words as usize + 1);
+        // `call` pushes the return address at the top of the frame.
+        ev.push(TraceEvent::Access(self.access(
+            AccessKind::Store,
+            prev_sp - 8,
+            8,
+        )));
+        // Prologue saves registers / spills below it.
+        for w in 0..u64::from(saved_words) {
+            let addr = prev_sp - 16 - w * 8;
+            if addr >= new_sp {
+                ev.push(TraceEvent::Access(self.access(AccessKind::Store, addr, 8)));
+            }
+        }
+        ev
+    }
+
+    /// Pops the top frame, emitting the return-address load (`ret`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no frame is pushed.
+    pub fn pop_frame(&mut self) -> Vec<TraceEvent> {
+        let frame = self.frames.pop().expect("pop on empty stack");
+        debug_assert_eq!(frame.sp, self.sp);
+        let ret_load = self.access(AccessKind::Load, frame.prev_sp - 8, 8);
+        self.sp = frame.prev_sp;
+        vec![TraceEvent::Access(ret_load)]
+    }
+
+    /// Emits a write of `size` bytes at `offset` bytes into the current
+    /// frame (offset 0 = lowest frame address, i.e. at SP).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no frame is pushed or the write leaves the frame.
+    pub fn write_local(&mut self, offset: u64, size: u32) -> TraceEvent {
+        let frame = *self.frames.last().expect("no active frame");
+        let addr = frame.sp + offset;
+        assert!(
+            addr + u64::from(size) <= frame.prev_sp,
+            "local write escapes the frame"
+        );
+        TraceEvent::Access(self.access(AccessKind::Store, addr, size))
+    }
+
+    /// Emits a read of `size` bytes at `offset` bytes into the current
+    /// frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no frame is pushed or the read leaves the frame.
+    pub fn read_local(&mut self, offset: u64, size: u32) -> TraceEvent {
+        let frame = *self.frames.last().expect("no active frame");
+        let addr = frame.sp + offset;
+        assert!(
+            addr + u64::from(size) <= frame.prev_sp,
+            "local read escapes the frame"
+        );
+        TraceEvent::Access(self.access(AccessKind::Load, addr, size))
+    }
+
+    /// Size in bytes of the current frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no frame is pushed.
+    pub fn frame_bytes(&self) -> u64 {
+        let frame = self.frames.last().expect("no active frame");
+        frame.prev_sp - frame.sp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_moves_sp_down_and_pop_restores() {
+        let mut s = StackModel::new(0);
+        let top = s.sp();
+        s.push_frame(64, 2);
+        assert_eq!(s.sp(), top - 64u64);
+        assert_eq!(s.depth(), 1);
+        assert_eq!(s.used_bytes(), 64);
+        s.pop_frame();
+        assert_eq!(s.sp(), top);
+        assert_eq!(s.depth(), 0);
+    }
+
+    #[test]
+    fn push_emits_activation_record_writes() {
+        let mut s = StackModel::new(7);
+        let ev = s.push_frame(64, 3);
+        assert_eq!(ev.len(), 4, "return address + 3 saves");
+        for e in &ev {
+            let a = e.as_access().unwrap();
+            assert!(a.is_stack_store());
+            assert_eq!(a.tid, 7);
+            assert!(a.vaddr >= s.sp());
+        }
+    }
+
+    #[test]
+    fn pop_emits_return_load() {
+        let mut s = StackModel::new(0);
+        s.push_frame(64, 0);
+        let ev = s.pop_frame();
+        assert_eq!(ev.len(), 1);
+        let a = ev[0].as_access().unwrap();
+        assert_eq!(a.kind, AccessKind::Load);
+        assert_eq!(a.region, Region::Stack);
+    }
+
+    #[test]
+    fn watermark_tracks_deepest_sp() {
+        let mut s = StackModel::new(0);
+        let top = s.top();
+        s.push_frame(128, 0);
+        s.push_frame(128, 0);
+        s.pop_frame();
+        s.pop_frame();
+        assert_eq!(s.min_sp_watermark(), top - 256u64);
+        assert_eq!(s.sp(), top);
+        s.reset_watermark();
+        assert_eq!(s.min_sp_watermark(), top);
+    }
+
+    #[test]
+    fn local_accesses_stay_in_frame() {
+        let mut s = StackModel::new(0);
+        s.push_frame(256, 0);
+        let w = s.write_local(0, 8);
+        let a = w.as_access().unwrap();
+        assert_eq!(a.vaddr, s.sp());
+        let r = s.read_local(128, 8);
+        assert_eq!(r.as_access().unwrap().kind, AccessKind::Load);
+        assert_eq!(s.frame_bytes(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "escapes the frame")]
+    fn local_write_out_of_frame_panics() {
+        let mut s = StackModel::new(0);
+        s.push_frame(64, 0);
+        s.write_local(64, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "pop on empty stack")]
+    fn pop_empty_panics() {
+        StackModel::new(0).pop_frame();
+    }
+
+    #[test]
+    #[should_panic(expected = "stack overflow")]
+    fn overflow_detected() {
+        let mut s = StackModel::with_layout(0, VirtAddr::new(0x1_0000), 4096);
+        s.push_frame(8192, 0);
+    }
+
+    #[test]
+    fn reserved_and_active_ranges() {
+        let mut s = StackModel::with_layout(0, VirtAddr::new(0x10_0000), 0x1000);
+        assert_eq!(s.reserved_range().len(), 0x1000);
+        assert!(s.active_range().is_empty());
+        s.push_frame(64, 0);
+        assert_eq!(s.active_range().len(), 64);
+        assert!(s.active_range().contains(s.sp()));
+    }
+
+    #[test]
+    fn frame_alignment_rounds_up() {
+        let mut s = StackModel::new(0);
+        s.push_frame(9, 0);
+        assert_eq!(s.frame_bytes(), 16);
+        s.pop_frame();
+        s.push_frame(17, 0);
+        assert_eq!(s.frame_bytes(), 24);
+    }
+}

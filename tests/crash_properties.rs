@@ -1,0 +1,113 @@
+//! Property-based crash-injection: arbitrary interleavings of writes,
+//! checkpoints, and crashes must always recover to the last completed
+//! (or sealed) commit.
+
+use proptest::prelude::*;
+use prosper_repro::core::bitmap::CopyRun;
+use prosper_repro::core::persist::PersistentStack;
+use prosper_repro::gemos::image::MemoryImage;
+use prosper_repro::memsim::addr::{VirtAddr, VirtRange};
+
+const LO: u64 = 0x7000_0000;
+const HI: u64 = 0x7000_4000;
+
+/// One step of the randomized schedule.
+#[derive(Clone, Debug)]
+enum Step {
+    /// Write `len` bytes of `value` at `offset`.
+    Write { offset: u64, len: u8, value: u8 },
+    /// Checkpoint everything written so far (full-range run).
+    Checkpoint,
+    /// Crash before the staging buffer seals.
+    CrashMidStaging,
+    /// Crash between seal and apply.
+    CrashAfterSeal,
+    /// Crash outside any commit.
+    CrashIdle,
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        5 => (0u64..(HI - LO - 64), 1u8..64, any::<u8>())
+            .prop_map(|(offset, len, value)| Step::Write { offset, len, value }),
+        2 => Just(Step::Checkpoint),
+        1 => Just(Step::CrashMidStaging),
+        1 => Just(Step::CrashAfterSeal),
+        1 => Just(Step::CrashIdle),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever the schedule, recovery always reproduces a prefix-
+    /// consistent state: the image of the last commit whose staging
+    /// sealed.
+    #[test]
+    fn recovery_is_always_prefix_consistent(steps in prop::collection::vec(arb_step(), 1..60)) {
+        let range = VirtRange::new(VirtAddr::new(LO), VirtAddr::new(HI));
+        let mut ps = PersistentStack::new(0, range);
+        // Ground truth snapshots: live, and as of the last *effective*
+        // commit (sealed staging counts — recovery replays it).
+        let mut live = MemoryImage::new();
+        let mut committed = MemoryImage::new();
+
+        for step in &steps {
+            match step {
+                Step::Write { offset, len, value } => {
+                    let addr = VirtAddr::new(LO + offset);
+                    let bytes = vec![*value; *len as usize];
+                    ps.record_store(addr, &bytes);
+                    live.write(addr, &bytes);
+                }
+                Step::Checkpoint => {
+                    let run = CopyRun {
+                        start: range.start(),
+                        len: range.len(),
+                    };
+                    ps.checkpoint(&[run]);
+                    committed = live.clone();
+                }
+                Step::CrashMidStaging => {
+                    // The staging buffer never seals: recovery must
+                    // fall back to the previous commit.
+                    let run = CopyRun {
+                        start: range.start(),
+                        len: range.len(),
+                    };
+                    ps.stage_partial(&[run]);
+                    ps.crash();
+                    ps.recover_after_crash();
+                    live = committed.clone();
+                }
+                Step::CrashAfterSeal => {
+                    // Seal a full-range staging buffer, then crash
+                    // before apply: recovery must replay it.
+                    let run = CopyRun {
+                        start: range.start(),
+                        len: range.len(),
+                    };
+                    ps.stage(&[run]);
+                    committed = live.clone();
+                    ps.crash();
+                    ps.recover_after_crash();
+                    live = committed.clone();
+                }
+                Step::CrashIdle => {
+                    ps.crash();
+                    ps.recover_after_crash();
+                    live = committed.clone();
+                }
+            }
+            // Invariant: the persistent image always equals the last
+            // effective commit.
+            prop_assert!(
+                ps.persistent().matches(&committed, range),
+                "persistent image diverged at {:?}",
+                ps.persistent().first_mismatch(&committed, range)
+            );
+            // And the volatile image equals the live ground truth.
+            prop_assert!(ps.volatile().matches(&live, range));
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! End-to-end integration: workloads driven through the machine model
+//! with Prosper and the baselines, checking the paper's headline
+//! relationships across crates.
+
+use prosper_repro::baselines::{DirtybitMechanism, RomulusMechanism, SspMechanism};
+use prosper_repro::core::tracker::TrackerConfig;
+use prosper_repro::core::ProsperMechanism;
+use prosper_repro::gemos::checkpoint::{
+    CheckpointManager, MemoryPersistence, NoPersistence, RunResult,
+};
+use prosper_repro::memsim::config::MachineConfig;
+use prosper_repro::memsim::machine::Machine;
+use prosper_repro::trace::micro::{MicroBench, MicroSpec};
+use prosper_repro::trace::source::TraceSource;
+use prosper_repro::trace::workloads::{Workload, WorkloadProfile};
+
+const INTERVAL: u64 = 60_000;
+const INTERVALS: u64 = 6;
+
+fn run_workload(profile: WorkloadProfile, mech: &mut dyn MemoryPersistence) -> RunResult {
+    let mut machine = Machine::new(MachineConfig::setup_i());
+    let mut mgr = CheckpointManager::new(&mut machine, INTERVAL);
+    let w = Workload::new(profile, 99);
+    mgr.run_stack_only(w, mech, INTERVALS)
+}
+
+fn run_micro(spec: MicroSpec, mech: &mut dyn MemoryPersistence) -> RunResult {
+    let mut machine = Machine::new(MachineConfig::setup_i());
+    let mut mgr = CheckpointManager::new(&mut machine, INTERVAL);
+    let bench = MicroBench::new(spec, 99);
+    mgr.run_stack_only(bench, mech, INTERVALS)
+}
+
+#[test]
+fn prosper_beats_every_nvm_resident_mechanism() {
+    for profile in WorkloadProfile::applications() {
+        let prosper = run_workload(profile.clone(), &mut ProsperMechanism::with_defaults());
+        let romulus = run_workload(profile.clone(), &mut RomulusMechanism::new());
+        let ssp = run_workload(profile.clone(), &mut SspMechanism::with_10us());
+        assert!(
+            prosper.total_cycles < romulus.total_cycles,
+            "{}: Prosper {} < Romulus {}",
+            profile.name,
+            prosper.total_cycles,
+            romulus.total_cycles
+        );
+        assert!(
+            prosper.total_cycles < ssp.total_cycles,
+            "{}: Prosper {} < SSP-10us {}",
+            profile.name,
+            prosper.total_cycles,
+            ssp.total_cycles
+        );
+    }
+}
+
+#[test]
+fn prosper_copies_less_than_dirtybit_on_applications() {
+    for profile in WorkloadProfile::applications() {
+        let prosper = run_workload(profile.clone(), &mut ProsperMechanism::with_defaults());
+        let dirtybit = run_workload(profile.clone(), &mut DirtybitMechanism::new());
+        assert!(
+            prosper.bytes_copied < dirtybit.bytes_copied,
+            "{}: Prosper bytes {} < Dirtybit bytes {} (paper: ~4x average reduction)",
+            profile.name,
+            prosper.bytes_copied,
+            dirtybit.bytes_copied
+        );
+    }
+}
+
+#[test]
+fn persistence_overhead_is_never_negative() {
+    for profile in WorkloadProfile::applications() {
+        let baseline = run_workload(profile.clone(), &mut NoPersistence);
+        let prosper = run_workload(profile.clone(), &mut ProsperMechanism::with_defaults());
+        assert!(prosper.total_cycles >= baseline.total_cycles);
+        assert_eq!(prosper.intervals, baseline.intervals);
+        assert_eq!(prosper.stack_stores, baseline.stack_stores);
+    }
+}
+
+#[test]
+fn sparse_micro_prosper_vs_dirtybit_size_gap() {
+    let spec = MicroSpec::Sparse { pages: 24 };
+    let prosper = run_micro(spec, &mut ProsperMechanism::with_defaults());
+    let dirtybit = run_micro(spec, &mut DirtybitMechanism::new());
+    let reduction = dirtybit.bytes_copied as f64 / prosper.bytes_copied.max(1) as f64;
+    assert!(
+        reduction > 20.0,
+        "sparse copy-size reduction {reduction} (paper: ~100x / 99% smaller)"
+    );
+    assert!(
+        prosper.checkpoint_cycles < dirtybit.checkpoint_cycles,
+        "sparse checkpoint time: Prosper {} < Dirtybit {} (paper: ~22x)",
+        prosper.checkpoint_cycles,
+        dirtybit.checkpoint_cycles
+    );
+}
+
+#[test]
+fn granularity_sweep_is_consistent_end_to_end() {
+    let spec = MicroSpec::Random {
+        array_bytes: 32 * 1024,
+    };
+    let mut last_bytes = 0u64;
+    for granularity in [8u64, 32, 128] {
+        let mut mech = ProsperMechanism::new(TrackerConfig::default().with_granularity(granularity));
+        let res = run_micro(spec, &mut mech);
+        assert!(
+            res.bytes_copied >= last_bytes,
+            "coarser granularity copies at least as much"
+        );
+        last_bytes = res.bytes_copied;
+    }
+}
+
+#[test]
+fn checkpoint_manager_is_deterministic() {
+    let run = || {
+        let mut mech = ProsperMechanism::with_defaults();
+        run_workload(WorkloadProfile::g500_sssp(), &mut mech)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.total_cycles, b.total_cycles);
+    assert_eq!(a.bytes_copied, b.bytes_copied);
+    assert_eq!(a.stack_stores, b.stack_stores);
+}
+
+#[test]
+fn interval_count_scales_run_length() {
+    let mut machine = Machine::new(MachineConfig::setup_i());
+    let mut mgr = CheckpointManager::new(&mut machine, INTERVAL);
+    let w = Workload::new(WorkloadProfile::gapbs_pr(), 5);
+    let mut mech = NoPersistence;
+    let short = mgr.run_stack_only(w, &mut mech, 2);
+
+    let mut machine = Machine::new(MachineConfig::setup_i());
+    let mut mgr = CheckpointManager::new(&mut machine, INTERVAL);
+    let w = Workload::new(WorkloadProfile::gapbs_pr(), 5);
+    let long = mgr.run_stack_only(w, &mut mech, 8);
+    assert!(long.total_cycles > short.total_cycles * 3);
+}
+
+#[test]
+fn stack_region_comes_from_the_workload() {
+    let w = Workload::new(WorkloadProfile::ycsb_mem(), 1);
+    let range = w.stack().reserved_range();
+    let mut machine = Machine::new(MachineConfig::setup_i());
+    let mut mgr = CheckpointManager::new(&mut machine, INTERVAL);
+    let mut mech = ProsperMechanism::with_defaults();
+    mgr.run_stack_only(w, &mut mech, 2);
+    assert_eq!(mech.tracker().msrs().tracked_range(), range);
+}
