@@ -16,6 +16,7 @@ use prosper_memsim::addr::{VirtAddr, VirtRange};
 use prosper_memsim::machine::Machine;
 use prosper_memsim::Cycles;
 use prosper_memsim::PAGE_SIZE;
+use prosper_telemetry as telemetry;
 use prosper_trace::record::MemAccess;
 
 /// OS cycles per PTE visited during a walk (loop + test + update).
@@ -129,18 +130,31 @@ impl MemoryPersistence for DirtybitMechanism {
         } else {
             info.region
         };
+        let tel = telemetry::enabled();
         let meta_start = machine.now();
+        if tel {
+            telemetry::span_begin("ckpt.scan", "dirtybit", meta_start);
+        }
         let (dirty, walked) = self.table.collect_dirty(walk_range);
         Self::charge_walk(machine, walked);
         let reset = self.table.reset_dirty(walk_range);
         Self::charge_walk(machine, reset);
         self.ptes_walked += walked + reset;
+        if tel {
+            telemetry::span_end("ckpt.scan", machine.now());
+        }
         let metadata_cycles = machine.now() - meta_start;
 
         // Copy each dirty page, whole, into NVM.
         let bytes = dirty.len() as u64 * PAGE_SIZE;
+        if tel {
+            telemetry::span_begin("ckpt.copy", "dirtybit", machine.now());
+        }
         if bytes > 0 {
             machine.bulk_copy_dram_to_nvm(bytes);
+        }
+        if tel {
+            telemetry::span_end("ckpt.copy", machine.now());
         }
         self.pages_copied += dirty.len() as u64;
 
@@ -210,7 +224,12 @@ mod tests {
         let run = |mut mech: DirtybitMechanism| {
             let mut machine = Machine::new(MachineConfig::setup_i());
             let mut mgr = CheckpointManager::new(&mut machine, 30_000);
-            let bench = MicroBench::new(MicroSpec::Random { array_bytes: 16 * 1024 }, 7);
+            let bench = MicroBench::new(
+                MicroSpec::Random {
+                    array_bytes: 16 * 1024,
+                },
+                7,
+            );
             let res = mgr.run_stack_only(bench, &mut mech, 4);
             (mech.ptes_walked, res.bytes_copied)
         };

@@ -49,7 +49,11 @@ impl LoggingScheme {
 
     /// All three schemes in figure order.
     pub fn all() -> [LoggingScheme; 3] {
-        [LoggingScheme::Flush, LoggingScheme::Undo, LoggingScheme::Redo]
+        [
+            LoggingScheme::Flush,
+            LoggingScheme::Undo,
+            LoggingScheme::Redo,
+        ]
     }
 }
 
@@ -231,7 +235,11 @@ mod tests {
             let (unaware, t_unaware) = replay(scheme, false);
             let (aware, t_aware) = replay(scheme, true);
             assert_eq!(unaware.skipped_ops, 0);
-            assert!(aware.skipped_ops > 0, "{}: oracle skipped ops", scheme.name());
+            assert!(
+                aware.skipped_ops > 0,
+                "{}: oracle skipped ops",
+                scheme.name()
+            );
             assert!(
                 aware.persistence_ops < unaware.persistence_ops,
                 "{}: fewer ops with awareness",

@@ -187,8 +187,14 @@ mod tests {
         let (undo_cycles, _) = run(&mut UndoLogMechanism::new());
         let (redo_cycles, _) = run(&mut RedoLogMechanism::new());
         let (prosper_cycles, _) = run(&mut ProsperMechanism::with_defaults());
-        assert!(undo_cycles > prosper_cycles, "{undo_cycles} > {prosper_cycles}");
-        assert!(redo_cycles > prosper_cycles, "{redo_cycles} > {prosper_cycles}");
+        assert!(
+            undo_cycles > prosper_cycles,
+            "{undo_cycles} > {prosper_cycles}"
+        );
+        assert!(
+            redo_cycles > prosper_cycles,
+            "{redo_cycles} > {prosper_cycles}"
+        );
     }
 
     #[test]

@@ -65,7 +65,10 @@ impl SspMechanism {
     ///
     /// Panics if `consolidation_cycles` is zero.
     pub fn new(consolidation_cycles: Cycles) -> Self {
-        assert!(consolidation_cycles > 0, "consolidation interval must be positive");
+        assert!(
+            consolidation_cycles > 0,
+            "consolidation interval must be positive"
+        );
         Self {
             consolidation_cycles,
             next_consolidation: consolidation_cycles,
@@ -141,10 +144,7 @@ impl SspMechanism {
                 // the core while the data movement occupies the bus.
                 machine.advance(merged_pages * PER_PAGE_MERGE_CYCLES);
                 for i in 0..merged_lines {
-                    machine.persist_write(
-                        machine.nvm_base() + (i % 1024) * CACHE_LINE,
-                        CACHE_LINE,
-                    );
+                    machine.persist_write(machine.nvm_base() + (i % 1024) * CACHE_LINE, CACHE_LINE);
                 }
             }
             // Even an idle invocation costs the wakeup + scan.

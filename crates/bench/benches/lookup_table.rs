@@ -53,5 +53,10 @@ fn bench_flush_all(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_record_hit, bench_record_scatter, bench_flush_all);
+criterion_group!(
+    benches,
+    bench_record_hit,
+    bench_record_scatter,
+    bench_flush_all
+);
 criterion_main!(benches);

@@ -40,5 +40,10 @@ fn bench_filtered_out(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_soi_hit, bench_soi_scatter, bench_filtered_out);
+criterion_group!(
+    benches,
+    bench_soi_hit,
+    bench_soi_scatter,
+    bench_filtered_out
+);
 criterion_main!(benches);

@@ -17,8 +17,7 @@ fn main() {
     let mut tracker = DirtyTracker::new(TrackerConfig::default());
     let w = Workload::new(WorkloadProfile::gapbs_pr(), prosper_bench::scale::SEED);
     tracker.configure(w.stack().reserved_range(), VirtAddr::new(0x1000_0000));
-    let mut collector =
-        IntervalCollector::new(w, prosper_bench::scale::INTERVAL_10MS);
+    let mut collector = IntervalCollector::new(w, prosper_bench::scale::INTERVAL_10MS);
     for _ in 0..prosper_bench::scale::DEFAULT_INTERVALS {
         let iv = collector.next_interval();
         for ev in &iv.events {

@@ -35,7 +35,9 @@ fn f(v: &Value) -> f64 {
 }
 
 fn main() -> ExitCode {
-    let path = std::env::args().nth(1).unwrap_or_else(|| "results.json".into());
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results.json".into());
     let json = match std::fs::read_to_string(&path) {
         Ok(s) => s,
         Err(e) => {
@@ -93,8 +95,16 @@ fn main() -> ExitCode {
         .iter()
         .all(|r| f(&r["with_awareness"]) <= f(&r["no_awareness"]));
     let always_overhead = fig3.iter().all(|r| f(&r["with_awareness"]) > 1.0);
-    v.check("fig3.sp-awareness-helps", aware_helps, format!("{} rows", fig3.len()));
-    v.check("fig3.overhead-remains", always_overhead, "all rows > 1x".into());
+    v.check(
+        "fig3.sp-awareness-helps",
+        aware_helps,
+        format!("{} rows", fig3.len()),
+    );
+    v.check(
+        "fig3.overhead-remains",
+        always_overhead,
+        "all rows > 1x".into(),
+    );
 
     // Figure 4: page/byte reduction in the tens for every workload.
     let fig4 = data["fig4"].as_array().expect("fig4 present");
@@ -135,12 +145,18 @@ fn main() -> ExitCode {
     v.check(
         "fig8.prosper-wins",
         fig8_ok,
-        if fig8_ok { "all workloads".into() } else { format!("violated on {worst}") },
+        if fig8_ok {
+            "all workloads".into()
+        } else {
+            format!("violated on {worst}")
+        },
     );
 
     // Figure 9: SSP+Prosper <= SSP everywhere.
     let fig9 = data["fig9"].as_array().expect("fig9 present");
-    let fig9_ok = fig9.iter().all(|r| f(&r["ssp_prosper"]) <= f(&r["ssp_only"]));
+    let fig9_ok = fig9
+        .iter()
+        .all(|r| f(&r["ssp_prosper"]) <= f(&r["ssp_only"]));
     v.check("fig9.combo-wins", fig9_ok, format!("{} rows", fig9.len()));
 
     // Figure 12: tracking overhead below 5%.
@@ -180,11 +196,7 @@ fn main() -> ExitCode {
         format!("{ctx:.0} cycles (paper ~870)"),
     );
 
-    println!(
-        "\n{}/{} checks passed",
-        v.checks - v.failures,
-        v.checks
-    );
+    println!("\n{}/{} checks passed", v.checks - v.failures, v.checks);
     if v.failures == 0 {
         ExitCode::SUCCESS
     } else {

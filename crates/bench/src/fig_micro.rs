@@ -86,7 +86,15 @@ pub fn fig10() -> (Vec<Fig10Row>, Table, Table) {
     }
     let mut size_table = Table::new(
         "Figure 10a: mean stack checkpoint size per interval",
-        &["benchmark", "8B", "16B", "32B", "64B", "128B", "Dirtybit(4K)"],
+        &[
+            "benchmark",
+            "8B",
+            "16B",
+            "32B",
+            "64B",
+            "128B",
+            "Dirtybit(4K)",
+        ],
     );
     let mut time_table = Table::new(
         "Figure 10b: checkpoint time normalized to Dirtybit",
@@ -150,7 +158,14 @@ pub fn fig11() -> (Vec<Fig11Row>, Table) {
     }
     let mut table = Table::new(
         "Figure 11: mean checkpoint size vs checkpoint interval (8 B granularity)",
-        &["benchmark", "1ms", "5ms", "10ms", "cyc/B @1ms", "cyc/B @10ms"],
+        &[
+            "benchmark",
+            "1ms",
+            "5ms",
+            "10ms",
+            "cyc/B @1ms",
+            "cyc/B @10ms",
+        ],
     );
     for r in &rows {
         let (pb1, pb10) = r.per_byte_time();
@@ -176,7 +191,8 @@ mod tests {
         let sparse = rows.iter().find(|r| r.benchmark == "Sparse").unwrap();
         // Paper: 99% checkpoint-size reduction vs page granularity and
         // a large checkpoint-time win.
-        let reduction = sparse.dirtybit.mean_ckpt_bytes / sparse.prosper[0].mean_ckpt_bytes.max(1.0);
+        let reduction =
+            sparse.dirtybit.mean_ckpt_bytes / sparse.prosper[0].mean_ckpt_bytes.max(1.0);
         assert!(
             reduction > 20.0,
             "Sparse size reduction {reduction} (paper: ~100x)"

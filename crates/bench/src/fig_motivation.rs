@@ -218,7 +218,12 @@ pub fn fig4() -> (Vec<Fig4Row>, Table) {
     let mut table = Table::new(
         "Figure 4: per-interval stack checkpoint copy size, \
          page (4 KiB) vs byte (8 B) granularity dirty tracking",
-        &["workload", "page-granularity", "8B-granularity", "reduction"],
+        &[
+            "workload",
+            "page-granularity",
+            "8B-granularity",
+            "reduction",
+        ],
     );
     for r in &rows {
         table.push_row(&[

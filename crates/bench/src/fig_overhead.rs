@@ -77,8 +77,7 @@ fn user_cycles(source: Box<dyn TraceSource>, granularity: Option<u64>) -> u64 {
     let mut mgr = CheckpointManager::new(&mut machine, INTERVAL_10MS);
     let res = match granularity {
         Some(g) => {
-            let mut mech =
-                ProsperMechanism::new(TrackerConfig::default().with_granularity(g));
+            let mut mech = ProsperMechanism::new(TrackerConfig::default().with_granularity(g));
             mgr.run_stack_only(BoxedSource(source), &mut mech, DEFAULT_INTERVALS)
         }
         None => mgr.run_stack_only(BoxedSource(source), &mut NoPersistence, DEFAULT_INTERVALS),

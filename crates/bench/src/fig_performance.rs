@@ -101,7 +101,13 @@ pub fn fig8() -> (Vec<Fig8Row>, Table) {
     let mut table = Table::new(
         "Figure 8: stack persistence — execution time normalized to no persistence",
         &[
-            "workload", "Romulus", "SSP-10us", "SSP-100us", "SSP-1ms", "Dirtybit", "Prosper",
+            "workload",
+            "Romulus",
+            "SSP-10us",
+            "SSP-100us",
+            "SSP-1ms",
+            "Dirtybit",
+            "Prosper",
         ],
     );
     for r in &rows {
@@ -140,11 +146,7 @@ pub fn fig9() -> (Vec<Fig9Row>, Table) {
     let mut rows = Vec::new();
     for profile in WorkloadProfile::applications() {
         let baseline = run_config(&profile, &mut NoPersistence, None) as f64;
-        for (mk, label) in [
-            (SSP_10US, "10us"),
-            (SSP_100US, "100us"),
-            (SSP_1MS, "1ms"),
-        ] {
+        for (mk, label) in [(SSP_10US, "10us"), (SSP_100US, "100us"), (SSP_1MS, "1ms")] {
             let ssp_only = {
                 let mut stack = SspMechanism::new(mk);
                 let mut heap = SspMechanism::new(mk);
@@ -172,7 +174,13 @@ pub fn fig9() -> (Vec<Fig9Row>, Table) {
     let mut table = Table::new(
         "Figure 9: memory persistence (heap via SSP) — execution time \
          normalized to no persistence",
-        &["workload", "SSP intvl", "SSP", "SSP+Dirtybit", "SSP+Prosper"],
+        &[
+            "workload",
+            "SSP intvl",
+            "SSP",
+            "SSP+Dirtybit",
+            "SSP+Prosper",
+        ],
     );
     for r in &rows {
         table.push_row(&[
@@ -226,11 +234,7 @@ pub fn prosper_everywhere() -> (Vec<ProsperHeapRow>, Table) {
         &["workload", "SSP-1ms heap", "Prosper heap"],
     );
     for r in &rows {
-        table.push_row(&[
-            r.workload.clone(),
-            ratio(r.ssp_heap),
-            ratio(r.prosper_heap),
-        ]);
+        table.push_row(&[r.workload.clone(), ratio(r.ssp_heap), ratio(r.prosper_heap)]);
     }
     (rows, table)
 }

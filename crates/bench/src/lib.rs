@@ -33,3 +33,4 @@ pub mod multicore_study;
 pub mod report;
 pub mod scale;
 pub mod scheduler;
+pub mod trace_capture;

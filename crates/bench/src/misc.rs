@@ -97,9 +97,18 @@ pub fn energy_area() -> Table {
         "Energy and area of the 16-entry lookup table (CACTI-P, 7nm FinFET)",
         &["quantity", "value"],
     );
-    table.push_row(&["dynamic read energy / access".to_string(), format!("{} nJ", m.read_nj)]);
-    table.push_row(&["dynamic write energy / access".to_string(), format!("{} nJ", m.write_nj)]);
-    table.push_row(&["bank leakage power".to_string(), format!("{} mW", m.leakage_mw)]);
+    table.push_row(&[
+        "dynamic read energy / access".to_string(),
+        format!("{} nJ", m.read_nj),
+    ]);
+    table.push_row(&[
+        "dynamic write energy / access".to_string(),
+        format!("{} nJ", m.write_nj),
+    ]);
+    table.push_row(&[
+        "bank leakage power".to_string(),
+        format!("{} mW", m.leakage_mw),
+    ]);
     table.push_row(&["area".to_string(), format!("{} mm^2", m.area_mm2)]);
     table
 }

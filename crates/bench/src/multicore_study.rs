@@ -105,7 +105,13 @@ pub fn multicore_study(ops_per_core: u64) -> (Vec<CoreRow>, Table) {
         .collect();
     let mut table = Table::new(
         "Concurrent per-core tracking: core slowdown with all trackers active",
-        &["core", "workload", "base cycles", "tracked cycles", "slowdown"],
+        &[
+            "core",
+            "workload",
+            "base cycles",
+            "tracked cycles",
+            "slowdown",
+        ],
     );
     for r in &rows {
         table.push_row(&[

@@ -36,7 +36,8 @@ impl Table {
             self.columns.len(),
             "row width must match column count"
         );
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
     }
 
     /// Renders the table with aligned columns.

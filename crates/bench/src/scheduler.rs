@@ -79,7 +79,11 @@ pub fn run_scheduled(
             stack.reserved_range(),
             VirtAddr::new(0x1000_0000 + (i as u64) * 0x100_0000),
         );
-        workloads.push(Workload::with_stack(profile.clone(), SEED + i as u64, stack));
+        workloads.push(Workload::with_stack(
+            profile.clone(),
+            SEED + i as u64,
+            stack,
+        ));
     }
 
     let mut results: Vec<ScheduledProcess> = profiles

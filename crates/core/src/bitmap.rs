@@ -341,8 +341,7 @@ mod tests {
         let base = VirtAddr::new(0x7000_0000);
         let (w, _) = g.locate(base);
         b.write_word(w, 0b11);
-        let (runs, _, _) =
-            b.inspect_and_clear(&g, VirtRange::new(base, base + 1024));
+        let (runs, _, _) = b.inspect_and_clear(&g, VirtRange::new(base, base + 1024));
         assert_eq!(runs[0].len, 32);
         assert_eq!(runs[0].len % 16, 0);
     }

@@ -48,8 +48,8 @@ impl EnergyModel {
     /// value update or allocation performs a write; flush/eviction
     /// traffic performs one read per drained entry.
     pub fn dynamic_energy_nj(&self, stats: &LookupStats) -> f64 {
-        let reads = stats.searches + stats.hwm_flushes + stats.lwm_evictions
-            + stats.random_evictions;
+        let reads =
+            stats.searches + stats.hwm_flushes + stats.lwm_evictions + stats.random_evictions;
         let writes = stats.hits + stats.allocations;
         reads as f64 * self.read_nj + writes as f64 * self.write_nj
     }

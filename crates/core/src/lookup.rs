@@ -54,6 +54,35 @@ impl Entry {
     };
 }
 
+/// Why a lookup-table entry's contents were pushed out to the bitmap.
+/// Used as the label set for flush telemetry (Figure 13 analyses).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum FlushReason {
+    /// The entry's set-bit count reached the high-water-mark.
+    Hwm,
+    /// Evicted under the LWM policy to make room.
+    LwmEviction,
+    /// Evicted by the random fallback (no LWM victim existed).
+    RandomEviction,
+    /// OS-requested end-of-interval flush.
+    Interval,
+    /// OS-requested flush on a context switch.
+    ContextSwitch,
+}
+
+impl FlushReason {
+    /// Stable label for metrics and trace events.
+    pub fn label(self) -> &'static str {
+        match self {
+            FlushReason::Hwm => "hwm",
+            FlushReason::LwmEviction => "lwm_eviction",
+            FlushReason::RandomEviction => "random_eviction",
+            FlushReason::Interval => "interval",
+            FlushReason::ContextSwitch => "context_switch",
+        }
+    }
+}
+
 /// A memory operation the table asks the tracker to issue.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub enum BitmapOp {
@@ -87,6 +116,10 @@ pub struct LookupStats {
     pub lwm_evictions: u64,
     /// Random-fallback evictions.
     pub random_evictions: u64,
+    /// Entries drained by OS end-of-interval flushes.
+    pub interval_flushes: u64,
+    /// Entries drained by context-switch flushes.
+    pub ctx_switch_flushes: u64,
     /// Bitmap word loads issued.
     pub bitmap_loads: u64,
     /// Bitmap word stores issued.
@@ -202,7 +235,9 @@ impl LookupTable {
             AllocPolicy::LoadAndUpdate => {
                 // The entry already holds the merged value; store if it
                 // differs from what was loaded at allocation.
-                let old = e.loaded_old.expect("LoadAndUpdate entries carry the old value");
+                let old = e
+                    .loaded_old
+                    .expect("LoadAndUpdate entries carry the old value");
                 if e.value != old {
                     self.stats.bitmap_stores += 1;
                     ops.push(BitmapOp::Store(e.word_addr, e.value));
@@ -309,11 +344,29 @@ impl LookupTable {
         ops
     }
 
-    /// Flushes every valid entry (end of interval / context switch).
+    /// Flushes every valid entry for an end-of-interval commit.
     pub fn flush_all(&mut self, read_word: &mut dyn FnMut(u64) -> u32) -> Vec<BitmapOp> {
+        self.flush_all_with_reason(FlushReason::Interval, read_word)
+    }
+
+    /// Flushes every valid entry, attributing the drain to `reason`
+    /// ([`FlushReason::Interval`] or [`FlushReason::ContextSwitch`]).
+    pub fn flush_all_with_reason(
+        &mut self,
+        reason: FlushReason,
+        read_word: &mut dyn FnMut(u64) -> u32,
+    ) -> Vec<BitmapOp> {
+        debug_assert!(
+            matches!(reason, FlushReason::Interval | FlushReason::ContextSwitch),
+            "per-entry reasons are counted at their trigger sites"
+        );
         let mut ops = Vec::new();
         for idx in 0..self.entries.len() {
             if self.entries[idx].valid {
+                match reason {
+                    FlushReason::ContextSwitch => self.stats.ctx_switch_flushes += 1,
+                    _ => self.stats.interval_flushes += 1,
+                }
                 self.flush_entry(idx, read_word, &mut ops);
             }
         }
@@ -386,7 +439,12 @@ mod tests {
         // Flush loads the old value, merge equals old => no store.
         assert_eq!(t.stats().bitmap_loads, 1);
         assert_eq!(t.stats().bitmap_stores, 0);
-        assert_eq!(ops.iter().filter(|o| matches!(o, BitmapOp::Store(..))).count(), 0);
+        assert_eq!(
+            ops.iter()
+                .filter(|o| matches!(o, BitmapOp::Store(..)))
+                .count(),
+            0
+        );
     }
 
     #[test]
@@ -452,6 +510,36 @@ mod tests {
         for w in 0..5u64 {
             assert_eq!(mem.0[&(0x1000 + w * 4)], 0b111);
         }
+    }
+
+    #[test]
+    fn flush_reasons_attributed_per_drained_entry() {
+        let mut t = LookupTable::new(8, 24, 8, AllocPolicy::AccumulateAndApply);
+        let mut mem = Mem::default();
+        for w in 0..3u64 {
+            t.record(0x1000 + w * 4, 0, &mut mem.reader());
+        }
+        t.flush_all(&mut mem.reader());
+        assert_eq!(t.stats().interval_flushes, 3);
+        assert_eq!(t.stats().ctx_switch_flushes, 0);
+        for w in 0..2u64 {
+            t.record(0x2000 + w * 4, 0, &mut mem.reader());
+        }
+        t.flush_all_with_reason(FlushReason::ContextSwitch, &mut mem.reader());
+        assert_eq!(t.stats().interval_flushes, 3, "unchanged");
+        assert_eq!(t.stats().ctx_switch_flushes, 2);
+        // An empty table drains nothing and counts nothing.
+        t.flush_all(&mut mem.reader());
+        assert_eq!(t.stats().interval_flushes, 3);
+    }
+
+    #[test]
+    fn flush_reason_labels_are_stable() {
+        assert_eq!(FlushReason::Hwm.label(), "hwm");
+        assert_eq!(FlushReason::LwmEviction.label(), "lwm_eviction");
+        assert_eq!(FlushReason::RandomEviction.label(), "random_eviction");
+        assert_eq!(FlushReason::Interval.label(), "interval");
+        assert_eq!(FlushReason::ContextSwitch.label(), "context_switch");
     }
 
     #[test]

@@ -98,8 +98,7 @@ impl MsrBank {
             MsrId::Status => {
                 // Pack the counters: loads in bits 0..24, stores in
                 // 24..48, watermark-valid in bit 63.
-                (self.outstanding_loads & 0xff_ffff)
-                    | ((self.outstanding_stores & 0xff_ffff) << 24)
+                (self.outstanding_loads & 0xff_ffff) | ((self.outstanding_stores & 0xff_ffff) << 24)
             }
         }
     }

@@ -81,13 +81,8 @@ impl MultiThreadTracker {
         );
         msrs.write(crate::msr::MsrId::BitmapBase, bitmap_base.raw());
         msrs.write(crate::msr::MsrId::Control, crate::msr::CTRL_ENABLE);
-        self.saved.insert(
-            tid,
-            ThreadTrackerState {
-                msrs,
-                bitmap_base,
-            },
-        );
+        self.saved
+            .insert(tid, ThreadTrackerState { msrs, bitmap_base });
     }
 
     /// Currently-scheduled thread, if any.
@@ -138,7 +133,9 @@ impl MultiThreadTracker {
         let start_entries = self.tracker.resident_entries() as u64;
         // Flush request (control MSR write).
         let mut cost = MSR_WRITE_CYCLES;
-        let ops = self.tracker.flush();
+        let ops = self
+            .tracker
+            .flush_with_reason(crate::lookup::FlushReason::ContextSwitch);
         for op in &ops {
             match op {
                 crate::lookup::BitmapOp::Load(a) => machine.inject_load(VirtAddr::new(*a), 4),

@@ -25,9 +25,11 @@ use prosper_memsim::machine::Machine;
 use prosper_memsim::Cycles;
 use prosper_trace::record::MemAccess;
 
+use prosper_telemetry as telemetry;
+
 use crate::adaptive::{GranularityAdapter, WatermarkTuner};
 use crate::bitmap::CopyRun;
-use crate::lookup::BitmapOp;
+use crate::lookup::{BitmapOp, LookupStats};
 use crate::msr::{MSR_READ_CYCLES, MSR_WRITE_CYCLES};
 use crate::tracker::{DirtyTracker, TrackerConfig};
 
@@ -71,6 +73,9 @@ pub struct ProsperMechanism {
     granularity_adapter: Option<GranularityAdapter>,
     /// Optional dynamic HWM/LWM policy (future-work extension).
     watermark_tuner: Option<WatermarkTuner>,
+    /// Lookup-table counters already reported to telemetry, so each
+    /// interval reports only its own delta.
+    reported_lookup: LookupStats,
 }
 
 impl ProsperMechanism {
@@ -84,6 +89,7 @@ impl ProsperMechanism {
             last_runs: Vec::new(),
             granularity_adapter: None,
             watermark_tuner: None,
+            reported_lookup: LookupStats::default(),
         }
     }
 
@@ -139,6 +145,55 @@ impl ProsperMechanism {
             }
         }
     }
+
+    /// Reports the just-finished interval into the installed telemetry
+    /// context: interval stats as counters plus the lookup-table flush
+    /// reasons as deltas since the previous report. Runs only at
+    /// interval boundaries, never on the per-store path.
+    fn report_interval_metrics(
+        &mut self,
+        stats: ProsperIntervalStats,
+        total_cycles: Cycles,
+        metadata_cycles: Cycles,
+    ) {
+        let cur = self.tracker.lookup_stats();
+        let prev = self.reported_lookup;
+        telemetry::with(|t| {
+            let r = t.registry();
+            r.counter("prosper.ckpt.intervals").inc();
+            r.counter("prosper.ckpt.runs").add(stats.runs);
+            r.counter("prosper.ckpt.bytes").add(stats.bytes);
+            r.counter("prosper.ckpt.bitmap_words_read")
+                .add(stats.words_read);
+            r.counter("prosper.ckpt.bitmap_words_cleared")
+                .add(stats.words_cleared);
+            r.histogram("prosper.ckpt.interval_cycles")
+                .record(total_cycles);
+            r.histogram("prosper.ckpt.metadata_cycles")
+                .record(metadata_cycles);
+            let d = |a: u64, b: u64| a.saturating_sub(b);
+            r.counter("prosper.table.searches")
+                .add(d(cur.searches, prev.searches));
+            r.counter("prosper.table.hits").add(d(cur.hits, prev.hits));
+            r.counter("prosper.table.flush.hwm")
+                .add(d(cur.hwm_flushes, prev.hwm_flushes));
+            r.counter("prosper.table.flush.lwm_eviction")
+                .add(d(cur.lwm_evictions, prev.lwm_evictions));
+            r.counter("prosper.table.flush.random_eviction")
+                .add(d(cur.random_evictions, prev.random_evictions));
+            r.counter("prosper.table.flush.interval")
+                .add(d(cur.interval_flushes, prev.interval_flushes));
+            r.counter("prosper.table.flush.context_switch")
+                .add(d(cur.ctx_switch_flushes, prev.ctx_switch_flushes));
+            r.counter("prosper.table.bitmap_loads")
+                .add(d(cur.bitmap_loads, prev.bitmap_loads));
+            r.counter("prosper.table.bitmap_stores")
+                .add(d(cur.bitmap_stores, prev.bitmap_stores));
+            r.gauge("prosper.tracker.granularity")
+                .set(self.tracker.config().granularity as i64);
+        });
+        self.reported_lookup = cur;
+    }
 }
 
 impl MemoryPersistence for ProsperMechanism {
@@ -164,9 +219,13 @@ impl MemoryPersistence for ProsperMechanism {
 
     fn end_interval(&mut self, machine: &mut Machine, info: IntervalInfo) -> CheckpointOutcome {
         let ckpt_start = machine.now();
+        let tel = telemetry::enabled();
 
         // Step 1: request the flush (control MSR write); inject the
         // drained lookup-table entries.
+        if tel {
+            telemetry::span_begin("ckpt.quiesce", "prosper", machine.now());
+        }
         machine.advance(MSR_WRITE_CYCLES);
         let ops = self.tracker.flush();
         Self::inject_ops(machine, &ops);
@@ -174,10 +233,16 @@ impl MemoryPersistence for ProsperMechanism {
         // Step 2: the OS overlaps preparation, then polls quiescence.
         machine.advance(QUIESCE_POLL_CYCLES);
         debug_assert!(self.tracker.quiescent());
+        if tel {
+            telemetry::span_end("ckpt.quiesce", machine.now());
+        }
 
         // Inspection window: the tracker's watermark bounds the active
         // region; nothing dirty ⇒ nothing to walk.
         let meta_start = machine.now();
+        if tel {
+            telemetry::span_begin("ckpt.scan", "prosper", meta_start);
+        }
         let mut stats = ProsperIntervalStats::default();
         let mut runs = Vec::new();
         if let Some(dirty) = self.tracker.dirty_window() {
@@ -202,22 +267,41 @@ impl MemoryPersistence for ProsperMechanism {
                 addr += 8;
                 read_left = read_left.saturating_sub(2);
             }
+            if tel {
+                telemetry::span_end("ckpt.scan", machine.now());
+                telemetry::span_begin("ckpt.clear", "prosper", machine.now());
+            }
             for _ in 0..words_cleared.div_ceil(2) {
                 machine.store(VirtAddr::new(geom.bitmap_base.raw()), 8);
             }
+            if tel {
+                telemetry::span_end("ckpt.clear", machine.now());
+            }
+        } else if tel {
+            telemetry::span_end("ckpt.scan", machine.now());
         }
         let metadata_cycles = machine.now() - meta_start;
 
         // Two-step copy: DRAM → NVM staging buffer, then staging →
         // per-thread persistent stack (both in NVM).
+        if tel {
+            telemetry::span_begin("ckpt.copy", "prosper", machine.now());
+        }
         let mut bytes = 0u64;
         for run in &runs {
             machine.advance(PER_RUN_OVERHEAD);
             machine.bulk_copy_dram_to_nvm(run.len);
             bytes += run.len;
         }
+        if tel {
+            telemetry::span_end("ckpt.copy", machine.now());
+            telemetry::span_begin("ckpt.apply", "prosper", machine.now());
+        }
         if bytes > 0 {
             machine.bulk_copy_nvm_to_nvm(bytes);
+        }
+        if tel {
+            telemetry::span_end("ckpt.apply", machine.now());
         }
 
         stats.runs = runs.len() as u64;
@@ -238,6 +322,9 @@ impl MemoryPersistence for ProsperMechanism {
             if next != self.tracker.config().granularity {
                 self.tracker.set_granularity(next);
                 machine.advance(MSR_WRITE_CYCLES);
+                if tel {
+                    telemetry::instant("prosper.retune.granularity", machine.now());
+                }
             }
         }
         if let Some(tuner) = self.watermark_tuner.as_mut() {
@@ -247,7 +334,14 @@ impl MemoryPersistence for ProsperMechanism {
             if (hwm, lwm) != (cfg.hwm, cfg.lwm) {
                 self.tracker.set_watermarks(hwm, lwm);
                 machine.advance(MSR_WRITE_CYCLES);
+                if tel {
+                    telemetry::instant("prosper.retune.watermarks", machine.now());
+                }
             }
+        }
+
+        if tel {
+            self.report_interval_metrics(stats, machine.now() - ckpt_start, metadata_cycles);
         }
 
         CheckpointOutcome {
@@ -270,7 +364,11 @@ mod tests {
     use prosper_trace::micro::{MicroBench, MicroSpec};
     use prosper_trace::workloads::{Workload, WorkloadProfile};
 
-    fn run_micro(spec: MicroSpec, cfg: TrackerConfig, intervals: u64) -> (ProsperIntervalStats, u64) {
+    fn run_micro(
+        spec: MicroSpec,
+        cfg: TrackerConfig,
+        intervals: u64,
+    ) -> (ProsperIntervalStats, u64) {
         let mut machine = Machine::new(MachineConfig::setup_i());
         let mut mgr = CheckpointManager::new(&mut machine, 30_000);
         let mut mech = ProsperMechanism::new(cfg);
@@ -294,11 +392,7 @@ mod tests {
 
     #[test]
     fn sparse_copies_far_less_than_page_granularity_would() {
-        let (totals, _) = run_micro(
-            MicroSpec::Sparse { pages: 16 },
-            TrackerConfig::default(),
-            2,
-        );
+        let (totals, _) = run_micro(MicroSpec::Sparse { pages: 16 }, TrackerConfig::default(), 2);
         // 16 pages × 2 intervals at page granularity would be ≥128 KiB;
         // Prosper copies the few dirtied bytes (4 B data + activation
         // records per frame, rounded to 8 B granules).

@@ -272,7 +272,10 @@ mod tests {
         s.record_store(VirtAddr::new(0x7000_0100), b"uncommitt");
         s.crash();
         s.recover_after_crash();
-        assert_eq!(s.volatile().read(VirtAddr::new(0x7000_0100), 9), b"committed");
+        assert_eq!(
+            s.volatile().read(VirtAddr::new(0x7000_0100), 9),
+            b"committed"
+        );
         assert_eq!(s.committed_sequence(), 1);
     }
 

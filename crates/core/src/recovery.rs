@@ -45,7 +45,10 @@ impl PersistentProcess {
     ///
     /// Panics if `stack_ranges` is empty.
     pub fn new(stack_ranges: &[VirtRange]) -> Self {
-        assert!(!stack_ranges.is_empty(), "process needs at least one thread");
+        assert!(
+            !stack_ranges.is_empty(),
+            "process needs at least one thread"
+        );
         Self {
             registers: ProcessCheckpointStore::new(stack_ranges.len()),
             stacks: stack_ranges

@@ -13,7 +13,7 @@ use prosper_memsim::addr::{VirtAddr, VirtRange};
 use serde::{Deserialize, Serialize};
 
 use crate::bitmap::{BitmapGeometry, DirtyBitmap};
-use crate::lookup::{AllocPolicy, BitmapOp, LookupStats, LookupTable};
+use crate::lookup::{AllocPolicy, BitmapOp, FlushReason, LookupStats, LookupTable};
 use crate::msr::{MsrBank, MsrId, CTRL_ENABLE};
 
 /// Tracker configuration (paper defaults: 16 entries, HWM 24, LWM 8,
@@ -270,12 +270,20 @@ impl DirtyTracker {
         all_ops
     }
 
-    /// OS-requested flush of the lookup table (end of interval or
-    /// context switch): drains every entry into the bitmap. Returns
-    /// the bitmap traffic to inject.
+    /// OS-requested end-of-interval flush of the lookup table: drains
+    /// every entry into the bitmap. Returns the bitmap traffic to
+    /// inject.
     pub fn flush(&mut self) -> Vec<BitmapOp> {
+        self.flush_with_reason(FlushReason::Interval)
+    }
+
+    /// Like [`Self::flush`], but attributes the drain to `reason` in
+    /// the lookup-table flush counters (interval vs context switch).
+    pub fn flush_with_reason(&mut self, reason: FlushReason) -> Vec<BitmapOp> {
         let bitmap = &mut self.bitmap;
-        let ops = self.table.flush_all(&mut |addr| bitmap.read_word(addr));
+        let ops = self
+            .table
+            .flush_all_with_reason(reason, &mut |addr| bitmap.read_word(addr));
         self.apply_ops(&ops);
         ops
     }

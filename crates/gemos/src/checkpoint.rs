@@ -15,6 +15,7 @@ use prosper_memsim::addr::{VirtAddr, VirtRange};
 use prosper_memsim::machine::Machine;
 use prosper_memsim::tlb::Tlb;
 use prosper_memsim::Cycles;
+use prosper_telemetry as telemetry;
 use prosper_trace::interval::{Interval, IntervalCollector};
 use prosper_trace::record::{AccessKind, MemAccess, Region, TraceEvent};
 use prosper_trace::source::TraceSource;
@@ -278,18 +279,31 @@ impl<'m> CheckpointManager<'m> {
             m.begin_interval(self.machine, heap_region);
         }
 
+        let tel = telemetry::enabled();
         for _ in 0..intervals {
             let interval = collector.next_interval();
             self.replay_interval(&interval, stack_mech, &mut heap_mech, &mut result);
 
             let ckpt_start = self.machine.now();
+            // The whole commit is one span; each region's mechanism
+            // commit nests inside, categorised by mechanism name so
+            // baselines are covered without their own instrumentation.
+            if tel {
+                telemetry::span_begin("ckpt.interval", "ckpt", ckpt_start);
+            }
             // Stack region commit.
             let info = IntervalInfo {
                 region: stack_region,
                 active: VirtRange::new(interval.min_sp, stack_top),
                 final_sp: interval.final_sp,
             };
+            if tel {
+                telemetry::span_begin("ckpt.commit.stack", stack_mech.name(), self.machine.now());
+            }
             let mut outcome = stack_mech.end_interval(self.machine, info);
+            if tel {
+                telemetry::span_end("ckpt.commit.stack", self.machine.now());
+            }
             // Heap region commit.
             if let Some(m) = heap_mech.as_deref_mut() {
                 let hinfo = IntervalInfo {
@@ -297,11 +311,23 @@ impl<'m> CheckpointManager<'m> {
                     active: heap_region,
                     final_sp: interval.final_sp,
                 };
+                if tel {
+                    telemetry::span_begin("ckpt.commit.heap", m.name(), self.machine.now());
+                }
                 outcome = outcome.merge(m.end_interval(self.machine, hinfo));
+                if tel {
+                    telemetry::span_end("ckpt.commit.heap", self.machine.now());
+                }
             }
             // Register state goes into every checkpoint.
             let reg_bytes = RegisterFile::CHECKPOINT_BYTES;
+            if tel {
+                telemetry::span_begin("ckpt.registers", "ckpt", self.machine.now());
+            }
             self.machine.bulk_copy_dram_to_nvm(reg_bytes);
+            if tel {
+                telemetry::span_end("ckpt.registers", self.machine.now());
+            }
 
             // Prepare the next interval.
             stack_mech.begin_interval(self.machine, stack_region);
@@ -309,10 +335,27 @@ impl<'m> CheckpointManager<'m> {
                 m.begin_interval(self.machine, heap_region);
             }
 
-            result.checkpoint_cycles += self.machine.now() - ckpt_start;
+            let ckpt_cycles = self.machine.now() - ckpt_start;
+            if tel {
+                telemetry::span_end("ckpt.interval", self.machine.now());
+                telemetry::with(|t| {
+                    let r = t.registry();
+                    r.counter("ckpt.intervals").inc();
+                    r.counter("ckpt.bytes_copied").add(outcome.bytes_copied);
+                    r.histogram("ckpt.cycles").record(ckpt_cycles);
+                });
+            }
+            result.checkpoint_cycles += ckpt_cycles;
             result.metadata_cycles += outcome.metadata_cycles;
             result.bytes_copied += outcome.bytes_copied;
             result.intervals += 1;
+        }
+        if tel {
+            telemetry::with(|t| {
+                let r = t.registry();
+                r.counter("run.stack_stores").add(result.stack_stores);
+                r.counter("run.heap_stores").add(result.heap_stores);
+            });
         }
         result.total_cycles = self.machine.now();
         result
@@ -419,7 +462,10 @@ mod tests {
         };
         let dram = run(&mut NoPersistence);
         let nvm = run(&mut NvmResident);
-        assert!(nvm > dram, "NVM residence must cost cycles: {nvm} vs {dram}");
+        assert!(
+            nvm > dram,
+            "NVM residence must cost cycles: {nvm} vs {dram}"
+        );
     }
 
     #[test]

@@ -149,8 +149,14 @@ mod tests {
             self.volatile = self.persistent.clone();
         }
         fn recovered_image(&self) -> &MemoryImage {
-            if self.persistent
-                .matches(&self.volatile, VirtRange::new(VirtAddr::new(0), VirtAddr::new(0))) { &self.volatile } else { &self.persistent }
+            if self.persistent.matches(
+                &self.volatile,
+                VirtRange::new(VirtAddr::new(0), VirtAddr::new(0)),
+            ) {
+                &self.volatile
+            } else {
+                &self.persistent
+            }
         }
     }
 

@@ -193,7 +193,10 @@ mod tests {
     #[test]
     fn unmapped_store_faults() {
         let mut pt = PageTable::new();
-        assert_eq!(pt.store_walk(VirtAddr::new(0x999000)), StoreWalk::NotPresent);
+        assert_eq!(
+            pt.store_walk(VirtAddr::new(0x999000)),
+            StoreWalk::NotPresent
+        );
         assert_eq!(pt.load_walk(VirtAddr::new(0x999000)), None);
     }
 

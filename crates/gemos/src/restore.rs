@@ -125,7 +125,11 @@ impl ProcessCheckpointStore {
     ///
     /// Panics if `regs` does not provide one register file per thread.
     pub fn checkpoint(&mut self, regs: &[RegisterFile]) {
-        assert_eq!(regs.len(), self.registers.len(), "one register file per thread");
+        assert_eq!(
+            regs.len(),
+            self.registers.len(),
+            "one register file per thread"
+        );
         for (store, r) in self.registers.iter_mut().zip(regs) {
             store.checkpoint(*r);
         }

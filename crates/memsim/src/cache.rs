@@ -131,9 +131,8 @@ impl Cache {
             .iter_mut()
             .min_by_key(|l| if l.valid { l.lru + 1 } else { 0 })
             .expect("cache set has at least one way");
-        let writeback = (victim.valid && victim.dirty).then(|| {
-            PhysAddr::new((victim.tag * sets + set) * line_bytes)
-        });
+        let writeback = (victim.valid && victim.dirty)
+            .then(|| PhysAddr::new((victim.tag * sets + set) * line_bytes));
         *victim = Line {
             tag,
             valid: true,

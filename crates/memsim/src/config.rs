@@ -51,7 +51,10 @@ impl CacheConfig {
             lines,
             "cache lines must divide evenly into ways"
         );
-        assert!(sets.is_power_of_two(), "cache set count must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "cache set count must be a power of two"
+        );
         sets
     }
 }

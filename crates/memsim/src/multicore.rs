@@ -187,7 +187,9 @@ impl MultiCoreMachine {
         } else {
             (vaddr.raw() + size - 1) & !(CACHE_LINE - 1)
         };
-        (first..=last).step_by(CACHE_LINE as usize).map(VirtAddr::new)
+        (first..=last)
+            .step_by(CACHE_LINE as usize)
+            .map(VirtAddr::new)
     }
 
     /// Demand load on core `c`; advances that core's clock.
@@ -258,10 +260,7 @@ mod tests {
     fn shared_l3_is_scaled_by_core_count() {
         let m1 = machine(1);
         let m4 = machine(4);
-        assert_eq!(
-            m4.l3.config().size_bytes,
-            4 * m1.l3.config().size_bytes
-        );
+        assert_eq!(m4.l3.config().size_bytes, 4 * m1.l3.config().size_bytes);
     }
 
     #[test]

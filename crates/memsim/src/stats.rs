@@ -38,14 +38,17 @@ impl LevelStats {
     }
 }
 
+// Snapshot diffs saturate instead of panicking: experiments sometimes
+// diff snapshots taken from different machines (or after a reset),
+// and a nonsensical-but-zero delta beats aborting a whole figure run.
 impl Sub for LevelStats {
     type Output = LevelStats;
 
     fn sub(self, rhs: LevelStats) -> LevelStats {
         LevelStats {
-            hits: self.hits - rhs.hits,
-            misses: self.misses - rhs.misses,
-            writebacks: self.writebacks - rhs.writebacks,
+            hits: self.hits.saturating_sub(rhs.hits),
+            misses: self.misses.saturating_sub(rhs.misses),
+            writebacks: self.writebacks.saturating_sub(rhs.writebacks),
         }
     }
 }
@@ -101,20 +104,22 @@ impl Sub for MemStats {
 
     fn sub(self, rhs: MemStats) -> MemStats {
         MemStats {
-            loads: self.loads - rhs.loads,
-            stores: self.stores - rhs.stores,
+            loads: self.loads.saturating_sub(rhs.loads),
+            stores: self.stores.saturating_sub(rhs.stores),
             l1d: self.l1d - rhs.l1d,
             l2: self.l2 - rhs.l2,
             l3: self.l3 - rhs.l3,
-            dram_reads: self.dram_reads - rhs.dram_reads,
-            dram_writes: self.dram_writes - rhs.dram_writes,
-            dram_row_hits: self.dram_row_hits - rhs.dram_row_hits,
-            nvm_reads: self.nvm_reads - rhs.nvm_reads,
-            nvm_writes: self.nvm_writes - rhs.nvm_writes,
-            nvm_write_stall_cycles: self.nvm_write_stall_cycles - rhs.nvm_write_stall_cycles,
-            cycles: self.cycles - rhs.cycles,
-            injected_loads: self.injected_loads - rhs.injected_loads,
-            injected_stores: self.injected_stores - rhs.injected_stores,
+            dram_reads: self.dram_reads.saturating_sub(rhs.dram_reads),
+            dram_writes: self.dram_writes.saturating_sub(rhs.dram_writes),
+            dram_row_hits: self.dram_row_hits.saturating_sub(rhs.dram_row_hits),
+            nvm_reads: self.nvm_reads.saturating_sub(rhs.nvm_reads),
+            nvm_writes: self.nvm_writes.saturating_sub(rhs.nvm_writes),
+            nvm_write_stall_cycles: self
+                .nvm_write_stall_cycles
+                .saturating_sub(rhs.nvm_write_stall_cycles),
+            cycles: self.cycles.saturating_sub(rhs.cycles),
+            injected_loads: self.injected_loads.saturating_sub(rhs.injected_loads),
+            injected_stores: self.injected_stores.saturating_sub(rhs.injected_stores),
         }
     }
 }
@@ -129,7 +134,11 @@ impl fmt::Display for MemStats {
         writeln!(
             f,
             "L1D {}/{} L2 {}/{} L3 {}/{} (hits/misses)",
-            self.l1d.hits, self.l1d.misses, self.l2.hits, self.l2.misses, self.l3.hits,
+            self.l1d.hits,
+            self.l1d.misses,
+            self.l2.hits,
+            self.l2.misses,
+            self.l3.hits,
             self.l3.misses
         )?;
         write!(
@@ -180,6 +189,55 @@ mod tests {
         assert_eq!(d.loads, 15);
         assert_eq!(d.cycles, 160);
         assert_eq!(d.l1d.hits, 12);
+    }
+
+    #[test]
+    fn reversed_diff_saturates_to_zero() {
+        let small = MemStats {
+            loads: 1,
+            cycles: 10,
+            ..MemStats::default()
+        };
+        let big = MemStats {
+            loads: 5,
+            cycles: 50,
+            nvm_writes: 3,
+            l1d: LevelStats {
+                hits: 7,
+                misses: 2,
+                writebacks: 1,
+            },
+            ..MemStats::default()
+        };
+        let d = small - big;
+        assert_eq!(d.loads, 0);
+        assert_eq!(d.cycles, 0);
+        assert_eq!(d.nvm_writes, 0);
+        assert_eq!(d.l1d, LevelStats::default());
+    }
+
+    #[test]
+    fn level_reversed_diff_saturates_per_field() {
+        let a = LevelStats {
+            hits: 10,
+            misses: 1,
+            writebacks: 0,
+        };
+        let b = LevelStats {
+            hits: 4,
+            misses: 6,
+            writebacks: 2,
+        };
+        // Mixed direction: hits grew, misses/writebacks "shrank".
+        let d = a - b;
+        assert_eq!(
+            d,
+            LevelStats {
+                hits: 6,
+                misses: 0,
+                writebacks: 0
+            }
+        );
     }
 
     #[test]

@@ -1,0 +1,247 @@
+//! Pluggable destinations for trace events, plus the Chrome
+//! `trace_event` exporter consumed by Perfetto / `chrome://tracing`.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::rc::Rc;
+
+use serde::Serialize;
+use serde_json::Value;
+
+use crate::span::Event;
+
+/// Receives every emitted event. Implementations must not panic on
+/// I/O trouble — telemetry must never take the simulation down.
+pub trait EventSink {
+    fn record(&mut self, ev: &Event);
+
+    fn flush(&mut self) {}
+}
+
+/// Discards everything. The disabled-telemetry fast path.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl EventSink for NoopSink {
+    #[inline]
+    fn record(&mut self, _ev: &Event) {}
+}
+
+/// Shared view onto a [`RingBufferSink`]'s storage, for tests and
+/// post-run export.
+#[derive(Clone)]
+pub struct RingBufferHandle {
+    buf: Rc<RefCell<VecDeque<Event>>>,
+}
+
+impl RingBufferHandle {
+    /// Drains and returns everything recorded so far, oldest first.
+    #[must_use]
+    pub fn take(&self) -> Vec<Event> {
+        self.buf.borrow_mut().drain(..).collect()
+    }
+
+    /// Copies out the recorded events without draining.
+    #[must_use]
+    pub fn events(&self) -> Vec<Event> {
+        self.buf.borrow().iter().cloned().collect()
+    }
+
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.borrow().len()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.borrow().is_empty()
+    }
+}
+
+/// Keeps the most recent `capacity` events in memory.
+pub struct RingBufferSink {
+    buf: Rc<RefCell<VecDeque<Event>>>,
+    capacity: usize,
+}
+
+impl RingBufferSink {
+    /// Returns the sink plus a handle that stays valid after the sink
+    /// is boxed into a [`crate::span::Telemetry`].
+    #[must_use]
+    pub fn new(capacity: usize) -> (Self, RingBufferHandle) {
+        let buf = Rc::new(RefCell::new(VecDeque::with_capacity(capacity.min(4096))));
+        (
+            RingBufferSink {
+                buf: buf.clone(),
+                capacity,
+            },
+            RingBufferHandle { buf },
+        )
+    }
+}
+
+impl EventSink for RingBufferSink {
+    fn record(&mut self, ev: &Event) {
+        let mut buf = self.buf.borrow_mut();
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(ev.clone());
+    }
+}
+
+/// Streams one JSON object per line to a writer. Write errors are
+/// counted, not propagated.
+pub struct JsonlSink<W: Write> {
+    writer: W,
+    pub write_errors: u64,
+}
+
+impl<W: Write> JsonlSink<W> {
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer,
+            write_errors: 0,
+        }
+    }
+
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write> EventSink for JsonlSink<W> {
+    fn record(&mut self, ev: &Event) {
+        let line = serde_json::to_string(ev).expect("event serialization is infallible");
+        if writeln!(self.writer, "{line}").is_err() {
+            self.write_errors += 1;
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.writer.flush().is_err() {
+            self.write_errors += 1;
+        }
+    }
+}
+
+/// Parses a JSONL stream back into events, ignoring blank lines.
+///
+/// # Errors
+///
+/// Fails on the first malformed line.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, serde_json::Error> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(serde_json::from_str)
+        .collect()
+}
+
+/// Renders events as a Chrome `trace_event` JSON document
+/// (`{"traceEvents": [...]}`), using duration begin/end pairs so
+/// nesting survives. Timestamps are simulated cycles reported in the
+/// `ts` microsecond field (1 cycle = 1 µs on the trace timeline).
+#[must_use]
+pub fn chrome_trace(events: &[Event]) -> String {
+    let entries: Vec<Value> = events
+        .iter()
+        .map(|ev| {
+            let (ph, name, cat, ts, tid) = match ev {
+                Event::SpanBegin {
+                    name, cat, ts, tid, ..
+                } => ("B", name.clone(), cat.clone(), *ts, *tid),
+                Event::SpanEnd { name, ts, tid, .. } => {
+                    ("E", name.clone(), String::new(), *ts, *tid)
+                }
+                Event::Instant { name, ts, tid } => ("i", name.clone(), String::new(), *ts, *tid),
+            };
+            let mut fields = vec![
+                ("name".to_string(), name.to_value()),
+                ("ph".to_string(), ph.to_value()),
+                ("ts".to_string(), ts.to_value()),
+                ("pid".to_string(), 1u32.to_value()),
+                ("tid".to_string(), tid.to_value()),
+            ];
+            if !cat.is_empty() {
+                fields.push(("cat".to_string(), cat.to_value()));
+            }
+            if ph == "i" {
+                // Thread-scoped instant marker.
+                fields.push(("s".to_string(), "t".to_value()));
+            }
+            Value::Object(fields)
+        })
+        .collect();
+    let doc = Value::Object(vec![("traceEvents".to_string(), Value::Array(entries))]);
+    serde_json::to_string(&doc).expect("value tree serialization is infallible")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::SpanBegin {
+                name: "ckpt.interval".into(),
+                cat: "ckpt".into(),
+                ts: 100,
+                tid: 0,
+                depth: 0,
+            },
+            Event::Instant {
+                name: "hwm".into(),
+                ts: 150,
+                tid: 0,
+            },
+            Event::SpanEnd {
+                name: "ckpt.interval".into(),
+                ts: 300,
+                tid: 0,
+                depth: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn ring_buffer_caps_and_drains() {
+        let (mut sink, handle) = RingBufferSink::new(2);
+        for ev in sample_events() {
+            sink.record(&ev);
+        }
+        assert_eq!(handle.len(), 2, "oldest event evicted at capacity");
+        let evs = handle.take();
+        assert_eq!(evs[0].name(), "hwm");
+        assert!(handle.is_empty());
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let mut sink = JsonlSink::new(Vec::new());
+        let original = sample_events();
+        for ev in &original {
+            sink.record(ev);
+        }
+        sink.flush();
+        assert_eq!(sink.write_errors, 0);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        let back = parse_jsonl(&text).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let json = chrome_trace(&sample_events());
+        let doc: Value = serde_json::from_str(&json).unwrap();
+        let events = doc["traceEvents"].as_array().unwrap();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0]["ph"].as_str(), Some("B"));
+        assert_eq!(events[0]["cat"].as_str(), Some("ckpt"));
+        assert_eq!(events[0]["ts"].as_u64(), Some(100));
+        assert_eq!(events[1]["ph"].as_str(), Some("i"));
+        assert_eq!(events[2]["ph"].as_str(), Some("E"));
+        assert_eq!(events[2]["pid"].as_u64(), Some(1));
+    }
+}

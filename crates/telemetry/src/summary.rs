@@ -1,0 +1,80 @@
+//! Human- and machine-readable renderings of a metrics snapshot:
+//! Prometheus-style exposition text and a JSON document.
+
+use crate::metrics::MetricsSnapshot;
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Prometheus text exposition of every metric in the snapshot.
+/// Histograms render as cumulative `_bucket{le=...}` series plus
+/// `_sum` and `_count`, counters and gauges as plain samples.
+#[must_use]
+pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let n = sanitize(name);
+        out.push_str(&format!("# TYPE {n} counter\n{n} {value}\n"));
+    }
+    for (name, value) in &snap.gauges {
+        let n = sanitize(name);
+        out.push_str(&format!("# TYPE {n} gauge\n{n} {value}\n"));
+    }
+    for (name, h) in &snap.histograms {
+        let n = sanitize(name);
+        out.push_str(&format!("# TYPE {n} histogram\n"));
+        let mut cumulative = 0u64;
+        for &(lower, count) in &h.buckets {
+            cumulative += count;
+            out.push_str(&format!("{n}_bucket{{le=\"{lower}\"}} {cumulative}\n"));
+        }
+        out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+        out.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum, h.count));
+    }
+    out
+}
+
+/// JSON rendering of the snapshot (2-space indented).
+#[must_use]
+pub fn json_summary(snap: &MetricsSnapshot) -> String {
+    serde_json::to_string_pretty(snap).expect("snapshot serialization is infallible")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    fn sample() -> MetricsSnapshot {
+        let r = Registry::new();
+        r.counter("tracker.soi_stores").add(42);
+        r.gauge("table.resident").set(7);
+        let h = r.histogram("ckpt.copy_cycles");
+        h.record(3);
+        h.record(100);
+        r.snapshot()
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let text = prometheus_text(&sample());
+        assert!(text.contains("# TYPE tracker_soi_stores counter\ntracker_soi_stores 42\n"));
+        assert!(text.contains("# TYPE table_resident gauge\ntable_resident 7\n"));
+        assert!(text.contains("# TYPE ckpt_copy_cycles histogram\n"));
+        assert!(text.contains("ckpt_copy_cycles_bucket{le=\"3\"} 1\n"));
+        assert!(text.contains("ckpt_copy_cycles_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("ckpt_copy_cycles_sum 103\n"));
+        assert!(text.contains("ckpt_copy_cycles_count 2\n"));
+    }
+
+    #[test]
+    fn json_summary_roundtrip() {
+        let snap = sample();
+        let json = json_summary(&snap);
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -203,7 +203,12 @@ mod tests {
 
     #[test]
     fn dirty_granules_monotone_in_granularity() {
-        let b = MicroBench::new(MicroSpec::Random { array_bytes: 32 * 1024 }, 4);
+        let b = MicroBench::new(
+            MicroSpec::Random {
+                array_bytes: 32 * 1024,
+            },
+            4,
+        );
         let mut c = IntervalCollector::new(b, 20_000);
         let iv = c.next_interval();
         let g8 = iv.checkpoint_bytes(8);

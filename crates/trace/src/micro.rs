@@ -253,13 +253,15 @@ impl MicroBench {
                 let dist = Normal::new(63.0f64, 20.0).expect("valid normal parameters");
                 let n = dist.sample(&mut self.rng).round().max(0.0) as u64;
                 self.burst_writes(n, array_bytes);
-                self.queue.push_back(TraceEvent::Compute(COMPUTE_BLOCK_CYCLES));
+                self.queue
+                    .push_back(TraceEvent::Compute(COMPUTE_BLOCK_CYCLES));
             }
             MicroSpec::Poisson { array_bytes } => {
                 let dist = Poisson::new(63.0).expect("valid poisson parameter");
                 let n = dist.sample(&mut self.rng) as u64;
                 self.burst_writes(n, array_bytes);
-                self.queue.push_back(TraceEvent::Compute(COMPUTE_BLOCK_CYCLES));
+                self.queue
+                    .push_back(TraceEvent::Compute(COMPUTE_BLOCK_CYCLES));
             }
         }
     }
@@ -306,18 +308,27 @@ impl MicroBench {
                     }
                     // Lomuto partition on vals[lo..hi].
                     let pivot = vals[hi - 1];
-                    self.queue
-                        .push_back(self.heap_access(AccessKind::Load, (hi as u64 - 1) * 8, 8));
+                    self.queue.push_back(self.heap_access(
+                        AccessKind::Load,
+                        (hi as u64 - 1) * 8,
+                        8,
+                    ));
                     let mut i = lo;
                     for j in lo..hi - 1 {
                         self.queue
                             .push_back(self.heap_access(AccessKind::Load, j as u64 * 8, 8));
                         if vals[j] <= pivot {
                             vals.swap(i, j);
-                            self.queue
-                                .push_back(self.heap_access(AccessKind::Store, i as u64 * 8, 8));
-                            self.queue
-                                .push_back(self.heap_access(AccessKind::Store, j as u64 * 8, 8));
+                            self.queue.push_back(self.heap_access(
+                                AccessKind::Store,
+                                i as u64 * 8,
+                                8,
+                            ));
+                            self.queue.push_back(self.heap_access(
+                                AccessKind::Store,
+                                j as u64 * 8,
+                                8,
+                            ));
                             i += 1;
                         }
                     }
@@ -411,7 +422,11 @@ mod tests {
         // The 4-byte writes land on distinct 4 KiB pages.
         let pages: std::collections::HashSet<u64> =
             four_byte.iter().map(|a| a.vaddr.page_number()).collect();
-        assert!(pages.len() >= 4, "writes hit distinct pages: {}", pages.len());
+        assert!(
+            pages.len() >= 4,
+            "writes hit distinct pages: {}",
+            pages.len()
+        );
     }
 
     #[test]

@@ -103,7 +103,10 @@ impl StackModel {
     /// The full reserved stack range `[top - limit, top)` — this is
     /// what the OS programs into the Prosper stack-range MSRs.
     pub fn reserved_range(&self) -> VirtRange {
-        VirtRange::new(VirtAddr::new(self.top - self.limit), VirtAddr::new(self.top))
+        VirtRange::new(
+            VirtAddr::new(self.top - self.limit),
+            VirtAddr::new(self.top),
+        )
     }
 
     /// The currently active region `[sp, top)`.

@@ -29,11 +29,7 @@ impl TraceFile {
     /// Records `n_events` events from a live source.
     pub fn record<S: TraceSource>(source: &mut S, seed: u64, n_events: usize) -> Self {
         let stack = source.stack();
-        let layout = (
-            stack.tid(),
-            stack.top().raw(),
-            stack.reserved_range().len(),
-        );
+        let layout = (stack.tid(), stack.top().raw(), stack.reserved_range().len());
         let benchmark = source.name().to_string();
         let events = (0..n_events).map(|_| source.next_event()).collect();
         Self {
@@ -70,11 +66,7 @@ impl TraceFile {
         TraceReplayer {
             file: self,
             cursor: 0,
-            stack: StackModel::with_layout(
-                tid,
-                prosper_memsim::addr::VirtAddr::new(top),
-                limit,
-            ),
+            stack: StackModel::with_layout(tid, prosper_memsim::addr::VirtAddr::new(top), limit),
         }
     }
 }

@@ -29,7 +29,9 @@ const CHECKPOINT_EVERY: usize = 2_500;
 const CRASH_AT: usize = 6_200;
 
 fn value_at(addr: u64, size: u32) -> Vec<u8> {
-    (0..size as u64).map(|i| ((addr + i) as u8) ^ 0xa5).collect()
+    (0..size as u64)
+        .map(|i| ((addr + i) as u8) ^ 0xa5)
+        .collect()
 }
 
 fn main() {
@@ -55,19 +57,17 @@ fn main() {
     let mut tracker = DirtyTracker::new(TrackerConfig::default());
     tracker.configure(range, VirtAddr::new(0x1000_0000));
 
-    let apply = |process: &mut PersistentProcess,
-                     tracker: &mut DirtyTracker,
-                     from: usize,
-                     to: usize| {
-        for ev in &trace.events[from..to] {
-            if let TraceEvent::Access(a) = ev {
-                if a.is_stack_store() {
-                    tracker.observe_store(a.vaddr, u64::from(a.size));
-                    process.record_store(0, a.vaddr, &value_at(a.vaddr.raw(), a.size));
+    let apply =
+        |process: &mut PersistentProcess, tracker: &mut DirtyTracker, from: usize, to: usize| {
+            for ev in &trace.events[from..to] {
+                if let TraceEvent::Access(a) = ev {
+                    if a.is_stack_store() {
+                        tracker.observe_store(a.vaddr, u64::from(a.size));
+                        process.record_store(0, a.vaddr, &value_at(a.vaddr.raw(), a.size));
+                    }
                 }
             }
-        }
-    };
+        };
     let checkpoint = |process: &mut PersistentProcess, tracker: &mut DirtyTracker, pos: usize| {
         tracker.flush();
         let geom = tracker.geometry();

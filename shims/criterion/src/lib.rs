@@ -1,0 +1,198 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the same surface the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, `bench_function`,
+//! `benchmark_group`, `bench_with_input`, `Bencher::iter`,
+//! `Bencher::iter_with_setup`, `black_box` — but with a thin
+//! wall-clock harness: a short warm-up, then a few timed samples,
+//! reporting the median ns/iteration to stdout. No statistics
+//! beyond that, no HTML reports, no baselines.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// Per-sample timing floor: batches grow until one takes this long.
+const MIN_SAMPLE: Duration = Duration::from_millis(10);
+const WARMUP: Duration = Duration::from_millis(50);
+const SAMPLES: usize = 5;
+
+/// Collects timing for one benchmark body.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, set by `iter`/`iter_with_setup`.
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine` in growing batches until samples are stable
+    /// enough to report.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up: run until the warm-up budget is spent.
+        let warm_start = Instant::now();
+        let mut iters_per_batch: u64 = 1;
+        while warm_start.elapsed() < WARMUP {
+            for _ in 0..iters_per_batch {
+                black_box(routine());
+            }
+            iters_per_batch = iters_per_batch.saturating_mul(2).min(1 << 20);
+        }
+
+        // Calibrate batch size to the sample floor.
+        let mut batch: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            if t.elapsed() >= MIN_SAMPLE || batch >= 1 << 30 {
+                break;
+            }
+            batch = batch.saturating_mul(2);
+        }
+
+        let mut samples: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..batch {
+                    black_box(routine());
+                }
+                t.elapsed().as_nanos() as f64 / batch as f64
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+
+    /// Like [`Bencher::iter`], but re-creates the input with `setup`
+    /// outside the timed region each iteration.
+    pub fn iter_with_setup<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+    ) {
+        // Setup dominates some benches; keep iteration counts small.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP {
+            let input = setup();
+            black_box(routine(input));
+        }
+
+        let mut samples: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                // One timed call per sample, setup excluded.
+                let input = setup();
+                let t = Instant::now();
+                black_box(routine(input));
+                t.elapsed().as_nanos() as f64
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+fn run_one(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { ns_per_iter: 0.0 };
+    f(&mut b);
+    let ns = b.ns_per_iter;
+    let pretty = if ns >= 1_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else if ns >= 1_000.0 {
+        format!("{:.3} us", ns / 1_000.0)
+    } else {
+        format!("{ns:.1} ns")
+    };
+    println!("{name:<48} time: {pretty}/iter");
+}
+
+/// Top-level harness handle, mirroring criterion's `Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&id.into(), &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// Named benchmark identifier: `group/function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function.into()),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into()), &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.id);
+        run_one(&name, &mut (|b: &mut Bencher| f(b, input)));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declares a group function that runs each target benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` to run the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

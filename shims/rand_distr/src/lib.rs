@@ -1,0 +1,144 @@
+//! Offline stand-in for `rand_distr`: just the [`Normal`] and
+//! [`Poisson`] distributions the trace generators use. Normal uses
+//! Box–Muller; Poisson uses Knuth's product method for small means
+//! and a normal approximation for large ones.
+
+use rand::RngCore;
+
+/// Parameter-validation error, mirroring upstream's opaque error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can sample values from an RNG.
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+fn unit_open01(rng: &mut (impl RngCore + ?Sized)) -> f64 {
+    // (0, 1): add half an ulp so ln() never sees zero.
+    (((rng.next_u64() >> 11) as f64) + 0.5) * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Gaussian distribution with the given mean and standard deviation.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// # Errors
+    ///
+    /// Fails if `std_dev` is negative or either parameter is not
+    /// finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if !mean.is_finite() || !std_dev.is_finite() {
+            return Err(Error("Normal: parameters must be finite"));
+        }
+        if std_dev < 0.0 {
+            return Err(Error("Normal: std_dev must be non-negative"));
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u1 = unit_open01(rng);
+        let u2 = unit_open01(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// Poisson distribution with the given mean.
+#[derive(Debug, Clone, Copy)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// # Errors
+    ///
+    /// Fails unless `lambda` is finite and positive.
+    pub fn new(lambda: f64) -> Result<Self, Error> {
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(Error("Poisson: lambda must be finite and positive"));
+        }
+        Ok(Poisson { lambda })
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.lambda < 30.0 {
+            // Knuth: count multiplications until the running product
+            // drops below e^-lambda.
+            let limit = (-self.lambda).exp();
+            let mut product = unit_open01(rng);
+            let mut count = 0u64;
+            while product > limit {
+                product *= unit_open01(rng);
+                count += 1;
+            }
+            count as f64
+        } else {
+            // Normal approximation, adequate at this mean.
+            let normal = Normal {
+                mean: self.lambda,
+                std_dev: self.lambda.sqrt(),
+            };
+            normal.sample(rng).round().max(0.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Poisson::new(-3.0).is_err());
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let dist = Normal::new(63.0, 20.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 63.0).abs() < 1.0, "mean {mean}");
+        assert!((var.sqrt() - 20.0).abs() < 1.0, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn poisson_mean_is_close() {
+        for lambda in [4.0, 63.0] {
+            let dist = Poisson::new(lambda).unwrap();
+            let mut rng = StdRng::seed_from_u64(11);
+            let n = 50_000;
+            let mean = (0..n).map(|_| dist.sample(&mut rng)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda * 0.05,
+                "lambda {lambda} mean {mean}"
+            );
+            assert!((0..1000).all(|_| dist.sample(&mut rng) >= 0.0));
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! The single error type shared by serialization and parsing.
+
+use std::fmt;
+
+/// Serialization/deserialization failure with a human-readable cause.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Builds an error from any displayable message.
+    pub fn msg(msg: impl fmt::Display) -> Self {
+        Self {
+            msg: msg.to_string(),
+        }
+    }
+
+    /// Standard "missing field" constructor used by derived impls.
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        Self::msg(format!("missing field `{field}` while decoding {ty}"))
+    }
+
+    /// Standard "type mismatch" constructor used by derived impls.
+    pub fn expected(what: &str, got: &str) -> Self {
+        Self::msg(format!("expected {what}, got {got}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,40 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real serde is a visitor-based serialization framework; this
+//! shim is a JSON-value-tree equivalent that supports exactly the
+//! usage patterns of this workspace:
+//!
+//! * `#[derive(Serialize, Deserialize)]` on plain structs and enums
+//!   (unit, tuple, and struct variants; no `#[serde(...)]` attributes,
+//!   no generic types);
+//! * `serde_json::{to_string, to_string_pretty, from_str}` and the
+//!   dynamically-typed [`Value`].
+//!
+//! [`Serialize`] converts a value into a [`Value`] tree;
+//! [`Deserialize`] reconstructs it. The JSON text encoding itself
+//! lives in the `serde_json` shim.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod error;
+mod impls;
+mod value;
+
+pub use error::Error;
+pub use value::{Number, Value};
+
+/// A type that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    /// Builds the value-tree representation of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] when the tree's shape does not match.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}

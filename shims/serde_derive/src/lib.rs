@@ -1,0 +1,391 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for
+//! the shapes this workspace uses — non-generic structs (named, tuple,
+//! unit) and enums (unit, tuple, and struct variants) without
+//! `#[serde(...)]` attributes — by hand-parsing the item's token
+//! stream (no `syn`/`quote`, which are unavailable offline).
+//!
+//! Encoding matches serde's default "externally tagged" JSON layout:
+//!
+//! * named struct       → object of fields
+//! * newtype struct     → the inner value
+//! * tuple struct       → array of fields
+//! * unit enum variant  → `"Variant"`
+//! * newtype variant    → `{"Variant": value}`
+//! * tuple variant      → `{"Variant": [v0, v1, …]}`
+//! * struct variant     → `{"Variant": {field: value, …}}`
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "obj.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut obj = ::std::vec::Vec::with_capacity({});\n{}\n::serde::Value::Object(obj)",
+                fields.len(),
+                pushes
+            )
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| serialize_variant_arm(&item.name, v))
+                .collect();
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {} {{\n fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}",
+        item.name
+    );
+    out.parse().expect("derived Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(v.field({name:?}, {f:?})?)?,\n")
+                })
+                .collect();
+            format!("Ok({name} {{\n{inits}}})")
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
+                .collect();
+            format!(
+                "let arr = v.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", v.kind()))?;\n\
+                 if arr.len() != {n} {{ return Err(::serde::Error::msg(format!(\"expected {n} elements for {name}, got {{}}\", arr.len()))); }}\n\
+                 Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("let _ = v; Ok({name})"),
+        Shape::Enum(variants) => deserialize_enum_body(name, variants),
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}"
+    );
+    out.parse().expect("derived Deserialize impl parses")
+}
+
+/// Fields of one enum variant.
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn serialize_variant_arm(ty: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.shape {
+        VariantShape::Unit => {
+            format!("{ty}::{vn} => ::serde::Value::String({vn:?}.to_string()),\n")
+        }
+        VariantShape::Tuple(1) => format!(
+            "{ty}::{vn}(f0) => ::serde::Value::Object(vec![({vn:?}.to_string(), ::serde::Serialize::to_value(f0))]),\n"
+        ),
+        VariantShape::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let vals: Vec<String> = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                .collect();
+            format!(
+                "{ty}::{vn}({binds}) => ::serde::Value::Object(vec![({vn:?}.to_string(), ::serde::Value::Array(vec![{vals}]))]),\n",
+                binds = binds.join(", "),
+                vals = vals.join(", ")
+            )
+        }
+        VariantShape::Named(fields) => {
+            let binds = fields.join(", ");
+            let pushes: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))"))
+                .collect();
+            format!(
+                "{ty}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![({vn:?}.to_string(), ::serde::Value::Object(vec![{pushes}]))]),\n",
+                pushes = pushes.join(", ")
+            )
+        }
+    }
+}
+
+fn deserialize_enum_body(ty: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            VariantShape::Unit => {
+                unit_arms.push_str(&format!("{vn:?} => Ok({ty}::{vn}),\n"));
+                // A unit variant can also appear in tagged form
+                // ({"Variant": null}) after hand-edited input; accept it.
+                tagged_arms.push_str(&format!("{vn:?} => {{ let _ = inner; Ok({ty}::{vn}) }}\n"));
+            }
+            VariantShape::Tuple(1) => {
+                tagged_arms.push_str(&format!(
+                    "{vn:?} => Ok({ty}::{vn}(::serde::Deserialize::from_value(inner)?)),\n"
+                ));
+            }
+            VariantShape::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
+                    .collect();
+                tagged_arms.push_str(&format!(
+                    "{vn:?} => {{\n\
+                     let arr = inner.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", inner.kind()))?;\n\
+                     if arr.len() != {n} {{ return Err(::serde::Error::msg(format!(\"expected {n} elements for {ty}::{vn}, got {{}}\", arr.len()))); }}\n\
+                     Ok({ty}::{vn}({items}))\n}}\n",
+                    items = items.join(", ")
+                ));
+            }
+            VariantShape::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(inner.field({ty:?}, {f:?})?)?"
+                        )
+                    })
+                    .collect();
+                tagged_arms.push_str(&format!(
+                    "{vn:?} => Ok({ty}::{vn} {{ {inits} }}),\n",
+                    inits = inits.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "match v {{\n\
+         ::serde::Value::String(s) => match s.as_str() {{\n{unit_arms}\
+         other => Err(::serde::Error::msg(format!(\"unknown variant `{{other}}` for {ty}\"))),\n}},\n\
+         ::serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+         let (tag, inner) = &pairs[0];\n\
+         match tag.as_str() {{\n{tagged_arms}\
+         other => Err(::serde::Error::msg(format!(\"unknown variant `{{other}}` for {ty}\"))),\n}}\n}},\n\
+         other => Err(::serde::Error::expected(\"{ty} variant\", other.kind())),\n\
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kw = ident_at(&tokens, i).expect("struct/enum keyword");
+    i += 1;
+    let name = ident_at(&tokens, i).expect("type name");
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic types (deriving {name})");
+    }
+    match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                shape: Shape::NamedStruct(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item {
+                name,
+                shape: Shape::TupleStruct(count_tuple_fields(g.stream())),
+            },
+            _ => Item {
+                name,
+                shape: Shape::UnitStruct,
+            },
+        },
+        "enum" => {
+            let g = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                _ => panic!("enum {name} has no body"),
+            };
+            Item {
+                name,
+                shape: Shape::Enum(parse_variants(g.stream())),
+            }
+        }
+        other => panic!("cannot derive serde impls for item kind `{other}`"),
+    }
+}
+
+fn ident_at(tokens: &[TokenTree], i: usize) -> Option<String> {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Advances past `#[...]` attributes and `pub`/`pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `name: Type, ...` named fields, returning the names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_at(&tokens, i).expect("field name");
+        i += 1;
+        assert!(
+            matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "expected `:` after field `{name}`"
+        );
+        i += 1;
+        skip_type(&tokens, &mut i);
+        fields.push(name);
+        // Skip the separating comma, if present.
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Advances past one type, stopping at a top-level `,`.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(tt) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Counts top-level comma-separated fields in a tuple struct/variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut fields = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        fields += 1;
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_at(&tokens, i).expect("variant name");
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                i += 1;
+                VariantShape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                VariantShape::Named(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if present.
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            while i < tokens.len()
+                && !matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',')
+            {
+                i += 1;
+            }
+        }
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}

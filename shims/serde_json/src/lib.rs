@@ -1,0 +1,121 @@
+//! Offline stand-in for `serde_json`: JSON text encoding and parsing
+//! over the `serde` shim's [`Value`] tree.
+
+pub use serde::{Error, Number, Value};
+
+mod de;
+mod ser;
+
+/// Serializes a value to compact JSON.
+///
+/// # Errors
+///
+/// Infallible for values built from the shim's impls; the `Result`
+/// mirrors the real API.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(ser::write_value(&value.to_value(), None))
+}
+
+/// Serializes a value to 2-space-indented JSON.
+///
+/// # Errors
+///
+/// Infallible for values built from the shim's impls.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(ser::write_value(&value.to_value(), Some(0)))
+}
+
+/// Converts a value into its [`Value`] tree.
+///
+/// # Errors
+///
+/// Infallible for values built from the shim's impls.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Parses JSON text into any [`serde::Deserialize`] type.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on malformed JSON or shape mismatch.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let v = de::parse(s)?;
+    T::from_value(&v)
+}
+
+/// Reconstructs a typed value from a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on shape mismatch.
+pub fn from_value<T: serde::Deserialize>(v: Value) -> Result<T, Error> {
+    T::from_value(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let s = to_string(&42u64).unwrap();
+        assert_eq!(s, "42");
+        assert_eq!(from_str::<u64>(&s).unwrap(), 42);
+        assert_eq!(from_str::<f64>("2.5").unwrap(), 2.5);
+        assert!(from_str::<bool>("true").unwrap());
+        assert_eq!(from_str::<String>("\"hi\\n\"").unwrap(), "hi\n");
+        assert_eq!(from_str::<Option<u32>>("null").unwrap(), None);
+        assert_eq!(from_str::<i32>("-7").unwrap(), -7);
+    }
+
+    #[test]
+    fn u64_precision_is_exact() {
+        let big = u64::MAX - 3;
+        let s = to_string(&big).unwrap();
+        assert_eq!(from_str::<u64>(&s).unwrap(), big);
+    }
+
+    #[test]
+    fn collection_roundtrip() {
+        let v = vec![(1u32, 2u64), (3, 4)];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[[1,2],[3,4]]");
+        let back: Vec<(u32, u64)> = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn value_indexing() {
+        let v: Value = from_str(r#"{"a": [1, {"b": "x"}], "c": 2.5}"#).unwrap();
+        assert_eq!(v["a"][1]["b"].as_str(), Some("x"));
+        assert_eq!(v["c"].as_f64(), Some(2.5));
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn pretty_output_indents() {
+        let v: Value = from_str(r#"{"a":[1,2]}"#).unwrap();
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"a\": [\n"));
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let original = "line\n\"quoted\"\tand \u{1F600} unicode \u{7}".to_string();
+        let s = to_string(&original).unwrap();
+        let back: String = from_str(&s).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn malformed_input_errors() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+        assert!(from_str::<u32>("\"nope\"").is_err());
+    }
+}

@@ -16,9 +16,7 @@ use prosper_repro::trace::workloads::{Workload, WorkloadProfile};
 /// mirroring store values into the persistent stack's data plane.
 /// Returns (tracker, persistent stack, stack range, per-interval run
 /// lists).
-fn tracked_run(
-    intervals: u64,
-) -> (DirtyTracker, PersistentStack, VirtRange, Vec<Vec<CopyRun>>) {
+fn tracked_run(intervals: u64) -> (DirtyTracker, PersistentStack, VirtRange, Vec<Vec<CopyRun>>) {
     let workload = Workload::new(WorkloadProfile::perlbench(), 17);
     let range = workload.stack().reserved_range();
     let top = workload.stack().top();

@@ -105,7 +105,8 @@ fn granularity_sweep_is_consistent_end_to_end() {
     };
     let mut last_bytes = 0u64;
     for granularity in [8u64, 32, 128] {
-        let mut mech = ProsperMechanism::new(TrackerConfig::default().with_granularity(granularity));
+        let mut mech =
+            ProsperMechanism::new(TrackerConfig::default().with_granularity(granularity));
         let res = run_micro(spec, &mut mech);
         assert!(
             res.bytes_copied >= last_bytes,

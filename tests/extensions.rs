@@ -41,7 +41,10 @@ fn prosper_tracks_a_heap_range() {
         }
     }
     assert!(heap_stores > 100, "workload wrote the heap: {heap_stores}");
-    assert_eq!(tracker.soi_count, heap_stores, "all heap stores filtered in");
+    assert_eq!(
+        tracker.soi_count, heap_stores,
+        "all heap stores filtered in"
+    );
     tracker.flush();
     assert!(tracker.bitmap().total_set_bits() > 0);
     // Inspection bounded to the watermark works for heap ranges too.

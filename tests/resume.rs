@@ -89,7 +89,12 @@ fn reference_run(file: &TraceFile, range: VirtRange) -> MemoryImage {
     img
 }
 
-fn crash_resume_run(file: &TraceFile, range: VirtRange, top: VirtAddr, crash_at: usize) -> MemoryImage {
+fn crash_resume_run(
+    file: &TraceFile,
+    range: VirtRange,
+    top: VirtAddr,
+    crash_at: usize,
+) -> MemoryImage {
     let mut process = PersistentProcess::new(&[range]);
     let mut tracker = DirtyTracker::new(TrackerConfig::default());
     tracker.configure(range, VirtAddr::new(0x1000_0000));
@@ -100,7 +105,7 @@ fn crash_resume_run(file: &TraceFile, range: VirtRange, top: VirtAddr, crash_at:
         let next = (pos + CHECKPOINT_EVERY).min(crash_at);
         apply_events(file, pos, next, &mut process, &mut tracker);
         pos = next;
-        if pos % CHECKPOINT_EVERY == 0 {
+        if pos.is_multiple_of(CHECKPOINT_EVERY) {
             checkpoint_at(pos, top, &mut process, &mut tracker);
         }
     }
