@@ -1,0 +1,221 @@
+//! Crash-matrix harness: drives the exhaustive crash-point sweep of
+//! [`prosper_core::faultinject`] over a set of workload shapes and
+//! aggregates the results for reporting.
+//!
+//! This is the artifact-style counterpart of the paper's "kill gem5
+//! mid-run and check the application resumes" validation: instead of a
+//! handful of manual kills, every step boundary of the checkpoint
+//! pipeline is enumerated and crashed exactly once, per workload
+//! shape. Results are mirrored into telemetry counters
+//! (`prosper.crashmatrix.*`) when a context is installed.
+
+use prosper_core::faultinject::{run_crash_matrix, CrashMatrixConfig, CrashMatrixReport};
+use prosper_gemos::crash::CrashSite;
+use prosper_telemetry as telemetry;
+
+/// One suite entry: a labelled workload shape and its sweep result.
+#[derive(Debug)]
+pub struct MatrixRow {
+    /// Human-readable shape label (e.g. `2t x 3iv`).
+    pub label: String,
+    /// The workload shape that was swept.
+    pub cfg: CrashMatrixConfig,
+    /// The sweep result.
+    pub report: CrashMatrixReport,
+}
+
+/// Coverage of one crash-site kind within a sweep.
+#[derive(Debug)]
+pub struct KindCoverage {
+    /// The site kind (the variant name, without per-site parameters).
+    pub kind: &'static str,
+    /// Crash points of this kind that were exercised.
+    pub exercised: u64,
+    /// Of those, how many failed verification.
+    pub failed: u64,
+}
+
+/// The crash-site kind: variant name without the per-site parameters,
+/// for coverage reporting.
+pub fn site_kind(site: &CrashSite) -> &'static str {
+    match site {
+        CrashSite::PreStage => "pre-stage",
+        CrashSite::MidStage { .. } => "mid-stage",
+        CrashSite::PreSeal => "pre-seal",
+        CrashSite::PostSeal => "post-seal",
+        CrashSite::MidApply { .. } => "mid-apply",
+        CrashSite::PostApplyThread { .. } => "post-apply-thread",
+        CrashSite::PostApplyPreRegisters => "post-apply-pre-registers",
+        CrashSite::MidRegisterApply { .. } => "mid-register-apply",
+        CrashSite::PostCommit => "post-commit",
+        CrashSite::MidBitmapClear { .. } => "mid-bitmap-clear",
+        CrashSite::MidSwitchSave => "mid-switch-save",
+        CrashSite::MidSwitchRestore => "mid-switch-restore",
+    }
+}
+
+/// Per-kind coverage of one sweep, in taxonomy order.
+pub fn kind_coverage(report: &CrashMatrixReport) -> Vec<KindCoverage> {
+    let order = [
+        "pre-stage",
+        "mid-stage",
+        "pre-seal",
+        "post-seal",
+        "mid-apply",
+        "post-apply-thread",
+        "post-apply-pre-registers",
+        "mid-register-apply",
+        "post-commit",
+        "mid-bitmap-clear",
+        "mid-switch-save",
+        "mid-switch-restore",
+    ];
+    order
+        .iter()
+        .map(|kind| KindCoverage {
+            kind,
+            exercised: report
+                .sites
+                .iter()
+                .filter(|s| site_kind(s) == *kind)
+                .count() as u64,
+            failed: report
+                .failures
+                .iter()
+                .filter(|f| site_kind(&f.site) == *kind)
+                .count() as u64,
+        })
+        .collect()
+}
+
+/// The workload shapes the default sweep covers: single-thread,
+/// multi-thread, and a longer multi-interval run.
+pub fn default_suite() -> Vec<(&'static str, CrashMatrixConfig)> {
+    vec![
+        (
+            "1 thread x 2 intervals",
+            CrashMatrixConfig {
+                threads: 1,
+                intervals: 2,
+                stores_per_interval: 8,
+                ..Default::default()
+            },
+        ),
+        (
+            "2 threads x 3 intervals",
+            CrashMatrixConfig {
+                threads: 2,
+                intervals: 3,
+                stores_per_interval: 12,
+                ..Default::default()
+            },
+        ),
+        (
+            "3 threads x 2 intervals",
+            CrashMatrixConfig {
+                threads: 3,
+                intervals: 2,
+                stores_per_interval: 10,
+                seed: 0xC0FF_EE00,
+                ..Default::default()
+            },
+        ),
+    ]
+}
+
+/// A reduced suite for quick smoke runs (CI micro workloads).
+pub fn quick_suite() -> Vec<(&'static str, CrashMatrixConfig)> {
+    vec![
+        (
+            "1 thread x 2 intervals",
+            CrashMatrixConfig {
+                threads: 1,
+                intervals: 2,
+                stores_per_interval: 5,
+                ..Default::default()
+            },
+        ),
+        (
+            "2 threads x 2 intervals",
+            CrashMatrixConfig {
+                threads: 2,
+                intervals: 2,
+                stores_per_interval: 6,
+                ..Default::default()
+            },
+        ),
+    ]
+}
+
+/// Runs every shape of `suite` through the exhaustive sweep,
+/// reporting aggregate counters into telemetry (if a context is
+/// installed): `prosper.crashmatrix.sites`, `.survived`, `.failures`.
+pub fn run_suite(suite: &[(&'static str, CrashMatrixConfig)]) -> Vec<MatrixRow> {
+    let rows: Vec<MatrixRow> = suite
+        .iter()
+        .map(|(label, cfg)| MatrixRow {
+            label: (*label).to_string(),
+            cfg: *cfg,
+            report: run_crash_matrix(cfg),
+        })
+        .collect();
+    telemetry::with(|t| {
+        let reg = t.registry();
+        for row in &rows {
+            reg.counter("prosper.crashmatrix.sites")
+                .add(row.report.total());
+            reg.counter("prosper.crashmatrix.survived")
+                .add(row.report.survived);
+            reg.counter("prosper.crashmatrix.failures")
+                .add(row.report.failures.len() as u64);
+        }
+    });
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prosper_telemetry::{NoopSink, Telemetry};
+
+    #[test]
+    fn quick_suite_survives_everything() {
+        telemetry::install(Telemetry::new(Box::new(NoopSink)));
+        let rows = run_suite(&quick_suite());
+        let t = telemetry::uninstall().expect("context was installed");
+        let mut total = 0;
+        for row in &rows {
+            assert!(
+                row.report.all_survived(),
+                "{}: {:?}",
+                row.label,
+                row.report.failures.first()
+            );
+            total += row.report.total();
+        }
+        let snap = t.registry().snapshot();
+        assert_eq!(snap.counters.get("prosper.crashmatrix.sites"), Some(&total));
+        assert_eq!(
+            snap.counters.get("prosper.crashmatrix.survived"),
+            Some(&total)
+        );
+        assert_eq!(snap.counters.get("prosper.crashmatrix.failures"), Some(&0));
+    }
+
+    #[test]
+    fn kind_coverage_spans_the_taxonomy() {
+        let cfg = CrashMatrixConfig {
+            threads: 2,
+            intervals: 2,
+            stores_per_interval: 6,
+            ..Default::default()
+        };
+        let report = run_crash_matrix(&cfg);
+        let cov = kind_coverage(&report);
+        assert_eq!(cov.len(), 12, "one row per site kind");
+        for kc in &cov {
+            assert!(kc.exercised > 0, "kind {} never exercised", kc.kind);
+            assert_eq!(kc.failed, 0, "kind {} has failures", kc.kind);
+        }
+    }
+}

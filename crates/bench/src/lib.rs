@@ -23,6 +23,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod ablation;
+pub mod crash_matrix;
 pub mod endurance;
 pub mod fig_micro;
 pub mod fig_motivation;

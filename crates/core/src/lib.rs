@@ -31,6 +31,13 @@
 //!   NVM updated crash-consistently via a staging buffer.
 //! * [`multithread`] — per-hardware-thread tracker state with context-
 //!   switch save/restore (Section III-C).
+//! * [`recovery`] — whole-process two-phase commit (stage / seal /
+//!   apply) binding every thread's stack and registers to one
+//!   checkpoint sequence.
+//! * [`faultinject`] — the exhaustive crash-point sweep: enumerates
+//!   every step boundary of the checkpoint pipeline, injects a
+//!   simulated power failure at each, and asserts the recovery
+//!   invariants.
 //! * [`energy`] — CACTI-P-derived energy/area accounting (Section V).
 //!
 //! # Example
@@ -52,6 +59,7 @@
 pub mod adaptive;
 pub mod bitmap;
 pub mod energy;
+pub mod faultinject;
 pub mod lookup;
 pub mod msr;
 pub mod multithread;

@@ -17,6 +17,7 @@
 use std::collections::HashMap;
 
 use prosper_gemos::context::ContextSwitchParticipant;
+use prosper_gemos::crash::{CrashInjected, CrashSite, FaultInjector};
 use prosper_memsim::addr::{VirtAddr, VirtRange};
 use prosper_memsim::machine::Machine;
 use prosper_memsim::Cycles;
@@ -107,11 +108,42 @@ impl MultiThreadTracker {
     ///
     /// Panics if `tid` was not registered.
     pub fn schedule(&mut self, machine: &mut Machine, tid: u32) -> Cycles {
+        self.schedule_with_faults(machine, tid, &mut FaultInjector::disabled())
+            .expect("a disabled injector never fires")
+    }
+
+    /// [`Self::schedule`] with crash windows inside the save/restore
+    /// protocol: after the lookup-table flush but before the outgoing
+    /// MSR state is saved ([`CrashSite::MidSwitchSave`]), and after
+    /// the incoming MSRs are restored but before the switch completes
+    /// ([`CrashSite::MidSwitchRestore`]). A crash there loses only
+    /// volatile tracker state — the fault-injection harness asserts
+    /// that a restarted tracker plus process recovery still yield a
+    /// coherent checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrashInjected`] if the injector fired.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` was not registered.
+    pub fn schedule_with_faults(
+        &mut self,
+        machine: &mut Machine,
+        tid: u32,
+        inj: &mut FaultInjector,
+    ) -> Result<Cycles, CrashInjected> {
         assert!(self.saved.contains_key(&tid), "thread {tid} not registered");
         let mut cost: Cycles = 0;
         // Switch-out: flush + quiesce + save.
         if let Some(out_tid) = self.current.take() {
             cost += self.flush_and_quiesce(machine);
+            if inj.observe(CrashSite::MidSwitchSave) {
+                return Err(CrashInjected {
+                    site: CrashSite::MidSwitchSave,
+                });
+            }
             let state = self
                 .saved
                 .get_mut(&out_tid)
@@ -125,8 +157,13 @@ impl MultiThreadTracker {
         let restore = 5 * MSR_WRITE_CYCLES;
         machine.advance(restore);
         cost += restore;
+        if inj.observe(CrashSite::MidSwitchRestore) {
+            return Err(CrashInjected {
+                site: CrashSite::MidSwitchRestore,
+            });
+        }
         self.current = Some(tid);
-        cost
+        Ok(cost)
     }
 
     fn flush_and_quiesce(&mut self, machine: &mut Machine) -> Cycles {
@@ -208,6 +245,11 @@ impl ContextSwitchParticipant for TrackerSwitchParticipant<'_> {
     }
 
     fn switch_in(&mut self, machine: &mut Machine) -> Cycles {
+        assert!(
+            self.inner.saved.contains_key(&self.incoming_tid),
+            "thread {} not registered",
+            self.incoming_tid
+        );
         let state = self.inner.saved[&self.incoming_tid];
         self.inner.tracker.restore_state(state.msrs);
         self.inner.tracker.reset_watermark();
@@ -322,6 +364,40 @@ mod tests {
     fn scheduling_unknown_thread_panics() {
         let (mut mt, mut machine, _, _) = setup();
         mt.schedule(&mut machine, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread 7 not registered")]
+    fn switch_in_to_unknown_thread_panics_with_message() {
+        let (mut mt, mut machine, _, _) = setup();
+        mt.schedule(&mut machine, 0);
+        let mut p = TrackerSwitchParticipant {
+            inner: &mut mt,
+            incoming_tid: 7,
+        };
+        use prosper_gemos::context::ContextSwitchParticipant as _;
+        p.switch_in(&mut machine);
+    }
+
+    #[test]
+    fn crash_mid_switch_save_leaves_no_current_thread() {
+        use prosper_gemos::crash::{CrashSite, FaultInjector};
+        let (mut mt, mut machine, s0, _) = setup();
+        mt.schedule(&mut machine, 0);
+        mt.observe_store(&mut machine, s0.start() + 8, 8);
+        let err = mt
+            .schedule_with_faults(
+                &mut machine,
+                1,
+                &mut FaultInjector::at_site(CrashSite::MidSwitchSave),
+            )
+            .unwrap_err();
+        assert_eq!(err.site, CrashSite::MidSwitchSave);
+        // The flush completed but the switch never did: the crashed
+        // CPU has no scheduled thread, and a fresh schedule works.
+        assert_eq!(mt.current_thread(), None);
+        mt.schedule(&mut machine, 1);
+        assert_eq!(mt.current_thread(), Some(1));
     }
 
     #[test]

@@ -45,6 +45,26 @@ const QUIESCE_POLL_CYCLES: Cycles = MSR_READ_CYCLES;
 /// Virtual address where the OS places the per-thread bitmap area.
 const DEFAULT_BITMAP_BASE: u64 = 0x1000_0000;
 
+/// Addresses of the eight-byte stores that write back the cleared
+/// bitmap words, walking the inspected window from `first_word_addr`
+/// exactly like the read loop does (two 32-bit words per store).
+///
+/// The clear traffic must spread across the window's cache lines the
+/// same way the reads do; issuing every clear store at one address
+/// would let them all coalesce into a single line and undercharge the
+/// metadata-cycle model.
+fn clear_store_addrs(first_word_addr: u64, words_cleared: u64) -> Vec<u64> {
+    let mut addrs = Vec::new();
+    let mut addr = first_word_addr;
+    let mut left = words_cleared;
+    while left > 0 {
+        addrs.push(addr);
+        addr += 8;
+        left = left.saturating_sub(2);
+    }
+    addrs
+}
+
 /// Per-interval telemetry for the Figure 10/11 analyses.
 #[derive(Clone, Copy, Default, Debug)]
 pub struct ProsperIntervalStats {
@@ -271,8 +291,8 @@ impl MemoryPersistence for ProsperMechanism {
                 telemetry::span_end("ckpt.scan", machine.now());
                 telemetry::span_begin("ckpt.clear", "prosper", machine.now());
             }
-            for _ in 0..words_cleared.div_ceil(2) {
-                machine.store(VirtAddr::new(geom.bitmap_base.raw()), 8);
+            for addr in clear_store_addrs(geom.locate(window.start()).0, words_cleared) {
+                machine.store(VirtAddr::new(addr), 8);
             }
             if tel {
                 telemetry::span_end("ckpt.clear", machine.now());
@@ -506,6 +526,28 @@ mod tests {
             mech.last_interval.words_read, 1,
             "dirty window bounds the walk to one bitmap word"
         );
+    }
+
+    #[test]
+    fn clear_stores_walk_the_window_not_one_line() {
+        // Regression: every clear store used to be issued at
+        // `bitmap_base`, collapsing all clear traffic onto one cache
+        // line. The walk must spread like the read loop: one 8-byte
+        // store per pair of 32-bit words, at advancing addresses.
+        let addrs = clear_store_addrs(0x1000_0000, 32);
+        assert_eq!(addrs.len(), 16, "two words per eight-byte store");
+        let spread = addrs.iter().max().unwrap() - addrs.iter().min().unwrap();
+        assert_eq!(spread, 15 * 8, "stores advance through the window");
+        let unique: std::collections::BTreeSet<_> = addrs.iter().collect();
+        assert_eq!(unique.len(), addrs.len(), "no address repeats");
+        let lines: std::collections::BTreeSet<_> = addrs.iter().map(|a| a / 64).collect();
+        assert!(
+            lines.len() >= 2,
+            "a 32-word clear spans multiple cache lines, got {lines:?}"
+        );
+        // Odd word counts round up to a final partial store.
+        assert_eq!(clear_store_addrs(0x2000, 3).len(), 2);
+        assert!(clear_store_addrs(0x2000, 0).is_empty());
     }
 
     #[test]

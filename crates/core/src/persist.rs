@@ -133,22 +133,89 @@ impl PersistentStack {
         self.committed_sequence
     }
 
+    /// Opens a fresh staging buffer (discarding any previous one).
+    /// First step of the commit; a crash here leaves an empty,
+    /// unsealed buffer that recovery discards.
+    pub fn begin_stage(&mut self) {
+        self.phase = CommitPhase::Staging;
+        self.sealed = false;
+        self.staging.clear();
+    }
+
+    /// Stages one dirty run from the volatile image into the NVM
+    /// staging buffer. Drivable run-by-run so fault injection can fire
+    /// a crash between any two runs.
+    pub fn stage_run(&mut self, run: &CopyRun) {
+        debug_assert!(
+            self.phase == CommitPhase::Staging,
+            "stage_run outside an open staging buffer"
+        );
+        let data = self.volatile.read(run.start, run.len as usize);
+        self.staging.push(StagedRun {
+            start: run.start,
+            data,
+        });
+    }
+
+    /// Durably writes the seal marker: the staging buffer is complete
+    /// and recovery may replay it. For whole-process commits the
+    /// per-stack seal is superseded by the process commit record (see
+    /// `prosper_core::recovery`).
+    pub fn seal(&mut self) {
+        self.sealed = true;
+        self.phase = CommitPhase::Sealed;
+    }
+
+    /// Number of runs currently staged.
+    pub fn staged_runs(&self) -> usize {
+        self.staging.len()
+    }
+
+    /// Whether a sealed staging buffer exists.
+    pub fn is_sealed(&self) -> bool {
+        self.sealed
+    }
+
     /// **Step one** of the commit: stage the dirty runs (as produced by
     /// bitmap inspection) from the volatile image into the NVM staging
     /// buffer, then seal it.
     pub fn stage(&mut self, runs: &[CopyRun]) {
-        self.phase = CommitPhase::Staging;
-        self.sealed = false;
+        self.stage_partial(runs);
+        self.seal();
+    }
+
+    /// Applies the staged run at `idx` to the persistent stack.
+    /// Idempotent (staged runs carry absolute data), so recovery can
+    /// replay applies interrupted at any point. Drivable run-by-run
+    /// for fault injection.
+    ///
+    /// The caller vouches for the commit point: either this stack's
+    /// seal marker ([`Self::apply`]) or a whole-process commit record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds of the staging buffer.
+    pub fn apply_run(&mut self, idx: usize) {
+        let run = &self.staging[idx];
+        self.persistent.write(run.start, &run.data);
+    }
+
+    /// Finishes an apply: durably records `sequence` as the committed
+    /// checkpoint and retires the staging buffer.
+    pub fn finish_apply(&mut self, sequence: u64) {
+        self.committed_sequence = sequence;
+        self.next_sequence = self.next_sequence.max(sequence + 1);
         self.staging.clear();
-        for run in runs {
-            let data = self.volatile.read(run.start, run.len as usize);
-            self.staging.push(StagedRun {
-                start: run.start,
-                data,
-            });
-        }
-        self.sealed = true;
-        self.phase = CommitPhase::Sealed;
+        self.sealed = false;
+        self.phase = CommitPhase::Idle;
+    }
+
+    /// Discards an unsealed staging buffer (what recovery does when
+    /// the crash hit before the seal).
+    pub fn discard_staging(&mut self) {
+        self.staging.clear();
+        self.sealed = false;
+        self.phase = CommitPhase::Idle;
     }
 
     /// **Step two**: apply the sealed staging buffer to the persistent
@@ -162,14 +229,10 @@ impl PersistentStack {
             self.sealed && self.phase == CommitPhase::Sealed,
             "apply without a sealed staging buffer"
         );
-        for run in &self.staging {
-            self.persistent.write(run.start, &run.data);
+        for idx in 0..self.staging.len() {
+            self.apply_run(idx);
         }
-        self.committed_sequence = self.next_sequence;
-        self.next_sequence += 1;
-        self.staging.clear();
-        self.sealed = false;
-        self.phase = CommitPhase::Idle;
+        self.finish_apply(self.next_sequence);
     }
 
     /// Convenience: stage + apply in one call (the normal checkpoint
@@ -184,15 +247,9 @@ impl PersistentStack {
     /// commit. Recovery must discard this buffer. Exposed for
     /// crash-injection tests and fault-injection harnesses.
     pub fn stage_partial(&mut self, runs: &[CopyRun]) {
-        self.phase = CommitPhase::Staging;
-        self.sealed = false;
-        self.staging.clear();
+        self.begin_stage();
         for run in runs {
-            let data = self.volatile.read(run.start, run.len as usize);
-            self.staging.push(StagedRun {
-                start: run.start,
-                data,
-            });
+            self.stage_run(run);
         }
         // Crash window: the seal marker is never written.
     }
@@ -210,15 +267,13 @@ impl PersistentStack {
     pub fn recover_after_crash(&mut self) {
         if self.sealed {
             // Idempotent re-apply: staged runs carry absolute data.
-            for run in &self.staging {
-                self.persistent.write(run.start, &run.data);
+            for idx in 0..self.staging.len() {
+                self.apply_run(idx);
             }
-            self.committed_sequence = self.next_sequence;
-            self.next_sequence += 1;
+            self.finish_apply(self.next_sequence);
+        } else {
+            self.discard_staging();
         }
-        self.staging.clear();
-        self.sealed = false;
-        self.phase = CommitPhase::Idle;
         self.volatile = self.persistent.clone();
     }
 }
@@ -285,10 +340,8 @@ mod tests {
         s.record_store(VirtAddr::new(0x7000_0200), b"old");
         s.checkpoint(&[run(0x7000_0200, 8)]);
         s.record_store(VirtAddr::new(0x7000_0200), b"new");
-        // Begin staging but crash before the seal: emulate by building
-        // the staging buffer and clearing the seal flag.
-        s.stage(&[run(0x7000_0200, 8)]);
-        s.sealed = false; // crash hit mid-staging
+        // Begin staging but crash before the seal marker is written.
+        s.stage_partial(&[run(0x7000_0200, 8)]);
         s.crash();
         s.recover_after_crash();
         assert_eq!(
@@ -313,6 +366,57 @@ mod tests {
             "sealed staging replayed on recovery"
         );
         assert_eq!(s.committed_sequence(), 1);
+    }
+
+    #[test]
+    fn run_by_run_staging_matches_batched_stage() {
+        let mut s = store();
+        s.record_store(VirtAddr::new(0x7000_0100), b"alpha");
+        s.record_store(VirtAddr::new(0x7000_0200), b"beta");
+        s.begin_stage();
+        s.stage_run(&run(0x7000_0100, 8));
+        assert_eq!(s.staged_runs(), 1);
+        s.stage_run(&run(0x7000_0200, 8));
+        assert!(!s.is_sealed());
+        s.seal();
+        assert!(s.is_sealed());
+        s.apply();
+        assert_eq!(s.committed_sequence(), 1);
+        assert_eq!(s.persistent().read(VirtAddr::new(0x7000_0100), 5), b"alpha");
+        assert_eq!(s.persistent().read(VirtAddr::new(0x7000_0200), 4), b"beta");
+    }
+
+    #[test]
+    fn crash_mid_apply_replays_all_runs_idempotently() {
+        let mut s = store();
+        s.record_store(VirtAddr::new(0x7000_0100), b"one");
+        s.record_store(VirtAddr::new(0x7000_0200), b"two");
+        s.stage(&[run(0x7000_0100, 8), run(0x7000_0200, 8)]);
+        // Apply the first run, then crash: the sealed buffer replays
+        // in full on recovery, landing exactly one commit.
+        s.apply_run(0);
+        s.crash();
+        s.recover_after_crash();
+        assert_eq!(s.volatile().read(VirtAddr::new(0x7000_0100), 3), b"one");
+        assert_eq!(s.volatile().read(VirtAddr::new(0x7000_0200), 3), b"two");
+        assert_eq!(s.committed_sequence(), 1);
+        assert_eq!(s.staged_runs(), 0);
+    }
+
+    #[test]
+    fn finish_apply_with_external_sequence_keeps_counter_monotonic() {
+        let mut s = store();
+        s.record_store(VirtAddr::new(0x7000_0100), b"proc");
+        s.begin_stage();
+        s.stage_run(&run(0x7000_0100, 8));
+        s.apply_run(0);
+        // A whole-process commit record supplies the sequence.
+        s.finish_apply(7);
+        assert_eq!(s.committed_sequence(), 7);
+        // The next standalone checkpoint continues past it.
+        s.record_store(VirtAddr::new(0x7000_0100), b"solo");
+        s.checkpoint(&[run(0x7000_0100, 8)]);
+        assert_eq!(s.committed_sequence(), 8);
     }
 
     #[test]

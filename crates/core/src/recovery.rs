@@ -9,15 +9,56 @@
 //! runs atomically with respect to recovery — after a crash, the
 //! recovered registers and memory always belong to the *same*
 //! checkpoint.
+//!
+//! # The two-phase whole-process commit
+//!
+//! A naive commit that applies each thread's stack checkpoint and then
+//! the register checkpoint independently is torn by a mid-commit
+//! crash: thread 0's stack recovers at sequence N+1 while thread 1's
+//! stack — or the registers — recover at N. The protocol here extends
+//! the paper's two-step stack commit (Section III-B, Figure 6) to the
+//! whole process:
+//!
+//! 1. **Stage**: every thread's dirty runs are copied into its NVM
+//!    staging buffer, and the register file is staged into a process
+//!    commit record — nothing is applied yet.
+//! 2. **Seal**: the process commit record is sealed with one durable
+//!    write. This is the commit point: a crash before it discards all
+//!    staging (recovery sees sequence N), a crash after it redoes the
+//!    apply from the staged state (recovery sees N+1). Either way all
+//!    threads and the registers land on the *same* sequence.
+//! 3. **Apply**: each staging buffer is applied to its persistent
+//!    stack, then every thread's register slot is written; finally the
+//!    record is retired.
+//!
+//! Every step boundary is a named [`CrashSite`] observed through a
+//! [`FaultInjector`], so the exhaustive crash-point sweep in
+//! [`crate::faultinject`] can fire a simulated power failure at each
+//! one and assert the invariants above.
 
 use std::collections::BTreeMap;
 
+use prosper_gemos::crash::{CrashInjected, CrashSite, FaultInjector};
 use prosper_gemos::process::RegisterFile;
 use prosper_gemos::restore::{NoValidCheckpoint, ProcessCheckpointStore};
 use prosper_memsim::addr::VirtRange;
 
 use crate::bitmap::CopyRun;
 use crate::persist::PersistentStack;
+
+/// The NVM process commit record: the staged register file plus the
+/// seal marker whose single durable write is the whole-process commit
+/// point.
+#[derive(Clone, Debug)]
+struct ProcessCommitRecord {
+    /// Sequence this commit will carry once sealed.
+    sequence: u64,
+    /// Registers of every thread as staged in phase one.
+    staged_regs: Vec<RegisterFile>,
+    /// Written last in phase one; a crash before this leaves the whole
+    /// commit discardable.
+    sealed: bool,
+}
 
 /// A process whose registers and stacks are persisted together.
 #[derive(Debug)]
@@ -26,6 +67,10 @@ pub struct PersistentProcess {
     stacks: BTreeMap<u32, PersistentStack>,
     /// Live register state per thread (what a checkpoint captures).
     live_regs: Vec<RegisterFile>,
+    /// NVM: the in-flight commit record, if a commit was interrupted.
+    pending: Option<ProcessCommitRecord>,
+    /// NVM: sequence number the next commit will use.
+    next_sequence: u64,
 }
 
 /// A recovered execution state.
@@ -35,6 +80,34 @@ pub struct RecoveredState {
     pub regs: Vec<RegisterFile>,
     /// Sequence number of the recovered checkpoint.
     pub sequence: u64,
+}
+
+/// A sequence-coherence violation found by
+/// [`PersistentProcess::verify_coherent`]: two parts of the recovered
+/// state belong to different checkpoints.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SequenceSkew {
+    /// Human-readable description of the skewed component.
+    pub detail: String,
+}
+
+impl std::fmt::Display for SequenceSkew {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sequence skew: {}", self.detail)
+    }
+}
+
+impl std::error::Error for SequenceSkew {}
+
+/// Fires the injector at `site`, aborting the interrupted operation
+/// exactly as a power failure would: persistent state is left as-is,
+/// the in-flight operation never continues.
+macro_rules! crash_window {
+    ($inj:expr, $site:expr) => {
+        if $inj.observe($site) {
+            return Err(CrashInjected { site: $site });
+        }
+    };
 }
 
 impl PersistentProcess {
@@ -57,6 +130,8 @@ impl PersistentProcess {
                 .map(|(tid, r)| (tid as u32, PersistentStack::new(tid as u32, *r)))
                 .collect(),
             live_regs: vec![RegisterFile::default(); stack_ranges.len()],
+            pending: None,
+            next_sequence: 1,
         }
     }
 
@@ -87,21 +162,119 @@ impl PersistentProcess {
         &self.stacks[&tid]
     }
 
+    /// Thread `tid`'s live registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread does not exist.
+    pub fn regs(&self, tid: u32) -> &RegisterFile {
+        &self.live_regs[tid as usize]
+    }
+
+    /// Number of threads.
+    pub fn threads(&self) -> usize {
+        self.live_regs.len()
+    }
+
+    /// Sequence of the last fully-committed whole-process checkpoint.
+    pub fn committed_sequence(&self) -> u64 {
+        self.registers.committed_sequence
+    }
+
     /// Commits one whole-process checkpoint: every thread's stack runs
     /// (from its tracker's bitmap inspection) plus every thread's
-    /// registers.
+    /// registers, under the two-phase stage/seal/apply protocol.
     ///
     /// # Panics
     ///
     /// Panics if `runs_per_thread` misses a registered thread.
     pub fn commit(&mut self, runs_per_thread: &BTreeMap<u32, Vec<CopyRun>>) {
+        self.commit_with_faults(runs_per_thread, &mut FaultInjector::disabled())
+            .expect("a disabled injector never fires");
+    }
+
+    /// [`Self::commit`] with a crash window at every step boundary.
+    ///
+    /// When the injector fires, the commit stops immediately and
+    /// returns [`CrashInjected`], leaving the persistent state exactly
+    /// as a power failure at that boundary would: the caller then
+    /// simulates the crash ([`Self::crash`]) and recovers
+    /// ([`Self::recover`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrashInjected`] if the injector fired.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs_per_thread` misses a registered thread.
+    pub fn commit_with_faults(
+        &mut self,
+        runs_per_thread: &BTreeMap<u32, Vec<CopyRun>>,
+        inj: &mut FaultInjector,
+    ) -> Result<(), CrashInjected> {
+        crash_window!(inj, CrashSite::PreStage);
+        // Phase one: stage every thread's runs...
         for (tid, stack) in &mut self.stacks {
             let runs = runs_per_thread
                 .get(tid)
                 .unwrap_or_else(|| panic!("no runs supplied for thread {tid}"));
-            stack.checkpoint(runs);
+            stack.begin_stage();
+            for (k, run) in runs.iter().enumerate() {
+                stack.stage_run(run);
+                crash_window!(
+                    inj,
+                    CrashSite::MidStage {
+                        tid: *tid,
+                        runs_staged: k as u32 + 1,
+                    }
+                );
+            }
         }
-        self.registers.checkpoint(&self.live_regs);
+        // ...and the register file, into the unsealed commit record.
+        self.pending = Some(ProcessCommitRecord {
+            sequence: self.next_sequence,
+            staged_regs: self.live_regs.clone(),
+            sealed: false,
+        });
+        crash_window!(inj, CrashSite::PreSeal);
+        // Seal: the single durable write that commits the checkpoint.
+        self.pending.as_mut().expect("record just staged").sealed = true;
+        crash_window!(inj, CrashSite::PostSeal);
+        // Phase two.
+        self.apply_pending(inj)
+    }
+
+    /// Applies the sealed commit record: every staging buffer, then
+    /// every register slot, then retires the record. Idempotent, so
+    /// recovery replays it from any interruption point.
+    fn apply_pending(&mut self, inj: &mut FaultInjector) -> Result<(), CrashInjected> {
+        let record = self.pending.clone().expect("apply without a commit record");
+        debug_assert!(record.sealed, "apply before the seal");
+        for (tid, stack) in &mut self.stacks {
+            for k in 0..stack.staged_runs() {
+                stack.apply_run(k);
+                crash_window!(
+                    inj,
+                    CrashSite::MidApply {
+                        tid: *tid,
+                        runs_applied: k as u32 + 1,
+                    }
+                );
+            }
+            stack.finish_apply(record.sequence);
+            crash_window!(inj, CrashSite::PostApplyThread { tid: *tid });
+        }
+        crash_window!(inj, CrashSite::PostApplyPreRegisters);
+        for (tid, regs) in record.staged_regs.iter().enumerate() {
+            self.registers.apply_thread_at(tid, *regs, record.sequence);
+            crash_window!(inj, CrashSite::MidRegisterApply { tid: tid as u32 });
+        }
+        self.registers.set_committed_sequence(record.sequence);
+        self.pending = None;
+        self.next_sequence = record.sequence + 1;
+        crash_window!(inj, CrashSite::PostCommit);
+        Ok(())
     }
 
     /// Simulates a power failure: all live registers and volatile
@@ -113,13 +286,33 @@ impl PersistentProcess {
         self.live_regs = vec![RegisterFile::default(); self.live_regs.len()];
     }
 
-    /// Recovers the process: every stack replays/discards its staging
-    /// buffer and the newest valid register checkpoint is loaded.
+    /// Recovers the process to one coherent checkpoint.
+    ///
+    /// If a sealed commit record exists, the crash hit after the
+    /// commit point: the apply is **redone** from the staged state
+    /// (idempotently), landing every stack and every register slot on
+    /// the record's sequence. Without a sealed record, all staging is
+    /// discarded and the previous checkpoint stands. Either way no
+    /// component can recover at a different sequence than the rest.
     ///
     /// # Errors
     ///
     /// Returns [`NoValidCheckpoint`] if no complete checkpoint exists.
     pub fn recover(&mut self) -> Result<RecoveredState, NoValidCheckpoint> {
+        match &self.pending {
+            Some(record) if record.sealed => {
+                self.apply_pending(&mut FaultInjector::disabled())
+                    .expect("a disabled injector never fires");
+            }
+            Some(_) => {
+                // The commit never sealed: discard it wholesale.
+                self.pending = None;
+                for stack in self.stacks.values_mut() {
+                    stack.discard_staging();
+                }
+            }
+            None => {}
+        }
         for stack in self.stacks.values_mut() {
             stack.recover_after_crash();
         }
@@ -130,11 +323,52 @@ impl PersistentProcess {
             sequence: self.registers.committed_sequence,
         })
     }
+
+    /// Checks the cross-component sequence invariant: every thread's
+    /// stack, every thread's register slot, and the process store
+    /// itself agree on one committed sequence. The fault-injection
+    /// harness runs this after every recovery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SequenceSkew`] naming the first disagreeing component.
+    pub fn verify_coherent(&self) -> Result<u64, SequenceSkew> {
+        let seq = self.registers.committed_sequence;
+        for (tid, stack) in &self.stacks {
+            if stack.committed_sequence() != seq {
+                return Err(SequenceSkew {
+                    detail: format!(
+                        "thread {tid} stack at sequence {}, process at {seq}",
+                        stack.committed_sequence()
+                    ),
+                });
+            }
+        }
+        if seq > 0 {
+            let detailed = self
+                .registers
+                .recover_detailed()
+                .map_err(|_| SequenceSkew {
+                    detail: format!("process at sequence {seq} but registers unrecoverable"),
+                })?;
+            for (tid, (_, reg_seq)) in detailed.iter().enumerate() {
+                if *reg_seq != seq {
+                    return Err(SequenceSkew {
+                        detail: format!(
+                            "thread {tid} registers at sequence {reg_seq}, process at {seq}"
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(seq)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use prosper_gemos::crash::CrashPlan;
     use prosper_memsim::addr::VirtAddr;
 
     fn ranges(n: u64) -> Vec<VirtRange> {
@@ -183,6 +417,7 @@ mod tests {
             p.stack(0).volatile().read(r0.start() + 64, 11),
             b"thread-zero"
         );
+        assert_eq!(p.verify_coherent().unwrap(), 1);
     }
 
     #[test]
@@ -218,5 +453,138 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn empty_process_rejected() {
         PersistentProcess::new(&[]);
+    }
+
+    /// Sets up a two-thread process with one clean commit at sequence
+    /// 1 and distinct per-thread data staged for commit 2.
+    fn two_thread_mid_commit_setup() -> (PersistentProcess, BTreeMap<u32, Vec<CopyRun>>) {
+        let mut p = PersistentProcess::new(&ranges(2));
+        for tid in 0..2u32 {
+            let r = p.stack(tid).range();
+            p.record_store(tid, r.start() + 32, &[0x10 + tid as u8; 16]);
+            p.regs_mut(tid).rip = 0x100 + u64::from(tid);
+        }
+        let runs = full_runs(&p, &[0, 1]);
+        p.commit(&runs);
+        for tid in 0..2u32 {
+            let r = p.stack(tid).range();
+            p.record_store(tid, r.start() + 32, &[0x20 + tid as u8; 16]);
+            p.regs_mut(tid).rip = 0x200 + u64::from(tid);
+        }
+        (p, runs)
+    }
+
+    /// Satellite regression: a crash **between two thread-stack
+    /// applies** must not recover thread 0 at sequence 2 with thread 1
+    /// at sequence 1. Under the pre-two-phase commit (each stack
+    /// checkpointed independently) this exact schedule was torn.
+    #[test]
+    fn crash_between_thread_stack_applies_recovers_one_sequence() {
+        let (mut p, runs) = two_thread_mid_commit_setup();
+        let err = p
+            .commit_with_faults(
+                &runs,
+                &mut FaultInjector::at_site(CrashSite::PostApplyThread { tid: 0 }),
+            )
+            .unwrap_err();
+        assert_eq!(err.site, CrashSite::PostApplyThread { tid: 0 });
+        p.crash();
+        let rec = p.recover().unwrap();
+        // The seal preceded the crash: recovery redoes the whole
+        // commit, landing both stacks and the registers on sequence 2.
+        assert_eq!(rec.sequence, 2);
+        assert_eq!(p.verify_coherent().unwrap(), 2);
+        for tid in 0..2u32 {
+            let r = p.stack(tid).range();
+            assert_eq!(
+                p.stack(tid).volatile().read(r.start() + 32, 16),
+                vec![0x20 + tid as u8; 16],
+                "thread {tid} recovered the redone commit"
+            );
+            assert_eq!(rec.regs[tid as usize].rip, 0x200 + u64::from(tid));
+        }
+    }
+
+    /// Satellite regression: a crash **between the stack applies and
+    /// the register apply** must not recover stacks at sequence 2 with
+    /// registers at sequence 1 — the torn state the two-step protocol
+    /// exists to prevent.
+    #[test]
+    fn crash_between_stacks_and_registers_recovers_one_sequence() {
+        let (mut p, runs) = two_thread_mid_commit_setup();
+        let err = p
+            .commit_with_faults(
+                &runs,
+                &mut FaultInjector::at_site(CrashSite::PostApplyPreRegisters),
+            )
+            .unwrap_err();
+        assert_eq!(err.site, CrashSite::PostApplyPreRegisters);
+        p.crash();
+        let rec = p.recover().unwrap();
+        assert_eq!(rec.sequence, 2);
+        assert_eq!(p.verify_coherent().unwrap(), 2);
+        assert_eq!(rec.regs[0].rip, 0x200, "registers redone with the stacks");
+        assert_eq!(rec.regs[1].rip, 0x201);
+    }
+
+    /// A crash before the seal discards the whole in-flight commit:
+    /// everything recovers at the previous sequence.
+    #[test]
+    fn crash_before_seal_discards_whole_commit() {
+        let (mut p, runs) = two_thread_mid_commit_setup();
+        for plan in [
+            CrashPlan::AtSite(CrashSite::PreStage),
+            CrashPlan::AtSite(CrashSite::MidStage {
+                tid: 1,
+                runs_staged: 1,
+            }),
+            CrashPlan::AtSite(CrashSite::PreSeal),
+        ] {
+            let mut inj = FaultInjector::new(plan);
+            p.commit_with_faults(&runs, &mut inj).unwrap_err();
+            p.crash();
+            let rec = p.recover().unwrap();
+            assert_eq!(rec.sequence, 1, "pre-seal crash keeps sequence 1");
+            assert_eq!(p.verify_coherent().unwrap(), 1);
+            for tid in 0..2u32 {
+                let r = p.stack(tid).range();
+                assert_eq!(
+                    p.stack(tid).volatile().read(r.start() + 32, 16),
+                    vec![0x10 + tid as u8; 16]
+                );
+                assert_eq!(rec.regs[tid as usize].rip, 0x100 + u64::from(tid));
+            }
+            // Rebuild the live state the crash wiped, then retry.
+            for tid in 0..2u32 {
+                let r = p.stack(tid).range();
+                p.record_store(tid, r.start() + 32, &[0x20 + tid as u8; 16]);
+                p.regs_mut(tid).rip = 0x200 + u64::from(tid);
+            }
+        }
+        // The interrupted commits retried cleanly.
+        p.commit(&runs);
+        assert_eq!(p.verify_coherent().unwrap(), 2);
+    }
+
+    /// Double crash: a crash during recovery's redo (modelled as a
+    /// second crash+recover without a completed first recovery) still
+    /// converges to the committed checkpoint.
+    #[test]
+    fn repeated_recovery_is_idempotent() {
+        let (mut p, runs) = two_thread_mid_commit_setup();
+        p.commit_with_faults(
+            &runs,
+            &mut FaultInjector::at_site(CrashSite::MidApply {
+                tid: 0,
+                runs_applied: 1,
+            }),
+        )
+        .unwrap_err();
+        for _ in 0..3 {
+            p.crash();
+            let rec = p.recover().unwrap();
+            assert_eq!(rec.sequence, 2);
+            assert_eq!(p.verify_coherent().unwrap(), 2);
+        }
     }
 }

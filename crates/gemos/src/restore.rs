@@ -59,6 +59,19 @@ impl RegisterStore {
         self.slots[idx].valid = true;
     }
 
+    /// Persists `regs` at an externally-supplied sequence number (the
+    /// whole-process commit record's), into the older slot. Idempotent
+    /// for a given `(regs, sequence)` pair: recovery can re-apply an
+    /// interrupted register apply and recover the same state.
+    pub fn checkpoint_at(&mut self, regs: RegisterFile, sequence: u64) {
+        self.next_sequence = self.next_sequence.max(sequence);
+        let idx = self.older_slot();
+        self.slots[idx].valid = false;
+        self.slots[idx].regs = regs;
+        self.slots[idx].sequence = sequence;
+        self.slots[idx].valid = true;
+    }
+
     /// Begins a checkpoint but "crashes" before the validity marker is
     /// written — for crash-injection tests.
     pub fn checkpoint_torn(&mut self, regs: RegisterFile) {
@@ -136,6 +149,23 @@ impl ProcessCheckpointStore {
         self.committed_sequence += 1;
     }
 
+    /// Applies one thread's registers at an explicit whole-process
+    /// sequence number — phase two of the two-phase process commit.
+    /// Idempotent, so recovery can replay an interrupted apply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range.
+    pub fn apply_thread_at(&mut self, tid: usize, regs: RegisterFile, sequence: u64) {
+        self.registers[tid].checkpoint_at(regs, sequence);
+    }
+
+    /// Durably records `sequence` as the last complete whole-process
+    /// checkpoint (written after every thread's slot is applied).
+    pub fn set_committed_sequence(&mut self, sequence: u64) {
+        self.committed_sequence = sequence;
+    }
+
     /// Recovers all threads' registers.
     ///
     /// # Errors
@@ -146,6 +176,17 @@ impl ProcessCheckpointStore {
             .iter()
             .map(|s| s.recover().map(|(r, _)| r))
             .collect()
+    }
+
+    /// Recovers all threads' registers together with each slot's
+    /// sequence number — the fault-injection harness asserts these
+    /// never skew across threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NoValidCheckpoint`] if any thread lacks a valid slot.
+    pub fn recover_detailed(&self) -> Result<Vec<(RegisterFile, u64)>, NoValidCheckpoint> {
+        self.registers.iter().map(|s| s.recover()).collect()
     }
 
     /// Access to one thread's register store (crash-injection tests).
@@ -211,6 +252,29 @@ mod tests {
         s.checkpoint_torn(regs(3));
         let (r, _) = s.recover().unwrap();
         assert_eq!(r.gpr[0], 2);
+    }
+
+    #[test]
+    fn checkpoint_at_is_idempotent_for_reapply() {
+        let mut s = RegisterStore::new();
+        s.checkpoint_at(regs(1), 1);
+        s.checkpoint_at(regs(2), 2);
+        // Recovery re-applies the same (regs, sequence) pair.
+        s.checkpoint_at(regs(2), 2);
+        let (r, seq) = s.recover().unwrap();
+        assert_eq!(r.gpr[0], 2);
+        assert_eq!(seq, 2);
+    }
+
+    #[test]
+    fn recover_detailed_exposes_per_thread_sequences() {
+        let mut p = ProcessCheckpointStore::new(2);
+        p.apply_thread_at(0, regs(5), 4);
+        p.apply_thread_at(1, regs(6), 4);
+        p.set_committed_sequence(4);
+        let detailed = p.recover_detailed().unwrap();
+        assert!(detailed.iter().all(|(_, seq)| *seq == 4));
+        assert_eq!(p.committed_sequence, 4);
     }
 
     #[test]
