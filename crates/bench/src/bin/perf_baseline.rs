@@ -1,0 +1,106 @@
+//! Records the PR 3 performance baseline.
+//!
+//! Runs the [`prosper_bench::perf`] suite — bitmap-inspection
+//! speedups, parallel-commit scaling, checkpoint-latency percentiles,
+//! and end-to-end workload runtimes — prints the tables, and writes
+//! the JSON report (default `BENCH_pr3.json`).
+//!
+//! ```sh
+//! cargo run --release -p prosper-bench --bin perf_baseline
+//! cargo run --release -p prosper-bench --bin perf_baseline -- --quick --out BENCH_smoke.json
+//! ```
+//!
+//! Exits nonzero if the acceptance gate fails (sparse-stack
+//! inspection speedup < 5x, missing sections) or the emitted JSON
+//! does not parse back.
+
+use std::process::ExitCode;
+
+use prosper_bench::perf::{self, PerfConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pr3.json".to_string());
+
+    let cfg = if quick {
+        PerfConfig::quick()
+    } else {
+        PerfConfig::full()
+    };
+    println!(
+        "Prosper perf baseline ({} budgets) -> {out}\n",
+        if quick { "quick" } else { "full" }
+    );
+
+    let report = perf::run_all(&cfg);
+    for table in perf::render(&report) {
+        table.print();
+    }
+
+    let s = &report.summary;
+    println!("summary:");
+    println!(
+        "  sparse-stack inspect speedup: {:.1}x (gate: >= {:.0}x)",
+        s.sparse_stack_speedup,
+        perf::SPARSE_STACK_GATE
+    );
+    println!(
+        "  commit speedup at {} workers: {:.2}x",
+        s.max_commit_workers, s.commit_speedup_at_max_workers
+    );
+    println!(
+        "  checkpoint interval p99: {} cycles",
+        s.ckpt_interval_p99_cycles
+    );
+
+    if let Err(why) = perf::validate(&report) {
+        eprintln!("\nRESULT: FAIL ({why})");
+        return ExitCode::FAILURE;
+    }
+
+    let json = match serde_json::to_string_pretty(&report) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("\nRESULT: FAIL (serialize: {e:?})");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(&out, format!("{json}\n")) {
+        eprintln!("\nRESULT: FAIL (write {out}: {e})");
+        return ExitCode::FAILURE;
+    }
+
+    // Read the artifact back and check it is well-formed JSON with the
+    // sections the consumers (CI, EXPERIMENTS.md) rely on.
+    match std::fs::read_to_string(&out)
+        .map_err(|e| e.to_string())
+        .and_then(|text| {
+            serde_json::from_str::<serde_json::Value>(&text).map_err(|e| format!("{e:?}"))
+        }) {
+        Ok(v) => {
+            let schema_ok = v.get("schema").and_then(|s| s.as_str()) == Some(perf::SCHEMA);
+            let rows = v
+                .get("bitmap")
+                .and_then(|b| b.as_array())
+                .map_or(0, Vec::len);
+            if !schema_ok || rows == 0 {
+                eprintln!("\nRESULT: FAIL ({out} is malformed or empty)");
+                return ExitCode::FAILURE;
+            }
+        }
+        Err(e) => {
+            eprintln!("\nRESULT: FAIL (re-read {out}: {e})");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    println!("\nwrote {out}");
+    println!("RESULT: PASS");
+    ExitCode::SUCCESS
+}

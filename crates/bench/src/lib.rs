@@ -31,6 +31,7 @@ pub mod fig_overhead;
 pub mod fig_performance;
 pub mod misc;
 pub mod multicore_study;
+pub mod perf;
 pub mod report;
 pub mod scale;
 pub mod scheduler;

@@ -1,0 +1,879 @@
+//! Performance baseline suite for the hierarchical dirty bitmap and
+//! the parallel whole-process commit (PR 3).
+//!
+//! Four sections, each with wall-clock measurements taken via
+//! [`std::time::Instant`] (this is host time, not the simulator's
+//! cycle domain — the point is the cost of the *implementation*, not
+//! of the modeled machine):
+//!
+//! 1. **Bitmap inspection** — `inspect_and_clear` over sparse-stack,
+//!    clustered, and dense dirty patterns, hierarchical
+//!    [`DirtyBitmap`] vs the retained [`SparseDirtyBitmap`] BTreeMap
+//!    reference, reported as granules scanned per second and a
+//!    speedup ratio. The acceptance gate requires ≥ 5× on the
+//!    sparse-stack pattern.
+//! 2. **Parallel commit scaling** — `commit_with_workers` on an
+//!    8-thread process across worker counts, with the telemetry
+//!    per-phase timers (`stage`/`seal`/`apply`) broken out per
+//!    configuration.
+//! 3. **Checkpoint latency** — interval-latency percentiles and
+//!    per-phase cycle timers from the telemetry registry while a
+//!    workload runs under [`ProsperMechanism`].
+//! 4. **End-to-end runtime** — micro workloads through the
+//!    checkpoint manager and the timeslice scheduler across process
+//!    counts.
+//!
+//! [`run_all`] produces a [`PerfReport`]; the `perf_baseline` binary
+//! renders it, writes `BENCH_pr3.json`, and enforces [`validate`].
+
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::time::Instant;
+
+use prosper_core::bitmap::reference::SparseDirtyBitmap;
+use prosper_core::bitmap::{BitmapGeometry, CopyRun, DirtyBitmap};
+use prosper_core::oscomp::ProsperMechanism;
+use prosper_core::recovery::PersistentProcess;
+use prosper_gemos::checkpoint::CheckpointManager;
+use prosper_memsim::addr::{VirtAddr, VirtRange};
+use prosper_memsim::config::MachineConfig;
+use prosper_memsim::machine::Machine;
+use prosper_telemetry as telemetry;
+use prosper_telemetry::{HistogramSnapshot, MetricsSnapshot, NoopSink, Telemetry};
+use prosper_trace::micro::{MicroBench, MicroSpec};
+use prosper_trace::workloads::{Workload, WorkloadProfile};
+use serde::Serialize;
+
+use crate::report::{ratio, Table};
+use crate::scale::SEED;
+use crate::scheduler::run_scheduled;
+
+/// Schema tag stamped into the JSON report.
+pub const SCHEMA: &str = "prosper-perf-baseline/v1";
+
+/// Minimum sparse-stack inspection speedup the baseline must record.
+pub const SPARSE_STACK_GATE: f64 = 5.0;
+
+/// Iteration budgets for one suite run.
+#[derive(Clone, Copy, Debug)]
+pub struct PerfConfig {
+    /// Shrink every budget for a CI smoke run.
+    pub quick: bool,
+}
+
+impl PerfConfig {
+    /// Full-fidelity budgets (the committed baseline).
+    #[must_use]
+    pub fn full() -> Self {
+        Self { quick: false }
+    }
+
+    /// Reduced budgets for CI smoke runs.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self { quick: true }
+    }
+
+    fn bitmap_iters(&self) -> u64 {
+        if self.quick {
+            30
+        } else {
+            300
+        }
+    }
+
+    fn commit_iters(&self) -> u64 {
+        if self.quick {
+            4
+        } else {
+            12
+        }
+    }
+
+    fn commit_workers(&self) -> &'static [usize] {
+        if self.quick {
+            &[1, 2, 4]
+        } else {
+            &[1, 2, 4, 8]
+        }
+    }
+
+    fn ckpt_intervals(&self) -> u64 {
+        if self.quick {
+            8
+        } else {
+            48
+        }
+    }
+
+    fn workload_intervals(&self) -> u64 {
+        if self.quick {
+            3
+        } else {
+            12
+        }
+    }
+
+    fn schedule_counts(&self) -> &'static [usize] {
+        if self.quick {
+            &[1, 2]
+        } else {
+            &[1, 2, 4]
+        }
+    }
+
+    fn schedule_slices(&self) -> u64 {
+        if self.quick {
+            16
+        } else {
+            48
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Section 1: bitmap inspection
+// ---------------------------------------------------------------------------
+
+/// Bitmap words in the inspected window (each word covers 32 granules).
+const WINDOW_WORDS: u64 = 4096;
+const RANGE_START: u64 = 0x7000_0000;
+const BITMAP_BASE: u64 = 0x1000_0000;
+const GRANULARITY: u64 = 8;
+
+/// One inspection pattern's measurements.
+#[derive(Clone, Debug, Serialize)]
+pub struct BitmapRow {
+    /// Pattern name (`sparse-stack`, `clustered`, `dense`).
+    pub pattern: String,
+    /// Granules covered by the inspected window.
+    pub window_granules: u64,
+    /// Dirty bitmap words per iteration.
+    pub dirty_words: u64,
+    /// Dirty granule bits per iteration.
+    pub dirty_bits: u64,
+    /// Timed inspections per implementation.
+    pub iterations: u64,
+    /// Mean `inspect_and_clear` wall time, hierarchical bitmap (ns).
+    pub hier_ns_mean: f64,
+    /// Mean `inspect_and_clear` wall time, sparse reference (ns).
+    pub sparse_ns_mean: f64,
+    /// Window granules scanned per second, hierarchical bitmap.
+    pub hier_granules_per_sec: f64,
+    /// Window granules scanned per second, sparse reference.
+    pub sparse_granules_per_sec: f64,
+    /// `sparse_ns_mean / hier_ns_mean`.
+    pub speedup: f64,
+}
+
+fn perf_geom() -> BitmapGeometry {
+    BitmapGeometry {
+        range_start: VirtAddr::new(RANGE_START),
+        bitmap_base: VirtAddr::new(BITMAP_BASE),
+        granularity: GRANULARITY,
+    }
+}
+
+fn perf_window() -> VirtRange {
+    VirtRange::new(
+        VirtAddr::new(RANGE_START),
+        VirtAddr::new(RANGE_START + WINDOW_WORDS * 32 * GRANULARITY),
+    )
+}
+
+/// (word index, word value) pairs dirtied before every inspection.
+fn pattern_words(pattern: &str) -> Vec<(u64, u32)> {
+    match pattern {
+        // A few dozen live frames scattered over a large reserved
+        // window: the shape a real program stack leaves behind.
+        "sparse-stack" => (0..WINDOW_WORDS)
+            .step_by(100)
+            .map(|w| (w, 0x0000_00ffu32))
+            .collect(),
+        // Bursts of fully dirty words (hot frames), clean in between.
+        "clustered" => (0..8u64)
+            .flat_map(|c| (0..16u64).map(move |i| (c * 512 + i, u32::MAX)))
+            .collect(),
+        // Worst case for the fast path: everything dirty.
+        "dense" => (0..WINDOW_WORDS).map(|w| (w, u32::MAX)).collect(),
+        other => panic!("unknown pattern {other}"),
+    }
+}
+
+/// Times `iters` populate+inspect rounds; only the inspection is
+/// accumulated. Returns total inspection nanoseconds.
+fn time_inspections<B, I>(words: &[(u64, u32)], iters: u64, bitmap: &mut B, mut inspect: I) -> u64
+where
+    I: FnMut(&mut B) -> (Vec<CopyRun>, prosper_core::bitmap::InspectStats),
+    B: DirtyWords,
+{
+    let mut total_ns = 0u64;
+    for _ in 0..iters {
+        for &(w, v) in words {
+            bitmap.merge(BITMAP_BASE + w * 4, v);
+        }
+        let t = Instant::now();
+        let out = inspect(bitmap);
+        total_ns += t.elapsed().as_nanos() as u64;
+        black_box(out);
+    }
+    total_ns
+}
+
+/// Uniform `merge_word` access for the two bitmap implementations.
+trait DirtyWords {
+    fn merge(&mut self, addr: u64, value: u32);
+}
+
+impl DirtyWords for DirtyBitmap {
+    fn merge(&mut self, addr: u64, value: u32) {
+        self.merge_word(addr, value);
+    }
+}
+
+impl DirtyWords for SparseDirtyBitmap {
+    fn merge(&mut self, addr: u64, value: u32) {
+        self.merge_word(addr, value);
+    }
+}
+
+/// Runs the bitmap-inspection comparison for every pattern.
+#[must_use]
+pub fn bitmap_section(cfg: &PerfConfig) -> Vec<BitmapRow> {
+    let geom = perf_geom();
+    let window = perf_window();
+    let iters = cfg.bitmap_iters();
+    let mut rows = Vec::new();
+    for pattern in ["sparse-stack", "clustered", "dense"] {
+        let words = pattern_words(pattern);
+
+        // Sanity: both implementations agree on this pattern.
+        let mut h = DirtyBitmap::new();
+        let mut s = SparseDirtyBitmap::new();
+        for &(w, v) in &words {
+            h.merge_word(BITMAP_BASE + w * 4, v);
+            s.merge_word(BITMAP_BASE + w * 4, v);
+        }
+        let (hr, hs) = h.inspect_and_clear(&geom, window);
+        let (sr, ss) = s.inspect_and_clear(&geom, window);
+        assert_eq!(hr, sr, "implementations diverged on {pattern}");
+        assert_eq!(hs, ss, "stats diverged on {pattern}");
+
+        let hier_ns = time_inspections(&words, iters, &mut DirtyBitmap::new(), |b| {
+            b.inspect_and_clear(&geom, window)
+        });
+        let sparse_ns = time_inspections(&words, iters, &mut SparseDirtyBitmap::new(), |b| {
+            b.inspect_and_clear(&geom, window)
+        });
+
+        let window_granules = WINDOW_WORDS * 32;
+        let hier_mean = hier_ns as f64 / iters as f64;
+        let sparse_mean = sparse_ns as f64 / iters as f64;
+        let per_sec = |mean_ns: f64| window_granules as f64 / (mean_ns / 1e9);
+        rows.push(BitmapRow {
+            pattern: pattern.to_string(),
+            window_granules,
+            dirty_words: words.len() as u64,
+            dirty_bits: words.iter().map(|&(_, v)| u64::from(v.count_ones())).sum(),
+            iterations: iters,
+            hier_ns_mean: hier_mean,
+            sparse_ns_mean: sparse_mean,
+            hier_granules_per_sec: per_sec(hier_mean),
+            sparse_granules_per_sec: per_sec(sparse_mean),
+            speedup: sparse_mean / hier_mean.max(1.0),
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Section 2: parallel commit scaling
+// ---------------------------------------------------------------------------
+
+/// One worker-count configuration of the commit-scaling study.
+#[derive(Clone, Debug, Serialize)]
+pub struct CommitRow {
+    /// Staging/apply workers used.
+    pub workers: usize,
+    /// Timed commits.
+    pub iterations: u64,
+    /// Mean whole-commit wall time (ns).
+    pub mean_ns: f64,
+    /// Speedup vs the single-worker (serial) configuration.
+    pub speedup_vs_serial: f64,
+    /// Mean stage-phase wall time per commit (ns, telemetry).
+    pub stage_ns_mean: f64,
+    /// Mean seal-phase wall time per commit (ns, telemetry).
+    pub seal_ns_mean: f64,
+    /// Mean apply-phase wall time per commit (ns, telemetry).
+    pub apply_ns_mean: f64,
+}
+
+/// The commit-scaling study: fixed workload shape, varying workers.
+#[derive(Clone, Debug, Serialize)]
+pub struct CommitSection {
+    /// `available_parallelism()` on the recording host. Worker counts
+    /// above this add thread overhead without concurrency, so flat or
+    /// negative scaling past it is expected, not a regression.
+    pub host_parallelism: usize,
+    /// Threads (stacks) in the committed process.
+    pub threads: usize,
+    /// Copy runs supplied per thread.
+    pub runs_per_thread: usize,
+    /// Bytes staged+applied per commit across all threads.
+    pub bytes_per_commit: u64,
+    /// One row per worker count.
+    pub rows: Vec<CommitRow>,
+}
+
+/// Measures `commit_with_workers` across worker counts.
+#[must_use]
+pub fn commit_section(cfg: &PerfConfig) -> CommitSection {
+    const THREADS: usize = 8;
+    const STACK_BYTES: u64 = 256 * 1024;
+    const RUNS_PER_THREAD: u64 = 64;
+    let ranges: Vec<VirtRange> = (0..THREADS as u64)
+        .map(|i| {
+            let top = 0x7100_0000 + (i + 1) * 0x100_0000;
+            VirtRange::new(VirtAddr::new(top - STACK_BYTES), VirtAddr::new(top))
+        })
+        .collect();
+    let mut process = PersistentProcess::new(&ranges);
+    let run_len = STACK_BYTES / RUNS_PER_THREAD;
+    let mut runs: BTreeMap<u32, Vec<CopyRun>> = BTreeMap::new();
+    for (tid, range) in ranges.iter().enumerate() {
+        let tid = tid as u32;
+        // Give each stack distinct content so staging copies real data.
+        process.record_store(tid, range.start() + 64, &[0xA0 + tid as u8; 128]);
+        runs.insert(
+            tid,
+            (0..RUNS_PER_THREAD)
+                .map(|r| CopyRun {
+                    start: range.start() + r * run_len,
+                    len: run_len,
+                })
+                .collect(),
+        );
+    }
+
+    let iters = cfg.commit_iters();
+    let mut rows = Vec::new();
+    let mut serial_mean = 0.0f64;
+    for &workers in cfg.commit_workers() {
+        process.commit_with_workers(&runs, workers); // warm-up
+        let before = registry_snapshot();
+        let t = Instant::now();
+        for _ in 0..iters {
+            process.commit_with_workers(&runs, workers);
+        }
+        let total_ns = t.elapsed().as_nanos() as u64;
+        let delta = registry_snapshot() - before;
+        let mean_ns = total_ns as f64 / iters as f64;
+        if workers == 1 {
+            serial_mean = mean_ns;
+        }
+        let phase = |name: &str| hist(&delta, name).mean();
+        rows.push(CommitRow {
+            workers,
+            iterations: iters,
+            mean_ns,
+            speedup_vs_serial: if serial_mean > 0.0 {
+                serial_mean / mean_ns
+            } else {
+                1.0
+            },
+            stage_ns_mean: phase("prosper.commit.phase.stage_ns"),
+            seal_ns_mean: phase("prosper.commit.phase.seal_ns"),
+            apply_ns_mean: phase("prosper.commit.phase.apply_ns"),
+        });
+    }
+
+    CommitSection {
+        host_parallelism: std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get),
+        threads: THREADS,
+        runs_per_thread: RUNS_PER_THREAD as usize,
+        bytes_per_commit: STACK_BYTES * THREADS as u64,
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Section 3: checkpoint latency percentiles
+// ---------------------------------------------------------------------------
+
+/// Summary statistics of one telemetry histogram.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct LatencyStats {
+    /// Recorded samples.
+    pub count: u64,
+    /// Mean value.
+    pub mean: f64,
+    /// 50th percentile (bucket lower bound).
+    pub p50: u64,
+    /// 90th percentile (bucket lower bound).
+    pub p90: u64,
+    /// 99th percentile (bucket lower bound).
+    pub p99: u64,
+    /// Maximum recorded value.
+    pub max: u64,
+}
+
+impl LatencyStats {
+    fn from_hist(h: &HistogramSnapshot) -> Self {
+        Self {
+            count: h.count,
+            mean: h.mean(),
+            p50: h.quantile(0.50),
+            p90: h.quantile(0.90),
+            p99: h.quantile(0.99),
+            max: h.max,
+        }
+    }
+}
+
+/// Checkpoint-latency study: one workload, telemetry-derived timings.
+#[derive(Clone, Debug, Serialize)]
+pub struct CheckpointSection {
+    /// Workload driving the checkpoints.
+    pub workload: String,
+    /// Consistency intervals executed.
+    pub intervals: u64,
+    /// Whole-interval checkpoint latency (simulated cycles).
+    pub interval_cycles: LatencyStats,
+    /// Per-phase checkpoint timers (simulated cycles), keyed by phase
+    /// name (`inspect`, `clear`, `stage`, `apply`).
+    pub phase_cycles: BTreeMap<String, LatencyStats>,
+}
+
+/// Runs a workload under [`ProsperMechanism`] and reads the latency
+/// percentiles back out of the telemetry registry.
+#[must_use]
+pub fn checkpoint_section(cfg: &PerfConfig) -> CheckpointSection {
+    let intervals = cfg.ckpt_intervals();
+    let before = registry_snapshot();
+    let mut machine = Machine::new(MachineConfig::setup_i());
+    let mut mgr = CheckpointManager::new(&mut machine, 30_000);
+    let mut mech = ProsperMechanism::with_defaults();
+    let w = Workload::new(WorkloadProfile::gapbs_pr(), SEED);
+    mgr.run_stack_only(w, &mut mech, intervals);
+    let delta = registry_snapshot() - before;
+
+    let mut phase_cycles = BTreeMap::new();
+    for phase in ["inspect", "clear", "stage", "apply"] {
+        let h = hist(&delta, &format!("prosper.ckpt.phase.{phase}_cycles"));
+        phase_cycles.insert(phase.to_string(), LatencyStats::from_hist(&h));
+    }
+    CheckpointSection {
+        workload: "gapbs_pr".to_string(),
+        intervals,
+        interval_cycles: LatencyStats::from_hist(&hist(&delta, "prosper.ckpt.interval_cycles")),
+        phase_cycles,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Section 4: end-to-end runtime
+// ---------------------------------------------------------------------------
+
+/// End-to-end run of one micro workload through the checkpoint manager.
+#[derive(Clone, Debug, Serialize)]
+pub struct WorkloadRow {
+    /// Micro-benchmark name.
+    pub name: String,
+    /// Consistency intervals executed.
+    pub intervals: u64,
+    /// Simulated cycles for the whole run.
+    pub total_cycles: u64,
+    /// Simulated cycles spent checkpointing.
+    pub checkpoint_cycles: u64,
+    /// Bytes the checkpoints copied.
+    pub bytes_copied: u64,
+    /// Host wall time for the run (ms).
+    pub wall_ms: f64,
+}
+
+/// End-to-end run of the timeslice scheduler at one process count.
+#[derive(Clone, Debug, Serialize)]
+pub struct ScheduleRow {
+    /// Concurrently scheduled processes.
+    pub processes: usize,
+    /// Context switches performed.
+    pub switches: u64,
+    /// Simulated cycles for the whole run.
+    pub total_cycles: u64,
+    /// Host wall time for the run (ms).
+    pub wall_ms: f64,
+}
+
+/// Runs the micro-workload sweep.
+#[must_use]
+pub fn workload_section(cfg: &PerfConfig) -> Vec<WorkloadRow> {
+    let intervals = cfg.workload_intervals();
+    let specs = [
+        MicroSpec::Stream { array_bytes: 65536 },
+        MicroSpec::Random { array_bytes: 65536 },
+        MicroSpec::Sparse { pages: 16 },
+        MicroSpec::Recursive { depth: 96 },
+    ];
+    specs
+        .iter()
+        .map(|&spec| {
+            let t = Instant::now();
+            let mut machine = Machine::new(MachineConfig::setup_i());
+            let mut mgr = CheckpointManager::new(&mut machine, 30_000);
+            let mut mech = ProsperMechanism::with_defaults();
+            let res = mgr.run_stack_only(MicroBench::new(spec, SEED), &mut mech, intervals);
+            WorkloadRow {
+                name: spec.name().to_string(),
+                intervals: res.intervals,
+                total_cycles: res.total_cycles,
+                checkpoint_cycles: res.checkpoint_cycles,
+                bytes_copied: res.bytes_copied,
+                wall_ms: t.elapsed().as_secs_f64() * 1e3,
+            }
+        })
+        .collect()
+}
+
+/// Runs the scheduler sweep across process counts.
+#[must_use]
+pub fn schedule_section(cfg: &PerfConfig) -> Vec<ScheduleRow> {
+    let pool = [
+        WorkloadProfile::gapbs_pr(),
+        WorkloadProfile::ycsb_mem(),
+        WorkloadProfile::mcf(),
+        WorkloadProfile::g500_sssp(),
+    ];
+    cfg.schedule_counts()
+        .iter()
+        .map(|&n| {
+            let profiles: Vec<_> = pool.iter().cloned().cycle().take(n).collect();
+            let t = Instant::now();
+            let res = run_scheduled(&profiles, 20_000, 60_000, cfg.schedule_slices());
+            ScheduleRow {
+                processes: n,
+                switches: res.switches,
+                total_cycles: res.total_cycles,
+                wall_ms: t.elapsed().as_secs_f64() * 1e3,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Report assembly
+// ---------------------------------------------------------------------------
+
+/// Headline numbers the acceptance criteria read directly.
+#[derive(Clone, Debug, Serialize)]
+pub struct Summary {
+    /// Sparse-stack `inspect_and_clear` speedup, hierarchical vs
+    /// BTreeMap reference.
+    pub sparse_stack_speedup: f64,
+    /// Largest worker count the commit study measured.
+    pub max_commit_workers: usize,
+    /// Commit speedup at that worker count vs serial.
+    pub commit_speedup_at_max_workers: f64,
+    /// p99 whole-interval checkpoint latency (simulated cycles).
+    pub ckpt_interval_p99_cycles: u64,
+    /// Mean per-phase checkpoint cycles (telemetry timers).
+    pub ckpt_phase_mean_cycles: BTreeMap<String, f64>,
+    /// Mean per-phase commit wall time at the max worker count (ns).
+    pub commit_phase_mean_ns: BTreeMap<String, f64>,
+}
+
+/// The full perf-baseline report, serialized to `BENCH_pr3.json`.
+#[derive(Clone, Debug, Serialize)]
+pub struct PerfReport {
+    /// Report schema tag ([`SCHEMA`]).
+    pub schema: String,
+    /// Whether the reduced CI budgets were used.
+    pub quick: bool,
+    /// Section 1: bitmap inspection comparison.
+    pub bitmap: Vec<BitmapRow>,
+    /// Section 2: parallel commit scaling.
+    pub commit: CommitSection,
+    /// Section 3: checkpoint latency percentiles.
+    pub checkpoint: CheckpointSection,
+    /// Section 4a: micro-workload end-to-end runs.
+    pub workloads: Vec<WorkloadRow>,
+    /// Section 4b: scheduler end-to-end runs across process counts.
+    pub scheduler: Vec<ScheduleRow>,
+    /// Headline numbers.
+    pub summary: Summary,
+}
+
+fn registry_snapshot() -> MetricsSnapshot {
+    telemetry::with(|t| t.registry().snapshot()).unwrap_or_default()
+}
+
+fn hist(snap: &MetricsSnapshot, name: &str) -> HistogramSnapshot {
+    snap.histograms.get(name).cloned().unwrap_or_default()
+}
+
+/// Runs every section and assembles the report. Installs a telemetry
+/// context for the duration if none is active (the phase timers and
+/// latency histograms come from the registry).
+#[must_use]
+pub fn run_all(cfg: &PerfConfig) -> PerfReport {
+    let installed = if telemetry::enabled() {
+        false
+    } else {
+        telemetry::install(Telemetry::new(Box::new(NoopSink)));
+        true
+    };
+
+    let bitmap = bitmap_section(cfg);
+    let commit = commit_section(cfg);
+    let checkpoint = checkpoint_section(cfg);
+    let workloads = workload_section(cfg);
+    let scheduler = schedule_section(cfg);
+
+    if installed {
+        let _ = telemetry::uninstall();
+    }
+
+    let sparse_stack_speedup = bitmap
+        .iter()
+        .find(|r| r.pattern == "sparse-stack")
+        .map_or(0.0, |r| r.speedup);
+    let max_row = commit.rows.iter().max_by_key(|r| r.workers);
+    let summary = Summary {
+        sparse_stack_speedup,
+        max_commit_workers: max_row.map_or(0, |r| r.workers),
+        commit_speedup_at_max_workers: max_row.map_or(0.0, |r| r.speedup_vs_serial),
+        ckpt_interval_p99_cycles: checkpoint.interval_cycles.p99,
+        ckpt_phase_mean_cycles: checkpoint
+            .phase_cycles
+            .iter()
+            .map(|(k, v)| (k.clone(), v.mean))
+            .collect(),
+        commit_phase_mean_ns: max_row.map_or_else(BTreeMap::new, |r| {
+            BTreeMap::from([
+                ("stage".to_string(), r.stage_ns_mean),
+                ("seal".to_string(), r.seal_ns_mean),
+                ("apply".to_string(), r.apply_ns_mean),
+            ])
+        }),
+    };
+
+    PerfReport {
+        schema: SCHEMA.to_string(),
+        quick: cfg.quick,
+        bitmap,
+        commit,
+        checkpoint,
+        workloads,
+        scheduler,
+        summary,
+    }
+}
+
+/// Checks the report against the PR's acceptance criteria.
+///
+/// # Errors
+///
+/// Returns a description of the first violated criterion.
+pub fn validate(report: &PerfReport) -> Result<(), String> {
+    if report.schema != SCHEMA {
+        return Err(format!("unexpected schema tag {:?}", report.schema));
+    }
+    if report.bitmap.is_empty() {
+        return Err("bitmap section is empty".into());
+    }
+    let sparse = report
+        .bitmap
+        .iter()
+        .find(|r| r.pattern == "sparse-stack")
+        .ok_or("no sparse-stack bitmap row")?;
+    if sparse.speedup < SPARSE_STACK_GATE {
+        return Err(format!(
+            "sparse-stack speedup {:.2}x below the {SPARSE_STACK_GATE}x gate",
+            sparse.speedup
+        ));
+    }
+    if report.commit.rows.iter().all(|r| r.workers < 4) {
+        return Err("commit scaling never reached 4 workers".into());
+    }
+    if report.checkpoint.interval_cycles.count == 0 {
+        return Err("no checkpoint-latency samples recorded".into());
+    }
+    if report.workloads.is_empty() || report.scheduler.is_empty() {
+        return Err("end-to-end section is empty".into());
+    }
+    Ok(())
+}
+
+/// Renders the report as printable tables.
+#[must_use]
+pub fn render(report: &PerfReport) -> Vec<Table> {
+    let mut tables = Vec::new();
+
+    let mut t = Table::new(
+        "Bitmap inspection: hierarchical vs BTreeMap reference",
+        &[
+            "pattern",
+            "dirty words",
+            "hier ns",
+            "sparse ns",
+            "hier Mgranule/s",
+            "speedup",
+        ],
+    );
+    for r in &report.bitmap {
+        t.push_row(&[
+            r.pattern.clone(),
+            r.dirty_words.to_string(),
+            format!("{:.0}", r.hier_ns_mean),
+            format!("{:.0}", r.sparse_ns_mean),
+            format!("{:.1}", r.hier_granules_per_sec / 1e6),
+            ratio(r.speedup),
+        ]);
+    }
+    tables.push(t);
+
+    let mut t = Table::new(
+        format!(
+            "Parallel commit: {} threads, {} runs/thread, {} B/commit, host parallelism {}",
+            report.commit.threads,
+            report.commit.runs_per_thread,
+            report.commit.bytes_per_commit,
+            report.commit.host_parallelism
+        ),
+        &[
+            "workers",
+            "mean µs",
+            "stage µs",
+            "seal µs",
+            "apply µs",
+            "speedup",
+        ],
+    );
+    for r in &report.commit.rows {
+        t.push_row(&[
+            r.workers.to_string(),
+            format!("{:.1}", r.mean_ns / 1e3),
+            format!("{:.1}", r.stage_ns_mean / 1e3),
+            format!("{:.1}", r.seal_ns_mean / 1e3),
+            format!("{:.1}", r.apply_ns_mean / 1e3),
+            ratio(r.speedup_vs_serial),
+        ]);
+    }
+    tables.push(t);
+
+    let c = &report.checkpoint;
+    let mut t = Table::new(
+        format!(
+            "Checkpoint latency: {} over {} intervals (simulated cycles)",
+            c.workload, c.intervals
+        ),
+        &["timer", "count", "mean", "p50", "p90", "p99", "max"],
+    );
+    let stat_row = |name: &str, s: &LatencyStats| {
+        vec![
+            name.to_string(),
+            s.count.to_string(),
+            format!("{:.0}", s.mean),
+            s.p50.to_string(),
+            s.p90.to_string(),
+            s.p99.to_string(),
+            s.max.to_string(),
+        ]
+    };
+    t.push_row(&stat_row("interval", &c.interval_cycles));
+    for (phase, s) in &c.phase_cycles {
+        t.push_row(&stat_row(&format!("phase.{phase}"), s));
+    }
+    tables.push(t);
+
+    let mut t = Table::new(
+        "End-to-end micro workloads",
+        &[
+            "workload",
+            "intervals",
+            "total cycles",
+            "ckpt cycles",
+            "bytes",
+            "wall ms",
+        ],
+    );
+    for r in &report.workloads {
+        t.push_row(&[
+            r.name.clone(),
+            r.intervals.to_string(),
+            r.total_cycles.to_string(),
+            r.checkpoint_cycles.to_string(),
+            r.bytes_copied.to_string(),
+            format!("{:.1}", r.wall_ms),
+        ]);
+    }
+    tables.push(t);
+
+    let mut t = Table::new(
+        "End-to-end scheduler across process counts",
+        &["processes", "switches", "total cycles", "wall ms"],
+    );
+    for r in &report.scheduler {
+        t.push_row(&[
+            r.processes.to_string(),
+            r.switches.to_string(),
+            r.total_cycles.to_string(),
+            format!("{:.1}", r.wall_ms),
+        ]);
+    }
+    tables.push(t);
+
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal budgets so the suite stays test-sized.
+    fn tiny() -> PerfConfig {
+        PerfConfig { quick: true }
+    }
+
+    #[test]
+    fn quick_suite_produces_valid_report() {
+        let report = run_all(&tiny());
+        validate(&report).expect("quick report passes the acceptance gate");
+        assert_eq!(report.bitmap.len(), 3);
+        assert!(report.summary.sparse_stack_speedup >= SPARSE_STACK_GATE);
+        assert!(report.summary.max_commit_workers >= 4);
+        assert!(report.checkpoint.interval_cycles.count > 0);
+        // Phase timers made it into the summary.
+        assert_eq!(report.summary.ckpt_phase_mean_cycles.len(), 4);
+        assert_eq!(report.summary.commit_phase_mean_ns.len(), 3);
+        // The report serializes and re-parses.
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v.get("schema").and_then(|s| s.as_str()), Some(SCHEMA));
+        assert_eq!(
+            v.get("bitmap").and_then(|b| b.as_array()).map(Vec::len),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn render_covers_every_section() {
+        let report = run_all(&tiny());
+        let tables = render(&report);
+        assert_eq!(tables.len(), 5);
+        for t in &tables {
+            assert!(!t.rows.is_empty(), "{} has rows", t.title);
+        }
+    }
+
+    #[test]
+    fn bitmap_patterns_are_sane() {
+        let rows = bitmap_section(&tiny());
+        let dense = rows.iter().find(|r| r.pattern == "dense").unwrap();
+        assert_eq!(dense.dirty_words, WINDOW_WORDS);
+        let sparse = rows.iter().find(|r| r.pattern == "sparse-stack").unwrap();
+        assert!(sparse.dirty_words < 64);
+        assert!(sparse.hier_granules_per_sec > sparse.sparse_granules_per_sec);
+    }
+}

@@ -131,7 +131,7 @@ pub fn run_scheduled(
             let top = workloads[current].stack().top();
             let watermark = mt.tracker().min_soi_watermark().unwrap_or(top);
             let geom = mt.tracker().geometry();
-            let (runs, _, _) = mt
+            let (runs, _) = mt
                 .tracker_mut()
                 .bitmap_mut()
                 .inspect_and_clear(&geom, VirtRange::new(watermark, top));

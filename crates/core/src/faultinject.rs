@@ -246,7 +246,7 @@ impl Driver {
             self.mt.schedule_with_faults(&mut self.machine, tid, inj)?;
             self.mt.tracker_mut().flush();
             let geom = self.mt.tracker().geometry();
-            let (runs, _, _) = self
+            let (runs, _) = self
                 .mt
                 .tracker_mut()
                 .bitmap_mut()

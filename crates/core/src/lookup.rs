@@ -101,6 +101,23 @@ impl BitmapOp {
     }
 }
 
+/// Partitions drained bitmap ops into load and store address batches
+/// for [`Machine::inject_load_batch`]-style issue. The caller supplies
+/// the scratch buffers (cleared here) so the per-interval flush path
+/// reuses its allocations.
+///
+/// [`Machine::inject_load_batch`]: prosper_memsim::machine::Machine::inject_load_batch
+pub fn partition_ops(ops: &[BitmapOp], loads: &mut Vec<u64>, stores: &mut Vec<u64>) {
+    loads.clear();
+    stores.clear();
+    for op in ops {
+        match op {
+            BitmapOp::Load(addr) => loads.push(*addr),
+            BitmapOp::Store(addr, _) => stores.push(*addr),
+        }
+    }
+}
+
 /// Counters for Figure 13 (bitmap loads/stores vs HWM/LWM).
 #[derive(Clone, Copy, Default, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub struct LookupStats {

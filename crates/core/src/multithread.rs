@@ -55,6 +55,10 @@ pub struct MultiThreadTracker {
     current: Option<u32>,
     /// Cross-stack write faults taken.
     pub cross_stack_faults: u64,
+    /// Scratch: load addresses of the current injected-op batch.
+    op_loads: Vec<u64>,
+    /// Scratch: store addresses of the current injected-op batch.
+    op_stores: Vec<u64>,
 }
 
 impl MultiThreadTracker {
@@ -66,7 +70,19 @@ impl MultiThreadTracker {
             stack_ranges: HashMap::new(),
             current: None,
             cross_stack_faults: 0,
+            op_loads: Vec::new(),
+            op_stores: Vec::new(),
         }
+    }
+
+    /// Injects drained bitmap ops as batched background traffic.
+    fn inject_ops(&mut self, machine: &mut Machine, ops: &[crate::lookup::BitmapOp]) {
+        if ops.is_empty() {
+            return;
+        }
+        crate::lookup::partition_ops(ops, &mut self.op_loads, &mut self.op_stores);
+        machine.inject_load_batch(&self.op_loads, 4);
+        machine.inject_store_batch(&self.op_stores, 4);
     }
 
     /// Registers thread `tid` with its stack range and per-thread
@@ -173,12 +189,7 @@ impl MultiThreadTracker {
         let ops = self
             .tracker
             .flush_with_reason(crate::lookup::FlushReason::ContextSwitch);
-        for op in &ops {
-            match op {
-                crate::lookup::BitmapOp::Load(a) => machine.inject_load(VirtAddr::new(*a), 4),
-                crate::lookup::BitmapOp::Store(a, _) => machine.inject_store(VirtAddr::new(*a), 4),
-            }
-        }
+        self.inject_ops(machine, &ops);
         cost += start_entries * PER_ENTRY_FLUSH_CYCLES;
         // Poll the status MSR for quiescence.
         cost += MSR_READ_CYCLES;
@@ -195,14 +206,7 @@ impl MultiThreadTracker {
         let own_range = self.stack_ranges[&current];
         if own_range.overlaps_access(vaddr, size) {
             let ops = self.tracker.observe_store(vaddr, size);
-            for op in &ops {
-                match op {
-                    crate::lookup::BitmapOp::Load(a) => machine.inject_load(VirtAddr::new(*a), 4),
-                    crate::lookup::BitmapOp::Store(a, _) => {
-                        machine.inject_store(VirtAddr::new(*a), 4)
-                    }
-                }
-            }
+            self.inject_ops(machine, &ops);
             return;
         }
         // Another thread's stack? Fault into the OS, which sets the

@@ -28,8 +28,8 @@ use prosper_trace::record::MemAccess;
 use prosper_telemetry as telemetry;
 
 use crate::adaptive::{GranularityAdapter, WatermarkTuner};
-use crate::bitmap::CopyRun;
-use crate::lookup::{BitmapOp, LookupStats};
+use crate::bitmap::{BitmapGeometry, CopyRun, PAGE_SPAN_BYTES};
+use crate::lookup::{partition_ops, BitmapOp, LookupStats};
 use crate::msr::{MSR_READ_CYCLES, MSR_WRITE_CYCLES};
 use crate::tracker::{DirtyTracker, TrackerConfig};
 
@@ -45,24 +45,42 @@ const QUIESCE_POLL_CYCLES: Cycles = MSR_READ_CYCLES;
 /// Virtual address where the OS places the per-thread bitmap area.
 const DEFAULT_BITMAP_BASE: u64 = 0x1000_0000;
 
-/// Addresses of the eight-byte stores that write back the cleared
-/// bitmap words, walking the inspected window from `first_word_addr`
-/// exactly like the read loop does (two 32-bit words per store).
-///
-/// The clear traffic must spread across the window's cache lines the
-/// same way the reads do; issuing every clear store at one address
-/// would let them all coalesce into a single line and undercharge the
-/// metadata-cycle model.
-fn clear_store_addrs(first_word_addr: u64, words_cleared: u64) -> Vec<u64> {
-    let mut addrs = Vec::new();
-    let mut addr = first_word_addr;
-    let mut left = words_cleared;
-    while left > 0 {
-        addrs.push(addr);
-        addr += 8;
-        left = left.saturating_sub(2);
+/// Bitmap word addresses containing at least one set bit, derived from
+/// the inspection's coalesced runs (ascending, deduplicated). With the
+/// summary-indexed bitmap the OS touches exactly these words — clean
+/// words in the window are never loaded or written back.
+fn dirty_word_addrs(geom: &BitmapGeometry, runs: &[CopyRun], out: &mut Vec<u64>) {
+    out.clear();
+    for run in runs {
+        debug_assert!(run.len > 0, "runs are never empty");
+        let (first, _) = geom.locate(run.start);
+        let (last, _) = geom.locate(run.start + (run.len - 1));
+        let mut w = first;
+        // Adjacent runs can share a word; runs are address-ordered, so
+        // resuming past the previous word deduplicates.
+        if let Some(&prev) = out.last() {
+            if w <= prev {
+                w = prev + 4;
+            }
+        }
+        while w <= last {
+            out.push(w);
+            w += 4;
+        }
     }
-    addrs
+}
+
+/// Collapses word addresses into the eight-byte-aligned addresses the
+/// OS actually issues (the paper reads the bitmap eight bytes — two
+/// 32-bit words — at a time), deduplicated.
+fn paired_addrs(words: &[u64], out: &mut Vec<u64>) {
+    out.clear();
+    for &w in words {
+        let pair = w & !7;
+        if out.last() != Some(&pair) {
+            out.push(pair);
+        }
+    }
 }
 
 /// Per-interval telemetry for the Figure 10/11 analyses.
@@ -72,10 +90,27 @@ pub struct ProsperIntervalStats {
     pub runs: u64,
     /// Bytes copied to NVM.
     pub bytes: u64,
-    /// Bitmap words read during inspection.
+    /// Bitmap words read during inspection (dirty words only — the
+    /// summary index skips clean spans).
     pub words_read: u64,
     /// Bitmap words cleared.
     pub words_cleared: u64,
+    /// Bitmap pages probed to cover the inspection window.
+    pub pages_probed: u64,
+}
+
+/// Cycle timestamps bracketing the checkpoint phases of one interval,
+/// recorded into per-phase telemetry histograms.
+#[derive(Clone, Copy, Default, Debug)]
+struct PhaseCycles {
+    /// Bitmap walk + dirty-word loads.
+    inspect: Cycles,
+    /// Cleared-word write-back stores.
+    clear: Cycles,
+    /// DRAM → NVM staging-buffer copy.
+    stage: Cycles,
+    /// Staging buffer → persistent stack copy.
+    apply: Cycles,
 }
 
 /// Prosper as a pluggable memory-persistence mechanism.
@@ -96,6 +131,14 @@ pub struct ProsperMechanism {
     /// Lookup-table counters already reported to telemetry, so each
     /// interval reports only its own delta.
     reported_lookup: LookupStats,
+    /// Scratch: load addresses of the current injected-op batch.
+    op_loads: Vec<u64>,
+    /// Scratch: store addresses of the current injected-op batch.
+    op_stores: Vec<u64>,
+    /// Scratch: dirty bitmap word addresses of the current interval.
+    word_scratch: Vec<u64>,
+    /// Scratch: paired eight-byte access addresses.
+    pair_scratch: Vec<u64>,
 }
 
 impl ProsperMechanism {
@@ -110,6 +153,10 @@ impl ProsperMechanism {
             granularity_adapter: None,
             watermark_tuner: None,
             reported_lookup: LookupStats::default(),
+            op_loads: Vec::new(),
+            op_stores: Vec::new(),
+            word_scratch: Vec::new(),
+            pair_scratch: Vec::new(),
         }
     }
 
@@ -156,14 +203,15 @@ impl ProsperMechanism {
     }
 
     /// Injects tracker-emitted bitmap traffic into the machine as
-    /// background (off-critical-path) operations.
-    fn inject_ops(machine: &mut Machine, ops: &[BitmapOp]) {
-        for op in ops {
-            match op {
-                BitmapOp::Load(addr) => machine.inject_load(VirtAddr::new(*addr), 4),
-                BitmapOp::Store(addr, _) => machine.inject_store(VirtAddr::new(*addr), 4),
-            }
+    /// background (off-critical-path) operations, batched into one
+    /// load group and one store group per drain.
+    fn inject_ops(&mut self, machine: &mut Machine, ops: &[BitmapOp]) {
+        if ops.is_empty() {
+            return;
         }
+        partition_ops(ops, &mut self.op_loads, &mut self.op_stores);
+        machine.inject_load_batch(&self.op_loads, 4);
+        machine.inject_store_batch(&self.op_stores, 4);
     }
 
     /// Reports the just-finished interval into the installed telemetry
@@ -175,6 +223,7 @@ impl ProsperMechanism {
         stats: ProsperIntervalStats,
         total_cycles: Cycles,
         metadata_cycles: Cycles,
+        phases: PhaseCycles,
     ) {
         let cur = self.tracker.lookup_stats();
         let prev = self.reported_lookup;
@@ -187,10 +236,20 @@ impl ProsperMechanism {
                 .add(stats.words_read);
             r.counter("prosper.ckpt.bitmap_words_cleared")
                 .add(stats.words_cleared);
+            r.counter("prosper.ckpt.bitmap_pages_probed")
+                .add(stats.pages_probed);
             r.histogram("prosper.ckpt.interval_cycles")
                 .record(total_cycles);
             r.histogram("prosper.ckpt.metadata_cycles")
                 .record(metadata_cycles);
+            r.histogram("prosper.ckpt.phase.inspect_cycles")
+                .record(phases.inspect);
+            r.histogram("prosper.ckpt.phase.clear_cycles")
+                .record(phases.clear);
+            r.histogram("prosper.ckpt.phase.stage_cycles")
+                .record(phases.stage);
+            r.histogram("prosper.ckpt.phase.apply_cycles")
+                .record(phases.apply);
             let d = |a: u64, b: u64| a.saturating_sub(b);
             r.counter("prosper.table.searches")
                 .add(d(cur.searches, prev.searches));
@@ -234,7 +293,7 @@ impl MemoryPersistence for ProsperMechanism {
         let ops = self
             .tracker
             .observe_store(access.vaddr, u64::from(access.size));
-        Self::inject_ops(machine, &ops);
+        self.inject_ops(machine, &ops);
     }
 
     fn end_interval(&mut self, machine: &mut Machine, info: IntervalInfo) -> CheckpointOutcome {
@@ -248,7 +307,7 @@ impl MemoryPersistence for ProsperMechanism {
         }
         machine.advance(MSR_WRITE_CYCLES);
         let ops = self.tracker.flush();
-        Self::inject_ops(machine, &ops);
+        self.inject_ops(machine, &ops);
 
         // Step 2: the OS overlaps preparation, then polls quiescence.
         machine.advance(QUIESCE_POLL_CYCLES);
@@ -260,11 +319,12 @@ impl MemoryPersistence for ProsperMechanism {
         // Inspection window: the tracker's watermark bounds the active
         // region; nothing dirty ⇒ nothing to walk.
         let meta_start = machine.now();
+        let mut phases = PhaseCycles::default();
         if tel {
             telemetry::span_begin("ckpt.scan", "prosper", meta_start);
         }
         let mut stats = ProsperIntervalStats::default();
-        let mut runs = Vec::new();
+        self.last_runs.clear();
         if let Some(dirty) = self.tracker.dirty_window() {
             // The tracker's watermarks bound every set bit exactly, so
             // inspection never walks past the dirty window — crucial
@@ -273,27 +333,50 @@ impl MemoryPersistence for ProsperMechanism {
             let hi = dirty.end().min(info.region.end()).max(lo);
             let window = VirtRange::new(lo, hi);
             let geom = self.tracker.geometry();
-            let (r, words_read, words_cleared) =
-                self.tracker.bitmap_mut().inspect_and_clear(&geom, window);
-            runs = r;
-            stats.words_read = words_read;
-            stats.words_cleared = words_cleared;
-            // The OS reads the bitmap eight bytes at a time and writes
-            // back the cleared words.
-            let mut addr = geom.locate(window.start()).0;
-            let mut read_left = words_read;
-            while read_left > 0 {
-                machine.load(VirtAddr::new(addr), 8);
-                addr += 8;
-                read_left = read_left.saturating_sub(2);
+            let ins = self.tracker.bitmap_mut().inspect_and_clear_into(
+                &geom,
+                window,
+                &mut self.last_runs,
+            );
+            stats.words_read = ins.words_read;
+            stats.words_cleared = ins.words_cleared;
+            stats.pages_probed = ins.pages_probed;
+            if !window.is_empty() {
+                // The OS consults the per-page summary index first (one
+                // touch per bitmap page covering the window)...
+                let first_word = geom.locate(window.start()).0;
+                let last_word = geom.locate(window.end() - 1u64).0;
+                let mut page = first_word & !(PAGE_SPAN_BYTES - 1);
+                while page <= last_word {
+                    machine.load(VirtAddr::new(page.max(first_word)), 8);
+                    page += PAGE_SPAN_BYTES;
+                }
             }
+            // ...then loads only the dirty words it steers to, eight
+            // bytes (two 32-bit words) at a time.
+            dirty_word_addrs(&geom, &self.last_runs, &mut self.word_scratch);
+            debug_assert_eq!(
+                self.word_scratch.len() as u64,
+                ins.words_read,
+                "runs and word accounting agree"
+            );
+            paired_addrs(&self.word_scratch, &mut self.pair_scratch);
+            for &addr in &self.pair_scratch {
+                machine.load(VirtAddr::new(addr), 8);
+            }
+            phases.inspect = machine.now() - meta_start;
             if tel {
                 telemetry::span_end("ckpt.scan", machine.now());
                 telemetry::span_begin("ckpt.clear", "prosper", machine.now());
             }
-            for addr in clear_store_addrs(geom.locate(window.start()).0, words_cleared) {
+            // Write back the cleared words at the same paired
+            // addresses — the clear traffic spreads across the dirty
+            // words' cache lines exactly like the read traffic.
+            let clear_start = machine.now();
+            for &addr in &self.pair_scratch {
                 machine.store(VirtAddr::new(addr), 8);
             }
+            phases.clear = machine.now() - clear_start;
             if tel {
                 telemetry::span_end("ckpt.clear", machine.now());
             }
@@ -307,31 +390,35 @@ impl MemoryPersistence for ProsperMechanism {
         if tel {
             telemetry::span_begin("ckpt.copy", "prosper", machine.now());
         }
+        let stage_start = machine.now();
         let mut bytes = 0u64;
-        for run in &runs {
+        for run in &self.last_runs {
             machine.advance(PER_RUN_OVERHEAD);
             machine.bulk_copy_dram_to_nvm(run.len);
             bytes += run.len;
         }
+        phases.stage = machine.now() - stage_start;
         if tel {
             telemetry::span_end("ckpt.copy", machine.now());
             telemetry::span_begin("ckpt.apply", "prosper", machine.now());
         }
+        let apply_start = machine.now();
         if bytes > 0 {
             machine.bulk_copy_nvm_to_nvm(bytes);
         }
+        phases.apply = machine.now() - apply_start;
         if tel {
             telemetry::span_end("ckpt.apply", machine.now());
         }
 
-        stats.runs = runs.len() as u64;
+        stats.runs = self.last_runs.len() as u64;
         stats.bytes = bytes;
         self.last_interval = stats;
         self.totals.runs += stats.runs;
         self.totals.bytes += stats.bytes;
         self.totals.words_read += stats.words_read;
         self.totals.words_cleared += stats.words_cleared;
-        self.last_runs = runs;
+        self.totals.pages_probed += stats.pages_probed;
 
         // Adaptive extensions: the inspection above cleared every set
         // bit (the watermark bounds all dirty state), so retuning the
@@ -361,7 +448,12 @@ impl MemoryPersistence for ProsperMechanism {
         }
 
         if tel {
-            self.report_interval_metrics(stats, machine.now() - ckpt_start, metadata_cycles);
+            self.report_interval_metrics(
+                stats,
+                machine.now() - ckpt_start,
+                metadata_cycles,
+                phases,
+            );
         }
 
         CheckpointOutcome {
@@ -529,25 +621,67 @@ mod tests {
     }
 
     #[test]
-    fn clear_stores_walk_the_window_not_one_line() {
-        // Regression: every clear store used to be issued at
-        // `bitmap_base`, collapsing all clear traffic onto one cache
-        // line. The walk must spread like the read loop: one 8-byte
-        // store per pair of 32-bit words, at advancing addresses.
-        let addrs = clear_store_addrs(0x1000_0000, 32);
-        assert_eq!(addrs.len(), 16, "two words per eight-byte store");
-        let spread = addrs.iter().max().unwrap() - addrs.iter().min().unwrap();
-        assert_eq!(spread, 15 * 8, "stores advance through the window");
-        let unique: std::collections::BTreeSet<_> = addrs.iter().collect();
-        assert_eq!(unique.len(), addrs.len(), "no address repeats");
-        let lines: std::collections::BTreeSet<_> = addrs.iter().map(|a| a / 64).collect();
+    fn metadata_traffic_targets_dirty_words_and_spreads_lines() {
+        // Regression (twice over): clear stores must not all land on
+        // one cache line, and with the summary-indexed bitmap the
+        // read/clear traffic must target exactly the dirty words — no
+        // window walk.
+        let g = BitmapGeometry {
+            range_start: VirtAddr::new(0x7000_0000),
+            bitmap_base: VirtAddr::new(0x1000_0000),
+            granularity: 8,
+        };
+        let mut words = Vec::new();
+        let mut pairs = Vec::new();
+        // One run covering 32 contiguous words (1024 granules).
+        let dense = [CopyRun {
+            start: VirtAddr::new(0x7000_0000),
+            len: 32 * g.bytes_per_word(),
+        }];
+        dirty_word_addrs(&g, &dense, &mut words);
+        assert_eq!(words.len(), 32);
+        paired_addrs(&words, &mut pairs);
+        assert_eq!(pairs.len(), 16, "two words per eight-byte access");
+        let spread = pairs.iter().max().unwrap() - pairs.iter().min().unwrap();
+        assert_eq!(spread, 15 * 8, "accesses advance through the window");
+        let unique: std::collections::BTreeSet<_> = pairs.iter().collect();
+        assert_eq!(unique.len(), pairs.len(), "no address repeats");
+        let lines: std::collections::BTreeSet<_> = pairs.iter().map(|a| a / 64).collect();
         assert!(
             lines.len() >= 2,
             "a 32-word clear spans multiple cache lines, got {lines:?}"
         );
-        // Odd word counts round up to a final partial store.
-        assert_eq!(clear_store_addrs(0x2000, 3).len(), 2);
-        assert!(clear_store_addrs(0x2000, 0).is_empty());
+        // Two sparse runs touch their own two words, not the span
+        // between them.
+        let sparse = [
+            CopyRun {
+                start: VirtAddr::new(0x7000_0000),
+                len: 8,
+            },
+            CopyRun {
+                start: VirtAddr::new(0x7000_0000) + 100 * g.bytes_per_word(),
+                len: 8,
+            },
+        ];
+        dirty_word_addrs(&g, &sparse, &mut words);
+        assert_eq!(words, vec![0x1000_0000, 0x1000_0000 + 100 * 4]);
+        // Adjacent runs inside one word do not double-count it.
+        let adjacent = [
+            CopyRun {
+                start: VirtAddr::new(0x7000_0000),
+                len: 16,
+            },
+            CopyRun {
+                start: VirtAddr::new(0x7000_0000 + 24),
+                len: 8,
+            },
+        ];
+        dirty_word_addrs(&g, &adjacent, &mut words);
+        assert_eq!(words.len(), 1);
+        dirty_word_addrs(&g, &[], &mut words);
+        assert!(words.is_empty());
+        paired_addrs(&words, &mut pairs);
+        assert!(pairs.is_empty());
     }
 
     #[test]

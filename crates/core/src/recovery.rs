@@ -35,8 +35,26 @@
 //! [`FaultInjector`], so the exhaustive crash-point sweep in
 //! [`crate::faultinject`] can fire a simulated power failure at each
 //! one and assert the invariants above.
+//!
+//! # Parallel staging and apply
+//!
+//! Stage and apply touch strictly per-thread state (each thread's
+//! staging buffer and persistent stack), so [`PersistentProcess::commit`]
+//! fans them out over `std::thread::scope` workers; the **seal stays
+//! the single serialization point** — one durable write on the
+//! coordinating thread — so crash atomicity is unchanged. Recovery's
+//! redo of a sealed record takes the same parallel apply path, which
+//! means the exhaustive crash matrix exercises it after every
+//! post-seal crash. Deterministic fault injection needs a fixed
+//! boundary order, so [`PersistentProcess::commit_with_faults`] keeps
+//! the serial schedule with its crash windows; the
+//! `parallel_commit_matches_serial` test pins the two paths to the
+//! same persistent state.
 
 use std::collections::BTreeMap;
+use std::time::Instant;
+
+use prosper_telemetry as telemetry;
 
 use prosper_gemos::crash::{CrashInjected, CrashSite, FaultInjector};
 use prosper_gemos::process::RegisterFile;
@@ -181,16 +199,109 @@ impl PersistentProcess {
         self.registers.committed_sequence
     }
 
+    /// Worker count for the parallel commit phases: one per thread, up
+    /// to the machine's parallelism.
+    fn default_workers(threads: usize) -> usize {
+        std::thread::available_parallelism()
+            .map_or(1, |p| p.get())
+            .min(threads)
+            .max(1)
+    }
+
     /// Commits one whole-process checkpoint: every thread's stack runs
     /// (from its tracker's bitmap inspection) plus every thread's
-    /// registers, under the two-phase stage/seal/apply protocol.
+    /// registers, under the two-phase stage/seal/apply protocol, with
+    /// staging and apply fanned out across scoped workers (see the
+    /// module docs).
     ///
     /// # Panics
     ///
     /// Panics if `runs_per_thread` misses a registered thread.
     pub fn commit(&mut self, runs_per_thread: &BTreeMap<u32, Vec<CopyRun>>) {
-        self.commit_with_faults(runs_per_thread, &mut FaultInjector::disabled())
-            .expect("a disabled injector never fires");
+        self.commit_with_workers(runs_per_thread, Self::default_workers(self.stacks.len()));
+    }
+
+    /// [`Self::commit`] with an explicit worker count (the perf suite
+    /// sweeps this to measure commit scaling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs_per_thread` misses a registered thread.
+    pub fn commit_with_workers(
+        &mut self,
+        runs_per_thread: &BTreeMap<u32, Vec<CopyRun>>,
+        workers: usize,
+    ) {
+        for tid in self.stacks.keys() {
+            assert!(
+                runs_per_thread.contains_key(tid),
+                "no runs supplied for thread {tid}"
+            );
+        }
+        // Phase one (parallel): stage every thread's runs into its own
+        // NVM staging buffer — strictly per-thread state.
+        let stage_start = Instant::now();
+        Self::for_each_stack(&mut self.stacks, workers, |tid, stack| {
+            stack.begin_stage();
+            for run in &runs_per_thread[&tid] {
+                stack.stage_run(run);
+            }
+        });
+        // ...and the register file, into the unsealed commit record.
+        self.pending = Some(ProcessCommitRecord {
+            sequence: self.next_sequence,
+            staged_regs: self.live_regs.clone(),
+            sealed: false,
+        });
+        let stage_ns = stage_start.elapsed().as_nanos() as u64;
+        // Seal: the single durable write — and the single serialization
+        // point — that commits the checkpoint.
+        let seal_start = Instant::now();
+        self.pending.as_mut().expect("record just staged").sealed = true;
+        let seal_ns = seal_start.elapsed().as_nanos() as u64;
+        // Phase two (parallel apply; the register slots stay serial).
+        let apply_start = Instant::now();
+        self.apply_pending_parallel(workers);
+        let apply_ns = apply_start.elapsed().as_nanos() as u64;
+        if telemetry::enabled() {
+            telemetry::with(|t| {
+                let r = t.registry();
+                r.gauge("prosper.commit.workers").set(workers as i64);
+                r.histogram("prosper.commit.phase.stage_ns")
+                    .record(stage_ns);
+                r.histogram("prosper.commit.phase.seal_ns").record(seal_ns);
+                r.histogram("prosper.commit.phase.apply_ns")
+                    .record(apply_ns);
+            });
+        }
+    }
+
+    /// Runs `f` over every stack, fanned out across at most `workers`
+    /// scoped threads (contiguous chunks of the tid-ordered list).
+    fn for_each_stack<F>(stacks: &mut BTreeMap<u32, PersistentStack>, workers: usize, f: F)
+    where
+        F: Fn(u32, &mut PersistentStack) + Sync,
+    {
+        let mut refs: Vec<(u32, &mut PersistentStack)> =
+            stacks.iter_mut().map(|(tid, s)| (*tid, s)).collect();
+        let workers = workers.clamp(1, refs.len().max(1));
+        if workers == 1 {
+            for (tid, stack) in refs {
+                f(tid, stack);
+            }
+            return;
+        }
+        let chunk = refs.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            for slice in refs.chunks_mut(chunk) {
+                let f = &f;
+                scope.spawn(move || {
+                    for (tid, stack) in slice.iter_mut() {
+                        f(*tid, stack);
+                    }
+                });
+            }
+        });
     }
 
     /// [`Self::commit`] with a crash window at every step boundary.
@@ -243,6 +354,29 @@ impl PersistentProcess {
         crash_window!(inj, CrashSite::PostSeal);
         // Phase two.
         self.apply_pending(inj)
+    }
+
+    /// The parallel twin of [`Self::apply_pending`]: applies every
+    /// staging buffer across scoped workers, then the register slots
+    /// serially, then retires the record. Idempotent, so recovery
+    /// replays it from any interruption point; no crash windows — the
+    /// deterministic sweep uses the serial path.
+    fn apply_pending_parallel(&mut self, workers: usize) {
+        let record = self.pending.clone().expect("apply without a commit record");
+        debug_assert!(record.sealed, "apply before the seal");
+        let sequence = record.sequence;
+        Self::for_each_stack(&mut self.stacks, workers, |_tid, stack| {
+            for k in 0..stack.staged_runs() {
+                stack.apply_run(k);
+            }
+            stack.finish_apply(sequence);
+        });
+        for (tid, regs) in record.staged_regs.iter().enumerate() {
+            self.registers.apply_thread_at(tid, *regs, sequence);
+        }
+        self.registers.set_committed_sequence(sequence);
+        self.pending = None;
+        self.next_sequence = sequence + 1;
     }
 
     /// Applies the sealed commit record: every staging buffer, then
@@ -301,8 +435,10 @@ impl PersistentProcess {
     pub fn recover(&mut self) -> Result<RecoveredState, NoValidCheckpoint> {
         match &self.pending {
             Some(record) if record.sealed => {
-                self.apply_pending(&mut FaultInjector::disabled())
-                    .expect("a disabled injector never fires");
+                // Redo through the parallel apply — the crash matrix
+                // recovers after every post-seal crash, so this path is
+                // exhaustively exercised against torn commits.
+                self.apply_pending_parallel(Self::default_workers(self.stacks.len()));
             }
             Some(_) => {
                 // The commit never sealed: discard it wholesale.
@@ -564,6 +700,74 @@ mod tests {
         // The interrupted commits retried cleanly.
         p.commit(&runs);
         assert_eq!(p.verify_coherent().unwrap(), 2);
+    }
+
+    /// The parallel commit and the serial crash-windowed commit must
+    /// land on byte-identical persistent state.
+    #[test]
+    fn parallel_commit_matches_serial() {
+        let build = || {
+            let mut p = PersistentProcess::new(&ranges(4));
+            for tid in 0..4u32 {
+                let r = p.stack(tid).range();
+                for k in 0..8u64 {
+                    p.record_store(tid, r.start() + k * 512, &[tid as u8 ^ k as u8; 64]);
+                }
+                p.regs_mut(tid).rip = 0x1000 + u64::from(tid);
+                p.regs_mut(tid).gpr[3] = u64::from(tid) * 17;
+            }
+            p
+        };
+        let mut serial = build();
+        let mut parallel = build();
+        let runs = full_runs(&serial, &[0, 1, 2, 3]);
+        serial
+            .commit_with_faults(&runs, &mut FaultInjector::disabled())
+            .expect("a disabled injector never fires");
+        parallel.commit_with_workers(&runs, 4);
+        assert_eq!(serial.committed_sequence(), parallel.committed_sequence());
+        serial.crash();
+        parallel.crash();
+        let rs = serial.recover().unwrap();
+        let rp = parallel.recover().unwrap();
+        assert_eq!(rs.sequence, rp.sequence);
+        for tid in 0..4u32 {
+            let r = serial.stack(tid).range();
+            assert_eq!(
+                serial.stack(tid).volatile().read(r.start(), 4096),
+                parallel.stack(tid).volatile().read(r.start(), 4096),
+                "thread {tid} recovered identical bytes"
+            );
+            assert_eq!(rs.regs[tid as usize], rp.regs[tid as usize]);
+        }
+        assert_eq!(parallel.verify_coherent().unwrap(), 1);
+    }
+
+    /// Commits stay coherent at every worker width, including widths
+    /// above the thread count and repeated commits on one process.
+    #[test]
+    fn commit_coherent_across_worker_counts() {
+        let mut p = PersistentProcess::new(&ranges(8));
+        let tids: Vec<u32> = (0..8).collect();
+        let runs = full_runs(&p, &tids);
+        for (i, workers) in [1usize, 2, 3, 8, 64].into_iter().enumerate() {
+            for tid in 0..8u32 {
+                let r = p.stack(tid).range();
+                p.record_store(tid, r.start() + 128, &[i as u8 + 1; 32]);
+            }
+            p.commit_with_workers(&runs, workers);
+            assert_eq!(p.committed_sequence(), i as u64 + 1);
+            assert_eq!(p.verify_coherent().unwrap(), i as u64 + 1);
+        }
+        p.crash();
+        let rec = p.recover().unwrap();
+        assert_eq!(rec.sequence, 5);
+        let r = p.stack(7).range();
+        assert_eq!(
+            p.stack(7).volatile().read(r.start() + 128, 32),
+            vec![5u8; 32],
+            "last commit's bytes survive the crash"
+        );
     }
 
     /// Double crash: a crash during recovery's redo (modelled as a

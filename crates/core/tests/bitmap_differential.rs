@@ -1,0 +1,137 @@
+//! Differential property tests: the hierarchical paged [`DirtyBitmap`]
+//! against the pre-hierarchical [`SparseDirtyBitmap`] reference.
+//!
+//! Both implementations are driven through identical random
+//! write/merge/inspect/clear sequences and must agree at every step on
+//! the produced copy runs, the `words_read`/`words_cleared`/
+//! `pages_probed` accounting, the running popcount, and the non-zero
+//! word count. Windows are drawn to hit the awkward cases: empty,
+//! word-interior, straddling 64-bit group seams and page seams, and
+//! far past the dirtied span.
+
+use proptest::prelude::*;
+use prosper_core::bitmap::reference::SparseDirtyBitmap;
+use prosper_core::bitmap::{BitmapGeometry, DirtyBitmap, PAGE_SPAN_BYTES};
+use prosper_memsim::addr::{VirtAddr, VirtRange};
+
+const RANGE_START: u64 = 0x7000_0000;
+const BITMAP_BASE: u64 = 0x1000_0000;
+/// Words the random ops may touch: a bit over two bitmap pages, so
+/// sequences regularly cross page seams.
+const WORD_SPAN: u64 = 2 * PAGE_SPAN_BYTES / 4 + 96;
+
+fn geom(granularity: u64) -> BitmapGeometry {
+    BitmapGeometry {
+        range_start: VirtAddr::new(RANGE_START),
+        bitmap_base: VirtAddr::new(BITMAP_BASE),
+        granularity,
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// `write_word` at word index with the given value (0 clears).
+    Write(u64, u32),
+    /// `merge_word` at word index.
+    Merge(u64, u32),
+    /// `inspect_and_clear` over a window of tracked addresses,
+    /// expressed as (start granule, granule count).
+    Inspect(u64, u64),
+}
+
+fn arb_value() -> impl Strategy<Value = u32> {
+    prop_oneof![
+        3 => any::<u32>(),
+        1 => Just(0u32),
+        1 => Just(u32::MAX),
+        1 => Just(1u32),
+        1 => Just(1u32 << 31),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => ((0..WORD_SPAN), arb_value()).prop_map(|(w, v)| Op::Write(w, v)),
+        4 => ((0..WORD_SPAN), arb_value()).prop_map(|(w, v)| Op::Merge(w, v)),
+        2 => ((0..WORD_SPAN * 32), (0u64..WORD_SPAN * 48))
+            .prop_map(|(s, n)| Op::Inspect(s, n)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary op sequences leave both bitmaps in identical states
+    /// and produce identical inspection results throughout.
+    #[test]
+    fn hierarchical_matches_sparse_reference(
+        ops in prop::collection::vec(arb_op(), 1..120),
+        granularity in prop_oneof![Just(8u64), Just(16), Just(64), Just(128)],
+    ) {
+        let g = geom(granularity);
+        let mut hier = DirtyBitmap::new();
+        let mut sparse = SparseDirtyBitmap::new();
+        for op in &ops {
+            match op {
+                Op::Write(word, value) => {
+                    let addr = BITMAP_BASE + word * 4;
+                    hier.write_word(addr, *value);
+                    sparse.write_word(addr, *value);
+                }
+                Op::Merge(word, value) => {
+                    let addr = BITMAP_BASE + word * 4;
+                    hier.merge_word(addr, *value);
+                    sparse.merge_word(addr, *value);
+                }
+                Op::Inspect(start_granule, granules) => {
+                    let lo = RANGE_START + start_granule * granularity;
+                    let hi = lo + granules * granularity;
+                    let win = VirtRange::new(VirtAddr::new(lo), VirtAddr::new(hi));
+                    let (hr, hs) = hier.inspect_and_clear(&g, win);
+                    let (sr, ss) = sparse.inspect_and_clear(&g, win);
+                    prop_assert_eq!(&hr, &sr, "runs diverged over {:?}", win);
+                    prop_assert_eq!(hs, ss, "stats diverged over {:?}", win);
+                    prop_assert_eq!(hs.words_read, hs.words_cleared);
+                }
+            }
+            prop_assert_eq!(hier.total_set_bits(), sparse.total_set_bits());
+            prop_assert_eq!(hier.nonzero_words(), sparse.nonzero_words());
+        }
+        // Drain everything left and compare the final sweep too.
+        let all = VirtRange::new(
+            VirtAddr::new(RANGE_START),
+            VirtAddr::new(RANGE_START + WORD_SPAN * 32 * granularity),
+        );
+        let (hr, hs) = hier.inspect_and_clear(&g, all);
+        let (sr, ss) = sparse.inspect_and_clear(&g, all);
+        prop_assert_eq!(hr, sr);
+        prop_assert_eq!(hs, ss);
+        prop_assert_eq!(hier.total_set_bits(), 0);
+        prop_assert_eq!(sparse.total_set_bits(), 0);
+        prop_assert_eq!(hier.nonzero_words(), 0);
+    }
+
+    /// Reads after random updates agree word-for-word (the tracker's
+    /// flush path reads words back through the bitmap).
+    #[test]
+    fn word_reads_match(
+        writes in prop::collection::vec(((0..WORD_SPAN), any::<u32>()), 1..80),
+    ) {
+        let mut hier = DirtyBitmap::new();
+        let mut sparse = SparseDirtyBitmap::new();
+        for (word, value) in &writes {
+            let addr = BITMAP_BASE + word * 4;
+            if value % 3 == 0 {
+                hier.write_word(addr, *value);
+                sparse.write_word(addr, *value);
+            } else {
+                hier.merge_word(addr, *value);
+                sparse.merge_word(addr, *value);
+            }
+        }
+        for word in 0..WORD_SPAN {
+            let addr = BITMAP_BASE + word * 4;
+            prop_assert_eq!(hier.read_word(addr), sparse.read_word(addr));
+        }
+    }
+}

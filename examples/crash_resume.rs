@@ -72,7 +72,7 @@ fn main() {
         tracker.flush();
         let geom = tracker.geometry();
         let watermark = tracker.min_soi_watermark().unwrap_or(top);
-        let (runs, _, _) = tracker
+        let (runs, _) = tracker
             .bitmap_mut()
             .inspect_and_clear(&geom, VirtRange::new(watermark, top));
         tracker.reset_watermark();

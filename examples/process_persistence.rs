@@ -53,7 +53,7 @@ fn main() {
         let geom = tracker.geometry();
         let watermark = tracker.min_soi_watermark().unwrap_or(stack_top);
         let active = prosper_repro::memsim::addr::VirtRange::new(watermark, stack_top);
-        let (runs, words_read, _) = tracker.bitmap_mut().inspect_and_clear(&geom, active);
+        let (runs, stats) = tracker.bitmap_mut().inspect_and_clear(&geom, active);
         let runs: Vec<CopyRun> = runs;
         let bytes: u64 = runs.iter().map(|r| r.len).sum();
         pstack.checkpoint(&runs);
@@ -63,7 +63,7 @@ fn main() {
             "checkpoint {checkpoints}: {} runs, {} bytes, {} bitmap words inspected",
             runs.len(),
             bytes,
-            words_read
+            stats.words_read
         );
     }
 

@@ -41,7 +41,7 @@ fn tracked_run(intervals: u64) -> (DirtyTracker, PersistentStack, VirtRange, Vec
         let geom = tracker.geometry();
         let watermark = tracker.min_soi_watermark().unwrap_or(top);
         let active = VirtRange::new(watermark, top);
-        let (runs, _, _) = tracker.bitmap_mut().inspect_and_clear(&geom, active);
+        let (runs, _) = tracker.bitmap_mut().inspect_and_clear(&geom, active);
         pstack.checkpoint(&runs);
         tracker.reset_watermark();
         all_runs.push(runs);

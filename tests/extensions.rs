@@ -50,7 +50,7 @@ fn prosper_tracks_a_heap_range() {
     // Inspection bounded to the watermark works for heap ranges too.
     let lo = tracker.min_soi_watermark().unwrap();
     let geom = tracker.geometry();
-    let (runs, _, _) = tracker
+    let (runs, _) = tracker
         .bitmap_mut()
         .inspect_and_clear(&geom, VirtRange::new(lo, heap.end()));
     assert!(!runs.is_empty());

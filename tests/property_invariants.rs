@@ -44,7 +44,7 @@ proptest! {
 
         // Inspection must produce runs covering exactly the dirty set.
         let geom = tracker.geometry();
-        let (runs, _, _) = tracker
+        let (runs, _) = tracker
             .bitmap_mut()
             .inspect_and_clear(&geom, stack_range());
         let mut covered: BTreeSet<u64> = BTreeSet::new();
