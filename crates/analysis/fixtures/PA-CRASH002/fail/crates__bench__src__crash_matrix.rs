@@ -1,0 +1,4 @@
+//! Fixture: the matrix also misses `MidApply`.
+pub fn sites() -> Vec<CrashSite> {
+    vec![CrashSite::PreStage, CrashSite::PostSeal { tid: 0 }]
+}

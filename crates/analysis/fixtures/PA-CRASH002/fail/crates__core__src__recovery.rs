@@ -1,0 +1,6 @@
+//! Fixture: injection points cover only two of three variants.
+pub fn commit(inj: &mut FaultInjector) {
+    crash_window!(inj, CrashSite::PreStage);
+    seal();
+    crash_window!(inj, CrashSite::PostSeal { tid: 0 });
+}

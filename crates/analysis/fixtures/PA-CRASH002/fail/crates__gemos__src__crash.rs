@@ -1,0 +1,6 @@
+//! Fixture: `MidApply` has neither injection nor matrix coverage.
+pub enum CrashSite {
+    PreStage,
+    PostSeal { tid: u32 },
+    MidApply { tid: u32 },
+}

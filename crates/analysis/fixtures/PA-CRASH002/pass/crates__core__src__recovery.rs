@@ -1,0 +1,6 @@
+//! Fixture: injection points for both variants.
+pub fn commit(inj: &mut FaultInjector) {
+    crash_window!(inj, CrashSite::PreStage);
+    seal();
+    crash_window!(inj, CrashSite::PostSeal { tid: 0 });
+}

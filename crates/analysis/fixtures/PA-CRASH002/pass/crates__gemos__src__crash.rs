@@ -1,0 +1,7 @@
+//! Fixture: a fully covered crash-site enum.
+pub enum CrashSite {
+    /// Before anything was staged.
+    PreStage,
+    /// After the seal.
+    PostSeal { tid: u32 },
+}

@@ -1,0 +1,7 @@
+//! Fixture: wall-clock and ambient randomness in simulator code.
+pub fn commit_timed() -> u64 {
+    let t = std::time::Instant::now();
+    let jitter = rand::thread_rng().gen_range(0..10);
+    do_commit(jitter);
+    t.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,6 @@
+//! Fixture: the bench harness measures host time by design.
+pub fn measure() -> std::time::Duration {
+    let t = std::time::Instant::now();
+    workload();
+    t.elapsed()
+}

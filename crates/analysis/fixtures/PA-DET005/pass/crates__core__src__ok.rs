@@ -1,0 +1,6 @@
+//! Fixture: simulator code takes time from telemetry's stopwatch.
+pub fn commit_timed() -> u64 {
+    let sw = telemetry::Stopwatch::start();
+    do_commit();
+    sw.elapsed_ns()
+}

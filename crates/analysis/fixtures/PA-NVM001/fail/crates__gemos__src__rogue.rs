@@ -1,0 +1,6 @@
+//! Fixture: a rogue caller mutating staging state outside persist.rs.
+pub fn sneak_write(stack: &mut PersistentStack) {
+    stack.begin_stage(1);
+    stack.stage_run(0, 0, 64); // must be flagged
+    stack.sealed = true; // and this
+}

@@ -1,0 +1,8 @@
+//! Fixture: the persistence layer itself may call staging APIs.
+pub fn commit(stack: &mut PersistentStack) {
+    stack.begin_stage(7);
+    stack.stage_run(0, 0, 64);
+    stack.seal();
+    stack.apply_run(0);
+    stack.finish_apply();
+}

@@ -1,0 +1,5 @@
+//! Fixture: OS code drives commits through the high-level API only.
+pub fn on_interval(proc_: &mut Process) {
+    proc_.checkpoint();
+    let _ = proc_.stats();
+}

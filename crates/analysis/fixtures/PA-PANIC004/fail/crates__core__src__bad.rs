@@ -1,0 +1,10 @@
+//! Fixture: panicking constructs on the recovery surface.
+pub fn recover_state(pending: Option<Record>) -> Record {
+    pending.unwrap()
+}
+
+pub fn apply_record_at(slot: Option<&Record>) {
+    let record = slot.expect("record must exist");
+    drop(record);
+    panic!("apply failed");
+}

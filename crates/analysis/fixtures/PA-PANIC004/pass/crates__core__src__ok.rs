@@ -1,0 +1,23 @@
+//! Fixture: recovery degrades structurally; unwrap is fine elsewhere.
+pub fn recover_state(pending: Option<Record>) -> Outcome {
+    match pending {
+        Some(record) if record.sealed => Outcome::Redo(record),
+        Some(_) => Outcome::Discard,
+        None => Outcome::Clean,
+    }
+}
+
+pub fn build_fixture() -> Vec<u8> {
+    std::fs::read("fixture.bin").unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn restore_roundtrip() {
+        let r = super::recover_state(None);
+        assert!(matches!(r, super::Outcome::Clean));
+        let v: Option<u32> = Some(1);
+        v.unwrap();
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture: no forbid attribute, and an unsafe block.
+
+pub fn peek(p: *const u32) -> u32 {
+    unsafe { *p }
+}

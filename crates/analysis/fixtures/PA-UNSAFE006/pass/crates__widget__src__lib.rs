@@ -1,0 +1,7 @@
+//! Fixture: a compliant crate root.
+
+#![forbid(unsafe_code)]
+
+pub fn safe() -> u32 {
+    7
+}

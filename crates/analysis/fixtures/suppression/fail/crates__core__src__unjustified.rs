@@ -1,0 +1,5 @@
+//! Fixture: a bare marker with no reason suppresses nothing.
+pub fn replay_seed() -> u64 {
+    // lint:allow(PA-DET005)
+    std::time::SystemTime::now().elapsed().unwrap_or_default().as_nanos() as u64
+}

@@ -1,0 +1,91 @@
+//! Workspace invariant linter.
+//!
+//! ```text
+//! cargo run -p prosper-analysis --bin prosper-lint [-- --format json] [--root PATH]
+//! ```
+//!
+//! Scans every `src/` tree in the workspace, runs the rule catalogue
+//! (see `prosper_analysis::rules`), and prints findings. Exits
+//! nonzero when any unsuppressed finding remains, so CI can gate on
+//! it.
+
+#![forbid(unsafe_code)]
+
+use prosper_analysis::rules::{self, LintConfig};
+use prosper_analysis::workspace;
+use std::path::PathBuf;
+
+fn main() {
+    let mut format_json = false;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => {
+                format_json = args.next().as_deref() == Some("json");
+            }
+            "--json" => format_json = true,
+            "--root" => root_arg = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                eprintln!(
+                    "prosper-lint: workspace invariant linter\n\
+                     usage: prosper-lint [--format json|text] [--root PATH]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("prosper-lint: unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let root = root_arg.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| workspace::find_root(&d))
+    });
+    let Some(root) = root else {
+        eprintln!("prosper-lint: could not locate the workspace root (try --root)");
+        std::process::exit(2);
+    };
+    let files = match workspace::load_sources(&root) {
+        Ok(files) => files,
+        Err(err) => {
+            eprintln!("prosper-lint: failed to scan {}: {err}", root.display());
+            std::process::exit(2);
+        }
+    };
+
+    let report = rules::run(&files, &LintConfig::workspace_default());
+
+    if format_json {
+        println!("{}", report.to_json());
+    } else {
+        for rule in &report.rules {
+            println!(
+                "{}: {} — {} finding(s)",
+                rule.id, rule.summary, rule.findings
+            );
+        }
+        for d in &report.diagnostics {
+            println!("{d}");
+            if !d.snippet.is_empty() {
+                println!("    {}", d.snippet);
+            }
+            if let Some(j) = &d.justification {
+                println!("    suppressed: {j}");
+            }
+        }
+        println!(
+            "prosper-lint: {} file(s), {} finding(s), {} unsuppressed",
+            report.files_scanned,
+            report.diagnostics.len(),
+            report.failure_count()
+        );
+    }
+
+    if report.failure_count() > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,198 @@
+//! Machine-readable lint diagnostics.
+//!
+//! Diagnostics are plain data; the JSON writer is hand-rolled (a few
+//! dozen lines) so the analysis crate has no serialization dependency
+//! and can therefore lint the serde shims themselves without a
+//! circular relationship.
+
+use std::fmt;
+
+/// One lint finding, anchored to a file and line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule identifier, e.g. `PA-NVM001`.
+    pub rule: String,
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+    /// True when a `// lint:allow(RULE): reason` marker covers this
+    /// finding; suppressed findings are reported but do not fail the
+    /// build.
+    pub suppressed: bool,
+    /// The justification text from the suppression marker, if any.
+    pub justification: Option<String>,
+}
+
+impl Diagnostic {
+    /// Builds an unsuppressed diagnostic.
+    pub fn new(
+        rule: &str,
+        file: &str,
+        line: usize,
+        message: impl Into<String>,
+        snippet: impl Into<String>,
+    ) -> Self {
+        Self {
+            rule: rule.to_owned(),
+            file: file.to_owned(),
+            line,
+            message: message.into(),
+            snippet: snippet.into(),
+            suppressed: false,
+            justification: None,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mark = if self.suppressed { " (suppressed)" } else { "" };
+        write!(
+            f,
+            "{}: {}:{}: {}{}",
+            self.rule, self.file, self.line, self.message, mark
+        )
+    }
+}
+
+/// Summary of one rule that ran, for the report header.
+#[derive(Clone, Debug)]
+pub struct RuleInfo {
+    /// Stable rule identifier.
+    pub id: String,
+    /// One-line description of what the rule enforces.
+    pub summary: String,
+    /// Number of findings (suppressed included).
+    pub findings: usize,
+}
+
+/// The full result of a lint run.
+#[derive(Clone, Debug, Default)]
+pub struct LintReport {
+    /// Every finding, in rule-then-file order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The rules that ran, whether or not they fired.
+    pub rules: Vec<RuleInfo>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// Findings that should fail the build (not suppressed).
+    pub fn unsuppressed(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| !d.suppressed)
+    }
+
+    /// Number of unsuppressed findings.
+    #[must_use]
+    pub fn failure_count(&self) -> usize {
+        self.unsuppressed().count()
+    }
+
+    /// Renders the report as a JSON object:
+    /// `{"files_scanned":N,"rules":[...],"diagnostics":[...],"failures":N}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.diagnostics.len() * 128);
+        out.push_str("{\"files_scanned\":");
+        out.push_str(&self.files_scanned.to_string());
+        out.push_str(",\"rules\":[");
+        for (i, r) in self.rules.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"id\":");
+            json_string(&mut out, &r.id);
+            out.push_str(",\"summary\":");
+            json_string(&mut out, &r.summary);
+            out.push_str(",\"findings\":");
+            out.push_str(&r.findings.to_string());
+            out.push('}');
+        }
+        out.push_str("],\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"rule\":");
+            json_string(&mut out, &d.rule);
+            out.push_str(",\"file\":");
+            json_string(&mut out, &d.file);
+            out.push_str(",\"line\":");
+            out.push_str(&d.line.to_string());
+            out.push_str(",\"message\":");
+            json_string(&mut out, &d.message);
+            out.push_str(",\"snippet\":");
+            json_string(&mut out, &d.snippet);
+            out.push_str(",\"suppressed\":");
+            out.push_str(if d.suppressed { "true" } else { "false" });
+            if let Some(j) = &d.justification {
+                out.push_str(",\"justification\":");
+                json_string(&mut out, j);
+            }
+            out.push('}');
+        }
+        out.push_str("],\"failures\":");
+        out.push_str(&self.failure_count().to_string());
+        out.push('}');
+        out
+    }
+}
+
+/// Appends `s` to `out` as a JSON string literal with escaping.
+pub fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let mut s = String::new();
+        json_string(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let mut report = LintReport {
+            files_scanned: 2,
+            ..LintReport::default()
+        };
+        report.rules.push(RuleInfo {
+            id: "PA-TEST000".into(),
+            summary: "test rule".into(),
+            findings: 1,
+        });
+        let mut d = Diagnostic::new("PA-TEST000", "src/lib.rs", 3, "bad", "let x = bad();");
+        d.suppressed = true;
+        d.justification = Some("known".into());
+        report.diagnostics.push(d);
+        let json = report.to_json();
+        assert!(json.contains("\"failures\":0"));
+        assert!(json.contains("\"suppressed\":true"));
+        assert!(json.contains("\"justification\":\"known\""));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+}

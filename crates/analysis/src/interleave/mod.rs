@@ -1,0 +1,35 @@
+//! Miniature loom-style concurrency checker for the parallel commit
+//! protocol.
+//!
+//! The real `commit_with_workers` path in `prosper-core` fans stage
+//! and apply work out to scoped threads around a serial seal. Its
+//! correctness argument rests on a handful of ordering invariants
+//! (see [`order`]): the seal is the single commit point, stage and
+//! apply for one sequence number never overlap, sequences never
+//! overlap each other, and the tracker quiescence handshake orders
+//! bitmap clears against mutator writes.
+//!
+//! This module checks those invariants *exhaustively* on a model:
+//!
+//! * [`model`] builds a faithful synchronization skeleton of the
+//!   protocol — coordinator, N stage/apply workers, a tracker thread —
+//!   as explicit steps with acquire/release edges and shared-location
+//!   accesses, plus deliberately seeded bugs ([`model::Bug`]) that
+//!   drop specific edges.
+//! * [`explorer`] enumerates every schedule of that skeleton under a
+//!   preemption bound (DFS over enabled threads), maintaining vector
+//!   clocks ([`vclock`]) to flag happens-before races, and checks the
+//!   event trace of each schedule with [`order::check_order`].
+//! * The same [`order::check_order`] runs over `CommitProbeEvent`
+//!   logs recorded from the *real* commit path, tying the model to
+//!   the implementation (see `tests/real_commit_conformance.rs`).
+
+pub mod explorer;
+pub mod model;
+pub mod order;
+pub mod vclock;
+
+pub use explorer::{explore, ExploreReport, ExplorerConfig, RaceReport};
+pub use model::{commit_program, Bug, CommitConfig, Program};
+pub use order::{check_order, OrderEvent, OrderViolation};
+pub use vclock::VClock;

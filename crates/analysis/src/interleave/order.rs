@@ -1,0 +1,320 @@
+//! Commit-order invariants, checked over event traces.
+//!
+//! The checker is shared between two producers: the model explorer
+//! (every explored schedule yields a trace) and the real commit path
+//! (`prosper_core::recovery::CommitProbe` logs map 1:1 onto
+//! [`OrderEvent`]). One checker, two witnesses.
+
+use std::fmt;
+
+/// One commit-protocol event, tagged with its sequence number.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OrderEvent {
+    /// The tracker finished quiescing for this sequence.
+    Quiesced {
+        /// Commit sequence number.
+        seq: u64,
+    },
+    /// The coordinator inspected (and cleared) one stack's bitmap.
+    Inspect {
+        /// Commit sequence number.
+        seq: u64,
+        /// Stack/thread id whose bitmap was inspected.
+        tid: u32,
+    },
+    /// A worker staged one stack's runs.
+    Stage {
+        /// Commit sequence number.
+        seq: u64,
+        /// Stack/thread id staged.
+        tid: u32,
+    },
+    /// The serial seal — the single durable commit point.
+    Seal {
+        /// Commit sequence number.
+        seq: u64,
+    },
+    /// A worker applied one stack's staged runs.
+    Apply {
+        /// Commit sequence number.
+        seq: u64,
+        /// Stack/thread id applied.
+        tid: u32,
+    },
+    /// The coordinator retired the commit record.
+    Retire {
+        /// Commit sequence number.
+        seq: u64,
+    },
+}
+
+impl OrderEvent {
+    /// The sequence number the event belongs to.
+    #[must_use]
+    pub fn seq(&self) -> u64 {
+        match *self {
+            OrderEvent::Quiesced { seq }
+            | OrderEvent::Inspect { seq, .. }
+            | OrderEvent::Stage { seq, .. }
+            | OrderEvent::Seal { seq }
+            | OrderEvent::Apply { seq, .. }
+            | OrderEvent::Retire { seq } => seq,
+        }
+    }
+}
+
+/// A violated commit-order invariant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OrderViolation {
+    /// A sequence sealed more than once: two commit points.
+    DuplicateSeal {
+        /// Offending sequence.
+        seq: u64,
+    },
+    /// A sequence staged or applied work but never sealed.
+    MissingSeal {
+        /// Offending sequence.
+        seq: u64,
+    },
+    /// A stage event landed after its sequence's seal: the seal was
+    /// not the commit point for that stack's data.
+    StageAfterSeal {
+        /// Offending sequence.
+        seq: u64,
+        /// Stack staged late.
+        tid: u32,
+    },
+    /// An apply event landed before its sequence's seal: NVM mutated
+    /// before the commit point.
+    ApplyBeforeSeal {
+        /// Offending sequence.
+        seq: u64,
+        /// Stack applied early.
+        tid: u32,
+    },
+    /// The record retired before every apply finished.
+    RetireBeforeApply {
+        /// Offending sequence.
+        seq: u64,
+    },
+    /// Work for a later sequence started before an earlier sequence
+    /// finished applying.
+    CrossSequenceOverlap {
+        /// The unfinished earlier sequence.
+        earlier: u64,
+        /// The prematurely started later sequence.
+        later: u64,
+    },
+    /// A bitmap inspection happened before the quiescence handshake
+    /// for its sequence.
+    InspectBeforeQuiesce {
+        /// Offending sequence.
+        seq: u64,
+        /// Stack inspected early.
+        tid: u32,
+    },
+}
+
+impl fmt::Display for OrderViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrderViolation::DuplicateSeal { seq } => {
+                write!(f, "sequence {seq} sealed more than once")
+            }
+            OrderViolation::MissingSeal { seq } => {
+                write!(f, "sequence {seq} staged/applied work without a seal")
+            }
+            OrderViolation::StageAfterSeal { seq, tid } => {
+                write!(f, "stack {tid} staged after seal of sequence {seq}")
+            }
+            OrderViolation::ApplyBeforeSeal { seq, tid } => {
+                write!(f, "stack {tid} applied before seal of sequence {seq}")
+            }
+            OrderViolation::RetireBeforeApply { seq } => {
+                write!(f, "sequence {seq} retired before all applies finished")
+            }
+            OrderViolation::CrossSequenceOverlap { earlier, later } => {
+                write!(
+                    f,
+                    "sequence {later} started before sequence {earlier} finished applying"
+                )
+            }
+            OrderViolation::InspectBeforeQuiesce { seq, tid } => {
+                write!(
+                    f,
+                    "bitmap of stack {tid} inspected before quiescence of sequence {seq}"
+                )
+            }
+        }
+    }
+}
+
+/// Checks the commit-order invariants over one trace. Returns every
+/// violation found (empty = trace is valid).
+#[must_use]
+pub fn check_order(events: &[OrderEvent]) -> Vec<OrderViolation> {
+    let mut out = Vec::new();
+    let mut seqs: Vec<u64> = events.iter().map(OrderEvent::seq).collect();
+    seqs.sort_unstable();
+    seqs.dedup();
+
+    for &seq in &seqs {
+        let seal_positions: Vec<usize> = events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e, OrderEvent::Seal { seq: s } if *s == seq))
+            .map(|(i, _)| i)
+            .collect();
+        if seal_positions.len() > 1 {
+            out.push(OrderViolation::DuplicateSeal { seq });
+        }
+        let has_work = events.iter().any(|e| {
+            matches!(e, OrderEvent::Stage { seq: s, .. } | OrderEvent::Apply { seq: s, .. } if *s == seq)
+        });
+        let Some(&seal) = seal_positions.first() else {
+            if has_work {
+                out.push(OrderViolation::MissingSeal { seq });
+            }
+            continue;
+        };
+        let quiesce = events
+            .iter()
+            .position(|e| matches!(e, OrderEvent::Quiesced { seq: s } if *s == seq));
+        for (i, e) in events.iter().enumerate() {
+            match *e {
+                OrderEvent::Stage { seq: s, tid } if s == seq && i > seal => {
+                    out.push(OrderViolation::StageAfterSeal { seq, tid });
+                }
+                OrderEvent::Apply { seq: s, tid } if s == seq && i < seal => {
+                    out.push(OrderViolation::ApplyBeforeSeal { seq, tid });
+                }
+                OrderEvent::Inspect { seq: s, tid } if s == seq => {
+                    if let Some(q) = quiesce {
+                        if i < q {
+                            out.push(OrderViolation::InspectBeforeQuiesce { seq, tid });
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        let last_apply = events
+            .iter()
+            .rposition(|e| matches!(e, OrderEvent::Apply { seq: s, .. } if *s == seq));
+        let retire = events
+            .iter()
+            .position(|e| matches!(e, OrderEvent::Retire { seq: s } if *s == seq));
+        if let (Some(a), Some(r)) = (last_apply, retire) {
+            if r < a {
+                out.push(OrderViolation::RetireBeforeApply { seq });
+            }
+        }
+    }
+
+    // Sequences must not overlap: every event of sequence B (other
+    // than tracker quiescence, which legitimately runs concurrently
+    // with the tail of A's apply in a pipelined tracker) must come
+    // after the last apply of every earlier sequence A.
+    for window in seqs.windows(2) {
+        let (earlier, later) = (window[0], window[1]);
+        let Some(last_apply_earlier) = events
+            .iter()
+            .rposition(|e| matches!(e, OrderEvent::Apply { seq: s, .. } if *s == earlier))
+        else {
+            continue;
+        };
+        let first_later = events.iter().position(|e| {
+            matches!(
+                e,
+                OrderEvent::Stage { seq: s, .. }
+                    | OrderEvent::Seal { seq: s }
+                    | OrderEvent::Apply { seq: s, .. } if *s == later
+            )
+        });
+        if let Some(fl) = first_later {
+            if fl < last_apply_earlier {
+                out.push(OrderViolation::CrossSequenceOverlap { earlier, later });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn good_trace() -> Vec<OrderEvent> {
+        vec![
+            OrderEvent::Quiesced { seq: 1 },
+            OrderEvent::Inspect { seq: 1, tid: 0 },
+            OrderEvent::Stage { seq: 1, tid: 0 },
+            OrderEvent::Stage { seq: 1, tid: 1 },
+            OrderEvent::Seal { seq: 1 },
+            OrderEvent::Apply { seq: 1, tid: 1 },
+            OrderEvent::Apply { seq: 1, tid: 0 },
+            OrderEvent::Retire { seq: 1 },
+        ]
+    }
+
+    #[test]
+    fn valid_trace_passes() {
+        assert!(check_order(&good_trace()).is_empty());
+    }
+
+    #[test]
+    fn detects_stage_after_seal() {
+        let mut t = good_trace();
+        t.swap(3, 4); // stage tid=1 after seal
+        assert!(t.iter().any(|e| matches!(e, OrderEvent::Seal { .. })));
+        let v = check_order(&t);
+        assert!(v.contains(&OrderViolation::StageAfterSeal { seq: 1, tid: 1 }));
+    }
+
+    #[test]
+    fn detects_apply_before_seal() {
+        let mut t = good_trace();
+        t.swap(4, 5);
+        let v = check_order(&t);
+        assert!(v.contains(&OrderViolation::ApplyBeforeSeal { seq: 1, tid: 1 }));
+    }
+
+    #[test]
+    fn detects_duplicate_and_missing_seal() {
+        let mut t = good_trace();
+        t.push(OrderEvent::Seal { seq: 1 });
+        assert!(check_order(&t).contains(&OrderViolation::DuplicateSeal { seq: 1 }));
+        let t2 = vec![OrderEvent::Stage { seq: 3, tid: 0 }];
+        assert!(check_order(&t2).contains(&OrderViolation::MissingSeal { seq: 3 }));
+    }
+
+    #[test]
+    fn detects_cross_sequence_overlap() {
+        let mut t = good_trace();
+        // Sequence 2 stages before sequence 1's last apply.
+        t.insert(5, OrderEvent::Stage { seq: 2, tid: 0 });
+        t.push(OrderEvent::Seal { seq: 2 });
+        t.push(OrderEvent::Apply { seq: 2, tid: 0 });
+        t.push(OrderEvent::Retire { seq: 2 });
+        let v = check_order(&t);
+        assert!(v.contains(&OrderViolation::CrossSequenceOverlap {
+            earlier: 1,
+            later: 2
+        }));
+    }
+
+    #[test]
+    fn detects_retire_before_apply_and_early_inspect() {
+        let t = vec![
+            OrderEvent::Inspect { seq: 1, tid: 0 },
+            OrderEvent::Quiesced { seq: 1 },
+            OrderEvent::Stage { seq: 1, tid: 0 },
+            OrderEvent::Seal { seq: 1 },
+            OrderEvent::Retire { seq: 1 },
+            OrderEvent::Apply { seq: 1, tid: 0 },
+        ];
+        let v = check_order(&t);
+        assert!(v.contains(&OrderViolation::RetireBeforeApply { seq: 1 }));
+        assert!(v.contains(&OrderViolation::InspectBeforeQuiesce { seq: 1, tid: 0 }));
+    }
+}

@@ -1,0 +1,65 @@
+//! Vector clocks for happens-before race detection.
+
+/// A fixed-width vector clock; index = model thread id.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock(Vec<u64>);
+
+impl VClock {
+    /// A zero clock for `n` threads.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self(vec![0; n])
+    }
+
+    /// Advances this thread's own component.
+    pub fn tick(&mut self, tid: usize) {
+        self.0[tid] += 1;
+    }
+
+    /// Componentwise maximum (join).
+    pub fn join(&mut self, other: &VClock) {
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// True when `self` happens-before-or-equals `other`
+    /// (componentwise `<=`).
+    #[must_use]
+    pub fn leq(&self, other: &VClock) -> bool {
+        self.0.iter().zip(&other.0).all(|(a, b)| a <= b)
+    }
+
+    /// True when neither clock orders the other: the two events they
+    /// stamp are concurrent.
+    #[must_use]
+    pub fn concurrent(&self, other: &VClock) -> bool {
+        !self.leq(other) && !other.leq(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_via_join() {
+        let mut a = VClock::new(2);
+        let mut b = VClock::new(2);
+        a.tick(0); // a = [1,0]
+        b.join(&a);
+        b.tick(1); // b = [1,1]
+        assert!(a.leq(&b));
+        assert!(!b.leq(&a));
+        assert!(!a.concurrent(&b));
+    }
+
+    #[test]
+    fn concurrent_when_unjoined() {
+        let mut a = VClock::new(2);
+        let mut b = VClock::new(2);
+        a.tick(0);
+        b.tick(1);
+        assert!(a.concurrent(&b));
+    }
+}

@@ -1,0 +1,67 @@
+//! `PA-DET005` — determinism of simulator crates.
+//!
+//! The simulator's whole value is bit-for-bit reproducibility: the
+//! crash matrix replays exact interleavings, the perf baseline
+//! compares exact cycle counts. A wall-clock read or an ambient RNG
+//! in simulation logic silently destroys that. Simulator crates must
+//! take time from the simulated clock and randomness from a seeded
+//! generator; the only sanctioned wall-clock site is
+//! `prosper_telemetry::Stopwatch` (the telemetry crate is exempt —
+//! observability measures host time by definition).
+
+use super::{LintConfig, Rule};
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+/// Nondeterminism sources banned from simulator crates.
+const NONDET_TOKENS: &[&str] = &[
+    "Instant::now",
+    "SystemTime::now",
+    "thread_rng",
+    "from_entropy",
+    "rand::random",
+];
+
+/// See module docs.
+#[derive(Debug)]
+pub struct DeterministicSim;
+
+impl Rule for DeterministicSim {
+    fn id(&self) -> &'static str {
+        "PA-DET005"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no wall-clock or ambient randomness in deterministic simulator crates"
+    }
+
+    fn check(&self, files: &[SourceFile], cfg: &LintConfig) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for file in files {
+            if !cfg
+                .sim_path_prefixes
+                .iter()
+                .any(|p| file.path.starts_with(p.as_str()))
+            {
+                continue;
+            }
+            for tok in NONDET_TOKENS {
+                for off in file.code_token_matches(tok) {
+                    let line = file.line_of(off);
+                    out.push(Diagnostic::new(
+                        self.id(),
+                        &file.path,
+                        line,
+                        format!(
+                            "`{tok}` in deterministic simulator code; use the \
+                             simulated clock / a seeded RNG (telemetry timing goes \
+                             through prosper_telemetry::Stopwatch)"
+                        ),
+                        file.line_text(line),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,69 @@
+//! `PA-PANIC004` — panic-free recovery and redo paths.
+//!
+//! Recovery code runs exactly when the system is least able to
+//! tolerate surprises: after a crash, replaying a sealed commit
+//! record. A `panic!`/`unwrap`/`expect` there turns a recoverable
+//! state into an unrecoverable one. Any function whose name marks it
+//! as part of the recovery/redo/apply/restore surface must handle
+//! its errors structurally.
+
+use super::{LintConfig, Rule};
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+/// Panicking constructs that must not appear in recovery paths.
+const PANIC_TOKENS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+/// See module docs.
+#[derive(Debug)]
+pub struct PanicFreeRecovery;
+
+impl Rule for PanicFreeRecovery {
+    fn id(&self) -> &'static str {
+        "PA-PANIC004"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no panic!/unwrap/expect inside recovery, redo, apply, or restore functions"
+    }
+
+    fn check(&self, files: &[SourceFile], cfg: &LintConfig) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for file in files {
+            for tok in PANIC_TOKENS {
+                for off in file.code_matches(tok) {
+                    let Some(f) = file.enclosing_fn(off) else {
+                        continue;
+                    };
+                    if !cfg
+                        .recovery_fn_prefixes
+                        .iter()
+                        .any(|p| f.name.starts_with(p.as_str()))
+                    {
+                        continue;
+                    }
+                    let line = file.line_of(off);
+                    out.push(Diagnostic::new(
+                        self.id(),
+                        &file.path,
+                        line,
+                        format!(
+                            "`{}` in recovery-path function `{}`; recovery must \
+                             degrade structurally, not panic",
+                            tok.trim_matches(|c| c == '.' || c == '('),
+                            f.name
+                        ),
+                        file.line_text(line),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}

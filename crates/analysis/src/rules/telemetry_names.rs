@@ -1,0 +1,126 @@
+//! `PA-TEL003` — telemetry-name hygiene.
+//!
+//! Metric and span names are stringly-typed: a typo (`prosper.ckpt.`
+//! vs `prosper.chkpt.`) silently splits one series into two and no
+//! test fails. This rule checks every string literal passed to an
+//! instrumentation call (`counter`, `gauge`, `histogram`,
+//! `span_begin`, `span_end`, `instant`) against the registered
+//! catalogue in `prosper_telemetry::names`: the name must be
+//! well-formed, registered, and registered *as the right kind*. It
+//! also audits the catalogue itself for duplicate entries.
+
+use super::{LintConfig, Rule};
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+use prosper_telemetry::names::{self, InstrumentKind};
+
+/// See module docs.
+#[derive(Debug)]
+pub struct TelemetryNameHygiene;
+
+fn expected_kind(callee: &str) -> Option<InstrumentKind> {
+    match callee {
+        "counter" => Some(InstrumentKind::Counter),
+        "gauge" => Some(InstrumentKind::Gauge),
+        "histogram" => Some(InstrumentKind::Histogram),
+        "span_begin" | "span_end" | "instant" => Some(InstrumentKind::Span),
+        _ => None,
+    }
+}
+
+impl Rule for TelemetryNameHygiene {
+    fn id(&self) -> &'static str {
+        "PA-TEL003"
+    }
+
+    fn summary(&self) -> &'static str {
+        "telemetry name literals must be well-formed, registered, and kind-correct"
+    }
+
+    fn check(&self, files: &[SourceFile], cfg: &LintConfig) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        // Audit the catalogue itself: duplicates make `lookup` lie.
+        let mut seen = std::collections::BTreeMap::new();
+        for (name, kind) in names::REGISTERED {
+            if let Some(prev) = seen.insert(*name, *kind) {
+                out.push(Diagnostic::new(
+                    self.id(),
+                    "crates/telemetry/src/names.rs",
+                    1,
+                    format!(
+                        "registry lists `{name}` twice ({prev:?} and {kind:?}); \
+                         registered names must be globally unique"
+                    ),
+                    *name,
+                ));
+            }
+            if !names::is_well_formed(name) {
+                out.push(Diagnostic::new(
+                    self.id(),
+                    "crates/telemetry/src/names.rs",
+                    1,
+                    format!("registered name `{name}` is not well-formed"),
+                    *name,
+                ));
+            }
+        }
+        for file in files {
+            if cfg
+                .telemetry_exempt_prefixes
+                .iter()
+                .any(|p| file.path.starts_with(p.as_str()))
+            {
+                continue;
+            }
+            for lit in &file.strings {
+                if file.in_test_code(lit.offset) {
+                    continue;
+                }
+                let Some(expected) = lit.callee.as_deref().and_then(expected_kind) else {
+                    continue;
+                };
+                let line = file.line_of(lit.offset);
+                if !names::is_well_formed(&lit.value) {
+                    out.push(Diagnostic::new(
+                        self.id(),
+                        &file.path,
+                        line,
+                        format!(
+                            "telemetry name `{}` is not well-formed (expected \
+                             `prosper.`-prefixed lowercase dotted segments)",
+                            lit.value
+                        ),
+                        file.line_text(line),
+                    ));
+                    continue;
+                }
+                match names::lookup(&lit.value) {
+                    None => out.push(Diagnostic::new(
+                        self.id(),
+                        &file.path,
+                        line,
+                        format!(
+                            "telemetry name `{}` is not in the registered catalogue \
+                             (crates/telemetry/src/names.rs); register it or fix the typo",
+                            lit.value
+                        ),
+                        file.line_text(line),
+                    )),
+                    Some(kind) if kind != expected => out.push(Diagnostic::new(
+                        self.id(),
+                        &file.path,
+                        line,
+                        format!(
+                            "telemetry name `{}` is registered as {kind:?} but used \
+                             as {expected:?}",
+                            lit.value
+                        ),
+                        file.line_text(line),
+                    )),
+                    Some(_) => {}
+                }
+            }
+        }
+        out
+    }
+}

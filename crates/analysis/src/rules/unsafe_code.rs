@@ -1,0 +1,55 @@
+//! `PA-UNSAFE006` — `unsafe` is forbidden workspace-wide.
+//!
+//! The persistence model is checked by tests and by this analysis
+//! crate under the assumption that all memory effects are visible to
+//! safe Rust. Every crate root must carry `#![forbid(unsafe_code)]`
+//! (compiler-enforced, non-overridable), and as a belt-and-braces
+//! measure no `unsafe` token may appear anywhere in production code.
+
+use super::{LintConfig, Rule};
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+/// See module docs.
+#[derive(Debug)]
+pub struct ForbidUnsafe;
+
+impl Rule for ForbidUnsafe {
+    fn id(&self) -> &'static str {
+        "PA-UNSAFE006"
+    }
+
+    fn summary(&self) -> &'static str {
+        "every crate root forbids unsafe_code and no unsafe token appears"
+    }
+
+    fn check(&self, files: &[SourceFile], _cfg: &LintConfig) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for file in files {
+            if file.path.ends_with("src/lib.rs")
+                && !file.masked.contains("#![forbid(unsafe_code)]")
+                && !file.masked.contains("#![deny(unsafe_code)]")
+            {
+                out.push(Diagnostic::new(
+                    self.id(),
+                    &file.path,
+                    1,
+                    "crate root does not carry #![forbid(unsafe_code)]",
+                    file.line_text(1),
+                ));
+            }
+            for off in file.code_token_matches("unsafe") {
+                let line = file.line_of(off);
+                out.push(Diagnostic::new(
+                    self.id(),
+                    &file.path,
+                    line,
+                    "`unsafe` token in production code; the workspace is \
+                     forbid(unsafe_code)",
+                    file.line_text(line),
+                ));
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,617 @@
+//! Token-level Rust source scanner.
+//!
+//! The linter deliberately avoids a full parser: every invariant it
+//! checks is expressible over a *masked* view of the source in which
+//! comment bodies and string-literal contents are blanked out (length
+//! and newlines preserved, so byte offsets and line numbers stay
+//! valid). The scanner understands exactly the lexical features that
+//! matter for masking to be sound:
+//!
+//! * line comments (`//`, `///`, `//!`) and *nested* block comments,
+//! * plain, byte, and raw string literals (`"…"`, `b"…"`, `r#"…"#`),
+//! * character literals vs. lifetimes (`'a'` vs. `<'a>`),
+//! * `#[cfg(test)]` regions (brace-matched on the masked text),
+//! * `fn` item spans (name plus brace-matched body),
+//! * `// lint:allow(RULE): reason` suppression markers.
+
+/// A string literal extracted from the source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StrLit {
+    /// Byte offset of the opening quote in the file.
+    pub offset: usize,
+    /// The literal's contents (escapes left as written).
+    pub value: String,
+    /// The identifier immediately preceding the literal's enclosing
+    /// `(`, if the literal is the first argument of a call like
+    /// `counter("name", …)` or `span_begin("name")`. `None` when the
+    /// literal is not in first-argument position.
+    pub callee: Option<String>,
+}
+
+/// A `fn` item: its name and the byte range of its body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// Byte offset of the body's opening brace.
+    pub body_start: usize,
+    /// Byte offset one past the body's closing brace.
+    pub body_end: usize,
+}
+
+/// A `// lint:allow(RULE-ID): reason` suppression marker.
+///
+/// A marker suppresses findings of the named rule on its own line and
+/// on the immediately following line. Markers without a reason are
+/// malformed and reported by the driver.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Suppression {
+    /// 1-based line the marker appears on.
+    pub line: usize,
+    /// The rule id inside the parentheses.
+    pub rule: String,
+    /// The justification after the colon (trimmed; may be empty for a
+    /// malformed marker).
+    pub reason: String,
+}
+
+/// One scanned source file: raw text, masked text, and extracted
+/// structure.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// Original text.
+    pub raw: String,
+    /// Text with comment bodies and string contents replaced by
+    /// spaces; same length and line structure as `raw`.
+    pub masked: String,
+    /// Byte offsets of line starts (index 0 = line 1).
+    line_starts: Vec<usize>,
+    /// Extracted string literals, in file order.
+    pub strings: Vec<StrLit>,
+    /// Byte ranges covered by `#[cfg(test)]` items.
+    pub test_ranges: Vec<(usize, usize)>,
+    /// `fn` items with brace-matched bodies.
+    pub functions: Vec<FnSpan>,
+    /// Suppression markers found in comments.
+    pub suppressions: Vec<Suppression>,
+}
+
+impl SourceFile {
+    /// Scans `raw` into a masked view plus extracted structure.
+    #[must_use]
+    pub fn parse(path: &str, raw: &str) -> Self {
+        let (masked, strings_pos) = mask(raw);
+        let line_starts = line_starts(raw);
+        let mut file = Self {
+            path: path.to_owned(),
+            raw: raw.to_owned(),
+            masked,
+            line_starts,
+            strings: Vec::new(),
+            test_ranges: Vec::new(),
+            functions: Vec::new(),
+            suppressions: Vec::new(),
+        };
+        file.strings = strings_pos
+            .into_iter()
+            .map(|(start, end)| StrLit {
+                offset: start,
+                value: raw[start + 1..end].to_owned(),
+                callee: callee_of(&file.masked, start),
+            })
+            .collect();
+        file.test_ranges = find_test_ranges(&file.masked);
+        file.functions = find_functions(&file.masked);
+        file.suppressions = find_suppressions(raw);
+        file
+    }
+
+    /// 1-based line number of a byte offset.
+    #[must_use]
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// The trimmed text of a 1-based line.
+    #[must_use]
+    pub fn line_text(&self, line: usize) -> &str {
+        let start = self.line_starts[line - 1];
+        let end = self
+            .line_starts
+            .get(line)
+            .map_or(self.raw.len(), |&e| e - 1);
+        self.raw[start..end.min(self.raw.len())].trim()
+    }
+
+    /// Whether a byte offset falls inside a `#[cfg(test)]` item.
+    #[must_use]
+    pub fn in_test_code(&self, offset: usize) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(s, e)| offset >= s && offset < e)
+    }
+
+    /// Byte offsets of every occurrence of `pat` in the masked text
+    /// outside `#[cfg(test)]` regions.
+    #[must_use]
+    pub fn code_matches(&self, pat: &str) -> Vec<usize> {
+        find_all(&self.masked, pat)
+            .into_iter()
+            .filter(|&off| !self.in_test_code(off))
+            .collect()
+    }
+
+    /// Like [`SourceFile::code_matches`] but requires `pat` to start
+    /// and end at identifier boundaries (so `seal` does not match
+    /// `unseal` or `sealed`).
+    #[must_use]
+    pub fn code_token_matches(&self, pat: &str) -> Vec<usize> {
+        let bytes = self.masked.as_bytes();
+        self.code_matches(pat)
+            .into_iter()
+            .filter(|&off| {
+                let before_ok = off == 0 || !is_ident_byte(bytes[off - 1]);
+                let after = off + pat.len();
+                let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
+                before_ok && after_ok
+            })
+            .collect()
+    }
+
+    /// The innermost `fn` whose body contains `offset`, if any.
+    #[must_use]
+    pub fn enclosing_fn(&self, offset: usize) -> Option<&FnSpan> {
+        self.functions
+            .iter()
+            .filter(|f| offset >= f.body_start && offset < f.body_end)
+            .min_by_key(|f| f.body_end - f.body_start)
+    }
+
+    /// Whether a suppression marker (see [`Suppression`]) for `rule`
+    /// with a non-empty reason covers the given 1-based line.
+    #[must_use]
+    pub fn suppression_for(&self, rule: &str, line: usize) -> Option<&Suppression> {
+        self.suppressions.iter().find(|s| {
+            s.rule == rule && !s.reason.is_empty() && (s.line == line || s.line + 1 == line)
+        })
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// All byte offsets where `pat` occurs in `hay`.
+fn find_all(hay: &str, pat: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    if pat.is_empty() {
+        return out;
+    }
+    let mut from = 0;
+    while let Some(i) = hay[from..].find(pat) {
+        out.push(from + i);
+        from += i + 1;
+    }
+    out
+}
+
+fn line_starts(raw: &str) -> Vec<usize> {
+    let mut starts = vec![0];
+    for (i, b) in raw.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+/// Masks comments and string contents. Returns the masked text plus
+/// the (open-quote, close-quote) byte range of each string literal.
+fn mask(raw: &str) -> (String, Vec<(usize, usize)>) {
+    let bytes = raw.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut strings = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    blank(&mut out, i);
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                let mut depth = 0usize;
+                while i < bytes.len() {
+                    if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        blank(&mut out, i);
+                        blank(&mut out, i + 1);
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        blank(&mut out, i);
+                        blank(&mut out, i + 1);
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        blank(&mut out, i);
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b' if raw_string_hashes(bytes, i).is_some() => {
+                // Raw (possibly byte) string: r"…", r#"…"#, br##"…"##.
+                let (quote, hashes) = raw_string_hashes(bytes, i).unwrap_or((i, 0));
+                let start = quote;
+                let mut j = quote + 1;
+                let closer_found = loop {
+                    if j >= bytes.len() {
+                        break None;
+                    }
+                    if bytes[j] == b'"' && has_hashes(bytes, j + 1, hashes) {
+                        break Some(j);
+                    }
+                    j += 1;
+                };
+                let end = closer_found.unwrap_or(bytes.len().saturating_sub(1));
+                for k in start + 1..end {
+                    blank(&mut out, k);
+                }
+                if !raw[i..start].contains('b') {
+                    strings.push((start, end));
+                }
+                i = end + 1 + hashes;
+            }
+            b'"' => {
+                let start = i;
+                let mut j = i + 1;
+                while j < bytes.len() {
+                    match bytes[j] {
+                        b'\\' => j += 2,
+                        b'"' => break,
+                        _ => j += 1,
+                    }
+                }
+                let end = j.min(bytes.len().saturating_sub(1));
+                for k in start + 1..end {
+                    blank(&mut out, k);
+                }
+                let is_byte = start > 0 && bytes[start - 1] == b'b';
+                if !is_byte {
+                    strings.push((start, end));
+                }
+                i = end + 1;
+            }
+            b'\'' => {
+                // Distinguish a char literal from a lifetime. A char
+                // literal is `'x'` or `'\…'`; a lifetime is `'ident`
+                // with no closing quote right after.
+                if i + 1 < bytes.len() && bytes[i + 1] == b'\\' {
+                    // Escaped char literal: scan to the closing quote.
+                    let mut j = i + 2;
+                    while j < bytes.len() && bytes[j] != b'\'' {
+                        j += 1;
+                    }
+                    for k in i + 1..j {
+                        blank(&mut out, k);
+                    }
+                    i = j + 1;
+                } else if i + 2 < bytes.len() && bytes[i + 2] == b'\'' {
+                    // Simple char literal 'x' (including quote chars).
+                    blank(&mut out, i + 1);
+                    i += 3;
+                } else {
+                    // Lifetime; leave it.
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    (String::from_utf8_lossy(&out).into_owned(), strings)
+}
+
+/// If position `i` begins a raw-string prefix (`r`, `br`, `rb` is not
+/// valid Rust, `r#…`), returns (offset of the opening quote, number of
+/// hashes).
+fn raw_string_hashes(bytes: &[u8], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if j >= bytes.len() || bytes[j] != b'r' {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while j < bytes.len() && bytes[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j < bytes.len() && bytes[j] == b'"' {
+        // Reject identifiers ending in r, like `ptr"…"` is impossible
+        // but `for r in` could be followed by `"…"`? `r` then `"`
+        // immediately is always a raw string when not preceded by an
+        // identifier byte.
+        if i > 0 && is_ident_byte(bytes[i - 1]) {
+            return None;
+        }
+        Some((j, hashes))
+    } else {
+        None
+    }
+}
+
+fn has_hashes(bytes: &[u8], from: usize, n: usize) -> bool {
+    (0..n).all(|k| from + k < bytes.len() && bytes[from + k] == b'#')
+}
+
+fn blank(out: &mut [u8], i: usize) {
+    if out[i] != b'\n' && out[i] != b'\r' {
+        out[i] = b' ';
+    }
+}
+
+/// The identifier immediately before the `(` that precedes offset
+/// `quote` (skipping whitespace), i.e. the callee of
+/// `ident("literal"…)` or `ident!("literal"…)`.
+fn callee_of(masked: &str, quote: usize) -> Option<String> {
+    let bytes = masked.as_bytes();
+    let mut i = quote;
+    while i > 0 && bytes[i - 1].is_ascii_whitespace() {
+        i -= 1;
+    }
+    if i == 0 || bytes[i - 1] != b'(' {
+        return None;
+    }
+    i -= 1;
+    if i > 0 && bytes[i - 1] == b'!' {
+        i -= 1;
+    }
+    let end = i;
+    while i > 0 && is_ident_byte(bytes[i - 1]) {
+        i -= 1;
+    }
+    if i == end {
+        None
+    } else {
+        Some(masked[i..end].to_owned())
+    }
+}
+
+/// Finds `#[cfg(test)]` (and `#[cfg(all(test, …))]`) items and returns
+/// the byte range from the attribute through the item's closing brace
+/// (or terminating semicolon).
+fn find_test_ranges(masked: &str) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    for tag in ["#[cfg(test)]", "#[cfg(all(test"] {
+        for start in find_all(masked, tag) {
+            if let Some(end) = item_end(masked, start + tag.len()) {
+                ranges.push((start, end));
+            }
+        }
+    }
+    ranges.sort_unstable();
+    ranges
+}
+
+/// From `from`, skips to the first `{` and brace-matches to the item's
+/// end; if a `;` appears before any `{`, the item ends there.
+fn item_end(masked: &str, from: usize) -> Option<usize> {
+    let bytes = masked.as_bytes();
+    let mut i = from;
+    while i < bytes.len() {
+        match bytes[i] {
+            b';' => return Some(i + 1),
+            b'{' => {
+                let mut depth = 0usize;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'{' => depth += 1,
+                        b'}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return Some(i + 1);
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                return None;
+            }
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// Extracts `fn` items: the identifier after the `fn` keyword and the
+/// brace-matched body span. Trait-method declarations (ending in `;`
+/// before any `{`) are skipped.
+fn find_functions(masked: &str) -> Vec<FnSpan> {
+    let bytes = masked.as_bytes();
+    let mut out = Vec::new();
+    for off in find_all(masked, "fn ") {
+        let before_ok = off == 0 || !is_ident_byte(bytes[off - 1]);
+        if !before_ok {
+            continue;
+        }
+        let mut i = off + 3;
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let name_start = i;
+        while i < bytes.len() && is_ident_byte(bytes[i]) {
+            i += 1;
+        }
+        if i == name_start {
+            continue;
+        }
+        let name = masked[name_start..i].to_owned();
+        // Find the body: first `{` at angle-bracket/paren depth that
+        // is not preceded by a terminating `;`.
+        let mut j = i;
+        let mut body = None;
+        while j < bytes.len() {
+            match bytes[j] {
+                b';' => break,
+                b'{' => {
+                    body = Some(j);
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+        let Some(body_start) = body else { continue };
+        if let Some(body_end) = item_end(masked, body_start) {
+            out.push(FnSpan {
+                name,
+                body_start,
+                body_end,
+            });
+        }
+    }
+    out
+}
+
+/// Finds `// lint:allow(RULE): reason` markers in the raw text.
+fn find_suppressions(raw: &str) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for (idx, line) in raw.lines().enumerate() {
+        let Some(pos) = line.find("lint:allow(") else {
+            continue;
+        };
+        // Must be inside a line comment.
+        let Some(comment) = line.find("//") else {
+            continue;
+        };
+        if comment > pos {
+            continue;
+        }
+        let rest = &line[pos + "lint:allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rule = rest[..close].trim().to_owned();
+        let after = &rest[close + 1..];
+        let reason = after
+            .strip_prefix(':')
+            .map(str::trim)
+            .unwrap_or("")
+            .to_owned();
+        out.push(Suppression {
+            line: idx + 1,
+            rule,
+            reason,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_and_block_comments() {
+        let src = "let a = 1; // unwrap() here\n/* outer /* nested */ still */ let b = 2;\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(!f.masked.contains("unwrap"));
+        assert!(!f.masked.contains("nested"));
+        assert!(f.masked.contains("let b = 2;"));
+        assert_eq!(f.masked.len(), src.len());
+    }
+
+    #[test]
+    fn masks_string_contents_and_extracts_literals() {
+        let src = r#"counter("prosper.x", 1); let s = "panic!(oops)";"#;
+        let f = SourceFile::parse("t.rs", src);
+        assert!(!f.masked.contains("panic!"));
+        assert_eq!(f.strings.len(), 2);
+        assert_eq!(f.strings[0].value, "prosper.x");
+        assert_eq!(f.strings[0].callee.as_deref(), Some("counter"));
+        assert_eq!(f.strings[1].callee, None);
+    }
+
+    #[test]
+    fn handles_raw_strings_and_escapes() {
+        let src = "let a = r#\"quote \" inside\"#; let b = \"esc \\\" q\"; let c = 'x'; let d: &'static str = \"y\";";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(!f.masked.contains("inside"));
+        assert!(!f.masked.contains("esc"));
+        assert_eq!(f.strings.len(), 3);
+        assert_eq!(f.strings[0].value, "quote \" inside");
+    }
+
+    #[test]
+    fn char_literal_with_escape_and_lifetime() {
+        let src = "let nl = '\\n'; fn f<'a>(x: &'a str) -> char { '\\'' }";
+        let f = SourceFile::parse("t.rs", src);
+        // Lifetimes survive, char contents are blanked.
+        assert!(f.masked.contains("<'a>"));
+        assert!(!f.masked.contains("\\n"));
+    }
+
+    #[test]
+    fn cfg_test_region_detection() {
+        let src =
+            "fn real() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\n";
+        let f = SourceFile::parse("t.rs", src);
+        let hits = f.code_matches(".unwrap()");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(f.line_of(hits[0]), 1);
+    }
+
+    #[test]
+    fn fn_spans_and_enclosing() {
+        let src = "fn recover_all(a: u32) -> u32 {\n    helper()\n}\nfn helper() -> u32 { 7 }\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert_eq!(f.functions.len(), 2);
+        let off = src.find("helper()").unwrap();
+        assert_eq!(f.enclosing_fn(off).unwrap().name, "recover_all");
+    }
+
+    #[test]
+    fn trait_method_declarations_are_skipped() {
+        let src = "trait T { fn decl(&self); fn with_body(&self) { () } }";
+        let f = SourceFile::parse("t.rs", src);
+        let names: Vec<_> = f.functions.iter().map(|f| f.name.as_str()).collect();
+        assert!(names.contains(&"with_body"));
+        assert!(!names.contains(&"decl"));
+    }
+
+    #[test]
+    fn suppression_markers() {
+        let src = "// lint:allow(PA-PANIC004): bootstrap cannot fail\nx.unwrap();\n// lint:allow(PA-DET005)\ny();\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert_eq!(f.suppressions.len(), 2);
+        assert!(f.suppression_for("PA-PANIC004", 2).is_some());
+        // Marker without a reason does not suppress.
+        assert!(f.suppression_for("PA-DET005", 4).is_none());
+    }
+
+    #[test]
+    fn token_matches_respect_boundaries() {
+        let src = "a.seal(); b.unseal(); let sealed = 1;";
+        let f = SourceFile::parse("t.rs", src);
+        assert_eq!(f.code_token_matches("seal").len(), 1);
+    }
+
+    #[test]
+    fn line_of_and_line_text() {
+        let src = "line one\nline two\nline three";
+        let f = SourceFile::parse("t.rs", src);
+        assert_eq!(f.line_of(0), 1);
+        assert_eq!(f.line_of(9), 2);
+        assert_eq!(f.line_text(2), "line two");
+    }
+}

@@ -1,0 +1,98 @@
+//! Workspace discovery: finds the repository root and collects the
+//! Rust sources the lint rules run over.
+
+use crate::source::SourceFile;
+use std::path::{Path, PathBuf};
+
+/// Walks upward from `start` looking for the workspace root (a
+/// directory whose `Cargo.toml` contains a `[workspace]` table).
+#[must_use]
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Loads every `.rs` file under the workspace's `src/` trees:
+/// `src/`, `crates/*/src/`, and `shims/*/src/`. Integration-test
+/// directories, benches, examples, fixtures, and `target/` are not
+/// scanned — the rules police production code; `#[cfg(test)]` regions
+/// inside `src/` are excluded by the scanner itself.
+pub fn load_sources(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut src_dirs = vec![root.join("src")];
+    for group in ["crates", "shims"] {
+        let group_dir = root.join(group);
+        if let Ok(entries) = std::fs::read_dir(&group_dir) {
+            for entry in entries.flatten() {
+                let src = entry.path().join("src");
+                if src.is_dir() {
+                    src_dirs.push(src);
+                }
+            }
+        }
+    }
+    let mut files = Vec::new();
+    for dir in src_dirs {
+        if dir.is_dir() {
+            collect_rs(root, &dir, &mut files)?;
+        }
+    }
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(files)
+}
+
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.flatten().collect();
+    entries.sort_by_key(std::fs::DirEntry::file_name);
+    for entry in entries {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "fixtures") {
+                continue;
+            }
+            collect_rs(root, &path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let raw = std::fs::read_to_string(&path)?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(SourceFile::parse(&rel, &raw));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_workspace_root_from_crate_dir() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_root(here).expect("workspace root above crate dir");
+        assert!(root.join("crates").is_dir());
+    }
+
+    #[test]
+    fn loads_workspace_sources() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_root(here).unwrap();
+        let files = load_sources(&root).unwrap();
+        assert!(files.iter().any(|f| f.path == "crates/core/src/persist.rs"));
+        assert!(files.iter().any(|f| f.path.starts_with("shims/")));
+        // Fixture corpora must not leak into the workspace scan.
+        assert!(files.iter().all(|f| !f.path.contains("/fixtures/")));
+    }
+}

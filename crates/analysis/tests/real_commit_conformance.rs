@@ -1,0 +1,117 @@
+//! Conformance of the *real* parallel commit path to the protocol
+//! order invariants.
+//!
+//! The model explorer (see `interleave_explorer.rs`) proves the
+//! protocol *design* safe; this suite ties the design to the
+//! implementation: `CommitProbe` logs recorded inside
+//! `PersistentProcess::commit_with_workers_probed` are mapped onto
+//! the same `OrderEvent` trace format and checked with the same
+//! `check_order` — one checker, two witnesses.
+
+use prosper_analysis::interleave::{check_order, OrderEvent};
+use prosper_core::bitmap::CopyRun;
+use prosper_core::recovery::{CommitProbe, CommitProbeEvent, PersistentProcess};
+use prosper_memsim::addr::{VirtAddr, VirtRange};
+use std::collections::BTreeMap;
+
+fn ranges(n: u64) -> Vec<VirtRange> {
+    (0..n)
+        .map(|i| {
+            let top = 0x7000_0000 + (i + 1) * 0x10_0000;
+            VirtRange::new(VirtAddr::new(top - 0x8000), VirtAddr::new(top))
+        })
+        .collect()
+}
+
+fn full_runs(p: &PersistentProcess, threads: u32) -> BTreeMap<u32, Vec<CopyRun>> {
+    (0..threads)
+        .map(|tid| {
+            let r = p.stack(tid).range();
+            (
+                tid,
+                vec![CopyRun {
+                    start: r.start(),
+                    len: r.len(),
+                }],
+            )
+        })
+        .collect()
+}
+
+/// Maps the probe's event log onto the order checker's trace format.
+fn to_trace(events: &[CommitProbeEvent]) -> Vec<OrderEvent> {
+    events
+        .iter()
+        .map(|e| match *e {
+            CommitProbeEvent::StageThread { tid, sequence } => {
+                OrderEvent::Stage { seq: sequence, tid }
+            }
+            CommitProbeEvent::Seal { sequence } => OrderEvent::Seal { seq: sequence },
+            CommitProbeEvent::ApplyThread { tid, sequence } => {
+                OrderEvent::Apply { seq: sequence, tid }
+            }
+            CommitProbeEvent::Retire { sequence } => OrderEvent::Retire { seq: sequence },
+        })
+        .collect()
+}
+
+fn probe_commit(threads: u32, workers: usize, commits: u64) -> Vec<OrderEvent> {
+    let mut p = PersistentProcess::new(&ranges(u64::from(threads)));
+    let runs = full_runs(&p, threads);
+    let probe = CommitProbe::new();
+    for _ in 0..commits {
+        p.commit_with_workers_probed(&runs, workers, Some(&probe));
+    }
+    to_trace(&probe.events())
+}
+
+#[test]
+fn real_commit_respects_protocol_order_at_every_worker_count() {
+    for &workers in &[1usize, 2, 4] {
+        let trace = probe_commit(4, workers, 2);
+        // Per commit: 4 stages + 1 seal + 4 applies + 1 retire.
+        assert_eq!(trace.len(), 20, "workers={workers}: unexpected event count");
+        let violations = check_order(&trace);
+        assert!(
+            violations.is_empty(),
+            "workers={workers}: real commit path violated protocol order: \
+             {violations:?}\ntrace: {trace:?}"
+        );
+    }
+}
+
+#[test]
+fn real_commit_trace_has_single_seal_per_sequence() {
+    let trace = probe_commit(2, 2, 3);
+    for seq in 1..=3u64 {
+        let seals = trace
+            .iter()
+            .filter(|e| matches!(e, OrderEvent::Seal { seq: s } if *s == seq))
+            .count();
+        assert_eq!(seals, 1, "sequence {seq} must seal exactly once");
+    }
+}
+
+#[test]
+fn checker_rejects_reordered_real_trace() {
+    // Take a genuine trace and forge the one reordering the protocol
+    // exists to prevent: a stage sliding past its seal. The shared
+    // checker must reject the forgery — otherwise the conformance
+    // test above would be vacuous.
+    let mut trace = probe_commit(2, 2, 1);
+    let seal = trace
+        .iter()
+        .position(|e| matches!(e, OrderEvent::Seal { .. }))
+        .expect("trace has a seal");
+    let stage = trace[..seal]
+        .iter()
+        .position(|e| matches!(e, OrderEvent::Stage { .. }))
+        .expect("trace has a pre-seal stage");
+    let ev = trace.remove(stage);
+    trace.insert(seal, ev); // now after the seal
+    let violations = check_order(&trace);
+    assert!(
+        !violations.is_empty(),
+        "checker accepted a stage-after-seal forgery: {trace:?}"
+    );
+}

@@ -1,0 +1,51 @@
+//! The real workspace must lint clean, and the lint's view of the
+//! crash-site enum must agree with the enum itself.
+
+use prosper_analysis::rules::{self, crash_variant_names, LintConfig};
+use prosper_analysis::workspace;
+use prosper_gemos::crash::CrashSite;
+use std::path::Path;
+
+fn scan_workspace() -> Vec<prosper_analysis::SourceFile> {
+    let root = workspace::find_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above the analysis crate");
+    workspace::load_sources(&root).expect("workspace sources readable")
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let files = scan_workspace();
+    assert!(files.len() > 50, "workspace scan looks incomplete");
+    let report = rules::run(&files, &LintConfig::workspace_default());
+    let failures: Vec<String> = report.unsuppressed().map(|d| format!("{d}")).collect();
+    assert!(
+        failures.is_empty(),
+        "workspace has lint failures:\n{}",
+        failures.join("\n")
+    );
+    // The catalogue stays honest: at least the six documented rules
+    // ran, plus the suppression meta-rule.
+    assert!(
+        report.rules.len() >= 7,
+        "rule catalogue shrank: {:?}",
+        report.rules
+    );
+}
+
+#[test]
+fn lint_parser_sees_every_crash_site_variant() {
+    // The textual enum parse (what PA-CRASH002 checks against) must
+    // match the enum's own compiled variant list — if the parser went
+    // blind, the exhaustiveness rule would silently pass on nothing.
+    let files = scan_workspace();
+    let cfg = LintConfig::workspace_default();
+    let parsed = crash_variant_names(&files, &cfg);
+    assert_eq!(
+        parsed,
+        CrashSite::VARIANT_NAMES
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect::<Vec<_>>(),
+        "lint's parsed CrashSite variants diverge from the compiled enum"
+    );
+}

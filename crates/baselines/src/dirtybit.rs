@@ -133,7 +133,7 @@ impl MemoryPersistence for DirtybitMechanism {
         let tel = telemetry::enabled();
         let meta_start = machine.now();
         if tel {
-            telemetry::span_begin("ckpt.scan", "dirtybit", meta_start);
+            telemetry::span_begin(telemetry::names::SPAN_CKPT_SCAN, "dirtybit", meta_start);
         }
         let (dirty, walked) = self.table.collect_dirty(walk_range);
         Self::charge_walk(machine, walked);
@@ -141,20 +141,20 @@ impl MemoryPersistence for DirtybitMechanism {
         Self::charge_walk(machine, reset);
         self.ptes_walked += walked + reset;
         if tel {
-            telemetry::span_end("ckpt.scan", machine.now());
+            telemetry::span_end(telemetry::names::SPAN_CKPT_SCAN, machine.now());
         }
         let metadata_cycles = machine.now() - meta_start;
 
         // Copy each dirty page, whole, into NVM.
         let bytes = dirty.len() as u64 * PAGE_SIZE;
         if tel {
-            telemetry::span_begin("ckpt.copy", "dirtybit", machine.now());
+            telemetry::span_begin(telemetry::names::SPAN_CKPT_COPY, "dirtybit", machine.now());
         }
         if bytes > 0 {
             machine.bulk_copy_dram_to_nvm(bytes);
         }
         if tel {
-            telemetry::span_end("ckpt.copy", machine.now());
+            telemetry::span_end(telemetry::names::SPAN_CKPT_COPY, machine.now());
         }
         self.pages_copied += dirty.len() as u64;
 

@@ -16,6 +16,7 @@
 //! * [`logging`] — flush (`clwb`-per-store), undo, and redo logging,
 //!   each replayable with and without stack-pointer awareness.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

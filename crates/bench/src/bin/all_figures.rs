@@ -12,6 +12,11 @@
 //! * `--prometheus` — print the aggregate metrics snapshot in
 //!   Prometheus text exposition format after the figures.
 
+#![forbid(unsafe_code)]
+// Figure timings measure host wall-clock time by design; exempt from
+// the determinism ban (clippy.toml disallowed-methods, PA-DET005).
+#![allow(clippy::disallowed_methods)]
+
 use prosper_telemetry as telemetry;
 use prosper_telemetry::{MetricsSnapshot, NoopSink, Telemetry};
 use serde::Serialize;

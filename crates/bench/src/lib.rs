@@ -19,6 +19,11 @@
 //! checkpoint sizes shrink with the interval and are reported as
 //! measured. See EXPERIMENTS.md for the paper-vs-measured record.
 
+#![forbid(unsafe_code)]
+// The bench harness measures host wall-clock time by design; the
+// determinism contract (clippy.toml disallowed-methods, PA-DET005)
+// applies to simulator crates, not to the thing doing the measuring.
+#![allow(clippy::disallowed_methods)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -70,7 +70,12 @@ mod tests {
         }
         // Each interval must contain the Prosper phases nested inside
         // the manager's commit span.
-        for phase in ["ckpt.quiesce", "ckpt.scan", "ckpt.copy", "ckpt.apply"] {
+        for phase in [
+            "prosper.ckpt.quiesce",
+            "prosper.ckpt.scan",
+            "prosper.ckpt.copy",
+            "prosper.ckpt.apply",
+        ] {
             let begins = cap
                 .events
                 .iter()
@@ -79,7 +84,7 @@ mod tests {
             assert_eq!(begins, 2, "{phase} once per interval");
         }
         let nested = cap.events.iter().any(
-            |e| matches!(e, Event::SpanBegin { name, depth, .. } if name == "ckpt.quiesce" && *depth >= 2),
+            |e| matches!(e, Event::SpanBegin { name, depth, .. } if name == "prosper.ckpt.quiesce" && *depth >= 2),
         );
         assert!(nested, "phases nest inside interval and commit spans");
         assert!(cap.metrics.counters.get("prosper.ckpt.intervals") == Some(&2));

@@ -53,6 +53,7 @@
 //! assert!(ops.len() <= 2, "coalesced stores rarely emit traffic");
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

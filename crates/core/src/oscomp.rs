@@ -303,7 +303,11 @@ impl MemoryPersistence for ProsperMechanism {
         // Step 1: request the flush (control MSR write); inject the
         // drained lookup-table entries.
         if tel {
-            telemetry::span_begin("ckpt.quiesce", "prosper", machine.now());
+            telemetry::span_begin(
+                telemetry::names::SPAN_CKPT_QUIESCE,
+                "prosper",
+                machine.now(),
+            );
         }
         machine.advance(MSR_WRITE_CYCLES);
         let ops = self.tracker.flush();
@@ -313,7 +317,7 @@ impl MemoryPersistence for ProsperMechanism {
         machine.advance(QUIESCE_POLL_CYCLES);
         debug_assert!(self.tracker.quiescent());
         if tel {
-            telemetry::span_end("ckpt.quiesce", machine.now());
+            telemetry::span_end(telemetry::names::SPAN_CKPT_QUIESCE, machine.now());
         }
 
         // Inspection window: the tracker's watermark bounds the active
@@ -321,7 +325,7 @@ impl MemoryPersistence for ProsperMechanism {
         let meta_start = machine.now();
         let mut phases = PhaseCycles::default();
         if tel {
-            telemetry::span_begin("ckpt.scan", "prosper", meta_start);
+            telemetry::span_begin(telemetry::names::SPAN_CKPT_SCAN, "prosper", meta_start);
         }
         let mut stats = ProsperIntervalStats::default();
         self.last_runs.clear();
@@ -366,8 +370,8 @@ impl MemoryPersistence for ProsperMechanism {
             }
             phases.inspect = machine.now() - meta_start;
             if tel {
-                telemetry::span_end("ckpt.scan", machine.now());
-                telemetry::span_begin("ckpt.clear", "prosper", machine.now());
+                telemetry::span_end(telemetry::names::SPAN_CKPT_SCAN, machine.now());
+                telemetry::span_begin(telemetry::names::SPAN_CKPT_CLEAR, "prosper", machine.now());
             }
             // Write back the cleared words at the same paired
             // addresses — the clear traffic spreads across the dirty
@@ -378,17 +382,17 @@ impl MemoryPersistence for ProsperMechanism {
             }
             phases.clear = machine.now() - clear_start;
             if tel {
-                telemetry::span_end("ckpt.clear", machine.now());
+                telemetry::span_end(telemetry::names::SPAN_CKPT_CLEAR, machine.now());
             }
         } else if tel {
-            telemetry::span_end("ckpt.scan", machine.now());
+            telemetry::span_end(telemetry::names::SPAN_CKPT_SCAN, machine.now());
         }
         let metadata_cycles = machine.now() - meta_start;
 
         // Two-step copy: DRAM → NVM staging buffer, then staging →
         // per-thread persistent stack (both in NVM).
         if tel {
-            telemetry::span_begin("ckpt.copy", "prosper", machine.now());
+            telemetry::span_begin(telemetry::names::SPAN_CKPT_COPY, "prosper", machine.now());
         }
         let stage_start = machine.now();
         let mut bytes = 0u64;
@@ -399,8 +403,8 @@ impl MemoryPersistence for ProsperMechanism {
         }
         phases.stage = machine.now() - stage_start;
         if tel {
-            telemetry::span_end("ckpt.copy", machine.now());
-            telemetry::span_begin("ckpt.apply", "prosper", machine.now());
+            telemetry::span_end(telemetry::names::SPAN_CKPT_COPY, machine.now());
+            telemetry::span_begin(telemetry::names::SPAN_CKPT_APPLY, "prosper", machine.now());
         }
         let apply_start = machine.now();
         if bytes > 0 {
@@ -408,7 +412,7 @@ impl MemoryPersistence for ProsperMechanism {
         }
         phases.apply = machine.now() - apply_start;
         if tel {
-            telemetry::span_end("ckpt.apply", machine.now());
+            telemetry::span_end(telemetry::names::SPAN_CKPT_APPLY, machine.now());
         }
 
         stats.runs = self.last_runs.len() as u64;

@@ -52,7 +52,6 @@
 //! same persistent state.
 
 use std::collections::BTreeMap;
-use std::time::Instant;
 
 use prosper_telemetry as telemetry;
 
@@ -76,6 +75,69 @@ struct ProcessCommitRecord {
     /// Written last in phase one; a crash before this leaves the whole
     /// commit discardable.
     sealed: bool,
+}
+
+/// One protocol-boundary event recorded by a [`CommitProbe`] during a
+/// parallel commit. The event stream is the observable ordering of the
+/// stage → seal → apply protocol: `prosper-analysis` checks it against
+/// the same happens-before invariants its interleaving explorer
+/// enforces on the protocol model (all stages before the seal, the
+/// seal before all applies, no overlap across sequence numbers).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CommitProbeEvent {
+    /// Worker finished staging thread `tid`'s runs for `sequence`.
+    StageThread {
+        /// Thread whose runs were staged.
+        tid: u32,
+        /// Sequence the commit will carry.
+        sequence: u64,
+    },
+    /// The coordinator sealed the process commit record — the single
+    /// serial commit point.
+    Seal {
+        /// Sequence the seal committed.
+        sequence: u64,
+    },
+    /// Worker finished applying thread `tid`'s staging buffer.
+    ApplyThread {
+        /// Thread whose staging buffer was applied.
+        tid: u32,
+        /// Sequence being applied.
+        sequence: u64,
+    },
+    /// The commit record was retired; the commit is complete.
+    Retire {
+        /// Sequence that completed.
+        sequence: u64,
+    },
+}
+
+/// Collects [`CommitProbeEvent`]s from the parallel commit path.
+///
+/// Shared by reference with the scoped stage/apply workers, so the
+/// recorded order is the *actual* cross-thread order of protocol
+/// boundaries, not a reconstruction.
+#[derive(Debug, Default)]
+pub struct CommitProbe {
+    log: std::sync::Mutex<Vec<CommitProbeEvent>>,
+}
+
+impl CommitProbe {
+    /// Creates an empty probe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn record(&self, ev: CommitProbeEvent) {
+        if let Ok(mut log) = self.log.lock() {
+            log.push(ev);
+        }
+    }
+
+    /// The events recorded so far, in observation order.
+    pub fn events(&self) -> Vec<CommitProbeEvent> {
+        self.log.lock().map(|log| log.clone()).unwrap_or_default()
+    }
 }
 
 /// A process whose registers and stacks are persisted together.
@@ -232,37 +294,64 @@ impl PersistentProcess {
         runs_per_thread: &BTreeMap<u32, Vec<CopyRun>>,
         workers: usize,
     ) {
+        self.commit_with_workers_probed(runs_per_thread, workers, None);
+    }
+
+    /// [`Self::commit_with_workers`] with a [`CommitProbe`] observing
+    /// every protocol boundary the workers and the coordinator cross —
+    /// the instrumentation hook the `prosper-analysis` conformance
+    /// suite drives to check the *real* parallel path against the
+    /// protocol-order invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs_per_thread` misses a registered thread.
+    pub fn commit_with_workers_probed(
+        &mut self,
+        runs_per_thread: &BTreeMap<u32, Vec<CopyRun>>,
+        workers: usize,
+        probe: Option<&CommitProbe>,
+    ) {
         for tid in self.stacks.keys() {
             assert!(
                 runs_per_thread.contains_key(tid),
                 "no runs supplied for thread {tid}"
             );
         }
+        let sequence = self.next_sequence;
         // Phase one (parallel): stage every thread's runs into its own
         // NVM staging buffer — strictly per-thread state.
-        let stage_start = Instant::now();
+        let stage_watch = telemetry::Stopwatch::start();
         Self::for_each_stack(&mut self.stacks, workers, |tid, stack| {
             stack.begin_stage();
             for run in &runs_per_thread[&tid] {
                 stack.stage_run(run);
             }
+            if let Some(p) = probe {
+                p.record(CommitProbeEvent::StageThread { tid, sequence });
+            }
         });
         // ...and the register file, into the unsealed commit record.
-        self.pending = Some(ProcessCommitRecord {
-            sequence: self.next_sequence,
+        let mut record = ProcessCommitRecord {
+            sequence,
             staged_regs: self.live_regs.clone(),
             sealed: false,
-        });
-        let stage_ns = stage_start.elapsed().as_nanos() as u64;
+        };
+        self.pending = Some(record.clone());
+        let stage_ns = stage_watch.elapsed_ns();
         // Seal: the single durable write — and the single serialization
         // point — that commits the checkpoint.
-        let seal_start = Instant::now();
-        self.pending.as_mut().expect("record just staged").sealed = true;
-        let seal_ns = seal_start.elapsed().as_nanos() as u64;
+        let seal_watch = telemetry::Stopwatch::start();
+        record.sealed = true;
+        self.pending = Some(record.clone());
+        if let Some(p) = probe {
+            p.record(CommitProbeEvent::Seal { sequence });
+        }
+        let seal_ns = seal_watch.elapsed_ns();
         // Phase two (parallel apply; the register slots stay serial).
-        let apply_start = Instant::now();
-        self.apply_pending_parallel(workers);
-        let apply_ns = apply_start.elapsed().as_nanos() as u64;
+        let apply_watch = telemetry::Stopwatch::start();
+        self.apply_record_parallel(&record, workers, probe);
+        let apply_ns = apply_watch.elapsed_ns();
         if telemetry::enabled() {
             telemetry::with(|t| {
                 let r = t.registry();
@@ -343,33 +432,44 @@ impl PersistentProcess {
             }
         }
         // ...and the register file, into the unsealed commit record.
-        self.pending = Some(ProcessCommitRecord {
+        let mut record = ProcessCommitRecord {
             sequence: self.next_sequence,
             staged_regs: self.live_regs.clone(),
             sealed: false,
-        });
+        };
+        self.pending = Some(record.clone());
         crash_window!(inj, CrashSite::PreSeal);
         // Seal: the single durable write that commits the checkpoint.
-        self.pending.as_mut().expect("record just staged").sealed = true;
+        record.sealed = true;
+        self.pending = Some(record.clone());
         crash_window!(inj, CrashSite::PostSeal);
         // Phase two.
-        self.apply_pending(inj)
+        self.apply_record(&record, inj)
     }
 
-    /// The parallel twin of [`Self::apply_pending`]: applies every
+    /// The parallel twin of [`Self::apply_record`]: applies every
     /// staging buffer across scoped workers, then the register slots
     /// serially, then retires the record. Idempotent, so recovery
     /// replays it from any interruption point; no crash windows — the
-    /// deterministic sweep uses the serial path.
-    fn apply_pending_parallel(&mut self, workers: usize) {
-        let record = self.pending.clone().expect("apply without a commit record");
+    /// deterministic sweep uses the serial path. Recovery's redo runs
+    /// through here, so the path carries no `panic!`/`unwrap`/`expect`
+    /// (enforced by lint rule `PA-PANIC004`).
+    fn apply_record_parallel(
+        &mut self,
+        record: &ProcessCommitRecord,
+        workers: usize,
+        probe: Option<&CommitProbe>,
+    ) {
         debug_assert!(record.sealed, "apply before the seal");
         let sequence = record.sequence;
-        Self::for_each_stack(&mut self.stacks, workers, |_tid, stack| {
+        Self::for_each_stack(&mut self.stacks, workers, |tid, stack| {
             for k in 0..stack.staged_runs() {
                 stack.apply_run(k);
             }
             stack.finish_apply(sequence);
+            if let Some(p) = probe {
+                p.record(CommitProbeEvent::ApplyThread { tid, sequence });
+            }
         });
         for (tid, regs) in record.staged_regs.iter().enumerate() {
             self.registers.apply_thread_at(tid, *regs, sequence);
@@ -377,13 +477,19 @@ impl PersistentProcess {
         self.registers.set_committed_sequence(sequence);
         self.pending = None;
         self.next_sequence = sequence + 1;
+        if let Some(p) = probe {
+            p.record(CommitProbeEvent::Retire { sequence });
+        }
     }
 
     /// Applies the sealed commit record: every staging buffer, then
     /// every register slot, then retires the record. Idempotent, so
     /// recovery replays it from any interruption point.
-    fn apply_pending(&mut self, inj: &mut FaultInjector) -> Result<(), CrashInjected> {
-        let record = self.pending.clone().expect("apply without a commit record");
+    fn apply_record(
+        &mut self,
+        record: &ProcessCommitRecord,
+        inj: &mut FaultInjector,
+    ) -> Result<(), CrashInjected> {
         debug_assert!(record.sealed, "apply before the seal");
         for (tid, stack) in &mut self.stacks {
             for k in 0..stack.staged_runs() {
@@ -433,12 +539,13 @@ impl PersistentProcess {
     ///
     /// Returns [`NoValidCheckpoint`] if no complete checkpoint exists.
     pub fn recover(&mut self) -> Result<RecoveredState, NoValidCheckpoint> {
-        match &self.pending {
+        match self.pending.clone() {
             Some(record) if record.sealed => {
                 // Redo through the parallel apply — the crash matrix
                 // recovers after every post-seal crash, so this path is
                 // exhaustively exercised against torn commits.
-                self.apply_pending_parallel(Self::default_workers(self.stacks.len()));
+                let workers = Self::default_workers(self.stacks.len());
+                self.apply_record_parallel(&record, workers, None);
             }
             Some(_) => {
                 // The commit never sealed: discard it wholesale.

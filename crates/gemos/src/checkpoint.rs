@@ -289,7 +289,7 @@ impl<'m> CheckpointManager<'m> {
             // commit nests inside, categorised by mechanism name so
             // baselines are covered without their own instrumentation.
             if tel {
-                telemetry::span_begin("ckpt.interval", "ckpt", ckpt_start);
+                telemetry::span_begin(telemetry::names::SPAN_CKPT_INTERVAL, "ckpt", ckpt_start);
             }
             // Stack region commit.
             let info = IntervalInfo {
@@ -298,11 +298,15 @@ impl<'m> CheckpointManager<'m> {
                 final_sp: interval.final_sp,
             };
             if tel {
-                telemetry::span_begin("ckpt.commit.stack", stack_mech.name(), self.machine.now());
+                telemetry::span_begin(
+                    telemetry::names::SPAN_CKPT_COMMIT_STACK,
+                    stack_mech.name(),
+                    self.machine.now(),
+                );
             }
             let mut outcome = stack_mech.end_interval(self.machine, info);
             if tel {
-                telemetry::span_end("ckpt.commit.stack", self.machine.now());
+                telemetry::span_end(telemetry::names::SPAN_CKPT_COMMIT_STACK, self.machine.now());
             }
             // Heap region commit.
             if let Some(m) = heap_mech.as_deref_mut() {
@@ -312,21 +316,32 @@ impl<'m> CheckpointManager<'m> {
                     final_sp: interval.final_sp,
                 };
                 if tel {
-                    telemetry::span_begin("ckpt.commit.heap", m.name(), self.machine.now());
+                    telemetry::span_begin(
+                        telemetry::names::SPAN_CKPT_COMMIT_HEAP,
+                        m.name(),
+                        self.machine.now(),
+                    );
                 }
                 outcome = outcome.merge(m.end_interval(self.machine, hinfo));
                 if tel {
-                    telemetry::span_end("ckpt.commit.heap", self.machine.now());
+                    telemetry::span_end(
+                        telemetry::names::SPAN_CKPT_COMMIT_HEAP,
+                        self.machine.now(),
+                    );
                 }
             }
             // Register state goes into every checkpoint.
             let reg_bytes = RegisterFile::CHECKPOINT_BYTES;
             if tel {
-                telemetry::span_begin("ckpt.registers", "ckpt", self.machine.now());
+                telemetry::span_begin(
+                    telemetry::names::SPAN_CKPT_REGISTERS,
+                    "ckpt",
+                    self.machine.now(),
+                );
             }
             self.machine.bulk_copy_dram_to_nvm(reg_bytes);
             if tel {
-                telemetry::span_end("ckpt.registers", self.machine.now());
+                telemetry::span_end(telemetry::names::SPAN_CKPT_REGISTERS, self.machine.now());
             }
 
             // Prepare the next interval.
@@ -337,12 +352,13 @@ impl<'m> CheckpointManager<'m> {
 
             let ckpt_cycles = self.machine.now() - ckpt_start;
             if tel {
-                telemetry::span_end("ckpt.interval", self.machine.now());
+                telemetry::span_end(telemetry::names::SPAN_CKPT_INTERVAL, self.machine.now());
                 telemetry::with(|t| {
                     let r = t.registry();
-                    r.counter("ckpt.intervals").inc();
-                    r.counter("ckpt.bytes_copied").add(outcome.bytes_copied);
-                    r.histogram("ckpt.cycles").record(ckpt_cycles);
+                    r.counter("prosper.gemos.ckpt.intervals").inc();
+                    r.counter("prosper.gemos.ckpt.bytes_copied")
+                        .add(outcome.bytes_copied);
+                    r.histogram("prosper.gemos.ckpt.cycles").record(ckpt_cycles);
                 });
             }
             result.checkpoint_cycles += ckpt_cycles;
@@ -353,8 +369,10 @@ impl<'m> CheckpointManager<'m> {
         if tel {
             telemetry::with(|t| {
                 let r = t.registry();
-                r.counter("run.stack_stores").add(result.stack_stores);
-                r.counter("run.heap_stores").add(result.heap_stores);
+                r.counter("prosper.gemos.run.stack_stores")
+                    .add(result.stack_stores);
+                r.counter("prosper.gemos.run.heap_stores")
+                    .add(result.heap_stores);
             });
         }
         result.total_cycles = self.machine.now();

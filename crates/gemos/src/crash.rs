@@ -140,6 +140,29 @@ impl std::fmt::Display for CrashSite {
 }
 
 impl CrashSite {
+    /// The name of every variant of this enum, in declaration order.
+    ///
+    /// `prosper-lint`'s `PA-CRASH002` rule parses the enum out of this
+    /// file's source to check that every variant has an injection
+    /// point and a crash-matrix reference; a test in
+    /// `prosper-analysis` asserts the parsed list equals this constant
+    /// so the source parser can never silently drift from the compiled
+    /// enum.
+    pub const VARIANT_NAMES: &'static [&'static str] = &[
+        "PreStage",
+        "MidStage",
+        "PreSeal",
+        "PostSeal",
+        "MidApply",
+        "PostApplyThread",
+        "PostApplyPreRegisters",
+        "MidRegisterApply",
+        "PostCommit",
+        "MidBitmapClear",
+        "MidSwitchSave",
+        "MidSwitchRestore",
+    ];
+
     /// `true` for sites at or after the seal: the commit point has
     /// passed, so recovery must redo (finish) the interrupted commit
     /// rather than discard it.

@@ -23,6 +23,7 @@
 //!   save/restore participants;
 //! * [`crash`] — crash injection and restore verification.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

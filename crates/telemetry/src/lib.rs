@@ -9,10 +9,13 @@
 //! keeps its own plain counters on per-store paths and reports into
 //! telemetry only at interval boundaries.
 
+#![forbid(unsafe_code)]
 pub mod metrics;
+pub mod names;
 pub mod sink;
 pub mod span;
 pub mod summary;
+pub mod time;
 
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
 pub use sink::{chrome_trace, parse_jsonl, EventSink, JsonlSink, NoopSink, RingBufferSink};
@@ -20,3 +23,4 @@ pub use span::{
     enabled, install, instant, set_tid, span_begin, span_end, uninstall, with, Event, Telemetry,
 };
 pub use summary::{json_summary, prometheus_text};
+pub use time::Stopwatch;

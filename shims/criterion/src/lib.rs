@@ -8,6 +8,10 @@
 //! reporting the median ns/iteration to stdout. No statistics
 //! beyond that, no HTML reports, no baselines.
 
+#![forbid(unsafe_code)]
+// A bench-timing shim exists to read the host clock; exempt from the
+// workspace-wide wall-clock ban (clippy.toml disallowed-methods).
+#![allow(clippy::disallowed_methods)]
 pub use std::hint::black_box;
 
 use std::time::{Duration, Instant};

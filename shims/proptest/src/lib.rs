@@ -8,6 +8,7 @@
 //! deterministic per-test RNG. **No shrinking**: a failing case
 //! reports its inputs via the panic message only.
 
+#![forbid(unsafe_code)]
 pub mod strategy {
     use rand::rngs::StdRng;
     use rand::{Rng, RngCore, SeedableRng};

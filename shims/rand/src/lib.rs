@@ -7,6 +7,7 @@
 //! the upstream ChaCha — so sequences differ from real `rand`, but
 //! determinism per seed holds, which is all the simulator needs.
 
+#![forbid(unsafe_code)]
 /// Core entropy source: 64 random bits per call.
 pub trait RngCore {
     fn next_u64(&mut self) -> u64;

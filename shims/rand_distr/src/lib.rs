@@ -3,6 +3,7 @@
 //! Box–Muller; Poisson uses Knuth's product method for small means
 //! and a normal approximation for large ones.
 
+#![forbid(unsafe_code)]
 use rand::RngCore;
 
 /// Parameter-validation error, mirroring upstream's opaque error.

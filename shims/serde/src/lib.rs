@@ -14,6 +14,7 @@
 //! [`Deserialize`] reconstructs it. The JSON text encoding itself
 //! lives in the `serde_json` shim.
 
+#![forbid(unsafe_code)]
 pub use serde_derive::{Deserialize, Serialize};
 
 mod error;

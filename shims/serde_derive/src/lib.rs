@@ -16,6 +16,7 @@
 //! * tuple variant      → `{"Variant": [v0, v1, …]}`
 //! * struct variant     → `{"Variant": {field: value, …}}`
 
+#![forbid(unsafe_code)]
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 #[proc_macro_derive(Serialize)]

@@ -1,6 +1,7 @@
 //! Offline stand-in for `serde_json`: JSON text encoding and parsing
 //! over the `serde` shim's [`Value`] tree.
 
+#![forbid(unsafe_code)]
 pub use serde::{Error, Number, Value};
 
 mod de;

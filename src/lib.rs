@@ -16,6 +16,7 @@
 //! See `examples/quickstart.rs` for a three-minute tour and DESIGN.md
 //! for the system inventory.
 
+#![forbid(unsafe_code)]
 pub use prosper_baselines as baselines;
 pub use prosper_core as core;
 pub use prosper_gemos as gemos;
