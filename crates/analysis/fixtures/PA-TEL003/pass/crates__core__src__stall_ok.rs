@@ -1,0 +1,12 @@
+//! Fixture: the stall-attribution / SLO / tax names, registered and
+//! kind-correct.
+pub fn report(r: &Registry) {
+    r.counter("prosper.stall.seal_ns").add(250);
+    r.counter("prosper.stall.quiesce_ns").add(640);
+    r.counter("prosper.stall.recovery_ns").add(400);
+    r.gauge("prosper.slo.p99_ns").set(2048);
+    r.gauge("prosper.slo.burn_rate_milli").set(120);
+    r.counter("prosper.slo.violations").inc();
+    r.counter("prosper.tax.reports").inc();
+    r.counter("prosper.tax.useful_ns").add(9000);
+}

@@ -78,8 +78,10 @@ fn crash002_exhaustiveness() {
 
 #[test]
 fn tel003_name_hygiene() {
-    // Typo + kind mismatch + ill-formed name.
-    assert_rule("PA-TEL003", 3);
+    // Typo + kind mismatch + ill-formed name, plus the
+    // stall/slo/tax misuse corpus (typo, two kind mismatches, one
+    // unregistered name).
+    assert_rule("PA-TEL003", 7);
 }
 
 #[test]

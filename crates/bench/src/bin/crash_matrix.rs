@@ -9,18 +9,36 @@
 //! ```sh
 //! cargo run --release -p prosper-bench --bin crash_matrix
 //! cargo run --release -p prosper-bench --bin crash_matrix -- --quick
+//! # additionally archive the cause-tagged stall attribution of the
+//! # full matrix (every point re-run with an accountant attached,
+//! # conservation verified at each one):
+//! cargo run --release -p prosper-bench --bin crash_matrix -- \
+//!     --telemetry-snapshot matrix_attribution.json
 //! ```
 //!
 //! Exits nonzero if any crash point fails verification.
 
 use std::process::ExitCode;
 
-use prosper_bench::crash_matrix::{default_suite, kind_coverage, quick_suite, run_suite};
+use prosper_bench::crash_matrix::{
+    attributed_sweep, default_suite, kind_coverage, quick_suite, run_suite,
+};
 use prosper_telemetry as telemetry;
 use prosper_telemetry::{NoopSink, Telemetry};
 
 fn main() -> ExitCode {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let argv: Vec<String> = std::env::args().collect();
+    let quick = argv.iter().any(|a| a == "--quick");
+    let snapshot_path = argv
+        .iter()
+        .position(|a| a == "--telemetry-snapshot")
+        .map(|i| match argv.get(i + 1) {
+            Some(p) => p.clone(),
+            None => {
+                eprintln!("--telemetry-snapshot needs a path argument");
+                std::process::exit(2);
+            }
+        });
     let suite = if quick {
         quick_suite()
     } else {
@@ -73,6 +91,28 @@ fn main() -> ExitCode {
         get("prosper.crashmatrix.survived"),
         get("prosper.crashmatrix.failures")
     );
+
+    if let Some(path) = &snapshot_path {
+        match attributed_sweep(&suite) {
+            Ok(archive) => {
+                let total_points: u64 = archive.rows.iter().map(|r| r.points).sum();
+                let json = serde_json::to_string_pretty(&archive).expect("archive serializes");
+                if let Err(e) = std::fs::write(path, json + "\n") {
+                    eprintln!("failed to write {path}: {e}");
+                    any_failed = true;
+                } else {
+                    println!(
+                        "\narchived stall attribution of {total_points} crash points \
+                         (conservation verified at every one) to {path}"
+                    );
+                }
+            }
+            Err(e) => {
+                println!("\nATTRIBUTION FAIL: {e}");
+                any_failed = true;
+            }
+        }
+    }
 
     if any_failed {
         println!("\nRESULT: FAIL");

@@ -1,0 +1,135 @@
+//! `prosper-obs`: the checkpoint-tax attribution report.
+//!
+//! Runs the attributed workloads (micro checkpoint loop, parallel
+//! commit at 1/2/4 workers, crash + recovery replay), verifies the
+//! conservation invariant on every ledger, and renders the results
+//! as a text HUD, a `prosper-checkpoint-tax/v1` JSON report, and
+//! Chrome-trace interference timelines.
+//!
+//! ```sh
+//! cargo run --release -p prosper-bench --bin prosper_obs -- --quick
+//! cargo run --release -p prosper-bench --bin prosper_obs -- \
+//!     --quick --out tax.json --trace-dir traces/
+//! # regression gate against a committed report (deterministic):
+//! cargo run --release -p prosper-bench --bin prosper_obs -- \
+//!     --quick --diff tax.json --baseline BENCH_pr3.json
+//! ```
+//!
+//! Exits nonzero on a conservation violation, a diff against the
+//! given previous report, or a baseline phase-breakdown mismatch.
+
+use std::process::ExitCode;
+
+use prosper_bench::obs::{
+    check_against_perf_baseline, collect, diff_reports, render_text, timeline_json, TaxReport,
+};
+use prosper_core::faultinject::{run_attributed, CrashMatrixConfig};
+
+struct Args {
+    quick: bool,
+    out: Option<String>,
+    trace_dir: Option<String>,
+    diff: Option<String>,
+    baseline: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        quick: false,
+        out: None,
+        trace_dir: None,
+        diff: None,
+        baseline: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .ok_or_else(|| format!("{flag} needs a path argument"))
+        };
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--out" => args.out = Some(value("--out")?),
+            "--trace-dir" => args.trace_dir = Some(value("--trace-dir")?),
+            "--diff" => args.diff = Some(value("--diff")?),
+            "--baseline" => args.baseline = Some(value("--baseline")?),
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let report = collect(args.quick)?;
+    print!("{}", render_text(&report));
+
+    if let Some(path) = &args.out {
+        let json = serde_json::to_string_pretty(&report).map_err(|e| format!("{e:?}"))?;
+        std::fs::write(path, json + "\n").map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote tax report to {path}");
+    }
+
+    if let Some(dir) = &args.trace_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {dir}: {e}"))?;
+        // One timeline per commit worker count — the per-thread
+        // interference picture the HUD aggregates away.
+        let cfg = if args.quick {
+            CrashMatrixConfig {
+                threads: 2,
+                intervals: 2,
+                stores_per_interval: 8,
+                ..Default::default()
+            }
+        } else {
+            CrashMatrixConfig {
+                threads: 4,
+                intervals: 3,
+                stores_per_interval: 16,
+                ..Default::default()
+            }
+        };
+        for workers in [1usize, 2, 4] {
+            let run = run_attributed(&cfg, workers);
+            let path = format!("{dir}/stall_timeline_w{workers}.json");
+            std::fs::write(&path, timeline_json(&run.snapshot))
+                .map_err(|e| format!("write {path}: {e}"))?;
+            println!("wrote timeline to {path}");
+        }
+    }
+
+    if let Some(path) = &args.baseline {
+        let json =
+            std::fs::read_to_string(path).map_err(|e| format!("read baseline {path}: {e}"))?;
+        check_against_perf_baseline(&report, &json)?;
+        println!("baseline phase breakdown consistent with {path}");
+    }
+
+    if let Some(path) = &args.diff {
+        let json =
+            std::fs::read_to_string(path).map_err(|e| format!("read diff base {path}: {e}"))?;
+        let base: TaxReport =
+            serde_json::from_str(&json).map_err(|e| format!("parse diff base {path}: {e:?}"))?;
+        let drift = diff_reports(&base, &report);
+        if drift.is_empty() {
+            println!("no drift against {path}");
+        } else {
+            for line in &drift {
+                println!("DRIFT: {line}");
+            }
+            return Err(format!("{} drift line(s) against {path}", drift.len()));
+        }
+    }
+
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("prosper-obs: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -9,9 +9,15 @@
 //! shape. Results are mirrored into telemetry counters
 //! (`prosper.crashmatrix.*`) when a context is installed.
 
-use prosper_core::faultinject::{run_crash_matrix, CrashMatrixConfig, CrashMatrixReport};
+use std::collections::BTreeMap;
+
+use prosper_core::faultinject::{
+    enumerate_crash_sites, run_crash_attributed, run_crash_matrix, CrashMatrixConfig,
+    CrashMatrixReport,
+};
 use prosper_gemos::crash::CrashSite;
 use prosper_telemetry as telemetry;
+use serde::{Deserialize, Serialize};
 
 /// One suite entry: a labelled workload shape and its sweep result.
 #[derive(Debug)]
@@ -173,10 +179,108 @@ pub fn run_suite(suite: &[(&'static str, CrashMatrixConfig)]) -> Vec<MatrixRow> 
     rows
 }
 
+/// Schema tag of the crash-matrix attribution archive.
+pub const MATRIX_ATTR_SCHEMA: &str = "prosper-crashmatrix-attribution/v1";
+
+/// Attribution aggregate of one workload shape's full sweep: every
+/// enumerated crash point re-run with a stall accountant attached.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MatrixAttributionRow {
+    /// The shape label.
+    pub label: String,
+    /// Crash points swept (and conservation-verified) for this shape.
+    pub points: u64,
+    /// Total stall ns per cause, summed across all points' ledgers.
+    pub by_cause: BTreeMap<String, u64>,
+    /// Total attributed stall ns across all points.
+    pub stall_ns: u64,
+    /// Total simulated wall ns across all points' runs.
+    pub wall_ns: u64,
+}
+
+/// Attribution archive of a full matrix sweep, written by the
+/// `crash_matrix` binary's `--telemetry-snapshot` flag.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MatrixAttribution {
+    /// Always [`MATRIX_ATTR_SCHEMA`].
+    pub schema: String,
+    /// One row per workload shape, in suite order.
+    pub rows: Vec<MatrixAttributionRow>,
+}
+
+/// Re-runs every crash point of every shape with a stall accountant
+/// attached, verifies the conservation invariant at each point
+/// (torn commits and recovery replays included), and aggregates the
+/// cause-tagged totals into an archive.
+///
+/// Deterministic: equal suites produce byte-identical archives.
+///
+/// # Errors
+///
+/// Returns the first recovery-invariant or conservation violation.
+pub fn attributed_sweep(
+    suite: &[(&'static str, CrashMatrixConfig)],
+) -> Result<MatrixAttribution, String> {
+    let mut rows = Vec::new();
+    for (label, cfg) in suite {
+        let sites = enumerate_crash_sites(cfg);
+        let mut row = MatrixAttributionRow {
+            label: (*label).to_string(),
+            ..Default::default()
+        };
+        for index in 0..sites.len() as u64 {
+            let (_, run) = run_crash_attributed(cfg, index)
+                .map_err(|e| format!("{label}: crash at {index}: {e}"))?;
+            run.snapshot
+                .verify_conservation()
+                .map_err(|e| format!("{label}: crash at {index}: {e}"))?;
+            for (_, totals) in run.snapshot.per_thread() {
+                for (cause, ns) in &totals.by_cause {
+                    *row.by_cause.entry(cause.clone()).or_insert(0) += ns;
+                }
+                row.stall_ns += totals.window_ns;
+            }
+            row.wall_ns += run.total_cycles;
+            row.points += 1;
+        }
+        rows.push(row);
+    }
+    Ok(MatrixAttribution {
+        schema: MATRIX_ATTR_SCHEMA.to_string(),
+        rows,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use prosper_telemetry::{NoopSink, Telemetry};
+
+    #[test]
+    fn attributed_sweep_conserves_and_is_deterministic() {
+        let suite = [(
+            "tiny",
+            CrashMatrixConfig {
+                threads: 1,
+                intervals: 1,
+                stores_per_interval: 4,
+                ..Default::default()
+            },
+        )];
+        let a = attributed_sweep(&suite).expect("sweep conserves");
+        let b = attributed_sweep(&suite).expect("sweep conserves");
+        assert_eq!(a, b);
+        assert_eq!(a.schema, MATRIX_ATTR_SCHEMA);
+        let row = &a.rows[0];
+        assert!(row.points > 0);
+        assert_eq!(row.stall_ns, row.by_cause.values().sum::<u64>());
+        assert!(
+            row.by_cause.contains_key("recovery"),
+            "post-seal crash points attribute recovery: {:?}",
+            row.by_cause
+        );
+        assert!(row.stall_ns <= row.wall_ns);
+    }
 
     #[test]
     fn quick_suite_survives_everything() {

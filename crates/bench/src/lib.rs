@@ -36,6 +36,7 @@ pub mod fig_overhead;
 pub mod fig_performance;
 pub mod misc;
 pub mod multicore_study;
+pub mod obs;
 pub mod perf;
 pub mod report;
 pub mod scale;

@@ -1,0 +1,598 @@
+//! Checkpoint-tax attribution reporting — the library behind the
+//! `prosper-obs` binary.
+//!
+//! Every unit of foreground delay in the simulated runs is tagged
+//! with its cause (commit stage/seal/apply, tracker quiescence,
+//! bitmap inspection, recovery replay) by the
+//! [`prosper_telemetry::StallAccountant`] probes wired through the
+//! core crate. This module turns those ledgers into:
+//!
+//! * the **checkpoint-tax report** (`prosper-checkpoint-tax/v1`
+//!   JSON): per section and per thread, the run's wall time split
+//!   into `{useful, inspect, stage, seal, apply, quiesce, recovery}`;
+//! * **Chrome-trace timelines** (`chrome://tracing` /
+//!   <https://ui.perfetto.dev>) rendering each thread's cause-tagged
+//!   stall segments as spans;
+//! * a **text HUD** for terminal consumption;
+//! * **deterministic diffing** of two tax reports for regression
+//!   gating — every run is driven by the virtual clock and the
+//!   simulator, so an unchanged tree produces a byte-identical
+//!   report and any drift is a real behaviour change.
+//!
+//! Every section's ledger is re-verified against the conservation
+//! invariant before it is reported: attributed stall ns must exactly
+//! tile the measured stall windows.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use prosper_core::faultinject::{
+    enumerate_crash_sites, run_attributed, run_crash_attributed, AttributedRun, CrashMatrixConfig,
+};
+use prosper_core::ProsperMechanism;
+use prosper_gemos::checkpoint::CheckpointManager;
+use prosper_memsim::config::MachineConfig;
+use prosper_memsim::machine::Machine;
+use prosper_telemetry::{
+    chrome_trace, AttributionSnapshot, Event, SloReport, SloTracker, StallCause,
+};
+use prosper_trace::micro::{MicroBench, MicroSpec};
+use serde::{Deserialize, Serialize};
+
+use crate::report::Table;
+
+/// Schema tag of the checkpoint-tax report.
+pub const TAX_SCHEMA: &str = "prosper-checkpoint-tax/v1";
+
+/// Stall-latency objective per checkpoint window, in virtual ns: the
+/// SLO the error budget burns against. One interval's whole-process
+/// stall should stay under this.
+pub const SLO_OBJECTIVE_NS: u64 = 50_000;
+
+/// Fraction of windows allowed over the objective.
+pub const SLO_ERROR_BUDGET: f64 = 0.05;
+
+/// One thread's share of a section's wall time.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TaxThreadRow {
+    /// Thread id.
+    pub tid: u32,
+    /// Non-stalled ns: section total minus this thread's stall.
+    pub useful_ns: u64,
+    /// Bitmap inspection + clear + metadata walk.
+    pub inspect_ns: u64,
+    /// Parallel stage phase (DRAM → NVM staging).
+    pub stage_ns: u64,
+    /// The serial seal — the commit point.
+    pub seal_ns: u64,
+    /// Parallel apply phase (staging → committed slots).
+    pub apply_ns: u64,
+    /// Tracker quiescence (flush + drain polling).
+    pub quiesce_ns: u64,
+    /// Recovery replay after a crash.
+    pub recovery_ns: u64,
+    /// Total measured stall (sum of this thread's windows) —
+    /// conservation guarantees it equals the six causes' sum.
+    pub stall_ns: u64,
+    /// Stall windows this thread crossed.
+    pub windows: u64,
+    /// Cause-tagged segments attributed to this thread.
+    pub segments: u64,
+}
+
+/// One workload section of the tax report.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TaxSection {
+    /// Section name (`micro`, `commit_w2`, `crash_recover`, ...).
+    pub name: String,
+    /// Commit workers the section ran with (0: serial crash path).
+    pub workers: u64,
+    /// Total simulated ns of the run (1 cycle = 1 ns).
+    pub total_ns: u64,
+    /// Sum of all threads' stall ns.
+    pub stall_ns: u64,
+    /// `total_ns * threads - stall_ns`: aggregate non-stalled time.
+    pub useful_ns: u64,
+    /// Per-thread breakdown, tid-ascending.
+    pub threads: Vec<TaxThreadRow>,
+    /// Stall-latency SLO over this section's windows.
+    pub slo: SloReport,
+}
+
+/// The full checkpoint-tax report.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TaxReport {
+    /// Always [`TAX_SCHEMA`].
+    pub schema: String,
+    /// Whether the quick (CI-sized) workloads were used.
+    pub quick: bool,
+    /// Workload sections in collection order.
+    pub sections: Vec<TaxSection>,
+}
+
+fn cause_ns(by_cause: &BTreeMap<String, u64>, cause: StallCause) -> u64 {
+    by_cause.get(cause.as_str()).copied().unwrap_or(0)
+}
+
+/// Builds one tax section from an attributed run, verifying
+/// conservation first.
+///
+/// # Errors
+///
+/// Returns the conservation violation if the ledger does not tile.
+pub fn section_from_run(
+    name: &str,
+    workers: u64,
+    run: &AttributedRun,
+) -> Result<TaxSection, String> {
+    run.snapshot
+        .verify_conservation()
+        .map_err(|e| format!("section {name}: {e}"))?;
+    let slo = SloTracker::new(SLO_OBJECTIVE_NS, SLO_ERROR_BUDGET);
+    for w in &run.snapshot.windows {
+        slo.record(w.tid, w.duration_ns());
+    }
+    let per = run.snapshot.per_thread();
+    let mut threads = Vec::with_capacity(per.len());
+    let mut stall_total = 0u64;
+    for (tid, t) in &per {
+        stall_total += t.window_ns;
+        threads.push(TaxThreadRow {
+            tid: *tid,
+            useful_ns: run.total_cycles.saturating_sub(t.window_ns),
+            inspect_ns: cause_ns(&t.by_cause, StallCause::Inspect),
+            stage_ns: cause_ns(&t.by_cause, StallCause::Stage),
+            seal_ns: cause_ns(&t.by_cause, StallCause::Seal),
+            apply_ns: cause_ns(&t.by_cause, StallCause::Apply),
+            quiesce_ns: cause_ns(&t.by_cause, StallCause::Quiesce),
+            recovery_ns: cause_ns(&t.by_cause, StallCause::Recovery),
+            stall_ns: t.window_ns,
+            windows: t.windows,
+            segments: t.segments,
+        });
+    }
+    let thread_count = threads.len() as u64;
+    Ok(TaxSection {
+        name: name.to_string(),
+        workers,
+        total_ns: run.total_cycles,
+        stall_ns: stall_total,
+        useful_ns: (run.total_cycles * thread_count).saturating_sub(stall_total),
+        threads,
+        slo: slo.report(),
+    })
+}
+
+fn micro_run(quick: bool) -> AttributedRun {
+    let acct = Arc::new(prosper_telemetry::StallAccountant::new_virtual());
+    let mut machine = Machine::new(MachineConfig::setup_i());
+    let (budget, intervals, elements) = if quick {
+        (200_000, 4, 512)
+    } else {
+        (400_000, 8, 2048)
+    };
+    let mut mgr = CheckpointManager::new(&mut machine, budget);
+    let mut mech = ProsperMechanism::with_defaults();
+    mech.set_attribution(Arc::clone(&acct), 0);
+    let bench = MicroBench::new(MicroSpec::Quicksort { elements }, crate::scale::SEED);
+    let res = mgr.run_stack_only(bench, &mut mech, intervals);
+    AttributedRun {
+        snapshot: acct.snapshot(),
+        total_cycles: res.total_cycles,
+    }
+}
+
+fn commit_cfg(quick: bool) -> CrashMatrixConfig {
+    if quick {
+        CrashMatrixConfig {
+            threads: 2,
+            intervals: 2,
+            stores_per_interval: 8,
+            ..Default::default()
+        }
+    } else {
+        CrashMatrixConfig {
+            threads: 4,
+            intervals: 3,
+            stores_per_interval: 16,
+            ..Default::default()
+        }
+    }
+}
+
+/// Collects the full tax report: the PR-3 micro-workload, the
+/// parallel commit path at 1/2/4 workers, and a crash+recover run
+/// (power failure at the last enumerated boundary — deep in the
+/// final commit — followed by attributed recovery replay).
+///
+/// Fully deterministic: two calls produce equal reports.
+///
+/// # Errors
+///
+/// Returns the first conservation violation or crash-run failure.
+pub fn collect(quick: bool) -> Result<TaxReport, String> {
+    let mut sections = Vec::new();
+    sections.push(section_from_run("micro", 0, &micro_run(quick))?);
+    let cfg = commit_cfg(quick);
+    for workers in [1u64, 2, 4] {
+        sections.push(section_from_run(
+            &format!("commit_w{workers}"),
+            workers,
+            &run_attributed(&cfg, workers as usize),
+        )?);
+    }
+    let sites = enumerate_crash_sites(&cfg);
+    let last = (sites.len() as u64).saturating_sub(1);
+    let (_, crash_run) = run_crash_attributed(&cfg, last)?;
+    sections.push(section_from_run("crash_recover", 0, &crash_run)?);
+    Ok(TaxReport {
+        schema: TAX_SCHEMA.to_string(),
+        quick,
+        sections,
+    })
+}
+
+/// Publishes a tax report into a metrics registry: per-section
+/// stall/useful totals accumulate under the registered
+/// `prosper.tax.*` counters, and each section's SLO lands on the
+/// `prosper.slo.*` gauges via
+/// [`prosper_telemetry::slo_to_registry`] (last section wins the
+/// gauges; violations accumulate).
+pub fn publish_to_registry(report: &TaxReport, registry: &prosper_telemetry::Registry) {
+    for s in &report.sections {
+        registry.counter("prosper.tax.reports").inc();
+        registry.counter("prosper.tax.stall_ns").add(s.stall_ns);
+        registry.counter("prosper.tax.useful_ns").add(s.useful_ns);
+        prosper_telemetry::slo_to_registry(&s.slo, registry);
+    }
+}
+
+/// Renders a snapshot's cause-tagged segments as Chrome-trace span
+/// events (`stall.<cause>` spans per thread, one instant per window
+/// start), viewable in `chrome://tracing` or Perfetto.
+#[must_use]
+pub fn timeline_events(snap: &AttributionSnapshot) -> Vec<Event> {
+    // (ts, open-before-close at equal ts, emission index) keeps the
+    // ordering deterministic and nesting-valid for the viewer.
+    let mut keyed: Vec<(u64, u8, usize, Event)> = Vec::new();
+    for (i, w) in snap.windows.iter().enumerate() {
+        keyed.push((
+            w.start_ns,
+            0,
+            i,
+            Event::Instant {
+                name: "stall.window".to_string(),
+                ts: w.start_ns,
+                tid: w.tid,
+            },
+        ));
+    }
+    for (i, seg) in snap.segments.iter().enumerate() {
+        let name = format!("stall.{}", seg.cause.as_str());
+        keyed.push((
+            seg.start_ns,
+            1,
+            i,
+            Event::SpanBegin {
+                name: name.clone(),
+                cat: "prosper-obs".to_string(),
+                ts: seg.start_ns,
+                tid: seg.tid,
+                depth: 0,
+            },
+        ));
+        keyed.push((
+            seg.end_ns,
+            2,
+            i,
+            Event::SpanEnd {
+                name,
+                ts: seg.end_ns,
+                tid: seg.tid,
+                depth: 0,
+            },
+        ));
+    }
+    keyed.sort_by_key(|(ts, kind, idx, _)| (*ts, *kind, *idx));
+    keyed.into_iter().map(|(_, _, _, ev)| ev).collect()
+}
+
+/// A snapshot's interference timeline as a Chrome-trace JSON string.
+#[must_use]
+pub fn timeline_json(snap: &AttributionSnapshot) -> String {
+    chrome_trace(&timeline_events(snap))
+}
+
+fn pct(part: u64, whole: u64) -> String {
+    if whole == 0 {
+        "-".to_string()
+    } else {
+        format!("{:.1}%", 100.0 * part as f64 / whole as f64)
+    }
+}
+
+/// Renders the tax report as a terminal HUD.
+#[must_use]
+pub fn render_text(report: &TaxReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Checkpoint-tax attribution ({}, {})\n\n",
+        report.schema,
+        if report.quick { "quick" } else { "full" }
+    ));
+    for s in &report.sections {
+        out.push_str(&format!(
+            "[{}] workers={} total={}ns stall={}ns ({} of per-thread time)\n",
+            s.name,
+            s.workers,
+            s.total_ns,
+            s.stall_ns,
+            pct(s.stall_ns, s.total_ns * s.threads.len().max(1) as u64),
+        ));
+        let mut t = Table::new(
+            format!("{} — per-thread stall tax", s.name),
+            &[
+                "tid", "useful", "quiesce", "inspect", "stage", "seal", "apply", "recovery",
+                "stall", "tax",
+            ],
+        );
+        for r in &s.threads {
+            t.push_row(&[
+                r.tid.to_string(),
+                r.useful_ns.to_string(),
+                r.quiesce_ns.to_string(),
+                r.inspect_ns.to_string(),
+                r.stage_ns.to_string(),
+                r.seal_ns.to_string(),
+                r.apply_ns.to_string(),
+                r.recovery_ns.to_string(),
+                r.stall_ns.to_string(),
+                pct(r.stall_ns, s.total_ns),
+            ]);
+        }
+        out.push_str(&t.render());
+        for (tid, slo) in &s.slo.per_thread {
+            out.push_str(&format!(
+                "  slo tid {tid}: p50={} p95={} p99={} p999={} viol={} burn={:.2}\n",
+                slo.p50_ns, slo.p95_ns, slo.p99_ns, slo.p999_ns, slo.violations, slo.burn_rate
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Diffs two tax reports section-by-section. Attribution runs are
+/// deterministic, so a non-empty diff against a committed baseline is
+/// a real behaviour change in the commit/checkpoint/recovery paths.
+#[must_use]
+pub fn diff_reports(base: &TaxReport, current: &TaxReport) -> Vec<String> {
+    let mut out = Vec::new();
+    if base.schema != current.schema {
+        out.push(format!("schema: {} -> {}", base.schema, current.schema));
+    }
+    if base.quick != current.quick {
+        out.push(format!(
+            "quick: {} -> {} (reports are not comparable across sizes)",
+            base.quick, current.quick
+        ));
+        return out;
+    }
+    let base_by: BTreeMap<&str, &TaxSection> =
+        base.sections.iter().map(|s| (s.name.as_str(), s)).collect();
+    let cur_by: BTreeMap<&str, &TaxSection> = current
+        .sections
+        .iter()
+        .map(|s| (s.name.as_str(), s))
+        .collect();
+    for (name, b) in &base_by {
+        match cur_by.get(name) {
+            None => out.push(format!("section {name}: removed")),
+            Some(c) => {
+                if b.total_ns != c.total_ns {
+                    out.push(format!(
+                        "section {name}: total_ns {} -> {}",
+                        b.total_ns, c.total_ns
+                    ));
+                }
+                if b.stall_ns != c.stall_ns {
+                    out.push(format!(
+                        "section {name}: stall_ns {} -> {}",
+                        b.stall_ns, c.stall_ns
+                    ));
+                }
+                if b.threads != c.threads {
+                    for (bt, ct) in b.threads.iter().zip(&c.threads) {
+                        if bt != ct {
+                            out.push(format!(
+                                "section {name} tid {}: {:?} -> {:?}",
+                                bt.tid, bt, ct
+                            ));
+                        }
+                    }
+                    if b.threads.len() != c.threads.len() {
+                        out.push(format!(
+                            "section {name}: thread count {} -> {}",
+                            b.threads.len(),
+                            c.threads.len()
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    for name in cur_by.keys() {
+        if !base_by.contains_key(name) {
+            out.push(format!("section {name}: added"));
+        }
+    }
+    out
+}
+
+/// Structural check against the recorded perf baseline
+/// (`prosper-perf-baseline/v1`, e.g. `BENCH_pr3.json`): every
+/// checkpoint phase the baseline reports mean cycles for must be
+/// attributed somewhere in the tax report's micro section (the
+/// baseline's `clear` phase folds into `inspect` attribution).
+///
+/// # Errors
+///
+/// Returns a message when the baseline is unreadable or a phase went
+/// missing from attribution.
+pub fn check_against_perf_baseline(report: &TaxReport, baseline_json: &str) -> Result<(), String> {
+    let v: serde_json::Value =
+        serde_json::from_str(baseline_json).map_err(|e| format!("baseline parse: {e:?}"))?;
+    let schema = v
+        .get("schema")
+        .and_then(|s| s.as_str())
+        .ok_or("baseline has no schema tag")?;
+    if schema != "prosper-perf-baseline/v1" {
+        return Err(format!("unexpected baseline schema {schema}"));
+    }
+    let phases = v
+        .get("summary")
+        .and_then(|s| s.get("ckpt_phase_mean_cycles"))
+        .and_then(|p| p.as_object())
+        .ok_or("baseline lacks summary.ckpt_phase_mean_cycles")?;
+    let micro = report
+        .sections
+        .iter()
+        .find(|s| s.name == "micro")
+        .ok_or("tax report has no micro section")?;
+    let attributed = |f: fn(&TaxThreadRow) -> u64| micro.threads.iter().map(f).sum::<u64>();
+    for (phase, mean) in phases {
+        if mean.as_f64().unwrap_or(0.0) <= 0.0 {
+            continue;
+        }
+        let ns = match phase.as_str() {
+            // The attribution layer charges the clear writes and the
+            // metadata walk to the inspection window.
+            "inspect" | "clear" => attributed(|t| t.inspect_ns),
+            "stage" => attributed(|t| t.stage_ns),
+            "apply" => attributed(|t| t.apply_ns),
+            other => return Err(format!("baseline reports unknown phase {other}")),
+        };
+        if ns == 0 {
+            return Err(format!(
+                "baseline phase {phase} has mean cycles but the tax report attributes 0 ns to it"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_is_deterministic() {
+        let a = collect(true).expect("collect");
+        let b = collect(true).expect("collect");
+        assert_eq!(a, b);
+        let ja = serde_json::to_string_pretty(&a).unwrap();
+        let jb = serde_json::to_string_pretty(&b).unwrap();
+        assert_eq!(ja, jb, "tax JSON must be byte-identical across runs");
+    }
+
+    #[test]
+    fn report_has_expected_sections_and_conserves() {
+        let rep = collect(true).expect("collect");
+        let names: Vec<&str> = rep.sections.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "micro",
+                "commit_w1",
+                "commit_w2",
+                "commit_w4",
+                "crash_recover"
+            ]
+        );
+        for s in &rep.sections {
+            let attributed: u64 = s
+                .threads
+                .iter()
+                .map(|t| {
+                    t.inspect_ns
+                        + t.stage_ns
+                        + t.seal_ns
+                        + t.apply_ns
+                        + t.quiesce_ns
+                        + t.recovery_ns
+                })
+                .sum();
+            assert_eq!(attributed, s.stall_ns, "section {} conserves", s.name);
+        }
+        let crash = rep.sections.last().unwrap();
+        assert!(
+            crash.threads.iter().any(|t| t.recovery_ns > 0),
+            "crash_recover section attributes recovery replay"
+        );
+    }
+
+    #[test]
+    fn timeline_events_balance_and_are_sorted() {
+        let rep = run_attributed(&commit_cfg(true), 2);
+        let evs = timeline_events(&rep.snapshot);
+        let mut ts = 0;
+        let mut depth: BTreeMap<u32, i64> = BTreeMap::new();
+        for ev in &evs {
+            assert!(ev.ts() >= ts, "events sorted by ts");
+            ts = ev.ts();
+            match ev {
+                Event::SpanBegin { tid, .. } => *depth.entry(*tid).or_insert(0) += 1,
+                Event::SpanEnd { tid, .. } => *depth.entry(*tid).or_insert(0) -= 1,
+                Event::Instant { .. } => {}
+            }
+        }
+        assert!(depth.values().all(|&d| d == 0), "spans balance per thread");
+        let json = timeline_json(&rep.snapshot);
+        assert!(json.starts_with("{\"traceEvents\":["));
+    }
+
+    #[test]
+    fn diff_reports_flags_drift_and_nothing_else() {
+        let a = collect(true).expect("collect");
+        assert!(diff_reports(&a, &a).is_empty(), "self-diff is empty");
+        let mut b = a.clone();
+        b.sections[1].threads[0].seal_ns += 7;
+        b.sections[1].stall_ns += 7;
+        let d = diff_reports(&a, &b);
+        assert!(!d.is_empty());
+        assert!(d.iter().any(|l| l.contains("commit_w1")));
+    }
+
+    #[test]
+    fn perf_baseline_check_accepts_recorded_baseline() {
+        let rep = collect(true).expect("collect");
+        let json =
+            std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr3.json"))
+                .expect("recorded baseline present");
+        check_against_perf_baseline(&rep, &json).expect("phase breakdown consistent");
+    }
+
+    #[test]
+    fn publish_lands_on_registered_names() {
+        let rep = collect(true).expect("collect");
+        let registry = prosper_telemetry::Registry::new();
+        publish_to_registry(&rep, &registry);
+        let snap = registry.snapshot();
+        let stall: u64 = rep.sections.iter().map(|s| s.stall_ns).sum();
+        assert_eq!(snap.counters.get("prosper.tax.stall_ns"), Some(&stall));
+        assert_eq!(
+            snap.counters.get("prosper.tax.reports"),
+            Some(&(rep.sections.len() as u64))
+        );
+        assert!(snap.gauges.get("prosper.slo.p99_ns").copied().unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn tax_json_roundtrips() {
+        let rep = collect(true).expect("collect");
+        let json = serde_json::to_string(&rep).unwrap();
+        let back: TaxReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(rep, back);
+        assert_eq!(back.schema, TAX_SCHEMA);
+    }
+}

@@ -34,6 +34,7 @@
 //!   bitmap and lookup table hold no stale state.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use prosper_gemos::crash::{CrashInjected, CrashPlan, CrashSite, FaultInjector};
 use prosper_gemos::image::MemoryImage;
@@ -41,6 +42,7 @@ use prosper_gemos::process::RegisterFile;
 use prosper_memsim::addr::{VirtAddr, VirtRange};
 use prosper_memsim::config::MachineConfig;
 use prosper_memsim::machine::Machine;
+use prosper_telemetry::{AttributionSnapshot, StallAccountant};
 
 use crate::bitmap::CopyRun;
 use crate::multithread::MultiThreadTracker;
@@ -185,6 +187,16 @@ struct Driver {
     /// bumped past `commits_completed` only once a seal is known to
     /// have been written.
     expected_sequence: u64,
+    /// Stall accountant wired through quiescence, commit, and
+    /// recovery when the run is attributed.
+    acct: Option<Arc<StallAccountant>>,
+    /// Cycles retired by machine epochs that ended in a power
+    /// failure; the live machine's clock restarts from zero.
+    prior_epochs_cycles: u64,
+    /// Parallel commit workers for attributed clean runs; 0 keeps the
+    /// serial crash-window commit path (required when an injector may
+    /// fire, since crash sites live on that path).
+    workers: usize,
 }
 
 fn fresh_tracker(threads: u32) -> MultiThreadTracker {
@@ -207,7 +219,27 @@ impl Driver {
             snapshots: BTreeMap::new(),
             commits_completed: 0,
             expected_sequence: 0,
+            acct: None,
+            prior_epochs_cycles: 0,
+            workers: 0,
         }
+    }
+
+    /// Total simulated cycles across every machine epoch of the run.
+    fn total_cycles(&self) -> u64 {
+        self.prior_epochs_cycles + self.machine.now()
+    }
+
+    /// Wires a stall accountant through every layer the workload
+    /// stalls in: tracker quiescence, the commit path, and recovery.
+    /// `workers > 0` routes clean commits through the parallel
+    /// `commit_attributed` path with that worker count; `workers == 0`
+    /// keeps the serial crash-window path (mandatory when the
+    /// injector may fire).
+    fn set_attribution(&mut self, acct: Arc<StallAccountant>, workers: usize) {
+        self.mt.set_attribution(Arc::clone(&acct));
+        self.acct = Some(acct);
+        self.workers = workers;
     }
 
     /// Runs intervals `[from, cfg.intervals)`; stops at the first
@@ -271,7 +303,23 @@ impl Driver {
                 .map(|tid| *self.process.regs(tid))
                 .collect(),
         };
-        match self.process.commit_with_faults(&runs_per_thread, inj) {
+        let commit_result = if self.workers > 0 {
+            // Attributed clean run: parallel commit with the
+            // deterministic cost model. Crash sites live on the
+            // serial path, so this is only reachable with a disabled
+            // injector.
+            self.process.commit_attributed(
+                &runs_per_thread,
+                self.workers,
+                None,
+                self.acct.as_deref(),
+            );
+            Ok(())
+        } else {
+            self.process
+                .commit_with_faults_attributed(&runs_per_thread, inj, self.acct.as_deref())
+        };
+        match commit_result {
             Ok(()) => {
                 self.commits_completed = sequence;
                 self.expected_sequence = sequence;
@@ -296,14 +344,18 @@ impl Driver {
         // Power failure: volatile process state and all tracker
         // hardware state vanish; the machine restarts cold.
         self.process.crash();
+        self.prior_epochs_cycles += self.machine.now();
         self.machine = Machine::new(MachineConfig::setup_i());
         self.mt = fresh_tracker(self.cfg.threads);
+        if let Some(acct) = &self.acct {
+            self.mt.set_attribution(Arc::clone(acct));
+        }
         if !self.mt.tracker().quiescent() || self.mt.tracker().resident_entries() != 0 {
             return Err("restarted tracker is not quiescent/empty".into());
         }
 
         let expected = self.expected_sequence;
-        match self.process.recover() {
+        match self.process.recover_attributed(self.acct.as_deref()) {
             Ok(rec) => {
                 if expected == 0 {
                     return Err(format!(
@@ -445,6 +497,99 @@ pub fn run_with_crash_at(cfg: &CrashMatrixConfig, index: u64) -> Result<CrashOut
             })
         }
     }
+}
+
+/// An attributed run: the cause-tagged stall snapshot plus the
+/// simulated wall time of the run, for computing useful —
+/// non-stalled — time in checkpoint-tax reports.
+#[derive(Clone, Debug)]
+pub struct AttributedRun {
+    /// The cause-tagged stall ledger; always conserves.
+    pub snapshot: AttributionSnapshot,
+    /// Simulated wall ns of the run: machine cycles retired across
+    /// every epoch **plus** the modelled commit/recovery stall time,
+    /// which advances only the accountant's virtual clock (quiesce
+    /// is the one cause mirrored on the machine clock). Guarantees
+    /// every thread's stall fits inside the wall:
+    /// `stall(tid) <= total_cycles`.
+    pub total_cycles: u64,
+}
+
+/// Freezes the accountant into an [`AttributedRun`]. Off-machine
+/// time = everything the virtual clock advanced by except the
+/// quiesce advances, which mirror machine cycles already counted in
+/// `Driver::total_cycles`.
+fn freeze_attributed(acct: &StallAccountant, driver: &Driver) -> AttributedRun {
+    let snapshot = acct.snapshot();
+    let modelled = acct
+        .now_ns()
+        .saturating_sub(snapshot.cause_total_ns(prosper_telemetry::StallCause::Quiesce));
+    AttributedRun {
+        total_cycles: driver.total_cycles() + modelled,
+        snapshot,
+    }
+}
+
+/// Runs the uninterrupted workload with a virtual-clock stall
+/// accountant wired through tracker quiescence and the parallel
+/// commit path (`workers` commit workers), and returns the
+/// cause-tagged attribution snapshot.
+///
+/// The virtual clock advances only by the deterministic commit cost
+/// model and quiescence cycle counts, so two calls with the same
+/// config and worker count yield identical snapshots — and the
+/// snapshot always satisfies [`AttributionSnapshot::verify_conservation`].
+pub fn run_attributed(cfg: &CrashMatrixConfig, workers: usize) -> AttributedRun {
+    assert!(
+        workers > 0,
+        "attributed clean runs need at least one commit worker"
+    );
+    let acct = Arc::new(StallAccountant::new_virtual());
+    let mut driver = Driver::new(*cfg);
+    driver.set_attribution(Arc::clone(&acct), workers);
+    let mut inj = FaultInjector::disabled();
+    driver
+        .run_from(0, &mut inj)
+        .expect("a disabled injector never fires");
+    freeze_attributed(&acct, &driver)
+}
+
+/// Runs the workload with a crash injected at boundary `index` and a
+/// stall accountant attached, recovers (attributing the replay to
+/// [`prosper_telemetry::StallCause::Recovery`]), verifies the
+/// recovery invariants, and returns the outcome together with the
+/// attribution snapshot covering the torn commit, the crash, and the
+/// recovery.
+///
+/// # Errors
+///
+/// Returns a description of the first violated recovery invariant.
+pub fn run_crash_attributed(
+    cfg: &CrashMatrixConfig,
+    index: u64,
+) -> Result<(CrashOutcome, AttributedRun), String> {
+    let acct = Arc::new(StallAccountant::new_virtual());
+    let mut driver = Driver::new(*cfg);
+    // workers == 0: crash sites live on the serial commit path.
+    driver.set_attribution(Arc::clone(&acct), 0);
+    let mut inj = FaultInjector::at_index(index);
+    let outcome = match driver.run_from(0, &mut inj) {
+        Ok(()) => CrashOutcome {
+            fired: None,
+            recovered_sequence: driver.commits_completed,
+        },
+        Err(crash) => {
+            let recovered = driver.verify_after_crash()?;
+            if cfg.resume_after_recovery {
+                driver.resume_and_finish(recovered)?;
+            }
+            CrashOutcome {
+                fired: Some(crash.site),
+                recovered_sequence: recovered,
+            }
+        }
+    };
+    Ok((outcome, freeze_attributed(&acct, &driver)))
 }
 
 /// The exhaustive sweep: enumerates every crash point of the workload

@@ -15,12 +15,14 @@
 //! privilege-separation design of Wang et al. cited by the paper).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use prosper_gemos::context::ContextSwitchParticipant;
 use prosper_gemos::crash::{CrashInjected, CrashSite, FaultInjector};
 use prosper_memsim::addr::{VirtAddr, VirtRange};
 use prosper_memsim::machine::Machine;
 use prosper_memsim::Cycles;
+use prosper_telemetry::{StallAccountant, StallCause};
 
 use crate::msr::{MsrBank, MSR_READ_CYCLES, MSR_WRITE_CYCLES};
 use crate::tracker::{DirtyTracker, TrackerConfig};
@@ -59,6 +61,8 @@ pub struct MultiThreadTracker {
     op_loads: Vec<u64>,
     /// Scratch: store addresses of the current injected-op batch.
     op_stores: Vec<u64>,
+    /// Stall attribution sink for the quiescence handshake, if wired.
+    attribution: Option<Arc<StallAccountant>>,
 }
 
 impl MultiThreadTracker {
@@ -72,6 +76,28 @@ impl MultiThreadTracker {
             cross_stack_faults: 0,
             op_loads: Vec::new(),
             op_stores: Vec::new(),
+            attribution: None,
+        }
+    }
+
+    /// Wires a stall accountant into the quiescence handshake: every
+    /// switch-out flush is charged to the *outgoing* thread as a
+    /// `Quiesce`-cause segment (with a matching window), advancing the
+    /// accountant's virtual clock by the simulated cycle cost
+    /// (1 cycle = 1 virtual ns).
+    pub fn set_attribution(&mut self, acct: Arc<StallAccountant>) {
+        self.attribution = Some(acct);
+    }
+
+    /// Charges one quiescence handshake of `cycles` simulated cycles
+    /// to thread `tid`.
+    fn attribute_quiesce(&self, tid: u32, cycles: Cycles) {
+        if let Some(acct) = &self.attribution {
+            let start = acct.now_ns();
+            acct.advance(cycles);
+            let end = acct.now_ns();
+            acct.record_segment(tid, StallCause::Quiesce, 0, start, end);
+            acct.record_window(tid, start, end);
         }
     }
 
@@ -154,7 +180,9 @@ impl MultiThreadTracker {
         let mut cost: Cycles = 0;
         // Switch-out: flush + quiesce + save.
         if let Some(out_tid) = self.current.take() {
-            cost += self.flush_and_quiesce(machine);
+            let quiesce = self.flush_and_quiesce(machine);
+            self.attribute_quiesce(out_tid, quiesce);
+            cost += quiesce;
             if inj.observe(CrashSite::MidSwitchSave) {
                 return Err(CrashInjected {
                     site: CrashSite::MidSwitchSave,
@@ -234,13 +262,13 @@ pub struct TrackerSwitchParticipant<'a> {
 
 impl ContextSwitchParticipant for TrackerSwitchParticipant<'_> {
     fn switch_out(&mut self, machine: &mut Machine) -> Cycles {
-        if self.inner.current.is_some() {
+        if let Some(out_tid) = self.inner.current {
             let cost = self.inner.flush_and_quiesce(machine);
-            if let Some(out_tid) = self.inner.current.take() {
-                let saved = self.inner.tracker.save_state();
-                if let Some(state) = self.inner.saved.get_mut(&out_tid) {
-                    state.msrs = saved;
-                }
+            self.inner.attribute_quiesce(out_tid, cost);
+            self.inner.current = None;
+            let saved = self.inner.tracker.save_state();
+            if let Some(state) = self.inner.saved.get_mut(&out_tid) {
+                state.msrs = saved;
             }
             cost
         } else {

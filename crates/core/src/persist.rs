@@ -171,6 +171,19 @@ impl PersistentStack {
         self.staging.len()
     }
 
+    /// Total bytes currently staged across all runs — the
+    /// deterministic work-size input for stall attribution's
+    /// redo-cost model.
+    pub fn staged_bytes(&self) -> u64 {
+        self.staging.iter().map(|r| r.data.len() as u64).sum()
+    }
+
+    /// Bytes of the staged run at `idx` (0 when out of bounds; the
+    /// cost model must never panic the commit path).
+    pub fn staged_run_len(&self, idx: usize) -> u64 {
+        self.staging.get(idx).map_or(0, |r| r.data.len() as u64)
+    }
+
     /// Whether a sealed staging buffer exists.
     pub fn is_sealed(&self) -> bool {
         self.sealed

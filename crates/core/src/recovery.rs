@@ -54,6 +54,7 @@
 use std::collections::BTreeMap;
 
 use prosper_telemetry as telemetry;
+use prosper_telemetry::{StallAccountant, StallCause};
 
 use prosper_gemos::crash::{CrashInjected, CrashSite, FaultInjector};
 use prosper_gemos::process::RegisterFile;
@@ -137,6 +138,98 @@ impl CommitProbe {
     /// The events recorded so far, in observation order.
     pub fn events(&self) -> Vec<CommitProbeEvent> {
         self.log.lock().map(|log| log.clone()).unwrap_or_default()
+    }
+}
+
+/// Deterministic virtual-time cost model for the attributed commit
+/// path (see `prosper_telemetry::attribution`).
+///
+/// Under a virtual-clock [`StallAccountant`] the coordinator advances
+/// the clock by these modelled costs — computed from the same
+/// contiguous chunk assignment `for_each_stack` uses — so attributed
+/// timelines are byte-identical across runs and still sensitive to
+/// the worker count. Under a wall-clock accountant `advance` is a
+/// no-op and real elapsed time is measured instead. Units are virtual
+/// ns; the values are loosely calibrated to the simulator's cycle
+/// costs — they only need to be *stable*, not accurate, because the
+/// conservation invariant holds under any clock.
+pub mod commit_cost {
+    /// Fixed per-phase dispatch overhead.
+    pub const PHASE_BASE_NS: u64 = 100;
+    /// Staging: per staged run.
+    pub const STAGE_RUN_NS: u64 = 60;
+    /// Staging: per staged byte.
+    pub const STAGE_BYTE_NS: u64 = 1;
+    /// The single durable seal write.
+    pub const SEAL_NS: u64 = 250;
+    /// Apply: per staged run.
+    pub const APPLY_RUN_NS: u64 = 40;
+    /// Apply: per staged byte.
+    pub const APPLY_BYTE_NS: u64 = 1;
+    /// Apply: per register slot (the serial tail).
+    pub const REGISTER_SLOT_NS: u64 = 30;
+    /// Recovery redo: per staged run replayed.
+    pub const RECOVERY_RUN_NS: u64 = 50;
+    /// Recovery redo: per staged byte replayed.
+    pub const RECOVERY_BYTE_NS: u64 = 1;
+    /// Recovery fixed overhead (record scan + register restore).
+    pub const RECOVERY_BASE_NS: u64 = 400;
+}
+
+/// Records cause-tagged phase boundaries for the serial fault-injected
+/// commit. The scribe closes the in-progress phase when a crash window
+/// fires, so even a torn commit's stall window is exactly tiled by its
+/// segments — attribution survives injected crashes by construction.
+struct FaultScribe<'a> {
+    acct: &'a StallAccountant,
+    tids: Vec<u32>,
+    sequence: u64,
+    window_start: u64,
+    phase_start: u64,
+    cause: StallCause,
+}
+
+impl<'a> FaultScribe<'a> {
+    fn new(acct: &'a StallAccountant, tids: Vec<u32>, sequence: u64) -> Self {
+        let now = acct.now_ns();
+        FaultScribe {
+            acct,
+            tids,
+            sequence,
+            window_start: now,
+            phase_start: now,
+            cause: StallCause::Stage,
+        }
+    }
+
+    /// Advances the virtual clock by one unit of modelled work.
+    fn work(&self, ns: u64) {
+        self.acct.advance(ns);
+    }
+
+    /// Closes the current phase at `now` and opens `cause`.
+    fn next_phase(&mut self, cause: StallCause) {
+        self.close_phase();
+        self.cause = cause;
+    }
+
+    fn close_phase(&mut self) {
+        let now = self.acct.now_ns();
+        for &tid in &self.tids {
+            self.acct
+                .record_segment(tid, self.cause, self.sequence, self.phase_start, now);
+        }
+        self.phase_start = now;
+    }
+
+    /// Closes the final (possibly crash-interrupted) phase and the
+    /// per-thread stall windows.
+    fn finish(mut self) {
+        self.close_phase();
+        for &tid in &self.tids {
+            self.acct
+                .record_window(tid, self.window_start, self.phase_start);
+        }
     }
 }
 
@@ -312,6 +405,36 @@ impl PersistentProcess {
         workers: usize,
         probe: Option<&CommitProbe>,
     ) {
+        self.commit_attributed(runs_per_thread, workers, probe, None);
+    }
+
+    /// [`Self::commit_with_workers_probed`] plus causal stall
+    /// attribution: each phase boundary the coordinator crosses is
+    /// charged to every thread as a cause-tagged [`StallSegment`]
+    /// (during a whole-process commit *every* thread is stalled, so
+    /// the per-thread segments share the coordinator's boundaries),
+    /// and one [`StallWindow`] per thread brackets the whole commit.
+    /// The segments tile the window by construction — the telescoping
+    /// sum `(t1-t0)+(t2-t1)+(t3-t2) = t3-t0` — which the conservation
+    /// tests verify end-to-end. Under a virtual-clock accountant the
+    /// coordinator advances time from the [`commit_cost`] model over
+    /// the same chunk assignment the workers use; the workers never
+    /// touch the clock, so attributed timelines stay deterministic at
+    /// any worker count.
+    ///
+    /// [`StallSegment`]: prosper_telemetry::StallSegment
+    /// [`StallWindow`]: prosper_telemetry::StallWindow
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs_per_thread` misses a registered thread.
+    pub fn commit_attributed(
+        &mut self,
+        runs_per_thread: &BTreeMap<u32, Vec<CopyRun>>,
+        workers: usize,
+        probe: Option<&CommitProbe>,
+        acct: Option<&StallAccountant>,
+    ) {
         for tid in self.stacks.keys() {
             assert!(
                 runs_per_thread.contains_key(tid),
@@ -319,6 +442,8 @@ impl PersistentProcess {
             );
         }
         let sequence = self.next_sequence;
+        let tids: Vec<u32> = self.stacks.keys().copied().collect();
+        let t0 = acct.map(StallAccountant::now_ns);
         // Phase one (parallel): stage every thread's runs into its own
         // NVM staging buffer — strictly per-thread state.
         let stage_watch = telemetry::Stopwatch::start();
@@ -339,6 +464,16 @@ impl PersistentProcess {
         };
         self.pending = Some(record.clone());
         let stage_ns = stage_watch.elapsed_ns();
+        let t1 = acct.map(|a| {
+            a.advance(Self::chunked_phase_cost(&tids, workers, |tid| {
+                Self::runs_cost(
+                    &runs_per_thread[&tid],
+                    commit_cost::STAGE_RUN_NS,
+                    commit_cost::STAGE_BYTE_NS,
+                )
+            }));
+            a.now_ns()
+        });
         // Seal: the single durable write — and the single serialization
         // point — that commits the checkpoint.
         let seal_watch = telemetry::Stopwatch::start();
@@ -348,10 +483,34 @@ impl PersistentProcess {
             p.record(CommitProbeEvent::Seal { sequence });
         }
         let seal_ns = seal_watch.elapsed_ns();
+        let t2 = acct.map(|a| {
+            a.advance(commit_cost::SEAL_NS);
+            a.now_ns()
+        });
         // Phase two (parallel apply; the register slots stay serial).
         let apply_watch = telemetry::Stopwatch::start();
         self.apply_record_parallel(&record, workers, probe);
         let apply_ns = apply_watch.elapsed_ns();
+        let t3 = acct.map(|a| {
+            a.advance(
+                Self::chunked_phase_cost(&tids, workers, |tid| {
+                    Self::runs_cost(
+                        &runs_per_thread[&tid],
+                        commit_cost::APPLY_RUN_NS,
+                        commit_cost::APPLY_BYTE_NS,
+                    )
+                }) + tids.len() as u64 * commit_cost::REGISTER_SLOT_NS,
+            );
+            a.now_ns()
+        });
+        if let (Some(a), Some(t0), Some(t1), Some(t2), Some(t3)) = (acct, t0, t1, t2, t3) {
+            for &tid in &tids {
+                a.record_segment(tid, StallCause::Stage, sequence, t0, t1);
+                a.record_segment(tid, StallCause::Seal, sequence, t1, t2);
+                a.record_segment(tid, StallCause::Apply, sequence, t2, t3);
+                a.record_window(tid, t0, t3);
+            }
+        }
         if telemetry::enabled() {
             telemetry::with(|t| {
                 let r = t.registry();
@@ -363,6 +522,26 @@ impl PersistentProcess {
                     .record(apply_ns);
             });
         }
+    }
+
+    /// Modelled cost of staging or applying `runs` for one thread.
+    fn runs_cost(runs: &[CopyRun], per_run_ns: u64, per_byte_ns: u64) -> u64 {
+        runs.iter().map(|r| per_run_ns + r.len * per_byte_ns).sum()
+    }
+
+    /// Max-over-chunks phase cost under the exact chunk assignment
+    /// [`Self::for_each_stack`] uses (contiguous chunks of the
+    /// tid-ordered list): a parallel phase is as slow as its slowest
+    /// worker, plus a fixed dispatch overhead.
+    fn chunked_phase_cost(tids: &[u32], workers: usize, per_tid: impl Fn(u32) -> u64) -> u64 {
+        let workers = workers.clamp(1, tids.len().max(1));
+        let chunk = tids.len().div_ceil(workers).max(1);
+        commit_cost::PHASE_BASE_NS
+            + tids
+                .chunks(chunk)
+                .map(|c| c.iter().map(|&t| per_tid(t)).sum::<u64>())
+                .max()
+                .unwrap_or(0)
     }
 
     /// Runs `f` over every stack, fanned out across at most `workers`
@@ -413,6 +592,45 @@ impl PersistentProcess {
         runs_per_thread: &BTreeMap<u32, Vec<CopyRun>>,
         inj: &mut FaultInjector,
     ) -> Result<(), CrashInjected> {
+        self.commit_with_faults_attributed(runs_per_thread, inj, None)
+    }
+
+    /// [`Self::commit_with_faults`] with stall attribution. A
+    /// [`FaultScribe`] tracks the in-progress phase; when a crash
+    /// window fires, the scribe closes the partial segment and the
+    /// stall window at the crash instant, so a torn commit's ledger
+    /// still conserves exactly — the property the crash-matrix
+    /// attribution snapshot archives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrashInjected`] if the injector fired.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs_per_thread` misses a registered thread.
+    pub fn commit_with_faults_attributed(
+        &mut self,
+        runs_per_thread: &BTreeMap<u32, Vec<CopyRun>>,
+        inj: &mut FaultInjector,
+        acct: Option<&StallAccountant>,
+    ) -> Result<(), CrashInjected> {
+        let mut scribe = acct.map(|a| {
+            FaultScribe::new(a, self.stacks.keys().copied().collect(), self.next_sequence)
+        });
+        let result = self.commit_with_faults_inner(runs_per_thread, inj, scribe.as_mut());
+        if let Some(s) = scribe {
+            s.finish();
+        }
+        result
+    }
+
+    fn commit_with_faults_inner(
+        &mut self,
+        runs_per_thread: &BTreeMap<u32, Vec<CopyRun>>,
+        inj: &mut FaultInjector,
+        mut scribe: Option<&mut FaultScribe<'_>>,
+    ) -> Result<(), CrashInjected> {
         crash_window!(inj, CrashSite::PreStage);
         // Phase one: stage every thread's runs...
         for (tid, stack) in &mut self.stacks {
@@ -422,6 +640,9 @@ impl PersistentProcess {
             stack.begin_stage();
             for (k, run) in runs.iter().enumerate() {
                 stack.stage_run(run);
+                if let Some(s) = scribe.as_deref_mut() {
+                    s.work(commit_cost::STAGE_RUN_NS + run.len * commit_cost::STAGE_BYTE_NS);
+                }
                 crash_window!(
                     inj,
                     CrashSite::MidStage {
@@ -439,12 +660,21 @@ impl PersistentProcess {
         };
         self.pending = Some(record.clone());
         crash_window!(inj, CrashSite::PreSeal);
+        if let Some(s) = scribe.as_deref_mut() {
+            s.next_phase(StallCause::Seal);
+        }
         // Seal: the single durable write that commits the checkpoint.
         record.sealed = true;
         self.pending = Some(record.clone());
+        if let Some(s) = scribe.as_deref_mut() {
+            s.work(commit_cost::SEAL_NS);
+        }
         crash_window!(inj, CrashSite::PostSeal);
+        if let Some(s) = scribe.as_deref_mut() {
+            s.next_phase(StallCause::Apply);
+        }
         // Phase two.
-        self.apply_record(&record, inj)
+        self.apply_record(&record, inj, scribe)
     }
 
     /// The parallel twin of [`Self::apply_record`]: applies every
@@ -489,11 +719,18 @@ impl PersistentProcess {
         &mut self,
         record: &ProcessCommitRecord,
         inj: &mut FaultInjector,
+        mut scribe: Option<&mut FaultScribe<'_>>,
     ) -> Result<(), CrashInjected> {
         debug_assert!(record.sealed, "apply before the seal");
         for (tid, stack) in &mut self.stacks {
             for k in 0..stack.staged_runs() {
                 stack.apply_run(k);
+                if let Some(s) = scribe.as_deref_mut() {
+                    s.work(
+                        commit_cost::APPLY_RUN_NS
+                            + stack.staged_run_len(k) * commit_cost::APPLY_BYTE_NS,
+                    );
+                }
                 crash_window!(
                     inj,
                     CrashSite::MidApply {
@@ -508,6 +745,9 @@ impl PersistentProcess {
         crash_window!(inj, CrashSite::PostApplyPreRegisters);
         for (tid, regs) in record.staged_regs.iter().enumerate() {
             self.registers.apply_thread_at(tid, *regs, record.sequence);
+            if let Some(s) = scribe.as_deref_mut() {
+                s.work(commit_cost::REGISTER_SLOT_NS);
+            }
             crash_window!(inj, CrashSite::MidRegisterApply { tid: tid as u32 });
         }
         self.registers.set_committed_sequence(record.sequence);
@@ -539,6 +779,58 @@ impl PersistentProcess {
     ///
     /// Returns [`NoValidCheckpoint`] if no complete checkpoint exists.
     pub fn recover(&mut self) -> Result<RecoveredState, NoValidCheckpoint> {
+        self.recover_attributed(None)
+    }
+
+    /// [`Self::recover`] with stall attribution: the whole replay —
+    /// redo of a sealed record or discard of an unsealed one — is
+    /// charged to every thread as a single `Recovery`-cause segment
+    /// with a matching stall window, tagged with the sequence being
+    /// redone (0 when nothing was sealed). Under a virtual clock the
+    /// replay cost is modelled from the staged runs/bytes actually
+    /// replayed, so crash-point choice shows up in the timeline.
+    ///
+    /// This is a recovery-surface function: it must stay panic-free
+    /// (`PA-PANIC004`), which the accountant guarantees by never
+    /// panicking on its own lock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NoValidCheckpoint`] if no complete checkpoint exists.
+    pub fn recover_attributed(
+        &mut self,
+        acct: Option<&StallAccountant>,
+    ) -> Result<RecoveredState, NoValidCheckpoint> {
+        let Some(acct) = acct else {
+            return self.recover_inner();
+        };
+        let (sequence, redo_ns) = match &self.pending {
+            Some(record) if record.sealed => (
+                record.sequence,
+                commit_cost::RECOVERY_BASE_NS
+                    + self
+                        .stacks
+                        .values()
+                        .map(|s| {
+                            s.staged_runs() as u64 * commit_cost::RECOVERY_RUN_NS
+                                + s.staged_bytes() * commit_cost::RECOVERY_BYTE_NS
+                        })
+                        .sum::<u64>(),
+            ),
+            _ => (0, commit_cost::RECOVERY_BASE_NS),
+        };
+        let start = acct.now_ns();
+        let result = self.recover_inner();
+        acct.advance(redo_ns);
+        let end = acct.now_ns();
+        for tid in self.stacks.keys() {
+            acct.record_segment(*tid, StallCause::Recovery, sequence, start, end);
+            acct.record_window(*tid, start, end);
+        }
+        result
+    }
+
+    fn recover_inner(&mut self) -> Result<RecoveredState, NoValidCheckpoint> {
         match self.pending.clone() {
             Some(record) if record.sealed => {
                 // Redo through the parallel apply — the crash matrix

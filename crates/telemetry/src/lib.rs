@@ -10,6 +10,7 @@
 //! telemetry only at interval boundaries.
 
 #![forbid(unsafe_code)]
+pub mod attribution;
 pub mod metrics;
 pub mod names;
 pub mod sink;
@@ -17,6 +18,11 @@ pub mod span;
 pub mod summary;
 pub mod time;
 
+pub use attribution::{
+    report_to_registry, slo_to_registry, AttributionSnapshot, ClockMode, ConservationError,
+    SloReport, SloThreadStats, SloTracker, StallAccountant, StallCause, StallGuard, StallSegment,
+    StallWindow, ThreadStallTotals,
+};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
 pub use sink::{chrome_trace, parse_jsonl, EventSink, JsonlSink, NoopSink, RingBufferSink};
 pub use span::{

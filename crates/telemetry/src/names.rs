@@ -111,6 +111,21 @@ pub const REGISTERED: &[(&str, InstrumentKind)] = &[
     ("prosper.mem.injected_ops", InstrumentKind::Counter),
     ("prosper.retune.granularity", InstrumentKind::Span),
     ("prosper.retune.watermarks", InstrumentKind::Span),
+    ("prosper.slo.burn_rate_milli", InstrumentKind::Gauge),
+    ("prosper.slo.p50_ns", InstrumentKind::Gauge),
+    ("prosper.slo.p95_ns", InstrumentKind::Gauge),
+    ("prosper.slo.p999_ns", InstrumentKind::Gauge),
+    ("prosper.slo.p99_ns", InstrumentKind::Gauge),
+    ("prosper.slo.violations", InstrumentKind::Counter),
+    ("prosper.stall.apply_ns", InstrumentKind::Counter),
+    ("prosper.stall.inspect_ns", InstrumentKind::Counter),
+    ("prosper.stall.quiesce_ns", InstrumentKind::Counter),
+    ("prosper.stall.recovery_ns", InstrumentKind::Counter),
+    ("prosper.stall.seal_ns", InstrumentKind::Counter),
+    ("prosper.stall.segments", InstrumentKind::Counter),
+    ("prosper.stall.stage_ns", InstrumentKind::Counter),
+    ("prosper.stall.total_ns", InstrumentKind::Counter),
+    ("prosper.stall.windows", InstrumentKind::Counter),
     ("prosper.table.bitmap_loads", InstrumentKind::Counter),
     ("prosper.table.bitmap_stores", InstrumentKind::Counter),
     (
@@ -126,6 +141,9 @@ pub const REGISTERED: &[(&str, InstrumentKind)] = &[
     ),
     ("prosper.table.hits", InstrumentKind::Counter),
     ("prosper.table.searches", InstrumentKind::Counter),
+    ("prosper.tax.reports", InstrumentKind::Counter),
+    ("prosper.tax.stall_ns", InstrumentKind::Counter),
+    ("prosper.tax.useful_ns", InstrumentKind::Counter),
     ("prosper.tracker.granularity", InstrumentKind::Gauge),
 ];
 
@@ -179,6 +197,15 @@ mod tests {
             Some(InstrumentKind::Gauge)
         );
         assert_eq!(lookup(SPAN_CKPT_QUIESCE), Some(InstrumentKind::Span));
+        assert_eq!(
+            lookup("prosper.stall.quiesce_ns"),
+            Some(InstrumentKind::Counter)
+        );
+        assert_eq!(lookup("prosper.slo.p999_ns"), Some(InstrumentKind::Gauge));
+        assert_eq!(
+            lookup("prosper.tax.useful_ns"),
+            Some(InstrumentKind::Counter)
+        );
         assert_eq!(lookup("prosper.not.a.metric"), None);
         assert!(!is_registered("ckpt.intervals"), "legacy name retired");
     }
