@@ -302,11 +302,18 @@ mod tests {
     use super::*;
     use crate::interleave::model::{commit_program, Bug, CommitConfig};
 
-    fn run(bug: Bug, workers: usize, sequences: u64, bound: usize) -> ExploreReport {
+    fn run_cfg(
+        bug: Bug,
+        workers: usize,
+        sequences: u64,
+        bound: usize,
+        pipelined: bool,
+    ) -> ExploreReport {
         let program = commit_program(&CommitConfig {
             workers,
             stacks: workers.max(2),
             sequences,
+            pipelined,
             bug,
         });
         explore(
@@ -316,6 +323,10 @@ mod tests {
                 max_schedules: 2_000_000,
             },
         )
+    }
+
+    fn run(bug: Bug, workers: usize, sequences: u64, bound: usize) -> ExploreReport {
+        run_cfg(bug, workers, sequences, bound, false)
     }
 
     #[test]
@@ -348,5 +359,44 @@ mod tests {
             .races
             .iter()
             .any(|race| race.location.starts_with("bitmap")));
+    }
+
+    /// The pipelined protocol — stage(N+1) overlapping apply(N) — is
+    /// race- and violation-free under every explored schedule.
+    #[test]
+    fn pipelined_correct_is_clean() {
+        for (workers, bound) in [(1, 2), (2, 1)] {
+            let r = run_cfg(Bug::None, workers, 2, bound, true);
+            assert!(!r.truncated);
+            assert!(r.schedules > 0);
+            assert!(r.is_clean(), "workers={workers}: {r:?}");
+        }
+    }
+
+    /// Seeded pipelined bug: the commit point drifts behind the
+    /// staged-ahead work, so stage(N+1) precedes seal(N).
+    #[test]
+    fn stage_before_prior_seal_is_detected() {
+        let r = run_cfg(Bug::StageBeforePriorSeal, 2, 2, 1, true);
+        assert!(
+            r.order_violations
+                .iter()
+                .any(|(v, _)| matches!(v, OrderViolation::StageBeforePriorSeal { .. })),
+            "expected a stage-before-prior-seal violation: {r:?}"
+        );
+    }
+
+    /// Dropping the drain edge in the pipelined coordinator lets
+    /// seal(N+1) pass while sequence N's drain window (apply join +
+    /// record retire) is still open.
+    #[test]
+    fn pipelined_overlapped_sequences_seal_early() {
+        let r = run_cfg(Bug::OverlappedSequences, 2, 2, 1, true);
+        assert!(
+            r.order_violations
+                .iter()
+                .any(|(v, _)| matches!(v, OrderViolation::SealBeforePriorRetire { .. })),
+            "expected a seal-before-prior-retire violation: {r:?}"
+        );
     }
 }

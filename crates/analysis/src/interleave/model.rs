@@ -7,7 +7,8 @@
 //! * thread `0` — the **coordinator**: quiescence handshake, bitmap
 //!   inspect+clear, serial seal, record retire;
 //! * threads `1..=workers` — **stage/apply workers** over contiguous
-//!   chunks of stacks (the same chunking as `for_each_stack`);
+//!   chunks of stacks (a static partition standing in for
+//!   `for_each_stack`'s work-stealing assignment);
 //! * thread `workers + 1` — the **tracker/mutator**: dirties stack
 //!   words and bitmap bits between commits and answers the
 //!   quiescence handshake.
@@ -89,8 +90,15 @@ pub enum Bug {
     /// quiescence handshake: a torn bitmap read/clear race.
     SkipQuiesceHandshake,
     /// The coordinator starts the next sequence without waiting for
-    /// apply completion: commit sequences overlap.
+    /// apply completion: commit sequences overlap. In the pipelined
+    /// program this drops the apply-drain edge in front of the next
+    /// seal — the sharpened invariant's second half.
     OverlappedSequences,
+    /// Pipelined-only: the coordinator opens the next sequence's
+    /// stage gate *before* this sequence's seal, so workers can stage
+    /// N+1 buffers while N is still discardable — the sharpened
+    /// invariant's first half.
+    StageBeforePriorSeal,
 }
 
 impl Bug {
@@ -100,6 +108,7 @@ impl Bug {
         Bug::SharedApplyCursor,
         Bug::SkipQuiesceHandshake,
         Bug::OverlappedSequences,
+        Bug::StageBeforePriorSeal,
     ];
 
     /// Short stable name for reports.
@@ -111,6 +120,7 @@ impl Bug {
             Bug::SharedApplyCursor => "shared-apply-cursor",
             Bug::SkipQuiesceHandshake => "skip-quiesce-handshake",
             Bug::OverlappedSequences => "overlapped-sequences",
+            Bug::StageBeforePriorSeal => "stage-before-prior-seal",
         }
     }
 }
@@ -124,6 +134,10 @@ pub struct CommitConfig {
     pub stacks: usize,
     /// Number of back-to-back commit sequences.
     pub sequences: u64,
+    /// Model the PR-7 pipelined protocol: the coordinator defers the
+    /// apply join, so stage(N+1) legally overlaps apply(N); seal(N+1)
+    /// still waits for apply(N) to drain.
+    pub pipelined: bool,
     /// Which protocol edge, if any, to break.
     pub bug: Bug,
 }
@@ -191,7 +205,13 @@ impl Syncs {
 }
 
 /// The contiguous chunk of stacks worker `w` (1-based model tid)
-/// owns, mirroring `for_each_stack`'s chunking.
+/// owns. The real `for_each_stack` assigns stacks by work-stealing, so
+/// any worker may touch any stack; the model pins a static partition
+/// instead, which over-approximates every stealing schedule for the
+/// properties checked here (each stack is staged and applied exactly
+/// once per sequence by a single owner, and the owner carries the
+/// program-order edge between apply(N) and the staging-buffer reuse in
+/// stage(N+1)).
 fn chunk(w: usize, workers: usize, stacks: usize) -> std::ops::Range<usize> {
     let per = stacks.div_ceil(workers);
     let start = (w - 1) * per;
@@ -275,12 +295,61 @@ pub fn commit_program(cfg: &CommitConfig) -> Program {
                 ..Step::default()
             });
         }
-        threads[coordinator].push(Step {
-            accesses: vec![Access::Write(locs.record())],
-            event: Some(OrderEvent::Seal { seq: s }),
-            label: "coordinator: serial seal",
-            ..Step::default()
-        });
+        if cfg.pipelined && s > 0 {
+            // The seal seeded away by StageBeforePriorSeal lands
+            // here: only after the next sequence finished staging —
+            // the commit point drifted behind the staged-ahead work.
+            if cfg.bug == Bug::StageBeforePriorSeal {
+                threads[coordinator].push(Step {
+                    accesses: vec![Access::Write(locs.record())],
+                    event: Some(OrderEvent::Seal { seq: s - 1 }),
+                    label: "coordinator: late seal of prior sequence (bug)",
+                    ..Step::default()
+                });
+            }
+            // Sharpened invariant, second half: the next seal waits
+            // for the prior sequence's drain window to close — the
+            // apply join plus the record retire. OverlappedSequences
+            // drops both: it seals ahead with the predecessor's
+            // cleanup outstanding (the retire lands after the seal,
+            // below).
+            if cfg.bug != Bug::OverlappedSequences {
+                threads[coordinator].push(Step {
+                    sync: Some(SyncAction::Acquire {
+                        sync: Syncs::apply_done(s - 1),
+                        need: cfg.workers as u64,
+                    }),
+                    label: "coordinator: drain prior apply",
+                    ..Step::default()
+                });
+                threads[coordinator].push(Step {
+                    accesses: vec![Access::Write(locs.record())],
+                    event: Some(OrderEvent::Retire { seq: s - 1 }),
+                    label: "coordinator: retire prior record",
+                    ..Step::default()
+                });
+            }
+        }
+        let defer_seal =
+            cfg.pipelined && cfg.bug == Bug::StageBeforePriorSeal && s + 1 < cfg.sequences;
+        if !defer_seal {
+            threads[coordinator].push(Step {
+                accesses: vec![Access::Write(locs.record())],
+                event: Some(OrderEvent::Seal { seq: s }),
+                label: "coordinator: serial seal",
+                ..Step::default()
+            });
+        }
+        if cfg.pipelined && s > 0 && cfg.bug == Bug::OverlappedSequences {
+            // The dropped drain edge: the prior record retires only
+            // after this sequence already sealed.
+            threads[coordinator].push(Step {
+                accesses: vec![Access::Write(locs.record())],
+                event: Some(OrderEvent::Retire { seq: s - 1 }),
+                label: "coordinator: late retire of prior record (bug)",
+                ..Step::default()
+            });
+        }
         threads[coordinator].push(Step {
             sync: Some(SyncAction::Release(Syncs::resume(s))),
             label: "coordinator: resume mutator",
@@ -291,22 +360,45 @@ pub fn commit_program(cfg: &CommitConfig) -> Program {
             label: "coordinator: start apply",
             ..Step::default()
         });
-        let overlap = cfg.bug == Bug::OverlappedSequences && s + 1 < cfg.sequences;
-        if !overlap {
-            threads[coordinator].push(Step {
-                sync: Some(SyncAction::Acquire {
-                    sync: Syncs::apply_done(s),
-                    need: cfg.workers as u64,
-                }),
-                label: "coordinator: join apply",
-                ..Step::default()
-            });
-            threads[coordinator].push(Step {
-                accesses: vec![Access::Write(locs.record())],
-                event: Some(OrderEvent::Retire { seq: s }),
-                label: "coordinator: retire record",
-                ..Step::default()
-            });
+        if cfg.pipelined {
+            // Pipelined: no apply join here — the next iteration's
+            // stage legally overlaps this apply's drain. The drain is
+            // joined just before the *next* seal (above), or after
+            // the loop for the final sequence.
+            if s + 1 == cfg.sequences {
+                threads[coordinator].push(Step {
+                    sync: Some(SyncAction::Acquire {
+                        sync: Syncs::apply_done(s),
+                        need: cfg.workers as u64,
+                    }),
+                    label: "coordinator: join final apply",
+                    ..Step::default()
+                });
+                threads[coordinator].push(Step {
+                    accesses: vec![Access::Write(locs.record())],
+                    event: Some(OrderEvent::Retire { seq: s }),
+                    label: "coordinator: retire record",
+                    ..Step::default()
+                });
+            }
+        } else {
+            let overlap = cfg.bug == Bug::OverlappedSequences && s + 1 < cfg.sequences;
+            if !overlap {
+                threads[coordinator].push(Step {
+                    sync: Some(SyncAction::Acquire {
+                        sync: Syncs::apply_done(s),
+                        need: cfg.workers as u64,
+                    }),
+                    label: "coordinator: join apply",
+                    ..Step::default()
+                });
+                threads[coordinator].push(Step {
+                    accesses: vec![Access::Write(locs.record())],
+                    event: Some(OrderEvent::Retire { seq: s }),
+                    label: "coordinator: retire record",
+                    ..Step::default()
+                });
+            }
         }
 
         // Workers.
@@ -392,7 +484,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn chunking_matches_for_each_stack() {
+    fn static_chunking_covers_all_stacks() {
         assert_eq!(chunk(1, 2, 4), 0..2);
         assert_eq!(chunk(2, 2, 4), 2..4);
         assert_eq!(chunk(1, 4, 2), 0..1);
@@ -405,6 +497,7 @@ mod tests {
             workers: 2,
             stacks: 2,
             sequences: 1,
+            pipelined: false,
             bug: Bug::None,
         });
         assert_eq!(p.threads.len(), 4);
@@ -418,31 +511,72 @@ mod tests {
         assert_eq!(seals, 1);
     }
 
+    /// The pipelined coordinator releases the next sequence's stage
+    /// gate before joining the prior apply — the structural overlap —
+    /// while still sealing exactly once per sequence.
     #[test]
-    fn bugged_programs_differ_from_correct() {
-        let base = commit_program(&CommitConfig {
+    fn pipelined_program_defers_the_apply_join() {
+        let p = commit_program(&CommitConfig {
             workers: 2,
             stacks: 2,
             sequences: 2,
+            pipelined: true,
             bug: Bug::None,
         });
+        let labels: Vec<&str> = p.threads[0].iter().map(|s| s.label).collect();
+        let second_stage_go = labels
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| **l == "coordinator: start stage")
+            .nth(1)
+            .map(|(i, _)| i)
+            .expect("two sequences start staging");
+        let drain = labels
+            .iter()
+            .position(|l| *l == "coordinator: drain prior apply")
+            .expect("the prior apply is drained before the next seal");
+        assert!(
+            second_stage_go < drain,
+            "stage(1) must open before apply(0) is joined: {labels:?}"
+        );
+        let seals = p.threads[0]
+            .iter()
+            .filter(|s| matches!(s.event, Some(OrderEvent::Seal { .. })))
+            .count();
+        assert_eq!(seals, 2);
+        let retires = p.threads[0]
+            .iter()
+            .filter(|s| matches!(s.event, Some(OrderEvent::Retire { .. })))
+            .count();
+        assert_eq!(retires, 2);
+    }
+
+    #[test]
+    fn bugged_programs_differ_from_correct() {
         for &bug in Bug::ALL {
-            let p = commit_program(&CommitConfig {
+            // StageBeforePriorSeal only exists on the pipelined path;
+            // a step-count diff cannot see its reordering, so compare
+            // the full per-thread (label, access-count) shape.
+            let pipelined = bug == Bug::StageBeforePriorSeal;
+            let cfg = |bug| CommitConfig {
                 workers: 2,
                 stacks: 2,
                 sequences: 2,
+                pipelined,
                 bug,
-            });
-            let count = |prog: &Program| prog.threads.iter().map(Vec::len).sum::<usize>();
-            let accesses = |prog: &Program| {
+            };
+            let shape = |prog: &Program| {
                 prog.threads
                     .iter()
-                    .flatten()
-                    .map(|s| s.accesses.len())
-                    .sum::<usize>()
+                    .map(|t| {
+                        t.iter()
+                            .map(|s| (s.label, s.accesses.len()))
+                            .collect::<Vec<_>>()
+                    })
+                    .collect::<Vec<_>>()
             };
             assert!(
-                count(&p) != count(&base) || accesses(&p) != accesses(&base),
+                shape(&commit_program(&cfg(bug))) != shape(&commit_program(&cfg(Bug::None))),
                 "bug {bug:?} produced an identical program"
             );
         }

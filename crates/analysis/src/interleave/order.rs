@@ -97,12 +97,36 @@ pub enum OrderViolation {
         /// Offending sequence.
         seq: u64,
     },
-    /// Work for a later sequence started before an earlier sequence
-    /// finished applying.
-    CrossSequenceOverlap {
-        /// The unfinished earlier sequence.
+    /// A later sequence staged before the earlier sequence's seal:
+    /// the staged-ahead buffers would belong to a sequence whose
+    /// predecessor can still be discarded wholesale. (Staging *after*
+    /// the prior seal, while the prior apply drains, is the legal
+    /// pipelined overlap.)
+    StageBeforePriorSeal {
+        /// The not-yet-sealed earlier sequence.
         earlier: u64,
-        /// The prematurely started later sequence.
+        /// The prematurely staged later sequence.
+        later: u64,
+        /// Stack staged early.
+        tid: u32,
+    },
+    /// A later sequence sealed before the earlier sequence finished
+    /// applying: the new commit point lands on top of half-applied
+    /// predecessor state.
+    SealBeforePriorApplyDone {
+        /// The still-applying earlier sequence.
+        earlier: u64,
+        /// The prematurely sealed later sequence.
+        later: u64,
+    },
+    /// A later sequence sealed while the earlier sequence's record
+    /// was still live (retire missing or late): the coordinator moved
+    /// on with the predecessor's drain and record cleanup
+    /// outstanding.
+    SealBeforePriorRetire {
+        /// The not-yet-retired earlier sequence.
+        earlier: u64,
+        /// The prematurely sealed later sequence.
         later: u64,
     },
     /// A bitmap inspection happened before the quiescence handshake
@@ -133,10 +157,26 @@ impl fmt::Display for OrderViolation {
             OrderViolation::RetireBeforeApply { seq } => {
                 write!(f, "sequence {seq} retired before all applies finished")
             }
-            OrderViolation::CrossSequenceOverlap { earlier, later } => {
+            OrderViolation::StageBeforePriorSeal {
+                earlier,
+                later,
+                tid,
+            } => {
                 write!(
                     f,
-                    "sequence {later} started before sequence {earlier} finished applying"
+                    "stack {tid} staged for sequence {later} before sequence {earlier} sealed"
+                )
+            }
+            OrderViolation::SealBeforePriorApplyDone { earlier, later } => {
+                write!(
+                    f,
+                    "sequence {later} sealed before sequence {earlier} finished applying"
+                )
+            }
+            OrderViolation::SealBeforePriorRetire { earlier, later } => {
+                write!(
+                    f,
+                    "sequence {later} sealed before sequence {earlier}'s record retired"
                 )
             }
             OrderViolation::InspectBeforeQuiesce { seq, tid } => {
@@ -211,29 +251,60 @@ pub fn check_order(events: &[OrderEvent]) -> Vec<OrderViolation> {
         }
     }
 
-    // Sequences must not overlap: every event of sequence B (other
-    // than tracker quiescence, which legitimately runs concurrently
-    // with the tail of A's apply in a pipelined tracker) must come
-    // after the last apply of every earlier sequence A.
+    // The sharpened cross-sequence invariant (PR 7). The pipelined
+    // commit makes one overlap *legal*: stage(N+1) may run inside
+    // apply(N)'s drain window — hiding the next stage behind the
+    // drain is the pipeline's entire win. What stays forbidden is
+    // sharpened accordingly: no stage(N+1) before seal(N) (the
+    // staged-ahead buffers would outlive a discardable predecessor),
+    // and no seal(N+1) before apply(N) fully drains (the new commit
+    // point would land on half-applied predecessor state). Everything
+    // else — apply(N+1), retire(N+1) — is transitively ordered
+    // through its own seal by the per-sequence checks above.
     for window in seqs.windows(2) {
         let (earlier, later) = (window[0], window[1]);
-        let Some(last_apply_earlier) = events
+        let seal_earlier = events
             .iter()
-            .rposition(|e| matches!(e, OrderEvent::Apply { seq: s, .. } if *s == earlier))
-        else {
-            continue;
-        };
-        let first_later = events.iter().position(|e| {
-            matches!(
-                e,
-                OrderEvent::Stage { seq: s, .. }
-                    | OrderEvent::Seal { seq: s }
-                    | OrderEvent::Apply { seq: s, .. } if *s == later
-            )
-        });
-        if let Some(fl) = first_later {
-            if fl < last_apply_earlier {
-                out.push(OrderViolation::CrossSequenceOverlap { earlier, later });
+            .position(|e| matches!(e, OrderEvent::Seal { seq: s } if *s == earlier));
+        if let Some(se) = seal_earlier {
+            for e in events.iter().take(se) {
+                if let OrderEvent::Stage { seq: s, tid } = *e {
+                    if s == later {
+                        out.push(OrderViolation::StageBeforePriorSeal {
+                            earlier,
+                            later,
+                            tid,
+                        });
+                    }
+                }
+            }
+        }
+        let seal_later = events
+            .iter()
+            .position(|e| matches!(e, OrderEvent::Seal { seq: s } if *s == later));
+        let last_apply_earlier = events
+            .iter()
+            .rposition(|e| matches!(e, OrderEvent::Apply { seq: s, .. } if *s == earlier));
+        if let (Some(sl), Some(la)) = (seal_later, last_apply_earlier) {
+            if sl < la {
+                out.push(OrderViolation::SealBeforePriorApplyDone { earlier, later });
+            }
+        }
+        // The retire closes the earlier sequence's drain window (it
+        // follows the last apply by the per-sequence rule above); the
+        // next commit point must not pass a still-open window. Only
+        // enforced when the later seal is in the trace, so a
+        // crash-truncated stream is not penalized for a retire it
+        // never reached.
+        let retire_earlier = events
+            .iter()
+            .position(|e| matches!(e, OrderEvent::Retire { seq: s } if *s == earlier));
+        if let Some(sl) = seal_later {
+            let sealed_earlier = events
+                .iter()
+                .any(|e| matches!(e, OrderEvent::Seal { seq: s } if *s == earlier));
+            if sealed_earlier && retire_earlier.is_none_or(|r| sl < r) {
+                out.push(OrderViolation::SealBeforePriorRetire { earlier, later });
             }
         }
     }
@@ -289,15 +360,80 @@ mod tests {
     }
 
     #[test]
-    fn detects_cross_sequence_overlap() {
+    fn pipelined_overlap_after_prior_seal_is_legal() {
+        // PR 7: sequence 2 stages inside sequence 1's apply drain —
+        // after seal(1), before retire(1). This was a violation under
+        // the pre-pipeline checker and is the legal overlap now.
         let mut t = good_trace();
-        // Sequence 2 stages before sequence 1's last apply.
         t.insert(5, OrderEvent::Stage { seq: 2, tid: 0 });
         t.push(OrderEvent::Seal { seq: 2 });
         t.push(OrderEvent::Apply { seq: 2, tid: 0 });
         t.push(OrderEvent::Retire { seq: 2 });
         let v = check_order(&t);
-        assert!(v.contains(&OrderViolation::CrossSequenceOverlap {
+        assert!(v.is_empty(), "legal pipelined overlap rejected: {v:?}");
+    }
+
+    #[test]
+    fn detects_stage_before_prior_seal() {
+        // The sharpened boundary: the same staged-ahead work becomes a
+        // violation the moment it slides before seal(1).
+        let mut t = good_trace();
+        t.insert(2, OrderEvent::Stage { seq: 2, tid: 0 });
+        t.push(OrderEvent::Seal { seq: 2 });
+        t.push(OrderEvent::Apply { seq: 2, tid: 0 });
+        t.push(OrderEvent::Retire { seq: 2 });
+        let v = check_order(&t);
+        assert!(v.contains(&OrderViolation::StageBeforePriorSeal {
+            earlier: 1,
+            later: 2,
+            tid: 0
+        }));
+    }
+
+    #[test]
+    fn detects_seal_before_prior_apply_done() {
+        // Sequence 2 stages legally (after seal(1)) but seals while
+        // apply(1) is still draining: the second commit point must
+        // wait for the drain.
+        let mut t = good_trace();
+        t.insert(5, OrderEvent::Stage { seq: 2, tid: 0 });
+        t.insert(6, OrderEvent::Seal { seq: 2 });
+        t.push(OrderEvent::Apply { seq: 2, tid: 0 });
+        t.push(OrderEvent::Retire { seq: 2 });
+        let v = check_order(&t);
+        assert!(v.contains(&OrderViolation::SealBeforePriorApplyDone {
+            earlier: 1,
+            later: 2
+        }));
+    }
+
+    #[test]
+    fn detects_seal_before_prior_retire() {
+        // Sequence 2 stages and seals only after apply(1) drained, but
+        // the coordinator never closed sequence 1's record (retire
+        // missing): the overlap left the predecessor's cleanup
+        // outstanding.
+        let mut t = good_trace();
+        t.pop(); // drop Retire { seq: 1 }
+        t.push(OrderEvent::Stage { seq: 2, tid: 0 });
+        t.push(OrderEvent::Seal { seq: 2 });
+        t.push(OrderEvent::Apply { seq: 2, tid: 0 });
+        t.push(OrderEvent::Retire { seq: 2 });
+        let v = check_order(&t);
+        assert!(v.contains(&OrderViolation::SealBeforePriorRetire {
+            earlier: 1,
+            later: 2
+        }));
+        // A late retire (after the next seal) is the same violation.
+        let mut t2 = good_trace();
+        t2.pop();
+        t2.push(OrderEvent::Stage { seq: 2, tid: 0 });
+        t2.push(OrderEvent::Seal { seq: 2 });
+        t2.push(OrderEvent::Retire { seq: 1 });
+        t2.push(OrderEvent::Apply { seq: 2, tid: 0 });
+        t2.push(OrderEvent::Retire { seq: 2 });
+        let v2 = check_order(&t2);
+        assert!(v2.contains(&OrderViolation::SealBeforePriorRetire {
             earlier: 1,
             later: 2
         }));

@@ -65,6 +65,17 @@ fn probe_commit(threads: u32, workers: usize, commits: u64) -> Vec<OrderEvent> {
     to_trace(&probe.events())
 }
 
+/// Drives the real pipelined burst (`commit_pipelined_attributed`)
+/// and returns its probe stream as a checker trace.
+fn probe_pipelined(threads: u32, workers: usize, batches: usize) -> Vec<OrderEvent> {
+    let mut p = PersistentProcess::new(&ranges(u64::from(threads)));
+    let runs = full_runs(&p, threads);
+    let batches: Vec<_> = (0..batches).map(|_| runs.clone()).collect();
+    let probe = CommitProbe::new();
+    p.commit_pipelined_attributed(&batches, workers, Some(&probe), None);
+    to_trace(&probe.events())
+}
+
 #[test]
 fn real_commit_respects_protocol_order_at_every_worker_count() {
     for &workers in &[1usize, 2, 4] {
@@ -90,6 +101,77 @@ fn real_commit_trace_has_single_seal_per_sequence() {
             .count();
         assert_eq!(seals, 1, "sequence {seq} must seal exactly once");
     }
+}
+
+#[test]
+fn real_pipelined_commit_conforms_and_overlaps() {
+    // PR 7: the pipelined burst's probe stream passes the sharpened
+    // checker at every worker count, and the stream witnesses the
+    // overlap itself — stage(N+1) lands inside apply(N)'s drain
+    // window, before retire(N).
+    for &workers in &[1usize, 2, 4] {
+        let trace = probe_pipelined(4, workers, 3);
+        // Per batch: 4 stages + 1 seal + 4 applies + 1 retire.
+        assert_eq!(trace.len(), 30, "workers={workers}: unexpected event count");
+        let violations = check_order(&trace);
+        assert!(
+            violations.is_empty(),
+            "workers={workers}: pipelined commit violated protocol order: \
+             {violations:?}\ntrace: {trace:?}"
+        );
+        let second_seq = trace
+            .iter()
+            .map(OrderEvent::seq)
+            .filter(|s| *s > trace[0].seq())
+            .min()
+            .expect("burst commits more than one sequence");
+        let first_stage_n1 = trace
+            .iter()
+            .position(|e| matches!(e, OrderEvent::Stage { seq, .. } if *seq == second_seq))
+            .expect("sequence N+1 stages");
+        let retire_n = trace
+            .iter()
+            .position(|e| matches!(e, OrderEvent::Retire { seq } if *seq == second_seq - 1))
+            .expect("sequence N retires");
+        assert!(
+            first_stage_n1 < retire_n,
+            "workers={workers}: stage(N+1) should land inside apply(N)'s \
+             drain window: {trace:?}"
+        );
+    }
+}
+
+#[test]
+fn checker_rejects_pipelined_stage_before_prior_seal_forgery() {
+    // Slide a genuine staged-ahead event back past the prior seal:
+    // the sharpened invariant's first half must catch exactly this.
+    let mut trace = probe_pipelined(2, 2, 2);
+    assert!(check_order(&trace).is_empty());
+    let second_seq = trace
+        .iter()
+        .map(OrderEvent::seq)
+        .filter(|s| *s > trace[0].seq())
+        .min()
+        .expect("burst commits two sequences");
+    let seal_n = trace
+        .iter()
+        .position(|e| matches!(e, OrderEvent::Seal { seq } if *seq == second_seq - 1))
+        .expect("sequence N seals");
+    let stage_n1 = trace
+        .iter()
+        .position(|e| matches!(e, OrderEvent::Stage { seq, .. } if *seq == second_seq))
+        .expect("sequence N+1 stages");
+    assert!(seal_n < stage_n1, "genuine trace stages N+1 after seal(N)");
+    let ev = trace.remove(stage_n1);
+    trace.insert(seal_n, ev); // now before seal(N)
+    let violations = check_order(&trace);
+    assert!(
+        violations.iter().any(|v| matches!(
+            v,
+            prosper_analysis::interleave::OrderViolation::StageBeforePriorSeal { .. }
+        )),
+        "checker accepted a stage-before-prior-seal forgery: {violations:?}"
+    );
 }
 
 #[test]

@@ -1,9 +1,10 @@
-//! Records the PR 3 performance baseline.
+//! Records the performance baseline.
 //!
 //! Runs the [`prosper_bench::perf`] suite — bitmap-inspection
-//! speedups, parallel-commit scaling, checkpoint-latency percentiles,
-//! and end-to-end workload runtimes — prints the tables, and writes
-//! the JSON report (default `BENCH_pr3.json`).
+//! speedups, parallel-commit scaling (classic and pipelined),
+//! checkpoint-latency percentiles, and end-to-end workload runtimes —
+//! prints the tables, and writes the JSON report (default
+//! `BENCH_pr7.json`; the PR 3 record is `BENCH_pr3.json`).
 //!
 //! ```sh
 //! cargo run --release -p prosper-bench --bin perf_baseline
@@ -11,8 +12,9 @@
 //! ```
 //!
 //! Exits nonzero if the acceptance gate fails (sparse-stack
-//! inspection speedup < 5x, missing sections) or the emitted JSON
-//! does not parse back.
+//! inspection speedup < 5x, adaptive pipelined commit below 1.0x
+//! serial on a multi-core host, missing sections) or the emitted
+//! JSON does not parse back.
 
 use std::process::ExitCode;
 
@@ -26,7 +28,7 @@ fn main() -> ExitCode {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_pr3.json".to_string());
+        .unwrap_or_else(|| "BENCH_pr7.json".to_string());
 
     let cfg = if quick {
         PerfConfig::quick()
@@ -53,6 +55,16 @@ fn main() -> ExitCode {
     println!(
         "  commit speedup at {} workers: {:.2}x",
         s.max_commit_workers, s.commit_speedup_at_max_workers
+    );
+    println!(
+        "  pipelined adaptive pick: {} worker(s) at {:.2}x serial (gate {})",
+        s.pipelined_adaptive_workers,
+        s.pipelined_adaptive_speedup,
+        if report.pipeline.gate_enforced {
+            "enforced"
+        } else {
+            "skipped: single-core host"
+        }
     );
     println!(
         "  checkpoint interval p99: {} cycles",

@@ -50,6 +50,7 @@ pub fn site_kind(site: &CrashSite) -> &'static str {
         CrashSite::PreSeal => "pre-seal",
         CrashSite::PostSeal => "post-seal",
         CrashSite::MidApply { .. } => "mid-apply",
+        CrashSite::MidPipelineStage { .. } => "mid-pipeline-stage",
         CrashSite::PostApplyThread { .. } => "post-apply-thread",
         CrashSite::PostApplyPreRegisters => "post-apply-pre-registers",
         CrashSite::MidRegisterApply { .. } => "mid-register-apply",
@@ -68,6 +69,7 @@ pub fn kind_coverage(report: &CrashMatrixReport) -> Vec<KindCoverage> {
         "pre-seal",
         "post-seal",
         "mid-apply",
+        "mid-pipeline-stage",
         "post-apply-thread",
         "post-apply-pre-registers",
         "mid-register-apply",
@@ -126,6 +128,16 @@ pub fn default_suite() -> Vec<(&'static str, CrashMatrixConfig)> {
                 ..Default::default()
             },
         ),
+        (
+            "2 threads x 2 intervals + pipelined pair",
+            CrashMatrixConfig {
+                threads: 2,
+                intervals: 2,
+                stores_per_interval: 10,
+                pipelined_epilogue: true,
+                ..Default::default()
+            },
+        ),
     ]
 }
 
@@ -147,6 +159,16 @@ pub fn quick_suite() -> Vec<(&'static str, CrashMatrixConfig)> {
                 threads: 2,
                 intervals: 2,
                 stores_per_interval: 6,
+                ..Default::default()
+            },
+        ),
+        (
+            "2 threads x 1 interval + pipelined pair",
+            CrashMatrixConfig {
+                threads: 2,
+                intervals: 1,
+                stores_per_interval: 5,
+                pipelined_epilogue: true,
                 ..Default::default()
             },
         ),
@@ -308,15 +330,19 @@ mod tests {
 
     #[test]
     fn kind_coverage_spans_the_taxonomy() {
+        // The pipelined epilogue is the only schedule that crosses the
+        // overlap window, so it is what makes mid-pipeline-stage
+        // coverage nonzero.
         let cfg = CrashMatrixConfig {
             threads: 2,
             intervals: 2,
             stores_per_interval: 6,
+            pipelined_epilogue: true,
             ..Default::default()
         };
         let report = run_crash_matrix(&cfg);
         let cov = kind_coverage(&report);
-        assert_eq!(cov.len(), 12, "one row per site kind");
+        assert_eq!(cov.len(), 13, "one row per site kind");
         for kc in &cov {
             assert!(kc.exercised > 0, "kind {} never exercised", kc.kind);
             assert_eq!(kc.failed, 0, "kind {} has failures", kc.kind);

@@ -430,7 +430,8 @@ pub fn diff_reports(base: &TaxReport, current: &TaxReport) -> Vec<String> {
 }
 
 /// Structural check against the recorded perf baseline
-/// (`prosper-perf-baseline/v1`, e.g. `BENCH_pr3.json`): every
+/// (`prosper-perf-baseline/v1` or `/v2`, e.g. `BENCH_pr3.json` or
+/// `BENCH_pr7.json`): every
 /// checkpoint phase the baseline reports mean cycles for must be
 /// attributed somewhere in the tax report's micro section (the
 /// baseline's `clear` phase folds into `inspect` attribution).
@@ -446,7 +447,7 @@ pub fn check_against_perf_baseline(report: &TaxReport, baseline_json: &str) -> R
         .get("schema")
         .and_then(|s| s.as_str())
         .ok_or("baseline has no schema tag")?;
-    if schema != "prosper-perf-baseline/v1" {
+    if schema != "prosper-perf-baseline/v1" && schema != "prosper-perf-baseline/v2" {
         return Err(format!("unexpected baseline schema {schema}"));
     }
     let phases = v

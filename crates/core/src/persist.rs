@@ -70,6 +70,12 @@ pub struct PersistentStack {
     persistent: MemoryImage,
     /// NVM staging buffer (step one of the two-step commit).
     staging: Vec<StagedRun>,
+    /// Sequence the open staging buffer belongs to (0 when no buffer
+    /// is open). Written with `begin_stage`, so after a crash recovery
+    /// can tell a buffer staged for sequence N from one staged ahead
+    /// for N+1 while N's apply was still draining (the pipelined
+    /// commit overlap window).
+    staging_sequence: u64,
     /// Staging seal marker (durably written after all runs are staged).
     sealed: bool,
     phase: CommitPhase,
@@ -87,6 +93,7 @@ impl PersistentStack {
             volatile: MemoryImage::new(),
             persistent: MemoryImage::new(),
             staging: Vec::new(),
+            staging_sequence: 0,
             sealed: false,
             phase: CommitPhase::Idle,
             committed_sequence: 0,
@@ -135,11 +142,27 @@ impl PersistentStack {
 
     /// Opens a fresh staging buffer (discarding any previous one).
     /// First step of the commit; a crash here leaves an empty,
-    /// unsealed buffer that recovery discards.
+    /// unsealed buffer that recovery discards. The buffer is tagged
+    /// with this stack's own next sequence; whole-process commits use
+    /// [`Self::begin_stage_at`] to tag it with the process sequence.
     pub fn begin_stage(&mut self) {
+        self.begin_stage_at(self.next_sequence);
+    }
+
+    /// [`Self::begin_stage`] with an explicit sequence tag. The
+    /// pipelined whole-process commit stages sequence N+1's runs while
+    /// N's apply drains; the tag is what lets recovery replay a sealed
+    /// record N without touching buffers staged ahead for N+1.
+    pub fn begin_stage_at(&mut self, sequence: u64) {
         self.phase = CommitPhase::Staging;
         self.sealed = false;
         self.staging.clear();
+        self.staging_sequence = sequence;
+    }
+
+    /// Sequence tag of the open staging buffer (0 when none is open).
+    pub fn staging_sequence(&self) -> u64 {
+        self.staging_sequence
     }
 
     /// Stages one dirty run from the volatile image into the NVM
@@ -219,6 +242,7 @@ impl PersistentStack {
         self.committed_sequence = sequence;
         self.next_sequence = self.next_sequence.max(sequence + 1);
         self.staging.clear();
+        self.staging_sequence = 0;
         self.sealed = false;
         self.phase = CommitPhase::Idle;
     }
@@ -227,6 +251,7 @@ impl PersistentStack {
     /// the crash hit before the seal).
     pub fn discard_staging(&mut self) {
         self.staging.clear();
+        self.staging_sequence = 0;
         self.sealed = false;
         self.phase = CommitPhase::Idle;
     }
@@ -456,6 +481,31 @@ mod tests {
             s.checkpoint(&[run(0x7000_0000, 8)]);
         }
         assert_eq!(s.committed_sequence(), 5);
+    }
+
+    #[test]
+    fn staging_sequence_tags_survive_crash_and_clear_on_retire() {
+        let mut s = store();
+        s.record_store(VirtAddr::new(0x7000_0100), b"ahead");
+        assert_eq!(s.staging_sequence(), 0, "no open buffer yet");
+        // A buffer staged ahead for a later whole-process sequence
+        // keeps its tag across the crash (it lives in NVM)...
+        s.begin_stage_at(7);
+        s.stage_run(&run(0x7000_0100, 8));
+        s.crash();
+        assert_eq!(s.staging_sequence(), 7);
+        // ...and recovery discards the unsealed buffer and drops the tag.
+        s.recover_after_crash();
+        assert_eq!(s.staging_sequence(), 0);
+        assert_eq!(s.staged_runs(), 0);
+        // finish_apply also retires the tag.
+        s.record_store(VirtAddr::new(0x7000_0100), b"again");
+        s.begin_stage_at(9);
+        s.stage_run(&run(0x7000_0100, 8));
+        s.apply_run(0);
+        s.finish_apply(9);
+        assert_eq!(s.staging_sequence(), 0);
+        assert_eq!(s.committed_sequence(), 9);
     }
 
     #[test]

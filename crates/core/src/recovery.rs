@@ -42,14 +42,52 @@
 //! staging buffer and persistent stack), so [`PersistentProcess::commit`]
 //! fans them out over `std::thread::scope` workers; the **seal stays
 //! the single serialization point** — one durable write on the
-//! coordinating thread — so crash atomicity is unchanged. Recovery's
-//! redo of a sealed record takes the same parallel apply path, which
-//! means the exhaustive crash matrix exercises it after every
-//! post-seal crash. Deterministic fault injection needs a fixed
+//! coordinating thread — so crash atomicity is unchanged. Worker
+//! assignment is work-stealing: each worker claims the next unclaimed
+//! stack from a shared cursor, so uneven per-thread run lists no
+//! longer leave workers idle behind a pre-assigned contiguous chunk.
+//! Recovery's redo of a sealed record takes the same parallel apply
+//! path, which means the exhaustive crash matrix exercises it after
+//! every post-seal crash. Deterministic fault injection needs a fixed
 //! boundary order, so [`PersistentProcess::commit_with_faults`] keeps
 //! the serial schedule with its crash windows; the
 //! `parallel_commit_matches_serial` test pins the two paths to the
 //! same persistent state.
+//!
+//! # Adaptive worker selection
+//!
+//! Spawning scoped workers is not free: BENCH_pr3.json recorded 2
+//! workers at 0.85x serial and 8 at 0.59x on small commits, because
+//! `commit` blindly fanned out to `available_parallelism`.
+//! [`PersistentProcess::commit`] now evaluates the [`commit_cost`]
+//! model (the same per-phase model stall attribution charges) at every
+//! candidate worker count, including a per-worker spawn overhead, and
+//! picks the argmin — falling back to serial whenever the staged bytes
+//! sit below the parallelism break-even.
+//!
+//! # The pipelined burst
+//!
+//! When several checkpoints commit back to back,
+//! [`PersistentProcess::commit_pipelined`] overlaps sequence N's apply
+//! drain with sequence N+1's staging. The sharpened protocol invariant
+//! is:
+//!
+//! - **stage(N+1) begins only after seal(N)** — the overlap window
+//!   opens at the commit point, never before, and
+//! - **seal(N+1) happens only after apply(N) fully drains** — at most
+//!   one sealed record ever exists.
+//!
+//! Per stack the hand-off is fused: a worker finishes applying stack
+//! `t`'s sequence-N buffer, retires it, and immediately stages N+1's
+//! runs into the same (single) buffer, tagged with its sequence
+//! ([`PersistentStack::begin_stage_at`]). A crash inside the overlap
+//! window leaves sealed record N pending while some stacks hold
+//! staging tagged N+1: redo replays only buffers tagged N and discards
+//! the unsealed staged-ahead ones, so recovery lands on exactly N — or
+//! N+1 once seal(N+1) is durable. The serial crash-windowed twin
+//! ([`PersistentProcess::commit_pipelined_pair_with_faults`]) walks the
+//! same schedule with a named [`CrashSite`] at every boundary,
+//! including [`CrashSite::MidPipelineStage`] inside the overlap.
 
 use std::collections::BTreeMap;
 
@@ -162,6 +200,16 @@ pub mod commit_cost {
     pub const STAGE_BYTE_NS: u64 = 1;
     /// The single durable seal write.
     pub const SEAL_NS: u64 = 250;
+    /// Coordinator bookkeeping per thread: staging one thread's
+    /// register file into the process commit record. Charged to the
+    /// **seal** phase — it is serialization-point work, not staging
+    /// work (PR 7 regression: the stage stopwatch used to absorb it).
+    pub const BOOKKEEP_SLOT_NS: u64 = 20;
+    /// Spawning one scoped worker. Only the adaptive worker selector
+    /// charges this (a parallel phase pays `workers` spawns); it is
+    /// what makes fan-out lose to serial below the break-even commit
+    /// size, as BENCH_pr3.json measured (w=2 at 0.85x serial).
+    pub const WORKER_SPAWN_NS: u64 = 5_000;
     /// Apply: per staged run.
     pub const APPLY_RUN_NS: u64 = 40;
     /// Apply: per staged byte.
@@ -213,6 +261,14 @@ impl<'a> FaultScribe<'a> {
         self.cause = cause;
     }
 
+    /// [`Self::next_phase`] for a different sequence — the pipelined
+    /// pair commits two sequences under one scribe window.
+    fn next_phase_for(&mut self, cause: StallCause, sequence: u64) {
+        self.close_phase();
+        self.cause = cause;
+        self.sequence = sequence;
+    }
+
     fn close_phase(&mut self) {
         let now = self.acct.now_ns();
         for &tid in &self.tids {
@@ -232,6 +288,10 @@ impl<'a> FaultScribe<'a> {
         }
     }
 }
+
+/// One claimable unit of the work-stealing stack fan-out: a worker
+/// that takes the `Some` owns that stack for the pass.
+type StackTask<'a> = std::sync::Mutex<Option<(u32, &'a mut PersistentStack)>>;
 
 /// A process whose registers and stacks are persisted together.
 #[derive(Debug)]
@@ -354,8 +414,9 @@ impl PersistentProcess {
         self.registers.committed_sequence
     }
 
-    /// Worker count for the parallel commit phases: one per thread, up
-    /// to the machine's parallelism.
+    /// Worker-count *cap* for the parallel commit phases: one per
+    /// thread, up to the machine's parallelism. The adaptive selector
+    /// picks the actual count within this cap.
     fn default_workers(threads: usize) -> usize {
         std::thread::available_parallelism()
             .map_or(1, |p| p.get())
@@ -363,17 +424,75 @@ impl PersistentProcess {
             .max(1)
     }
 
+    /// Modelled wall cost of one whole-process commit at `workers`,
+    /// from the [`commit_cost`] model: both parallel phases under the
+    /// work-stealing assignment, the serial seal (with its coordinator
+    /// bookkeeping), the serial register tail — and, for `workers > 1`,
+    /// the spawn overhead of the scoped workers, which is what tiny
+    /// commits cannot amortize.
+    fn modeled_commit_ns(
+        tids: &[u32],
+        workers: usize,
+        runs_per_thread: &BTreeMap<u32, Vec<CopyRun>>,
+    ) -> u64 {
+        let cost = |tid: u32, per_run: u64, per_byte: u64| {
+            runs_per_thread
+                .get(&tid)
+                .map_or(0, |runs| Self::runs_cost(runs, per_run, per_byte))
+        };
+        2 * Self::spawn_cost(workers)
+            + Self::stolen_phase_cost(tids, workers, |tid| {
+                cost(tid, commit_cost::STAGE_RUN_NS, commit_cost::STAGE_BYTE_NS)
+            })
+            + commit_cost::SEAL_NS
+            + tids.len() as u64 * commit_cost::BOOKKEEP_SLOT_NS
+            + Self::stolen_phase_cost(tids, workers, |tid| {
+                cost(tid, commit_cost::APPLY_RUN_NS, commit_cost::APPLY_BYTE_NS)
+            })
+            + tids.len() as u64 * commit_cost::REGISTER_SLOT_NS
+    }
+
+    /// Spawn overhead of one parallel pass: serial execution spawns
+    /// nothing.
+    fn spawn_cost(workers: usize) -> u64 {
+        if workers > 1 {
+            workers as u64 * commit_cost::WORKER_SPAWN_NS
+        } else {
+            0
+        }
+    }
+
+    /// The worker count in `1..=cap` with the lowest modelled cost;
+    /// ties go to the smallest count (serial wins a dead heat).
+    fn argmin_workers(cap: usize, cost: impl Fn(usize) -> u64) -> usize {
+        (1..=cap.max(1)).min_by_key(|&w| (cost(w), w)).unwrap_or(1)
+    }
+
+    /// Adaptive worker selection for [`Self::commit`]: evaluates the
+    /// modelled commit cost at every worker count up to the
+    /// machine-parallelism cap and returns the argmin. Commits whose
+    /// staged bytes sit below the parallelism break-even come out
+    /// serial — the fix for BENCH_pr3.json's w=2 → 0.85x regression,
+    /// where `commit` fanned out unconditionally.
+    fn select_workers(&self, runs_per_thread: &BTreeMap<u32, Vec<CopyRun>>) -> usize {
+        let tids: Vec<u32> = self.stacks.keys().copied().collect();
+        let cap = Self::default_workers(tids.len());
+        Self::argmin_workers(cap, |w| Self::modeled_commit_ns(&tids, w, runs_per_thread))
+    }
+
     /// Commits one whole-process checkpoint: every thread's stack runs
     /// (from its tracker's bitmap inspection) plus every thread's
     /// registers, under the two-phase stage/seal/apply protocol, with
     /// staging and apply fanned out across scoped workers (see the
-    /// module docs).
+    /// module docs). The worker count is chosen adaptively from the
+    /// per-phase cost model; commits below the parallelism break-even
+    /// run serial.
     ///
     /// # Panics
     ///
     /// Panics if `runs_per_thread` misses a registered thread.
     pub fn commit(&mut self, runs_per_thread: &BTreeMap<u32, Vec<CopyRun>>) {
-        self.commit_with_workers(runs_per_thread, Self::default_workers(self.stacks.len()));
+        self.commit_with_workers(runs_per_thread, self.select_workers(runs_per_thread));
     }
 
     /// [`Self::commit`] with an explicit worker count (the perf suite
@@ -445,10 +564,15 @@ impl PersistentProcess {
         let tids: Vec<u32> = self.stacks.keys().copied().collect();
         let t0 = acct.map(StallAccountant::now_ns);
         // Phase one (parallel): stage every thread's runs into its own
-        // NVM staging buffer — strictly per-thread state.
+        // NVM staging buffer — strictly per-thread state. The stage
+        // stopwatch brackets *only* this staging work: staging the
+        // register file into the commit record is coordinator
+        // bookkeeping charged to the seal phase below (PR 7 satellite
+        // regression — it used to inflate `stage_ns` and the ledger's
+        // Stage segments).
         let stage_watch = telemetry::Stopwatch::start();
         Self::for_each_stack(&mut self.stacks, workers, |tid, stack| {
-            stack.begin_stage();
+            stack.begin_stage_at(sequence);
             for run in &runs_per_thread[&tid] {
                 stack.stage_run(run);
             }
@@ -456,16 +580,9 @@ impl PersistentProcess {
                 p.record(CommitProbeEvent::StageThread { tid, sequence });
             }
         });
-        // ...and the register file, into the unsealed commit record.
-        let mut record = ProcessCommitRecord {
-            sequence,
-            staged_regs: self.live_regs.clone(),
-            sealed: false,
-        };
-        self.pending = Some(record.clone());
         let stage_ns = stage_watch.elapsed_ns();
         let t1 = acct.map(|a| {
-            a.advance(Self::chunked_phase_cost(&tids, workers, |tid| {
+            a.advance(Self::stolen_phase_cost(&tids, workers, |tid| {
                 Self::runs_cost(
                     &runs_per_thread[&tid],
                     commit_cost::STAGE_RUN_NS,
@@ -474,9 +591,17 @@ impl PersistentProcess {
             }));
             a.now_ns()
         });
-        // Seal: the single durable write — and the single serialization
-        // point — that commits the checkpoint.
+        // Seal phase: the register file is staged into the commit
+        // record (coordinator bookkeeping), then the single durable
+        // write — the single serialization point — commits the
+        // checkpoint.
         let seal_watch = telemetry::Stopwatch::start();
+        let mut record = ProcessCommitRecord {
+            sequence,
+            staged_regs: self.live_regs.clone(),
+            sealed: false,
+        };
+        self.pending = Some(record.clone());
         record.sealed = true;
         self.pending = Some(record.clone());
         if let Some(p) = probe {
@@ -484,7 +609,7 @@ impl PersistentProcess {
         }
         let seal_ns = seal_watch.elapsed_ns();
         let t2 = acct.map(|a| {
-            a.advance(commit_cost::SEAL_NS);
+            a.advance(commit_cost::SEAL_NS + tids.len() as u64 * commit_cost::BOOKKEEP_SLOT_NS);
             a.now_ns()
         });
         // Phase two (parallel apply; the register slots stay serial).
@@ -493,7 +618,7 @@ impl PersistentProcess {
         let apply_ns = apply_watch.elapsed_ns();
         let t3 = acct.map(|a| {
             a.advance(
-                Self::chunked_phase_cost(&tids, workers, |tid| {
+                Self::stolen_phase_cost(&tids, workers, |tid| {
                     Self::runs_cost(
                         &runs_per_thread[&tid],
                         commit_cost::APPLY_RUN_NS,
@@ -524,33 +649,493 @@ impl PersistentProcess {
         }
     }
 
+    /// Commits a back-to-back burst of whole-process checkpoints
+    /// through the pipelined protocol: while sequence N's apply
+    /// drains, sequence N+1's runs stage ahead on the stacks whose
+    /// apply already retired (see the module docs for the sharpened
+    /// invariant). The worker count is chosen adaptively from the
+    /// modelled burst cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any batch misses a registered thread.
+    pub fn commit_pipelined(&mut self, batches: &[BTreeMap<u32, Vec<CopyRun>>]) {
+        let workers = self.select_pipelined_workers(batches);
+        self.commit_pipelined_attributed(batches, workers, None, None);
+    }
+
+    /// [`Self::commit_pipelined`] with an explicit worker count (the
+    /// perf suite sweeps this to measure pipelined commit scaling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any batch misses a registered thread.
+    pub fn commit_pipelined_with_workers(
+        &mut self,
+        batches: &[BTreeMap<u32, Vec<CopyRun>>],
+        workers: usize,
+    ) {
+        self.commit_pipelined_attributed(batches, workers, None, None);
+    }
+
+    /// The worker count the adaptive selector picks for a pipelined
+    /// burst of `batches` — exposed so the perf suite can report the
+    /// selected configuration alongside the measured scaling.
+    #[must_use]
+    pub fn planned_pipelined_workers(&self, batches: &[BTreeMap<u32, Vec<CopyRun>>]) -> usize {
+        self.select_pipelined_workers(batches)
+    }
+
+    /// Adaptive worker selection for a pipelined burst: argmin of the
+    /// modelled burst cost over the machine-parallelism cap.
+    fn select_pipelined_workers(&self, batches: &[BTreeMap<u32, Vec<CopyRun>>]) -> usize {
+        let tids: Vec<u32> = self.stacks.keys().copied().collect();
+        let cap = Self::default_workers(tids.len());
+        Self::argmin_workers(cap, |w| Self::modeled_pipelined_ns(&tids, w, batches))
+    }
+
+    /// Modelled wall cost of a pipelined burst at `workers`: the head
+    /// stage, then per sequence the serial seal (plus bookkeeping) and
+    /// the fused apply+stage-ahead pass, plus the register tail —
+    /// with one spawn charge per parallel pass.
+    fn modeled_pipelined_ns(
+        tids: &[u32],
+        workers: usize,
+        batches: &[BTreeMap<u32, Vec<CopyRun>>],
+    ) -> u64 {
+        let cost = |batch: &BTreeMap<u32, Vec<CopyRun>>, tid: u32, per_run: u64, per_byte: u64| {
+            batch
+                .get(&tid)
+                .map_or(0, |runs| Self::runs_cost(runs, per_run, per_byte))
+        };
+        let Some(head) = batches.first() else {
+            return 0;
+        };
+        let mut total = Self::spawn_cost(workers)
+            + Self::stolen_phase_cost(tids, workers, |tid| {
+                cost(
+                    head,
+                    tid,
+                    commit_cost::STAGE_RUN_NS,
+                    commit_cost::STAGE_BYTE_NS,
+                )
+            });
+        for (i, batch) in batches.iter().enumerate() {
+            let next = batches.get(i + 1);
+            total += commit_cost::SEAL_NS
+                + tids.len() as u64 * commit_cost::BOOKKEEP_SLOT_NS
+                + Self::spawn_cost(workers)
+                + Self::stolen_phase_cost(tids, workers, |tid| {
+                    cost(
+                        batch,
+                        tid,
+                        commit_cost::APPLY_RUN_NS,
+                        commit_cost::APPLY_BYTE_NS,
+                    ) + next.map_or(0, |n| {
+                        cost(
+                            n,
+                            tid,
+                            commit_cost::STAGE_RUN_NS,
+                            commit_cost::STAGE_BYTE_NS,
+                        )
+                    })
+                })
+                + tids.len() as u64 * commit_cost::REGISTER_SLOT_NS;
+        }
+        total
+    }
+
+    /// [`Self::commit_pipelined_with_workers`] with a [`CommitProbe`]
+    /// observing every protocol boundary and optional stall
+    /// attribution.
+    ///
+    /// Probe streams from this path carry the legal cross-sequence
+    /// overlap — `StageThread` events for N+1 between seal(N) and
+    /// retire(N) — which the sharpened `prosper-analysis` commit-order
+    /// checker validates (stage(N+1) never before seal(N); seal(N+1)
+    /// never before apply(N) drains).
+    ///
+    /// Attribution: the overlap window's staged-ahead work hides
+    /// behind sequence N's apply drain, so it is charged to N's
+    /// `Apply` segment — that *is* the checkpoint-tax win being
+    /// measured. Each sequence's window is tiled by its segments as
+    /// ever (Stage only for the burst head; Seal; Apply), so the
+    /// conservation invariant holds unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any batch misses a registered thread.
+    pub fn commit_pipelined_attributed(
+        &mut self,
+        batches: &[BTreeMap<u32, Vec<CopyRun>>],
+        workers: usize,
+        probe: Option<&CommitProbe>,
+        acct: Option<&StallAccountant>,
+    ) {
+        if batches.is_empty() {
+            return;
+        }
+        for batch in batches {
+            for tid in self.stacks.keys() {
+                assert!(batch.contains_key(tid), "no runs supplied for thread {tid}");
+            }
+        }
+        let tids: Vec<u32> = self.stacks.keys().copied().collect();
+        let first = self.next_sequence;
+        let burst_watch = telemetry::Stopwatch::start();
+        // Head stage: the burst's first batch has no prior apply to
+        // hide behind.
+        let mut window_start = acct.map(StallAccountant::now_ns);
+        Self::for_each_stack(&mut self.stacks, workers, |tid, stack| {
+            stack.begin_stage_at(first);
+            for run in &batches[0][&tid] {
+                stack.stage_run(run);
+            }
+            if let Some(p) = probe {
+                p.record(CommitProbeEvent::StageThread {
+                    tid,
+                    sequence: first,
+                });
+            }
+        });
+        let mut head_stage_end = acct.map(|a| {
+            a.advance(Self::stolen_phase_cost(&tids, workers, |tid| {
+                Self::runs_cost(
+                    &batches[0][&tid],
+                    commit_cost::STAGE_RUN_NS,
+                    commit_cost::STAGE_BYTE_NS,
+                )
+            }));
+            a.now_ns()
+        });
+        for (i, batch) in batches.iter().enumerate() {
+            let sequence = first + i as u64;
+            // Seal(sequence): stage(sequence) is complete and — for
+            // i > 0 — apply(sequence-1) fully drained in the previous
+            // fused pass. Bookkeeping + one durable write.
+            let mut record = ProcessCommitRecord {
+                sequence,
+                staged_regs: self.live_regs.clone(),
+                sealed: false,
+            };
+            self.pending = Some(record.clone());
+            record.sealed = true;
+            self.pending = Some(record.clone());
+            if let Some(p) = probe {
+                p.record(CommitProbeEvent::Seal { sequence });
+            }
+            let seal_end = acct.map(|a| {
+                a.advance(commit_cost::SEAL_NS + tids.len() as u64 * commit_cost::BOOKKEEP_SLOT_NS);
+                a.now_ns()
+            });
+            // The overlap window: apply(sequence) drains while the
+            // next batch stages ahead, fused per stack — a stack
+            // stages ahead only once its own apply retired, so the
+            // single staging buffer per stack is never torn between
+            // sequences.
+            let next = batches.get(i + 1);
+            let next_seq = sequence + 1;
+            Self::for_each_stack(&mut self.stacks, workers, |tid, stack| {
+                for k in 0..stack.staged_runs() {
+                    stack.apply_run(k);
+                }
+                stack.finish_apply(sequence);
+                if let Some(p) = probe {
+                    p.record(CommitProbeEvent::ApplyThread { tid, sequence });
+                }
+                if let Some(next) = next {
+                    stack.begin_stage_at(next_seq);
+                    for run in &next[&tid] {
+                        stack.stage_run(run);
+                    }
+                    if let Some(p) = probe {
+                        p.record(CommitProbeEvent::StageThread {
+                            tid,
+                            sequence: next_seq,
+                        });
+                    }
+                }
+            });
+            // Serial tail: register slots, then retire the record.
+            for (tid, regs) in record.staged_regs.iter().enumerate() {
+                self.registers.apply_thread_at(tid, *regs, sequence);
+            }
+            self.registers.set_committed_sequence(sequence);
+            self.pending = None;
+            self.next_sequence = next_seq;
+            if let Some(p) = probe {
+                p.record(CommitProbeEvent::Retire { sequence });
+            }
+            let retire_end = acct.map(|a| {
+                a.advance(
+                    Self::stolen_phase_cost(&tids, workers, |tid| {
+                        Self::runs_cost(
+                            &batch[&tid],
+                            commit_cost::APPLY_RUN_NS,
+                            commit_cost::APPLY_BYTE_NS,
+                        ) + next.map_or(0, |n| {
+                            Self::runs_cost(
+                                &n[&tid],
+                                commit_cost::STAGE_RUN_NS,
+                                commit_cost::STAGE_BYTE_NS,
+                            )
+                        })
+                    }) + tids.len() as u64 * commit_cost::REGISTER_SLOT_NS,
+                );
+                a.now_ns()
+            });
+            if let (Some(a), Some(ws), Some(se), Some(re)) =
+                (acct, window_start, seal_end, retire_end)
+            {
+                for &tid in &tids {
+                    match head_stage_end {
+                        Some(st) => {
+                            a.record_segment(tid, StallCause::Stage, sequence, ws, st);
+                            a.record_segment(tid, StallCause::Seal, sequence, st, se);
+                        }
+                        None => a.record_segment(tid, StallCause::Seal, sequence, ws, se),
+                    }
+                    a.record_segment(tid, StallCause::Apply, sequence, se, re);
+                    a.record_window(tid, ws, re);
+                }
+            }
+            head_stage_end = None;
+            window_start = retire_end;
+        }
+        let burst_ns = burst_watch.elapsed_ns();
+        if telemetry::enabled() {
+            telemetry::with(|t| {
+                let r = t.registry();
+                r.gauge("prosper.commit.workers").set(workers as i64);
+                r.histogram("prosper.commit.pipeline.burst_ns")
+                    .record(burst_ns);
+            });
+        }
+    }
+
+    /// Serial, crash-windowed twin of one pipelined hand-off: commits
+    /// sequence N and then N+1, staging N+1's runs inside N's apply
+    /// drain exactly as the pipelined burst does, with a named
+    /// [`CrashSite`] at every boundary — including
+    /// [`CrashSite::MidPipelineStage`] inside the overlap window. The
+    /// exhaustive crash matrix drives this path to prove recovery
+    /// lands on exactly N or N+1 from any point of the overlap.
+    ///
+    /// After a crash, the number of `PostSeal` boundaries in the
+    /// injector's crossed-site log equals the number of durable seals
+    /// — exactly how far past the pre-burst sequence recovery must
+    /// land.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrashInjected`] if the injector fired.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either batch misses a registered thread.
+    pub fn commit_pipelined_pair_with_faults(
+        &mut self,
+        runs_n: &BTreeMap<u32, Vec<CopyRun>>,
+        runs_n1: &BTreeMap<u32, Vec<CopyRun>>,
+        inj: &mut FaultInjector,
+    ) -> Result<(), CrashInjected> {
+        self.commit_pipelined_pair_with_faults_attributed(runs_n, runs_n1, inj, None)
+    }
+
+    /// [`Self::commit_pipelined_pair_with_faults`] with stall
+    /// attribution: one scribe window spans both sequences; the
+    /// staged-ahead work inside the overlap is charged to sequence N's
+    /// `Apply` phase (it hides behind the drain), and the scribe
+    /// closes the open phase at the crash instant so torn pipelined
+    /// commits conserve exactly, as the overlap-window crash tests
+    /// assert.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrashInjected`] if the injector fired.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either batch misses a registered thread.
+    pub fn commit_pipelined_pair_with_faults_attributed(
+        &mut self,
+        runs_n: &BTreeMap<u32, Vec<CopyRun>>,
+        runs_n1: &BTreeMap<u32, Vec<CopyRun>>,
+        inj: &mut FaultInjector,
+        acct: Option<&StallAccountant>,
+    ) -> Result<(), CrashInjected> {
+        let mut scribe = acct.map(|a| {
+            FaultScribe::new(a, self.stacks.keys().copied().collect(), self.next_sequence)
+        });
+        let result = self.pipelined_pair_inner(runs_n, runs_n1, inj, scribe.as_mut());
+        if let Some(s) = scribe {
+            s.finish();
+        }
+        result
+    }
+
+    fn pipelined_pair_inner(
+        &mut self,
+        runs_n: &BTreeMap<u32, Vec<CopyRun>>,
+        runs_n1: &BTreeMap<u32, Vec<CopyRun>>,
+        inj: &mut FaultInjector,
+        mut scribe: Option<&mut FaultScribe<'_>>,
+    ) -> Result<(), CrashInjected> {
+        for tid in self.stacks.keys() {
+            assert!(
+                runs_n.contains_key(tid) && runs_n1.contains_key(tid),
+                "no runs supplied for thread {tid}"
+            );
+        }
+        let sequence = self.next_sequence;
+        let next_seq = sequence + 1;
+        crash_window!(inj, CrashSite::PreStage);
+        // Stage N (nothing to overlap with yet).
+        for (tid, stack) in &mut self.stacks {
+            stack.begin_stage_at(sequence);
+            for (k, run) in runs_n[tid].iter().enumerate() {
+                stack.stage_run(run);
+                if let Some(s) = scribe.as_deref_mut() {
+                    s.work(commit_cost::STAGE_RUN_NS + run.len * commit_cost::STAGE_BYTE_NS);
+                }
+                crash_window!(
+                    inj,
+                    CrashSite::MidStage {
+                        tid: *tid,
+                        runs_staged: k as u32 + 1,
+                    }
+                );
+            }
+        }
+        let mut record = ProcessCommitRecord {
+            sequence,
+            staged_regs: self.live_regs.clone(),
+            sealed: false,
+        };
+        self.pending = Some(record.clone());
+        crash_window!(inj, CrashSite::PreSeal);
+        if let Some(s) = scribe.as_deref_mut() {
+            s.next_phase(StallCause::Seal);
+            s.work(self.live_regs.len() as u64 * commit_cost::BOOKKEEP_SLOT_NS);
+        }
+        // Seal(N): the overlap window may open past this point.
+        record.sealed = true;
+        self.pending = Some(record.clone());
+        if let Some(s) = scribe.as_deref_mut() {
+            s.work(commit_cost::SEAL_NS);
+        }
+        crash_window!(inj, CrashSite::PostSeal);
+        if let Some(s) = scribe.as_deref_mut() {
+            s.next_phase(StallCause::Apply);
+        }
+        // The overlap window: drain apply(N) stack by stack; each
+        // stack stages N+1's runs the moment its own apply retires,
+        // while later stacks' applies are still pending — the state a
+        // MidPipelineStage crash interrupts.
+        for (tid, stack) in &mut self.stacks {
+            for k in 0..stack.staged_runs() {
+                stack.apply_run(k);
+                if let Some(s) = scribe.as_deref_mut() {
+                    s.work(
+                        commit_cost::APPLY_RUN_NS
+                            + stack.staged_run_len(k) * commit_cost::APPLY_BYTE_NS,
+                    );
+                }
+                crash_window!(
+                    inj,
+                    CrashSite::MidApply {
+                        tid: *tid,
+                        runs_applied: k as u32 + 1,
+                    }
+                );
+            }
+            stack.finish_apply(sequence);
+            crash_window!(inj, CrashSite::PostApplyThread { tid: *tid });
+            stack.begin_stage_at(next_seq);
+            for (k, run) in runs_n1[tid].iter().enumerate() {
+                stack.stage_run(run);
+                if let Some(s) = scribe.as_deref_mut() {
+                    s.work(commit_cost::STAGE_RUN_NS + run.len * commit_cost::STAGE_BYTE_NS);
+                }
+                crash_window!(
+                    inj,
+                    CrashSite::MidPipelineStage {
+                        tid: *tid,
+                        runs_staged: k as u32 + 1,
+                    }
+                );
+            }
+        }
+        crash_window!(inj, CrashSite::PostApplyPreRegisters);
+        for (tid, regs) in record.staged_regs.iter().enumerate() {
+            self.registers.apply_thread_at(tid, *regs, sequence);
+            if let Some(s) = scribe.as_deref_mut() {
+                s.work(commit_cost::REGISTER_SLOT_NS);
+            }
+            crash_window!(inj, CrashSite::MidRegisterApply { tid: tid as u32 });
+        }
+        self.registers.set_committed_sequence(sequence);
+        self.pending = None;
+        self.next_sequence = next_seq;
+        crash_window!(inj, CrashSite::PostCommit);
+        // Second hand-off: N+1 staged ahead in the overlap; only its
+        // seal and apply remain. seal(N+1) sits strictly after the
+        // drain of apply(N) — the sharpened invariant in code form.
+        let mut record = ProcessCommitRecord {
+            sequence: next_seq,
+            staged_regs: self.live_regs.clone(),
+            sealed: false,
+        };
+        self.pending = Some(record.clone());
+        crash_window!(inj, CrashSite::PreSeal);
+        if let Some(s) = scribe.as_deref_mut() {
+            s.next_phase_for(StallCause::Seal, next_seq);
+            s.work(
+                self.live_regs.len() as u64 * commit_cost::BOOKKEEP_SLOT_NS + commit_cost::SEAL_NS,
+            );
+        }
+        record.sealed = true;
+        self.pending = Some(record.clone());
+        crash_window!(inj, CrashSite::PostSeal);
+        if let Some(s) = scribe.as_deref_mut() {
+            s.next_phase(StallCause::Apply);
+        }
+        self.apply_record(&record, inj, scribe)
+    }
+
     /// Modelled cost of staging or applying `runs` for one thread.
     fn runs_cost(runs: &[CopyRun], per_run_ns: u64, per_byte_ns: u64) -> u64 {
         runs.iter().map(|r| per_run_ns + r.len * per_byte_ns).sum()
     }
 
-    /// Max-over-chunks phase cost under the exact chunk assignment
-    /// [`Self::for_each_stack`] uses (contiguous chunks of the
-    /// tid-ordered list): a parallel phase is as slow as its slowest
-    /// worker, plus a fixed dispatch overhead.
-    fn chunked_phase_cost(tids: &[u32], workers: usize, per_tid: impl Fn(u32) -> u64) -> u64 {
+    /// Makespan of one parallel phase under work-stealing assignment:
+    /// tasks are claimed in tid order by whichever worker frees up
+    /// first, which the model reproduces as greedy list-scheduling —
+    /// each task lands on the currently least-loaded worker — plus a
+    /// fixed dispatch overhead. A parallel phase is as slow as its
+    /// most-loaded worker; uneven per-thread run lists no longer
+    /// inflate the bound the way pre-assigned contiguous chunks did.
+    fn stolen_phase_cost(tids: &[u32], workers: usize, per_tid: impl Fn(u32) -> u64) -> u64 {
         let workers = workers.clamp(1, tids.len().max(1));
-        let chunk = tids.len().div_ceil(workers).max(1);
-        commit_cost::PHASE_BASE_NS
-            + tids
-                .chunks(chunk)
-                .map(|c| c.iter().map(|&t| per_tid(t)).sum::<u64>())
-                .max()
-                .unwrap_or(0)
+        let mut load = vec![0u64; workers];
+        for &t in tids {
+            if let Some(min) = load.iter_mut().min() {
+                *min += per_tid(t);
+            }
+        }
+        commit_cost::PHASE_BASE_NS + load.into_iter().max().unwrap_or(0)
     }
 
     /// Runs `f` over every stack, fanned out across at most `workers`
-    /// scoped threads (contiguous chunks of the tid-ordered list).
+    /// scoped threads. Assignment is work-stealing: each worker claims
+    /// the next unclaimed stack from a shared cursor as it frees up,
+    /// so a worker stuck on a heavy stack never strands the light ones
+    /// behind it (the PR-3 contiguous-chunk scheme did exactly that).
     fn for_each_stack<F>(stacks: &mut BTreeMap<u32, PersistentStack>, workers: usize, f: F)
     where
         F: Fn(u32, &mut PersistentStack) + Sync,
     {
-        let mut refs: Vec<(u32, &mut PersistentStack)> =
+        let refs: Vec<(u32, &mut PersistentStack)> =
             stacks.iter_mut().map(|(tid, s)| (*tid, s)).collect();
         let workers = workers.clamp(1, refs.len().max(1));
         if workers == 1 {
@@ -559,13 +1144,18 @@ impl PersistentProcess {
             }
             return;
         }
-        let chunk = refs.len().div_ceil(workers);
+        let tasks: Vec<StackTask<'_>> = refs
+            .into_iter()
+            .map(|t| std::sync::Mutex::new(Some(t)))
+            .collect();
+        let cursor = std::sync::atomic::AtomicUsize::new(0);
         std::thread::scope(|scope| {
-            for slice in refs.chunks_mut(chunk) {
-                let f = &f;
-                scope.spawn(move || {
-                    for (tid, stack) in slice.iter_mut() {
-                        f(*tid, stack);
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(task) = tasks.get(i) else { break };
+                    if let Some((tid, stack)) = task.lock().ok().and_then(|mut t| t.take()) {
+                        f(tid, stack);
                     }
                 });
             }
@@ -631,13 +1221,14 @@ impl PersistentProcess {
         inj: &mut FaultInjector,
         mut scribe: Option<&mut FaultScribe<'_>>,
     ) -> Result<(), CrashInjected> {
+        let sequence = self.next_sequence;
         crash_window!(inj, CrashSite::PreStage);
         // Phase one: stage every thread's runs...
         for (tid, stack) in &mut self.stacks {
             let runs = runs_per_thread
                 .get(tid)
                 .unwrap_or_else(|| panic!("no runs supplied for thread {tid}"));
-            stack.begin_stage();
+            stack.begin_stage_at(sequence);
             for (k, run) in runs.iter().enumerate() {
                 stack.stage_run(run);
                 if let Some(s) = scribe.as_deref_mut() {
@@ -662,6 +1253,9 @@ impl PersistentProcess {
         crash_window!(inj, CrashSite::PreSeal);
         if let Some(s) = scribe.as_deref_mut() {
             s.next_phase(StallCause::Seal);
+            // Coordinator bookkeeping (the record's register staging)
+            // is seal-phase work, matching the parallel path.
+            s.work(self.live_regs.len() as u64 * commit_cost::BOOKKEEP_SLOT_NS);
         }
         // Seal: the single durable write that commits the checkpoint.
         record.sealed = true;
@@ -693,10 +1287,19 @@ impl PersistentProcess {
         debug_assert!(record.sealed, "apply before the seal");
         let sequence = record.sequence;
         Self::for_each_stack(&mut self.stacks, workers, |tid, stack| {
-            for k in 0..stack.staged_runs() {
-                stack.apply_run(k);
+            if stack.staging_sequence() > sequence {
+                // Pipelined overlap: this stack finished applying
+                // `sequence` and staged ahead for the next one before
+                // the crash. The staged-ahead buffer is unsealed by
+                // protocol (no seal(N+1) before apply(N) drains), so
+                // redo discards it; the already-applied state stands.
+                stack.discard_staging();
+            } else {
+                for k in 0..stack.staged_runs() {
+                    stack.apply_run(k);
+                }
+                stack.finish_apply(sequence);
             }
-            stack.finish_apply(sequence);
             if let Some(p) = probe {
                 p.record(CommitProbeEvent::ApplyThread { tid, sequence });
             }
@@ -1188,6 +1791,376 @@ mod tests {
             let rec = p.recover().unwrap();
             assert_eq!(rec.sequence, 2);
             assert_eq!(p.verify_coherent().unwrap(), 2);
+        }
+    }
+
+    fn uniform_runs(tids: &[u32], count: usize, len: u64) -> BTreeMap<u32, Vec<CopyRun>> {
+        tids.iter()
+            .map(|&tid| {
+                (
+                    tid,
+                    (0..count)
+                        .map(|k| CopyRun {
+                            start: VirtAddr::new(0x7000_0000 + k as u64 * 0x1000),
+                            len,
+                        })
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    /// Satellite regression (PR 7): the adaptive selector must never
+    /// choose a multi-worker configuration whose modelled cost exceeds
+    /// serial — the regression BENCH_pr3.json recorded as w=2 running
+    /// at 0.85x serial and w=8 at 0.59x when `commit` fanned out
+    /// unconditionally.
+    #[test]
+    fn selector_never_picks_a_modelled_regression() {
+        for threads in [1usize, 2, 3, 8, 17] {
+            let tids: Vec<u32> = (0..threads as u32).collect();
+            for (count, len) in [(0usize, 0u64), (1, 16), (1, 64), (4, 256), (64, 4096)] {
+                let runs = uniform_runs(&tids, count, len);
+                let serial = PersistentProcess::modeled_commit_ns(&tids, 1, &runs);
+                for cap in [1usize, 2, 4, 8, 64] {
+                    let w = PersistentProcess::argmin_workers(cap, |w| {
+                        PersistentProcess::modeled_commit_ns(&tids, w, &runs)
+                    });
+                    let chosen = PersistentProcess::modeled_commit_ns(&tids, w, &runs);
+                    assert!(
+                        chosen <= serial,
+                        "threads={threads} count={count} len={len} cap={cap}: \
+                         selected w={w} costs {chosen} > serial {serial}"
+                    );
+                    if threads == 1 || cap == 1 {
+                        assert_eq!(w, 1, "no parallelism to exploit");
+                    }
+                }
+            }
+            // Tiny commits sit below the spawn break-even: serial wins
+            // even with parallelism available.
+            let tiny = uniform_runs(&tids, 1, 16);
+            let w = PersistentProcess::argmin_workers(8, |w| {
+                PersistentProcess::modeled_commit_ns(&tids, w, &tiny)
+            });
+            assert_eq!(w, 1, "threads={threads}: tiny commit must stay serial");
+        }
+    }
+
+    /// Satellite regression (PR 7): the stage phase covers only
+    /// staging work. Coordinator bookkeeping — staging the register
+    /// file into the commit record — is charged to the seal phase, in
+    /// the ledger and in the cost model alike.
+    #[test]
+    fn stage_phase_excludes_coordinator_bookkeeping() {
+        let mut p = PersistentProcess::new(&ranges(3));
+        let tids: Vec<u32> = vec![0, 1, 2];
+        for &tid in &tids {
+            let r = p.stack(tid).range();
+            p.record_store(tid, r.start() + 64, &[0x5a; 32]);
+        }
+        let runs = full_runs(&p, &tids);
+        let acct = StallAccountant::new_virtual();
+        p.commit_attributed(&runs, 1, None, Some(&acct));
+        let snap = acct.snapshot();
+        snap.verify_conservation().unwrap();
+        let expected_stage = PersistentProcess::stolen_phase_cost(&tids, 1, |tid| {
+            PersistentProcess::runs_cost(
+                &runs[&tid],
+                commit_cost::STAGE_RUN_NS,
+                commit_cost::STAGE_BYTE_NS,
+            )
+        });
+        let expected_seal =
+            commit_cost::SEAL_NS + tids.len() as u64 * commit_cost::BOOKKEEP_SLOT_NS;
+        for &tid in &tids {
+            let of_cause = |cause: StallCause| -> u64 {
+                snap.segments
+                    .iter()
+                    .filter(|s| s.tid == tid && s.cause == cause)
+                    .map(telemetry::StallSegment::duration_ns)
+                    .sum()
+            };
+            assert_eq!(
+                of_cause(StallCause::Stage),
+                expected_stage,
+                "thread {tid}: stage segment must be staging work only"
+            );
+            assert_eq!(
+                of_cause(StallCause::Seal),
+                expected_seal,
+                "thread {tid}: bookkeeping belongs to the seal segment"
+            );
+        }
+    }
+
+    /// The pipelined burst must land byte-identical persistent state
+    /// to the same batches committed one by one, at every worker
+    /// width.
+    #[test]
+    fn pipelined_burst_matches_sequential_commits() {
+        for workers in [1usize, 2, 4] {
+            let build = || {
+                let mut p = PersistentProcess::new(&ranges(4));
+                for tid in 0..4u32 {
+                    let r = p.stack(tid).range();
+                    for k in 0..12u64 {
+                        p.record_store(tid, r.start() + k * 256, &[tid as u8 + k as u8; 32]);
+                    }
+                    p.regs_mut(tid).rip = 0x4000 + u64::from(tid);
+                }
+                p
+            };
+            // Batch i covers a distinct slice of each stack.
+            let mut sequential = build();
+            let mut pipelined = build();
+            let batches: Vec<BTreeMap<u32, Vec<CopyRun>>> = (0..3u64)
+                .map(|i| {
+                    (0..4u32)
+                        .map(|tid| {
+                            let r = sequential.stack(tid).range();
+                            (
+                                tid,
+                                vec![CopyRun {
+                                    start: r.start() + i * 1024,
+                                    len: 1024,
+                                }],
+                            )
+                        })
+                        .collect()
+                })
+                .collect();
+            for batch in &batches {
+                sequential.commit_with_workers(batch, workers);
+            }
+            pipelined.commit_pipelined_with_workers(&batches, workers);
+            assert_eq!(
+                sequential.committed_sequence(),
+                pipelined.committed_sequence()
+            );
+            sequential.crash();
+            pipelined.crash();
+            let rs = sequential.recover().unwrap();
+            let rp = pipelined.recover().unwrap();
+            assert_eq!(rs.sequence, rp.sequence);
+            assert_eq!(pipelined.verify_coherent().unwrap(), 3);
+            for tid in 0..4u32 {
+                let r = sequential.stack(tid).range();
+                assert_eq!(
+                    sequential.stack(tid).volatile().read(r.start(), 4096),
+                    pipelined.stack(tid).volatile().read(r.start(), 4096),
+                    "workers={workers} thread {tid}: identical recovered bytes"
+                );
+                assert_eq!(rs.regs[tid as usize], rp.regs[tid as usize]);
+            }
+        }
+    }
+
+    /// The serial pipelined probe stream shows exactly the legal
+    /// overlap: stage(N+1) after seal(N) but before retire(N), and
+    /// seal(N+1) only after every apply(N).
+    #[test]
+    fn pipelined_probe_stream_overlaps_legally() {
+        let mut p = PersistentProcess::new(&ranges(2));
+        for tid in 0..2u32 {
+            let r = p.stack(tid).range();
+            p.record_store(tid, r.start() + 16, &[7; 8]);
+        }
+        let batches: Vec<BTreeMap<u32, Vec<CopyRun>>> =
+            (0..2).map(|_| full_runs(&p, &[0, 1])).collect();
+        let probe = CommitProbe::new();
+        p.commit_pipelined_attributed(&batches, 1, Some(&probe), None);
+        let events = probe.events();
+        use CommitProbeEvent as E;
+        assert_eq!(
+            events,
+            vec![
+                E::StageThread {
+                    tid: 0,
+                    sequence: 1
+                },
+                E::StageThread {
+                    tid: 1,
+                    sequence: 1
+                },
+                E::Seal { sequence: 1 },
+                E::ApplyThread {
+                    tid: 0,
+                    sequence: 1
+                },
+                E::StageThread {
+                    tid: 0,
+                    sequence: 2
+                },
+                E::ApplyThread {
+                    tid: 1,
+                    sequence: 1
+                },
+                E::StageThread {
+                    tid: 1,
+                    sequence: 2
+                },
+                E::Retire { sequence: 1 },
+                E::Seal { sequence: 2 },
+                E::ApplyThread {
+                    tid: 0,
+                    sequence: 2
+                },
+                E::ApplyThread {
+                    tid: 1,
+                    sequence: 2
+                },
+                E::Retire { sequence: 2 },
+            ],
+            "stage(2) interleaves apply(1) — after seal(1), before retire(1)"
+        );
+        // At any width the sharpened invariant holds on the stream.
+        let mut p4 = PersistentProcess::new(&ranges(4));
+        let batches4: Vec<BTreeMap<u32, Vec<CopyRun>>> =
+            (0..3).map(|_| full_runs(&p4, &[0, 1, 2, 3])).collect();
+        let probe4 = CommitProbe::new();
+        p4.commit_pipelined_attributed(&batches4, 4, Some(&probe4), None);
+        let ev4 = probe4.events();
+        let pos_seal = |seq: u64| {
+            ev4.iter()
+                .position(|e| *e == E::Seal { sequence: seq })
+                .unwrap()
+        };
+        for seq in 2..=3u64 {
+            let seal_prior = pos_seal(seq - 1);
+            let seal_this = pos_seal(seq);
+            for (i, e) in ev4.iter().enumerate() {
+                if let E::StageThread { sequence, .. } = e {
+                    if *sequence == seq {
+                        assert!(i > seal_prior, "stage({seq}) before seal({})", seq - 1);
+                    }
+                }
+                if let E::ApplyThread { sequence, .. } = e {
+                    if *sequence == seq - 1 {
+                        assert!(
+                            i < seal_this,
+                            "seal({seq}) before apply({}) drained",
+                            seq - 1
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Exhaustive sweep of the pipelined pair's crash windows: from
+    /// any site — including every `MidPipelineStage` inside the
+    /// overlap — recovery lands on exactly N or N+1 (decided by how
+    /// many seals went durable), stays coherent, and the stall ledger
+    /// still conserves.
+    #[test]
+    fn pipelined_pair_crash_sweep_lands_on_n_or_n_plus_one() {
+        let base = || {
+            let mut p = PersistentProcess::new(&ranges(2));
+            for tid in 0..2u32 {
+                let r = p.stack(tid).range();
+                p.record_store(tid, r.start() + 0x100, &[0xaa; 16]);
+            }
+            let prior = full_runs(&p, &[0, 1]);
+            p.commit(&prior);
+            // Distinct per-sequence payloads at disjoint offsets.
+            for tid in 0..2u32 {
+                let r = p.stack(tid).range();
+                p.record_store(tid, r.start() + 0x200, &[0xbb; 16]);
+                p.record_store(tid, r.start() + 0x400, &[0xcc; 16]);
+            }
+            let runs_n: BTreeMap<u32, Vec<CopyRun>> = (0..2u32)
+                .map(|tid| {
+                    let r = p.stack(tid).range();
+                    (
+                        tid,
+                        vec![
+                            CopyRun {
+                                start: r.start() + 0x200,
+                                len: 16,
+                            },
+                            CopyRun {
+                                start: r.start() + 0x210,
+                                len: 16,
+                            },
+                        ],
+                    )
+                })
+                .collect();
+            let runs_n1: BTreeMap<u32, Vec<CopyRun>> = (0..2u32)
+                .map(|tid| {
+                    let r = p.stack(tid).range();
+                    (
+                        tid,
+                        vec![
+                            CopyRun {
+                                start: r.start() + 0x400,
+                                len: 16,
+                            },
+                            CopyRun {
+                                start: r.start() + 0x410,
+                                len: 16,
+                            },
+                        ],
+                    )
+                })
+                .collect();
+            (p, runs_n, runs_n1)
+        };
+        // Enumerate every crash window of the pair.
+        let (mut p, runs_n, runs_n1) = base();
+        let mut rec_inj = FaultInjector::disabled();
+        p.commit_pipelined_pair_with_faults(&runs_n, &runs_n1, &mut rec_inj)
+            .unwrap();
+        assert_eq!(p.verify_coherent().unwrap(), 3, "clean pair lands on N+1");
+        let sites: Vec<CrashSite> = rec_inj.crossed().to_vec();
+        assert!(
+            sites
+                .iter()
+                .any(|s| matches!(s, CrashSite::MidPipelineStage { .. })),
+            "the pair schedule must cross the overlap window"
+        );
+        for (index, site) in sites.iter().enumerate() {
+            let (mut p, runs_n, runs_n1) = base();
+            let acct = StallAccountant::new_virtual();
+            let mut inj = FaultInjector::at_index(index as u64);
+            let err = p
+                .commit_pipelined_pair_with_faults_attributed(
+                    &runs_n,
+                    &runs_n1,
+                    &mut inj,
+                    Some(&acct),
+                )
+                .unwrap_err();
+            assert_eq!(err.site, *site, "deterministic site order");
+            let seals = inj
+                .crossed()
+                .iter()
+                .filter(|s| **s == CrashSite::PostSeal)
+                .count() as u64;
+            let expected = 1 + seals; // pre-pair sequence was 1
+            p.crash();
+            let rec = p.recover_attributed(Some(&acct)).unwrap();
+            assert_eq!(
+                rec.sequence, expected,
+                "site {site}: recovery must land on exactly N or N+1"
+            );
+            assert!(
+                (2..=3).contains(&expected) || expected == 1,
+                "expected sequence in the pair's range"
+            );
+            assert_eq!(p.verify_coherent().unwrap(), expected);
+            // Payload visibility follows the recovered sequence.
+            for tid in 0..2u32 {
+                let r = p.stack(tid).range();
+                let has_n = p.stack(tid).volatile().read(r.start() + 0x200, 16) == vec![0xbb; 16];
+                let has_n1 = p.stack(tid).volatile().read(r.start() + 0x400, 16) == vec![0xcc; 16];
+                assert_eq!(has_n, expected >= 2, "site {site}: N payload");
+                assert_eq!(has_n1, expected >= 3, "site {site}: N+1 payload");
+            }
+            acct.snapshot()
+                .verify_conservation()
+                .unwrap_or_else(|e| panic!("site {site}: torn pair must conserve: {e}"));
         }
     }
 }

@@ -87,6 +87,18 @@ pub enum CrashSite {
         /// Runs applied so far.
         runs_applied: u32,
     },
+    /// Pipelined-commit overlap window: thread `tid` has staged
+    /// `runs_staged` of sequence N+1's copy runs while sealed record
+    /// N's apply is still draining on other threads. The N+1 staging
+    /// is unsealed (seal(N+1) cannot happen before apply(N) finishes),
+    /// so recovery redoes record N and discards the staged-ahead
+    /// buffers.
+    MidPipelineStage {
+        /// Thread staging ahead for the next sequence.
+        tid: u32,
+        /// Next-sequence runs staged so far on that thread.
+        runs_staged: u32,
+    },
     /// Thread `tid`'s staging buffer is fully applied and its stack
     /// sequence bumped; later threads are not yet applied.
     PostApplyThread {
@@ -128,6 +140,9 @@ impl std::fmt::Display for CrashSite {
             CrashSite::MidApply { tid, runs_applied } => {
                 write!(f, "mid-apply(tid={tid}, runs={runs_applied})")
             }
+            CrashSite::MidPipelineStage { tid, runs_staged } => {
+                write!(f, "mid-pipeline-stage(tid={tid}, runs={runs_staged})")
+            }
             CrashSite::PostApplyThread { tid } => write!(f, "post-apply-thread(tid={tid})"),
             CrashSite::PostApplyPreRegisters => write!(f, "post-apply-pre-registers"),
             CrashSite::MidRegisterApply { tid } => write!(f, "mid-register-apply(tid={tid})"),
@@ -154,6 +169,7 @@ impl CrashSite {
         "PreSeal",
         "PostSeal",
         "MidApply",
+        "MidPipelineStage",
         "PostApplyThread",
         "PostApplyPreRegisters",
         "MidRegisterApply",
@@ -165,12 +181,16 @@ impl CrashSite {
 
     /// `true` for sites at or after the seal: the commit point has
     /// passed, so recovery must redo (finish) the interrupted commit
-    /// rather than discard it.
+    /// rather than discard it. `MidPipelineStage` is post-seal for the
+    /// *draining* sequence N — the overlap window opens only after
+    /// seal(N), and the staged-ahead N+1 buffers are still unsealed —
+    /// so recovery lands on N.
     pub fn is_post_seal(&self) -> bool {
         matches!(
             self,
             CrashSite::PostSeal
                 | CrashSite::MidApply { .. }
+                | CrashSite::MidPipelineStage { .. }
                 | CrashSite::PostApplyThread { .. }
                 | CrashSite::PostApplyPreRegisters
                 | CrashSite::MidRegisterApply { .. }
@@ -489,6 +509,14 @@ mod tests {
             runs_applied: 1
         }
         .is_post_seal());
+        assert!(
+            CrashSite::MidPipelineStage {
+                tid: 1,
+                runs_staged: 1
+            }
+            .is_post_seal(),
+            "overlap window opens only after seal(N); recovery lands on N"
+        );
         assert!(CrashSite::PostApplyPreRegisters.is_post_seal());
         assert!(CrashSite::PostCommit.is_post_seal());
         assert!(!CrashSite::MidBitmapClear { tid: 0 }.is_post_seal());

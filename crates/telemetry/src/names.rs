@@ -96,6 +96,10 @@ pub const REGISTERED: &[(&str, InstrumentKind)] = &[
     ("prosper.commit.phase.apply_ns", InstrumentKind::Histogram),
     ("prosper.commit.phase.seal_ns", InstrumentKind::Histogram),
     ("prosper.commit.phase.stage_ns", InstrumentKind::Histogram),
+    (
+        "prosper.commit.pipeline.burst_ns",
+        InstrumentKind::Histogram,
+    ),
     ("prosper.commit.workers", InstrumentKind::Gauge),
     ("prosper.crashmatrix.failures", InstrumentKind::Counter),
     ("prosper.crashmatrix.sites", InstrumentKind::Counter),
