@@ -1,4 +1,9 @@
-//! Fixture: the matrix also misses `MidApply`.
+//! Fixture: the matrix also misses `MidApply` and `MidMerge`.
 pub fn sites() -> Vec<CrashSite> {
-    vec![CrashSite::PreStage, CrashSite::PostSeal { tid: 0 }]
+    vec![
+        CrashSite::PreStage,
+        CrashSite::PostSeal { tid: 0 },
+        CrashSite::BatchSeal { tid: 1 },
+        CrashSite::MergeRetire { tid: 1 },
+    ]
 }

@@ -1,6 +1,8 @@
-//! Fixture: injection points cover only two of three variants.
+//! Fixture: injection points skip `MidApply` and `MidMerge`.
 pub fn commit(inj: &mut FaultInjector) {
     crash_window!(inj, CrashSite::PreStage);
     seal();
     crash_window!(inj, CrashSite::PostSeal { tid: 0 });
+    crash_window!(inj, CrashSite::BatchSeal { tid: 0 });
+    crash_window!(inj, CrashSite::MergeRetire { tid: 0 });
 }

@@ -1,6 +1,10 @@
-//! Fixture: `MidApply` has neither injection nor matrix coverage.
+//! Fixture: `MidApply` and `MidMerge` have neither injection nor
+//! matrix coverage; the other spine sites are covered.
 pub enum CrashSite {
     PreStage,
     PostSeal { tid: u32 },
     MidApply { tid: u32 },
+    BatchSeal { tid: u32 },
+    MidMerge { tid: u32, batches_folded: u64 },
+    MergeRetire { tid: u32 },
 }

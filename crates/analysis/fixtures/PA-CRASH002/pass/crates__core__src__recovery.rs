@@ -1,6 +1,15 @@
-//! Fixture: injection points for both variants.
+//! Fixture: injection points for every variant.
 pub fn commit(inj: &mut FaultInjector) {
     crash_window!(inj, CrashSite::PreStage);
     seal();
     crash_window!(inj, CrashSite::PostSeal { tid: 0 });
+    crash_window!(inj, CrashSite::BatchSeal { tid: 0 });
+    crash_window!(
+        inj,
+        CrashSite::MidMerge {
+            tid: 0,
+            batches_folded: 1
+        }
+    );
+    crash_window!(inj, CrashSite::MergeRetire { tid: 0 });
 }

@@ -1,0 +1,7 @@
+//! Fixture: misuse of the spine / write-amplification namespaces — a
+//! typo, a kind mismatch, and an unregistered phase counter.
+pub fn report(r: &Registry) {
+    r.counter("prosper.spine.mergez").inc(); // typo: unregistered
+    r.counter("prosper.spine.batches").inc(); // registered as gauge
+    r.counter("prosper.ckpt.nvm_bytes_retire").add(16); // unregistered phase
+}

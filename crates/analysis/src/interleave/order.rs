@@ -46,6 +46,15 @@ pub enum OrderEvent {
         /// Commit sequence number.
         seq: u64,
     },
+    /// A deferred spine merge folded one stack's delta batches up to
+    /// and including the batch sealed at `seq` (staged-delta spine
+    /// mode).
+    Merge {
+        /// Newest sealed sequence the merge folded.
+        seq: u64,
+        /// Stack/thread id whose spine was merged.
+        tid: u32,
+    },
 }
 
 impl OrderEvent {
@@ -58,7 +67,8 @@ impl OrderEvent {
             | OrderEvent::Stage { seq, .. }
             | OrderEvent::Seal { seq }
             | OrderEvent::Apply { seq, .. }
-            | OrderEvent::Retire { seq } => seq,
+            | OrderEvent::Retire { seq }
+            | OrderEvent::Merge { seq, .. } => seq,
         }
     }
 }
@@ -137,6 +147,27 @@ pub enum OrderViolation {
         /// Stack inspected early.
         tid: u32,
     },
+    /// A spine merge folded up to a batch whose sequence had not
+    /// sealed yet: the merge crossed an unsealed batch, so a crash
+    /// inside it could make unsealed data durable.
+    MergeCrossesUnsealedBatch {
+        /// The unsealed sequence the merge folded.
+        seq: u64,
+        /// Stack merged early.
+        tid: u32,
+    },
+    /// A later spine merge on the same stack folded up to an *older*
+    /// sequence than an earlier merge: the fold went backwards, so
+    /// recovery would not see a prefix-closed spine (a retired batch
+    /// reappearing behind the fold point).
+    MergeRegressed {
+        /// Stack whose fold regressed.
+        tid: u32,
+        /// The newer sequence the earlier merge had already folded.
+        earlier: u64,
+        /// The older sequence the later merge regressed to.
+        later: u64,
+    },
 }
 
 impl fmt::Display for OrderViolation {
@@ -183,6 +214,22 @@ impl fmt::Display for OrderViolation {
                 write!(
                     f,
                     "bitmap of stack {tid} inspected before quiescence of sequence {seq}"
+                )
+            }
+            OrderViolation::MergeCrossesUnsealedBatch { seq, tid } => {
+                write!(
+                    f,
+                    "spine merge on stack {tid} crossed the unsealed batch of sequence {seq}"
+                )
+            }
+            OrderViolation::MergeRegressed {
+                tid,
+                earlier,
+                later,
+            } => {
+                write!(
+                    f,
+                    "spine merge on stack {tid} regressed from sequence {earlier} to {later}"
                 )
             }
         }
@@ -306,6 +353,36 @@ pub fn check_order(events: &[OrderEvent]) -> Vec<OrderViolation> {
             if sealed_earlier && retire_earlier.is_none_or(|r| sl < r) {
                 out.push(OrderViolation::SealBeforePriorRetire { earlier, later });
             }
+        }
+    }
+
+    // Spine-mode rules (PR 8). A merge folds the spine up to a sealed
+    // batch, so the referenced sequence must have sealed *earlier in
+    // the trace* — merge never crosses an unsealed batch. And per
+    // stack the fold point is monotone: a merge that regresses to an
+    // older sequence would resurrect retired batches, so recovery
+    // could no longer rely on the spine being a prefix-closed suffix
+    // of the sealed history.
+    let mut last_fold: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+    for (i, e) in events.iter().enumerate() {
+        if let OrderEvent::Merge { seq, tid } = *e {
+            let sealed_before = events[..i]
+                .iter()
+                .any(|p| matches!(p, OrderEvent::Seal { seq: s } if *s == seq));
+            if !sealed_before {
+                out.push(OrderViolation::MergeCrossesUnsealedBatch { seq, tid });
+            }
+            let prev = last_fold.get(&tid).copied();
+            if let Some(prev) = prev {
+                if seq < prev {
+                    out.push(OrderViolation::MergeRegressed {
+                        tid,
+                        earlier: prev,
+                        later: seq,
+                    });
+                }
+            }
+            last_fold.insert(tid, prev.unwrap_or(0).max(seq));
         }
     }
     out
@@ -437,6 +514,54 @@ mod tests {
             earlier: 1,
             later: 2
         }));
+    }
+
+    #[test]
+    fn merge_after_seal_is_legal_and_ordering_is_enforced() {
+        // Legal spine schedule: batches seal at 1 and 2, then one
+        // merge folds both (fold point = newest sealed sequence).
+        let mut t = good_trace();
+        t.push(OrderEvent::Stage { seq: 2, tid: 0 });
+        t.push(OrderEvent::Seal { seq: 2 });
+        t.push(OrderEvent::Apply { seq: 2, tid: 0 });
+        t.push(OrderEvent::Retire { seq: 2 });
+        t.push(OrderEvent::Merge { seq: 2, tid: 0 });
+        assert!(check_order(&t).is_empty(), "legal merge rejected");
+
+        // The same merge slid before seal(2) crosses an unsealed
+        // batch.
+        let mut bad = good_trace();
+        bad.push(OrderEvent::Stage { seq: 2, tid: 0 });
+        bad.push(OrderEvent::Merge { seq: 2, tid: 0 });
+        bad.push(OrderEvent::Seal { seq: 2 });
+        bad.push(OrderEvent::Apply { seq: 2, tid: 0 });
+        bad.push(OrderEvent::Retire { seq: 2 });
+        let v = check_order(&bad);
+        assert!(v.contains(&OrderViolation::MergeCrossesUnsealedBatch { seq: 2, tid: 0 }));
+    }
+
+    #[test]
+    fn detects_regressed_merge_fold_point() {
+        let mut t = good_trace();
+        t.push(OrderEvent::Stage { seq: 2, tid: 0 });
+        t.push(OrderEvent::Seal { seq: 2 });
+        t.push(OrderEvent::Apply { seq: 2, tid: 0 });
+        t.push(OrderEvent::Retire { seq: 2 });
+        t.push(OrderEvent::Merge { seq: 2, tid: 0 });
+        // A later merge on the same stack folding only up to seq 1
+        // resurrects the already-retired batch 2.
+        t.push(OrderEvent::Merge { seq: 1, tid: 0 });
+        let v = check_order(&t);
+        assert!(v.contains(&OrderViolation::MergeRegressed {
+            tid: 0,
+            earlier: 2,
+            later: 1
+        }));
+        // A different stack folding up to 1 is unrelated and legal.
+        let mut other = good_trace();
+        other.push(OrderEvent::Merge { seq: 1, tid: 0 });
+        other.push(OrderEvent::Merge { seq: 1, tid: 1 });
+        assert!(check_order(&other).is_empty());
     }
 
     #[test]

@@ -66,22 +66,33 @@ fn nvm001_durable_write_discipline() {
 
 #[test]
 fn crash002_exhaustiveness() {
-    // `MidApply` is missing both an injection point and a matrix ref.
-    assert_rule("PA-CRASH002", 2);
+    // `MidApply` and the spine's `MidMerge` are each missing both an
+    // injection point and a matrix ref; the covered spine sites
+    // (`BatchSeal`, `MergeRetire`) must not be flagged.
+    assert_rule("PA-CRASH002", 4);
     let fail = load("PA-CRASH002", "fail");
     let got = findings("PA-CRASH002", &fail);
     assert!(
-        got.iter().all(|m| m.contains("MidApply")),
-        "only the uncovered variant should be flagged: {got:?}"
+        got.iter()
+            .all(|m| m.contains("MidApply") || m.contains("MidMerge")),
+        "only the uncovered variants should be flagged: {got:?}"
     );
+    for uncovered in ["MidApply", "MidMerge"] {
+        assert_eq!(
+            got.iter().filter(|m| m.contains(uncovered)).count(),
+            2,
+            "{uncovered} should be flagged once per coverage surface: {got:?}"
+        );
+    }
 }
 
 #[test]
 fn tel003_name_hygiene() {
     // Typo + kind mismatch + ill-formed name, plus the
     // stall/slo/tax misuse corpus (typo, two kind mismatches, one
-    // unregistered name).
-    assert_rule("PA-TEL003", 7);
+    // unregistered name) and the spine/write-amp misuse corpus
+    // (typo, kind mismatch, unregistered phase counter).
+    assert_rule("PA-TEL003", 10);
 }
 
 #[test]

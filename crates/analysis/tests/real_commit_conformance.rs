@@ -51,6 +51,7 @@ fn to_trace(events: &[CommitProbeEvent]) -> Vec<OrderEvent> {
                 OrderEvent::Apply { seq: sequence, tid }
             }
             CommitProbeEvent::Retire { sequence } => OrderEvent::Retire { seq: sequence },
+            CommitProbeEvent::MergeThread { tid, upto } => OrderEvent::Merge { seq: upto, tid },
         })
         .collect()
 }
@@ -74,6 +75,69 @@ fn probe_pipelined(threads: u32, workers: usize, batches: usize) -> Vec<OrderEve
     let probe = CommitProbe::new();
     p.commit_pipelined_attributed(&batches, workers, Some(&probe), None);
     to_trace(&probe.events())
+}
+
+/// Drives the real staged-delta-spine commit (`commit_attributed` on
+/// a spine-configured process) and returns its probe stream.
+fn probe_spine(threads: u32, workers: usize, commits: u64) -> Vec<OrderEvent> {
+    let mut p = PersistentProcess::new_with_spine(
+        &ranges(u64::from(threads)),
+        prosper_core::SpineConfig::merge_always(),
+    );
+    let runs = full_runs(&p, threads);
+    let probe = CommitProbe::new();
+    for _ in 0..commits {
+        p.commit_attributed(&runs, workers, Some(&probe), None);
+    }
+    to_trace(&probe.events())
+}
+
+#[test]
+fn real_spine_commit_conforms_and_merges_after_seal() {
+    // PR 8: the spine schedule's probe stream — including the
+    // MergeThread events the merge loop emits — passes the checker,
+    // and every merge folds only sealed batches.
+    for &workers in &[1usize, 2, 4] {
+        let trace = probe_spine(2, workers, 3);
+        let violations = check_order(&trace);
+        assert!(
+            violations.is_empty(),
+            "workers={workers}: spine commit violated protocol order: \
+             {violations:?}\ntrace: {trace:?}"
+        );
+        assert!(
+            trace.iter().any(|e| matches!(e, OrderEvent::Merge { .. })),
+            "workers={workers}: merge-always policy must emit merges"
+        );
+    }
+}
+
+#[test]
+fn checker_rejects_merge_before_seal_forgery() {
+    // Slide a genuine merge event back before its batch's seal: the
+    // merge-never-crosses-an-unsealed-batch rule must catch it.
+    let mut trace = probe_spine(2, 2, 2);
+    assert!(check_order(&trace).is_empty());
+    let merge = trace
+        .iter()
+        .position(|e| matches!(e, OrderEvent::Merge { .. }))
+        .expect("spine trace has merges");
+    let merge_seq = trace[merge].seq();
+    let seal = trace
+        .iter()
+        .position(|e| matches!(e, OrderEvent::Seal { seq } if *seq == merge_seq))
+        .expect("merged batch sealed");
+    assert!(seal < merge, "genuine trace merges after the seal");
+    let ev = trace.remove(merge);
+    trace.insert(seal, ev); // now before seal(merge_seq)
+    let violations = check_order(&trace);
+    assert!(
+        violations.iter().any(|v| matches!(
+            v,
+            prosper_analysis::interleave::OrderViolation::MergeCrossesUnsealedBatch { .. }
+        )),
+        "checker accepted a merge-before-seal forgery: {violations:?}"
+    );
 }
 
 #[test]

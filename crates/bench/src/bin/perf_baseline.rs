@@ -2,9 +2,10 @@
 //!
 //! Runs the [`prosper_bench::perf`] suite — bitmap-inspection
 //! speedups, parallel-commit scaling (classic and pipelined),
-//! checkpoint-latency percentiles, and end-to-end workload runtimes —
-//! prints the tables, and writes the JSON report (default
-//! `BENCH_pr7.json`; the PR 3 record is `BENCH_pr3.json`).
+//! checkpoint-latency percentiles, end-to-end workload runtimes, and
+//! the staged-delta spine study — prints the tables, and writes the
+//! JSON report (default `BENCH_pr8.json`; earlier records are
+//! `BENCH_pr3.json` and `BENCH_pr7.json`).
 //!
 //! ```sh
 //! cargo run --release -p prosper-bench --bin perf_baseline
@@ -13,8 +14,17 @@
 //!
 //! Exits nonzero if the acceptance gate fails (sparse-stack
 //! inspection speedup < 5x, adaptive pipelined commit below 1.0x
-//! serial on a multi-core host, missing sections) or the emitted
-//! JSON does not parse back.
+//! serial on a multi-core host, spine critical-path latency above
+//! eager, spine write amplification not strictly below eager on the
+//! repeated-hot-words workload, missing sections) or the emitted JSON
+//! does not parse back.
+//!
+//! Gates that depend on host parallelism are auto-skipped on
+//! single-core hosts; when that happens a prominent warning is
+//! printed, because the recorded baseline then proves less than a
+//! multi-core record would (the BENCH_pr7.json lesson: it was
+//! recorded on a 1-core host with `gate_enforced: false` and nobody
+//! noticed).
 
 use std::process::ExitCode;
 
@@ -28,7 +38,7 @@ fn main() -> ExitCode {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_pr7.json".to_string());
+        .unwrap_or_else(|| "BENCH_pr8.json".to_string());
 
     let cfg = if quick {
         PerfConfig::quick()
@@ -70,6 +80,23 @@ fn main() -> ExitCode {
         "  checkpoint interval p99: {} cycles",
         s.ckpt_interval_p99_cycles
     );
+    println!(
+        "  hot-words NVM write amplification: spine {} vs eager {} milli \
+         (gate: strictly lower)",
+        s.spine_hot_words_write_amp_milli, s.eager_hot_words_write_amp_milli
+    );
+
+    if !report.pipeline.gate_enforced {
+        eprintln!(
+            "\n=========================================================================\n\
+             WARNING: host parallelism is {} — the adaptive pipelined-commit speedup\n\
+             gate was AUTO-SKIPPED (gate_enforced: false in the artifact). This\n\
+             baseline does NOT demonstrate pipelined-commit scaling; re-record it on\n\
+             a multi-core host before treating it as the reference.\n\
+             =========================================================================",
+            report.host_parallelism
+        );
+    }
 
     if let Err(why) = perf::validate(&report) {
         eprintln!("\nRESULT: FAIL ({why})");

@@ -12,8 +12,12 @@
 //!     --quick --out tax.json --trace-dir traces/
 //! # regression gate against a committed report (deterministic):
 //! cargo run --release -p prosper-bench --bin prosper_obs -- \
-//!     --quick --diff tax.json --baseline BENCH_pr3.json
+//!     --quick --diff tax.json --baseline BENCH_pr8.json
 //! ```
+//!
+//! Without `--baseline`, `BENCH_pr8.json` is checked automatically
+//! when present; any of the v1/v2/v3 perf-baseline schemas is
+//! accepted.
 //!
 //! Exits nonzero on a conservation violation, a diff against the
 //! given previous report, or a baseline phase-breakdown mismatch.
@@ -24,6 +28,10 @@ use prosper_bench::obs::{
     check_against_perf_baseline, collect, diff_reports, render_text, timeline_json, TaxReport,
 };
 use prosper_core::faultinject::{run_attributed, CrashMatrixConfig};
+
+/// Perf baseline checked automatically when no `--baseline` is given
+/// and the file exists (any of the v1/v2/v3 schemas is accepted).
+const DEFAULT_BASELINE: &str = "BENCH_pr8.json";
 
 struct Args {
     quick: bool,
@@ -98,7 +106,15 @@ fn run() -> Result<(), String> {
         }
     }
 
-    if let Some(path) = &args.baseline {
+    // An explicit --baseline is mandatory to check; without one, the
+    // committed default baseline is checked when it is present (so a
+    // repo-root run gets the consistency gate for free).
+    let baseline = args.baseline.clone().or_else(|| {
+        std::path::Path::new(DEFAULT_BASELINE)
+            .exists()
+            .then(|| DEFAULT_BASELINE.to_string())
+    });
+    if let Some(path) = &baseline {
         let json =
             std::fs::read_to_string(path).map_err(|e| format!("read baseline {path}: {e}"))?;
         check_against_perf_baseline(&report, &json)?;

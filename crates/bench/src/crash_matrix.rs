@@ -15,6 +15,7 @@ use prosper_core::faultinject::{
     enumerate_crash_sites, run_crash_attributed, run_crash_matrix, CrashMatrixConfig,
     CrashMatrixReport,
 };
+use prosper_core::SpineConfig;
 use prosper_gemos::crash::CrashSite;
 use prosper_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
@@ -58,6 +59,9 @@ pub fn site_kind(site: &CrashSite) -> &'static str {
         CrashSite::MidBitmapClear { .. } => "mid-bitmap-clear",
         CrashSite::MidSwitchSave => "mid-switch-save",
         CrashSite::MidSwitchRestore => "mid-switch-restore",
+        CrashSite::BatchSeal { .. } => "batch-seal",
+        CrashSite::MidMerge { .. } => "mid-merge",
+        CrashSite::MergeRetire { .. } => "merge-retire",
     }
 }
 
@@ -77,6 +81,9 @@ pub fn kind_coverage(report: &CrashMatrixReport) -> Vec<KindCoverage> {
         "mid-bitmap-clear",
         "mid-switch-save",
         "mid-switch-restore",
+        "batch-seal",
+        "mid-merge",
+        "merge-retire",
     ];
     order
         .iter()
@@ -138,6 +145,26 @@ pub fn default_suite() -> Vec<(&'static str, CrashMatrixConfig)> {
                 ..Default::default()
             },
         ),
+        (
+            "2 threads x 3 intervals + spine merge-always",
+            CrashMatrixConfig {
+                threads: 2,
+                intervals: 3,
+                stores_per_interval: 10,
+                spine: Some(SpineConfig::merge_always()),
+                ..Default::default()
+            },
+        ),
+        (
+            "2 threads x 3 intervals + lazy spine",
+            CrashMatrixConfig {
+                threads: 2,
+                intervals: 3,
+                stores_per_interval: 8,
+                spine: Some(SpineConfig::lazy(64)),
+                ..Default::default()
+            },
+        ),
     ]
 }
 
@@ -169,6 +196,16 @@ pub fn quick_suite() -> Vec<(&'static str, CrashMatrixConfig)> {
                 intervals: 1,
                 stores_per_interval: 5,
                 pipelined_epilogue: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "2 threads x 2 intervals + spine merge-always",
+            CrashMatrixConfig {
+                threads: 2,
+                intervals: 2,
+                stores_per_interval: 5,
+                spine: Some(SpineConfig::merge_always()),
                 ..Default::default()
             },
         ),
@@ -331,21 +368,44 @@ mod tests {
     #[test]
     fn kind_coverage_spans_the_taxonomy() {
         // The pipelined epilogue is the only schedule that crosses the
-        // overlap window, so it is what makes mid-pipeline-stage
-        // coverage nonzero.
-        let cfg = CrashMatrixConfig {
+        // overlap window (mid-pipeline-stage); the spine schedule is
+        // the only one that crosses batch-seal/mid-merge/merge-retire.
+        // Together the two shapes cover the whole taxonomy.
+        let eager_cfg = CrashMatrixConfig {
             threads: 2,
             intervals: 2,
             stores_per_interval: 6,
             pipelined_epilogue: true,
             ..Default::default()
         };
-        let report = run_crash_matrix(&cfg);
-        let cov = kind_coverage(&report);
-        assert_eq!(cov.len(), 13, "one row per site kind");
-        for kc in &cov {
-            assert!(kc.exercised > 0, "kind {} never exercised", kc.kind);
-            assert_eq!(kc.failed, 0, "kind {} has failures", kc.kind);
+        let spine_cfg = CrashMatrixConfig {
+            threads: 2,
+            intervals: 2,
+            stores_per_interval: 6,
+            spine: Some(SpineConfig::merge_always()),
+            ..Default::default()
+        };
+        let eager_cov = kind_coverage(&run_crash_matrix(&eager_cfg));
+        let spine_cov = kind_coverage(&run_crash_matrix(&spine_cfg));
+        assert_eq!(eager_cov.len(), 16, "one row per site kind");
+        assert_eq!(spine_cov.len(), 16, "one row per site kind");
+        for (e, s) in eager_cov.iter().zip(&spine_cov) {
+            assert!(
+                e.exercised + s.exercised > 0,
+                "kind {} never exercised by either schedule",
+                e.kind
+            );
+            assert_eq!(e.failed + s.failed, 0, "kind {} has failures", e.kind);
         }
+        let exercised = |cov: &[KindCoverage], kind: &str| {
+            cov.iter().find(|k| k.kind == kind).unwrap().exercised
+        };
+        // Schedule exclusivity: the apply copy exists only on the
+        // eager schedule, the spine sites only on the spine schedule.
+        assert_eq!(exercised(&spine_cov, "mid-apply"), 0);
+        assert_eq!(exercised(&eager_cov, "batch-seal"), 0);
+        assert!(exercised(&spine_cov, "batch-seal") > 0);
+        assert!(exercised(&spine_cov, "mid-merge") > 0);
+        assert!(exercised(&spine_cov, "merge-retire") > 0);
     }
 }

@@ -27,11 +27,20 @@
 //! 4. **End-to-end runtime** — micro workloads through the
 //!    checkpoint manager and the timeslice scheduler across process
 //!    counts.
+//! 5. **Staged-delta spine (PR 8)** — eager-apply vs spine-mode
+//!    commit, two comparisons: commit *critical-path* latency on the
+//!    deterministic virtual clock across sparse-stack/clustered/dense
+//!    dirty patterns and merge policies (the deferred merge is broken
+//!    out separately — it is off the critical path by construction),
+//!    and NVM write amplification from the machine model's per-phase
+//!    byte tally. The gates require spine critical latency ≤ eager at
+//!    every pattern×policy, and strictly lower steady-state write
+//!    amplification on the repeated-hot-words workload.
 //!
 //! [`run_all`] produces a [`PerfReport`]; the `perf_baseline` binary
-//! renders it, writes the JSON artifact (`BENCH_pr7.json` since the
-//! pipelined section landed; `BENCH_pr3.json` is the PR 3 record),
-//! and enforces [`validate`].
+//! renders it, writes the JSON artifact (`BENCH_pr8.json` since the
+//! spine section landed; `BENCH_pr3.json`/`BENCH_pr7.json` are the
+//! earlier records), and enforces [`validate`].
 
 use std::collections::BTreeMap;
 use std::hint::black_box;
@@ -47,17 +56,22 @@ use prosper_memsim::config::MachineConfig;
 use prosper_memsim::machine::Machine;
 use prosper_telemetry as telemetry;
 use prosper_telemetry::{HistogramSnapshot, MetricsSnapshot, NoopSink, Telemetry};
+use prosper_telemetry::{StallAccountant, StallCause};
 use prosper_trace::micro::{MicroBench, MicroSpec};
 use prosper_trace::workloads::{Workload, WorkloadProfile};
 use serde::Serialize;
 
+use crate::obs::NvmBytesRow;
 use crate::report::{ratio, Table};
 use crate::scale::SEED;
 use crate::scheduler::run_scheduled;
 
 /// Schema tag stamped into the JSON report. `v2` added the
-/// `pipeline` section (pipelined commit scaling + adaptive gate).
-pub const SCHEMA: &str = "prosper-perf-baseline/v2";
+/// `pipeline` section (pipelined commit scaling + adaptive gate);
+/// `v3` added the `spine` section (staged-delta spine latency and
+/// write-amplification comparison) and a top-level
+/// `host_parallelism`.
+pub const SCHEMA: &str = "prosper-perf-baseline/v3";
 
 /// Minimum sparse-stack inspection speedup the baseline must record.
 pub const SPARSE_STACK_GATE: f64 = 5.0;
@@ -708,6 +722,216 @@ pub fn schedule_section(cfg: &PerfConfig) -> Vec<ScheduleRow> {
 }
 
 // ---------------------------------------------------------------------------
+// Section 5: staged-delta spine (PR 8)
+// ---------------------------------------------------------------------------
+
+/// Threads in the spine latency fixture.
+const SPINE_THREADS: u64 = 4;
+/// Stack bytes per thread in the spine latency fixture.
+const SPINE_STACK_BYTES: u64 = 64 * 1024;
+
+/// One pattern × policy comparison of eager-apply vs spine-mode
+/// commit critical-path latency on the deterministic virtual clock.
+#[derive(Clone, Debug, Serialize)]
+pub struct SpineLatencyRow {
+    /// Dirty pattern (`sparse-stack`, `clustered`, `dense`).
+    pub pattern: String,
+    /// Merge policy the spine arm ran (`merge-always`, `default`,
+    /// `lazy`).
+    pub policy: String,
+    /// Commits measured per arm.
+    pub commits: u64,
+    /// Eager-apply critical-path ns (all stall causes except merge).
+    pub eager_critical_ns: u64,
+    /// Spine-mode critical-path ns — the gated number.
+    pub spine_critical_ns: u64,
+    /// Deferred merge ns the spine arm spent off the critical path.
+    pub spine_merge_ns: u64,
+    /// Delta batches still unmerged when the sweep finished.
+    pub spine_batches_left: usize,
+}
+
+/// One workload's NVM write-amplification comparison from the machine
+/// model's per-phase byte tally.
+#[derive(Clone, Debug, Serialize)]
+pub struct SpineAmpRow {
+    /// Workload label.
+    pub pattern: String,
+    /// Consistency intervals executed per arm.
+    pub intervals: u64,
+    /// Eager-apply per-phase NVM bytes.
+    pub eager: NvmBytesRow,
+    /// Spine-mode per-phase NVM bytes.
+    pub spine: NvmBytesRow,
+}
+
+/// Section 5: the staged-delta spine study.
+#[derive(Clone, Debug, Serialize)]
+pub struct SpineSection {
+    /// `available_parallelism()` on the recording host.
+    pub host_parallelism: usize,
+    /// Threads (stacks) in the latency fixture.
+    pub threads: usize,
+    /// Latency comparison, one row per dirty pattern × merge policy.
+    pub latency: Vec<SpineLatencyRow>,
+    /// Write-amplification comparison across dirty patterns (default
+    /// merge policy). Reported, not gated: descriptor overhead can
+    /// legitimately lose on many-tiny-runs patterns.
+    pub write_amp: Vec<SpineAmpRow>,
+    /// The steady-state repeated-hot-words workload — the strictly
+    /// gated write-amplification win.
+    pub hot_words: SpineAmpRow,
+}
+
+fn spine_ranges() -> Vec<VirtRange> {
+    (0..SPINE_THREADS)
+        .map(|i| {
+            let top = 0x7400_0000 + (i + 1) * 0x10_0000;
+            VirtRange::new(VirtAddr::new(top - SPINE_STACK_BYTES), VirtAddr::new(top))
+        })
+        .collect()
+}
+
+/// Copy runs modeling one dirty pattern over the spine fixture.
+fn spine_pattern_runs(pattern: &str) -> BTreeMap<u32, Vec<CopyRun>> {
+    let per_thread = |start: VirtAddr| -> Vec<CopyRun> {
+        match pattern {
+            // A few live frames scattered over the reserved window.
+            "sparse-stack" => (0..8u64)
+                .map(|k| CopyRun {
+                    start: start + k * 8192,
+                    len: 64,
+                })
+                .collect(),
+            // Hot frame clusters.
+            "clustered" => (0..4u64)
+                .map(|k| CopyRun {
+                    start: start + k * 16384,
+                    len: 2048,
+                })
+                .collect(),
+            // The whole stack dirty.
+            "dense" => vec![CopyRun {
+                start,
+                len: SPINE_STACK_BYTES,
+            }],
+            other => panic!("unknown spine pattern {other}"),
+        }
+    };
+    spine_ranges()
+        .iter()
+        .enumerate()
+        .map(|(tid, r)| (tid as u32, per_thread(r.start())))
+        .collect()
+}
+
+/// Commits `commits` times on the virtual clock and splits the stall
+/// ledger into (critical-path ns, merge ns).
+fn spine_commit_cost(
+    process: &mut PersistentProcess,
+    runs: &BTreeMap<u32, Vec<CopyRun>>,
+    commits: u64,
+) -> (u64, u64) {
+    let acct = StallAccountant::new_virtual();
+    for _ in 0..commits {
+        process.commit_attributed(runs, 1, None, Some(&acct));
+    }
+    let snap = acct.snapshot();
+    let merge = snap.cause_total_ns(StallCause::Merge);
+    let total: u64 = StallCause::ALL
+        .iter()
+        .map(|&c| snap.cause_total_ns(c))
+        .sum();
+    (total - merge, merge)
+}
+
+/// Runs one micro workload to completion and returns the machine's
+/// per-phase NVM byte tally.
+fn spine_amp_arm(
+    spec: MicroSpec,
+    intervals: u64,
+    spine: Option<prosper_core::SpineConfig>,
+) -> NvmBytesRow {
+    let mut machine = Machine::new(MachineConfig::setup_i());
+    {
+        let mut mgr = CheckpointManager::new(&mut machine, 30_000);
+        let mut mech = match spine {
+            Some(cfg) => ProsperMechanism::with_defaults().with_spine(cfg),
+            None => ProsperMechanism::with_defaults(),
+        };
+        mgr.run_stack_only(MicroBench::new(spec, SEED), &mut mech, intervals);
+    }
+    NvmBytesRow::from_phases(machine.ckpt_nvm_bytes())
+}
+
+fn spine_amp_row(pattern: &str, spec: MicroSpec, intervals: u64) -> SpineAmpRow {
+    SpineAmpRow {
+        pattern: pattern.to_string(),
+        intervals,
+        eager: spine_amp_arm(spec, intervals, None),
+        spine: spine_amp_arm(spec, intervals, Some(prosper_core::SpineConfig::default())),
+    }
+}
+
+/// Measures the staged-delta spine against eager apply.
+#[must_use]
+pub fn spine_section(cfg: &PerfConfig) -> SpineSection {
+    use prosper_core::SpineConfig;
+    let commits = cfg.commit_iters();
+    let policies = [
+        ("merge-always", SpineConfig::merge_always()),
+        ("default", SpineConfig::default()),
+        ("lazy", SpineConfig::lazy(64)),
+    ];
+    let mut latency = Vec::new();
+    for pattern in ["sparse-stack", "clustered", "dense"] {
+        let runs = spine_pattern_runs(pattern);
+        for (policy, spine_cfg) in policies {
+            let mut eager = PersistentProcess::new(&spine_ranges());
+            let (eager_critical_ns, _) = spine_commit_cost(&mut eager, &runs, commits);
+            let mut spined = PersistentProcess::new_with_spine(&spine_ranges(), spine_cfg);
+            let (spine_critical_ns, spine_merge_ns) =
+                spine_commit_cost(&mut spined, &runs, commits);
+            latency.push(SpineLatencyRow {
+                pattern: pattern.to_string(),
+                policy: policy.to_string(),
+                commits,
+                eager_critical_ns,
+                spine_critical_ns,
+                spine_merge_ns,
+                spine_batches_left: spined.spine_batches(),
+            });
+        }
+    }
+
+    let intervals = cfg.workload_intervals();
+    let write_amp = vec![
+        spine_amp_row("sparse", MicroSpec::Sparse { pages: 16 }, intervals),
+        spine_amp_row(
+            "clustered",
+            MicroSpec::Random { array_bytes: 65536 },
+            intervals,
+        ),
+        spine_amp_row("dense", MicroSpec::Stream { array_bytes: 65536 }, intervals),
+    ];
+    // Steady state: the same hot words dirtied every interval, so the
+    // spine's deferred fold dedups what eager apply copies each time.
+    let hot_words = spine_amp_row(
+        "repeated-hot-words",
+        MicroSpec::Stream { array_bytes: 8192 },
+        intervals.max(6),
+    );
+
+    SpineSection {
+        host_parallelism: host_parallelism(),
+        threads: SPINE_THREADS as usize,
+        latency,
+        write_amp,
+        hot_words,
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Report assembly
 // ---------------------------------------------------------------------------
 
@@ -728,6 +952,13 @@ pub struct Summary {
     pub pipelined_adaptive_speedup: f64,
     /// p99 whole-interval checkpoint latency (simulated cycles).
     pub ckpt_interval_p99_cycles: u64,
+    /// Eager-apply NVM write amplification (milli-units: bytes
+    /// written per 1000 dirty bytes) on the repeated-hot-words
+    /// workload.
+    pub eager_hot_words_write_amp_milli: u64,
+    /// Spine-mode write amplification on the same workload — gated
+    /// strictly below the eager number.
+    pub spine_hot_words_write_amp_milli: u64,
     /// Mean per-phase checkpoint cycles (telemetry timers).
     pub ckpt_phase_mean_cycles: BTreeMap<String, f64>,
     /// Mean per-phase commit wall time at the max worker count (ns).
@@ -741,6 +972,9 @@ pub struct PerfReport {
     pub schema: String,
     /// Whether the reduced CI budgets were used.
     pub quick: bool,
+    /// `available_parallelism()` on the recording host — the number
+    /// every auto-skipped gate is judged against.
+    pub host_parallelism: usize,
     /// Section 1: bitmap inspection comparison.
     pub bitmap: Vec<BitmapRow>,
     /// Section 2: parallel commit scaling.
@@ -753,6 +987,8 @@ pub struct PerfReport {
     pub workloads: Vec<WorkloadRow>,
     /// Section 4b: scheduler end-to-end runs across process counts.
     pub scheduler: Vec<ScheduleRow>,
+    /// Section 5: staged-delta spine vs eager apply.
+    pub spine: SpineSection,
     /// Headline numbers.
     pub summary: Summary,
 }
@@ -783,6 +1019,7 @@ pub fn run_all(cfg: &PerfConfig) -> PerfReport {
     let checkpoint = checkpoint_section(cfg);
     let workloads = workload_section(cfg);
     let scheduler = schedule_section(cfg);
+    let spine = spine_section(cfg);
 
     if installed {
         let _ = telemetry::uninstall();
@@ -800,6 +1037,8 @@ pub fn run_all(cfg: &PerfConfig) -> PerfReport {
         pipelined_adaptive_workers: pipeline.adaptive_workers,
         pipelined_adaptive_speedup: pipeline.adaptive_speedup_vs_serial,
         ckpt_interval_p99_cycles: checkpoint.interval_cycles.p99,
+        eager_hot_words_write_amp_milli: spine.hot_words.eager.write_amp_milli,
+        spine_hot_words_write_amp_milli: spine.hot_words.spine.write_amp_milli,
         ckpt_phase_mean_cycles: checkpoint
             .phase_cycles
             .iter()
@@ -817,12 +1056,14 @@ pub fn run_all(cfg: &PerfConfig) -> PerfReport {
     PerfReport {
         schema: SCHEMA.to_string(),
         quick: cfg.quick,
+        host_parallelism: host_parallelism(),
         bitmap,
         commit,
         pipeline,
         checkpoint,
         workloads,
         scheduler,
+        spine,
         summary,
     }
 }
@@ -875,6 +1116,34 @@ pub fn validate(report: &PerfReport) -> Result<(), String> {
     }
     if report.workloads.is_empty() || report.scheduler.is_empty() {
         return Err("end-to-end section is empty".into());
+    }
+    let s = &report.spine;
+    if s.latency.is_empty() || s.write_amp.is_empty() {
+        return Err("spine section is empty".into());
+    }
+    for row in &s.latency {
+        if row.spine_critical_ns > row.eager_critical_ns {
+            return Err(format!(
+                "spine critical-path latency {} ns exceeds eager {} ns on \
+                 pattern {} / policy {}",
+                row.spine_critical_ns, row.eager_critical_ns, row.pattern, row.policy
+            ));
+        }
+    }
+    let hw = &s.hot_words;
+    if hw.eager.stage != hw.spine.stage {
+        return Err(format!(
+            "hot-words arms staged different byte counts ({} vs {}) — the \
+             amplification comparison is apples to oranges",
+            hw.eager.stage, hw.spine.stage
+        ));
+    }
+    if hw.spine.write_amp_milli >= hw.eager.write_amp_milli {
+        return Err(format!(
+            "spine write amplification {} not strictly below eager {} on the \
+             repeated-hot-words workload",
+            hw.spine.write_amp_milli, hw.eager.write_amp_milli
+        ));
     }
     Ok(())
 }
@@ -1028,6 +1297,57 @@ pub fn render(report: &PerfReport) -> Vec<Table> {
     }
     tables.push(t);
 
+    let s = &report.spine;
+    let mut t = Table::new(
+        format!(
+            "Staged-delta spine: commit critical path, {} threads x {} commits (virtual ns)",
+            s.threads,
+            s.latency.first().map_or(0, |r| r.commits)
+        ),
+        &[
+            "pattern",
+            "policy",
+            "eager crit",
+            "spine crit",
+            "merge (deferred)",
+            "batches left",
+        ],
+    );
+    for r in &s.latency {
+        t.push_row(&[
+            r.pattern.clone(),
+            r.policy.clone(),
+            r.eager_critical_ns.to_string(),
+            r.spine_critical_ns.to_string(),
+            r.spine_merge_ns.to_string(),
+            r.spine_batches_left.to_string(),
+        ]);
+    }
+    tables.push(t);
+
+    let mut t = Table::new(
+        "Staged-delta spine: NVM write amplification (milli = bytes per 1000 dirty bytes)",
+        &[
+            "workload",
+            "intervals",
+            "eager amp",
+            "spine amp",
+            "eager bytes",
+            "spine bytes",
+        ],
+    );
+    for r in s.write_amp.iter().chain(std::iter::once(&s.hot_words)) {
+        t.push_row(&[
+            r.pattern.clone(),
+            r.intervals.to_string(),
+            r.eager.write_amp_milli.to_string(),
+            r.spine.write_amp_milli.to_string(),
+            r.eager.total().to_string(),
+            r.spine.total().to_string(),
+        ]);
+    }
+    tables.push(t);
+
     tables
 }
 
@@ -1058,6 +1378,15 @@ mod tests {
             report.pipeline.adaptive_workers
         );
         assert!(report.pipeline.adaptive_workers >= 1);
+        // The spine study ran: 3 patterns x 3 policies, and the
+        // hot-words amplification win made it into the summary.
+        assert_eq!(report.spine.latency.len(), 9);
+        assert_eq!(report.spine.write_amp.len(), 3);
+        assert!(
+            report.summary.spine_hot_words_write_amp_milli
+                < report.summary.eager_hot_words_write_amp_milli
+        );
+        assert!(report.host_parallelism >= 1);
         // The report serializes and re-parses.
         let json = serde_json::to_string_pretty(&report).unwrap();
         let v: serde_json::Value = serde_json::from_str(&json).unwrap();
@@ -1072,7 +1401,7 @@ mod tests {
     fn render_covers_every_section() {
         let report = run_all(&tiny());
         let tables = render(&report);
-        assert_eq!(tables.len(), 6);
+        assert_eq!(tables.len(), 8);
         for t in &tables {
             assert!(!t.rows.is_empty(), "{} has rows", t.title);
         }

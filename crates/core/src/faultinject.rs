@@ -46,6 +46,7 @@ use prosper_telemetry::{AttributionSnapshot, StallAccountant};
 
 use crate::bitmap::CopyRun;
 use crate::multithread::MultiThreadTracker;
+use crate::persist::SpineConfig;
 use crate::recovery::PersistentProcess;
 use crate::tracker::TrackerConfig;
 
@@ -71,6 +72,14 @@ pub struct CrashMatrixConfig {
     /// only exist on this schedule. Off by default so the recorded
     /// PR-3/PR-6 baselines keep their exact site counts.
     pub pipelined_epilogue: bool,
+    /// Staged-delta spine mode: commits append delta batches instead
+    /// of eagerly applying, governed by this merge policy. Crash
+    /// windows at the batch-seal, mid-merge, and merge-retire
+    /// boundaries ([`CrashSite::BatchSeal`], [`CrashSite::MidMerge`],
+    /// [`CrashSite::MergeRetire`]) only exist on this schedule. `None`
+    /// (the default) keeps the eager-apply schedule and its exact
+    /// recorded site counts.
+    pub spine: Option<SpineConfig>,
 }
 
 impl Default for CrashMatrixConfig {
@@ -82,6 +91,7 @@ impl Default for CrashMatrixConfig {
             seed: 0x9E37_79B9,
             resume_after_recovery: true,
             pipelined_epilogue: false,
+            spine: None,
         }
     }
 }
@@ -241,7 +251,10 @@ impl Driver {
             cfg,
             machine: Machine::new(MachineConfig::setup_i()),
             mt: fresh_tracker(cfg.threads),
-            process: PersistentProcess::new(&ranges),
+            process: match cfg.spine {
+                Some(spine) => PersistentProcess::new_with_spine(&ranges, spine),
+                None => PersistentProcess::new(&ranges),
+            },
             snapshots: BTreeMap::new(),
             commits_completed: 0,
             expected_sequence: 0,
@@ -575,7 +588,10 @@ impl Driver {
                     }
                 }
                 let ranges: Vec<VirtRange> = (0..self.cfg.threads).map(thread_range).collect();
-                self.process = PersistentProcess::new(&ranges);
+                self.process = match self.cfg.spine {
+                    Some(spine) => PersistentProcess::new_with_spine(&ranges, spine),
+                    None => PersistentProcess::new(&ranges),
+                };
                 Ok(0)
             }
             Err(e) => Err(format!(
@@ -958,6 +974,112 @@ mod tests {
         };
         let report = run_crash_matrix(&cfg);
         assert!(report.all_survived(), "{:?}", report.failures.first());
+    }
+
+    #[test]
+    fn spine_schedule_crosses_the_new_sites() {
+        let cfg = CrashMatrixConfig {
+            threads: 2,
+            intervals: 3,
+            stores_per_interval: 5,
+            spine: Some(SpineConfig::merge_always()),
+            ..Default::default()
+        };
+        let a = enumerate_crash_sites(&cfg);
+        let b = enumerate_crash_sites(&cfg);
+        assert_eq!(a, b, "same config, same schedule");
+        assert!(a.iter().any(|s| matches!(s, CrashSite::BatchSeal { .. })));
+        assert!(a.iter().any(|s| matches!(s, CrashSite::MidMerge { .. })));
+        assert!(a.iter().any(|s| matches!(s, CrashSite::MergeRetire { .. })));
+        assert!(
+            !a.iter().any(|s| matches!(s, CrashSite::MidApply { .. })),
+            "spine mode has no apply copy on the commit path"
+        );
+    }
+
+    #[test]
+    fn spine_sweep_survives_every_crash_point() {
+        // The tentpole acceptance sweep: every batch-seal, mid-merge,
+        // and merge-retire boundary must recover onto the committed
+        // sequence with a byte-identical image and then resume to the
+        // uninterrupted final state.
+        let cfg = CrashMatrixConfig {
+            threads: 2,
+            intervals: 3,
+            stores_per_interval: 5,
+            spine: Some(SpineConfig::merge_always()),
+            ..Default::default()
+        };
+        let report = run_crash_matrix(&cfg);
+        assert!(
+            report.all_survived(),
+            "{} of {} spine crash points failed, first: {:?}",
+            report.failures.len(),
+            report.total(),
+            report.failures.first()
+        );
+    }
+
+    #[test]
+    fn spine_lazy_policy_sweep_survives_with_deep_spine() {
+        // A lazy policy defers every merge past the run's end, so the
+        // crash matrix exercises recovery folding a multi-batch spine.
+        let cfg = CrashMatrixConfig {
+            threads: 2,
+            intervals: 3,
+            stores_per_interval: 5,
+            spine: Some(SpineConfig::lazy(64)),
+            ..Default::default()
+        };
+        let sites = enumerate_crash_sites(&cfg);
+        assert!(
+            !sites
+                .iter()
+                .any(|s| matches!(s, CrashSite::MidMerge { .. })),
+            "lazy(64) never merges inside this short run"
+        );
+        let report = run_crash_matrix(&cfg);
+        assert!(report.all_survived(), "{:?}", report.failures.first());
+    }
+
+    #[test]
+    fn spine_mid_merge_crashes_conserve_and_land_on_committed() {
+        let cfg = CrashMatrixConfig {
+            threads: 2,
+            intervals: 3,
+            stores_per_interval: 5,
+            spine: Some(SpineConfig::merge_always()),
+            ..Default::default()
+        };
+        let sites = enumerate_crash_sites(&cfg);
+        let mut merges = 0;
+        for (index, site) in sites.iter().enumerate() {
+            if !matches!(
+                site,
+                CrashSite::MidMerge { .. } | CrashSite::MergeRetire { .. }
+            ) {
+                continue;
+            }
+            merges += 1;
+            let (outcome, run) = run_crash_attributed(&cfg, index as u64)
+                .unwrap_or_else(|e| panic!("merge crash at {index}: {e}"));
+            assert_eq!(outcome.fired, Some(*site));
+            assert!(
+                outcome.recovered_sequence >= 2,
+                "merges only run once the spine holds two batches"
+            );
+            run.snapshot
+                .verify_conservation()
+                .unwrap_or_else(|e| panic!("merge crash at {index}: {e}"));
+            assert!(
+                run.snapshot
+                    .segments
+                    .iter()
+                    .any(|s| s.cause == prosper_telemetry::StallCause::Merge),
+                "a torn merge must still carry Merge-cause segments"
+            );
+        }
+        assert!(merges >= 3, "the schedule crosses several merge windows");
     }
 
     #[test]

@@ -70,4 +70,5 @@ pub mod recovery;
 pub mod tracker;
 
 pub use oscomp::ProsperMechanism;
+pub use persist::SpineConfig;
 pub use tracker::{DirtyTracker, TrackerConfig};

@@ -18,10 +18,23 @@
 //!    staging buffer to the per-thread persistent stack (two-step
 //!    commit);
 //! 6. clears the inspected bitmap words for the next interval.
+//!
+//! # Spine mode
+//!
+//! [`ProsperMechanism::with_spine`] switches step 5's second copy to
+//! the staged-delta spine discipline (see [`crate::persist`]): the
+//! sealed staging buffer is *appended* to the spine as an immutable
+//! delta batch — only a per-run descriptor record is written — and the
+//! full apply copy is deferred to a policy-gated **merge** that folds
+//! the resident batches' deduplicated coverage in one pass. Because
+//! consecutive intervals re-dirty the same hot bytes, the merge writes
+//! far fewer NVM bytes than the eager per-interval applies it
+//! replaces, which is exactly the write-amplification win the
+//! per-phase `prosper.ckpt.nvm_bytes_*` accounting measures.
 
 use prosper_gemos::checkpoint::{CheckpointOutcome, IntervalInfo, MemoryPersistence};
 use prosper_memsim::addr::{VirtAddr, VirtRange};
-use prosper_memsim::machine::Machine;
+use prosper_memsim::machine::{CkptPhase, Machine};
 use prosper_memsim::Cycles;
 use prosper_trace::record::MemAccess;
 
@@ -31,11 +44,20 @@ use crate::adaptive::{GranularityAdapter, WatermarkTuner};
 use crate::bitmap::{BitmapGeometry, CopyRun, PAGE_SPAN_BYTES};
 use crate::lookup::{partition_ops, BitmapOp, LookupStats};
 use crate::msr::{MSR_READ_CYCLES, MSR_WRITE_CYCLES};
+use crate::persist::SpineConfig;
 use crate::tracker::{DirtyTracker, TrackerConfig};
 
 /// Fixed per-run overhead of the copy loop (loop control, address
 /// arithmetic, issuing the copy) in cycles.
 const PER_RUN_OVERHEAD: Cycles = 60;
+
+/// Bytes of the durability-point record sealed per interval (the
+/// commit sequence write).
+const SEAL_RECORD_BYTES: u64 = 8;
+
+/// Bytes per run descriptor in a spine delta-batch append (start,
+/// length — the staged data itself is already in NVM).
+const RUN_DESC_BYTES: u64 = 16;
 
 /// Cycles for the OS to poll the status MSR until quiescent. The
 /// functional tracker quiesces immediately, so a single poll suffices;
@@ -97,6 +119,10 @@ pub struct ProsperIntervalStats {
     pub words_cleared: u64,
     /// Bitmap pages probed to cover the inspection window.
     pub pages_probed: u64,
+    /// Spine merges performed (0 or 1 per interval; spine mode only).
+    pub merges: u64,
+    /// Deduplicated bytes written by spine merges (spine mode only).
+    pub merged_bytes: u64,
 }
 
 /// Cycle timestamps bracketing the checkpoint phases of one interval,
@@ -109,8 +135,98 @@ struct PhaseCycles {
     clear: Cycles,
     /// DRAM → NVM staging-buffer copy.
     stage: Cycles,
-    /// Staging buffer → persistent stack copy.
+    /// Staging buffer → persistent stack copy (eager mode) or
+    /// delta-batch descriptor append (spine mode).
     apply: Cycles,
+    /// Deferred spine compaction (spine mode only).
+    merge: Cycles,
+}
+
+/// OS-level model of the staged-delta spine: sealed delta batches
+/// accumulate as run-span lists; the merge policy mirrors
+/// [`crate::persist::PersistentStack::should_merge`] so the OS cost
+/// model and the data-plane store trigger on the same schedule.
+#[derive(Debug)]
+struct SpineModel {
+    cfg: SpineConfig,
+    /// Resident batches, oldest first: each interval's (start, end)
+    /// run spans.
+    batches: Vec<Vec<(u64, u64)>>,
+    /// Total bytes across all resident batches (overlap counted per
+    /// batch).
+    total_bytes: u64,
+    /// Scratch: flattened spans for the coverage fold.
+    span_scratch: Vec<(u64, u64)>,
+}
+
+impl SpineModel {
+    fn new(cfg: SpineConfig) -> Self {
+        Self {
+            cfg,
+            batches: Vec::new(),
+            total_bytes: 0,
+            span_scratch: Vec::new(),
+        }
+    }
+
+    /// Appends the interval's sealed runs as one delta batch. An empty
+    /// interval seals nothing and leaves the spine unchanged.
+    fn push_batch(&mut self, runs: &[CopyRun]) {
+        if runs.is_empty() {
+            return;
+        }
+        self.total_bytes += runs.iter().map(|r| r.len).sum::<u64>();
+        self.batches.push(
+            runs.iter()
+                .map(|r| (r.start.raw(), r.start.raw() + r.len))
+                .collect(),
+        );
+    }
+
+    /// Distinct bytes the resident batches cover — what a merge
+    /// writes (each byte once, however many batches touch it).
+    fn distinct_bytes(&mut self) -> u64 {
+        self.span_scratch.clear();
+        self.span_scratch
+            .extend(self.batches.iter().flatten().copied());
+        self.span_scratch.sort_unstable();
+        let mut distinct = 0u64;
+        let mut cursor = 0u64;
+        for &(s, e) in &self.span_scratch {
+            let s = s.max(cursor);
+            if e > s {
+                distinct += e - s;
+                cursor = e;
+            }
+        }
+        distinct
+    }
+
+    /// `1000 * overlapped_bytes / total_batch_bytes`, mirroring
+    /// [`crate::persist::PersistentStack::spine_overlap_permille`].
+    fn overlap_permille(&mut self) -> u32 {
+        let total = self.total_bytes;
+        if total == 0 {
+            return 0;
+        }
+        let overlap = total - self.distinct_bytes();
+        u32::try_from(overlap * 1000 / total).unwrap_or(1000)
+    }
+
+    /// Whether the merge policy triggers right now.
+    fn should_merge(&mut self) -> bool {
+        self.batches.len() >= 2
+            && (self.batches.len() >= self.cfg.max_batches
+                || self.overlap_permille() >= self.cfg.overlap_permille)
+    }
+
+    /// Retires every resident batch; returns how many were folded.
+    fn retire(&mut self) -> u64 {
+        let folded = self.batches.len() as u64;
+        self.batches.clear();
+        self.total_bytes = 0;
+        folded
+    }
 }
 
 /// Prosper as a pluggable memory-persistence mechanism.
@@ -144,6 +260,8 @@ pub struct ProsperMechanism {
     attribution: Option<(std::sync::Arc<prosper_telemetry::StallAccountant>, u32)>,
     /// Monotone interval counter, used as the attribution sequence.
     interval_seq: u64,
+    /// Staged-delta spine model; `None` keeps the eager apply copy.
+    spine: Option<SpineModel>,
 }
 
 impl ProsperMechanism {
@@ -164,6 +282,7 @@ impl ProsperMechanism {
             pair_scratch: Vec::new(),
             attribution: None,
             interval_seq: 0,
+            spine: None,
         }
     }
 
@@ -185,6 +304,25 @@ impl ProsperMechanism {
     /// (16-entry table, HWM 24, LWM 8, 8-byte granularity).
     pub fn with_defaults() -> Self {
         Self::new(TrackerConfig::default())
+    }
+
+    /// Switches the interval commit to the staged-delta spine: the
+    /// sealed staging buffer is appended as a delta batch (descriptor
+    /// write only) and the apply copy is deferred to a policy-gated
+    /// merge of the deduplicated coverage.
+    pub fn with_spine(mut self, cfg: SpineConfig) -> Self {
+        self.spine = Some(SpineModel::new(cfg));
+        self
+    }
+
+    /// The spine policy, if spine mode is enabled.
+    pub fn spine_config(&self) -> Option<SpineConfig> {
+        self.spine.as_ref().map(|s| s.cfg)
+    }
+
+    /// Delta batches currently resident on the spine.
+    pub fn spine_batches(&self) -> usize {
+        self.spine.as_ref().map_or(0, |s| s.batches.len())
     }
 
     /// Enables the OS-layer dynamic-granularity policy (the extension
@@ -271,6 +409,17 @@ impl ProsperMechanism {
                 .record(phases.stage);
             r.histogram("prosper.ckpt.phase.apply_cycles")
                 .record(phases.apply);
+            if let Some(spine) = self.spine.as_ref() {
+                r.histogram("prosper.ckpt.phase.merge_cycles")
+                    .record(phases.merge);
+                r.gauge("prosper.spine.batches")
+                    .set(spine.batches.len() as i64);
+                if stats.merges > 0 {
+                    r.counter("prosper.spine.merges").add(stats.merges);
+                    r.counter("prosper.spine.merged_bytes")
+                        .add(stats.merged_bytes);
+                }
+            }
             let d = |a: u64, b: u64| a.saturating_sub(b);
             r.counter("prosper.table.searches")
                 .add(d(cur.searches, prev.searches));
@@ -419,7 +568,7 @@ impl MemoryPersistence for ProsperMechanism {
         let mut bytes = 0u64;
         for run in &self.last_runs {
             machine.advance(PER_RUN_OVERHEAD);
-            machine.bulk_copy_dram_to_nvm(run.len);
+            machine.bulk_copy_dram_to_nvm_phase(run.len, CkptPhase::Stage);
             bytes += run.len;
         }
         phases.stage = machine.now() - stage_start;
@@ -427,14 +576,46 @@ impl MemoryPersistence for ProsperMechanism {
             telemetry::span_end(telemetry::names::SPAN_CKPT_COPY, machine.now());
             telemetry::span_begin(telemetry::names::SPAN_CKPT_APPLY, "prosper", machine.now());
         }
+        // Seal: the durability-point sequence record, written via the
+        // posted persist path (bus traffic, no core stall).
+        let seal_paddr = machine.translate(VirtAddr::new(DEFAULT_BITMAP_BASE));
+        machine.persist_seal_record(seal_paddr, SEAL_RECORD_BYTES);
         let apply_start = machine.now();
-        if bytes > 0 {
-            machine.bulk_copy_nvm_to_nvm(bytes);
+        if let Some(spine) = self.spine.as_mut() {
+            // Spine mode: append the sealed batch — only the run
+            // descriptors hit NVM; the staged payload stays where the
+            // stage copy put it. The apply copy vanishes from the
+            // interval's critical path.
+            spine.push_batch(&self.last_runs);
+            let desc_bytes = self.last_runs.len() as u64 * RUN_DESC_BYTES;
+            if desc_bytes > 0 {
+                machine.bulk_copy_nvm_to_nvm_phase(desc_bytes, CkptPhase::Apply);
+            }
+        } else if bytes > 0 {
+            machine.bulk_copy_nvm_to_nvm_phase(bytes, CkptPhase::Apply);
         }
         phases.apply = machine.now() - apply_start;
         if tel {
             telemetry::span_end(telemetry::names::SPAN_CKPT_APPLY, machine.now());
         }
+
+        // Deferred merge: when the policy fires, fold the resident
+        // batches' deduplicated coverage into the persistent image in
+        // one pass and retire the spine.
+        let merge_start = machine.now();
+        if let Some(spine) = self.spine.as_mut() {
+            if spine.should_merge() {
+                let distinct = spine.distinct_bytes();
+                let folded = spine.retire();
+                machine.advance(PER_RUN_OVERHEAD * folded);
+                if distinct > 0 {
+                    machine.bulk_copy_nvm_to_nvm_phase(distinct, CkptPhase::Merge);
+                }
+                stats.merges = 1;
+                stats.merged_bytes = distinct;
+            }
+        }
+        phases.merge = machine.now() - merge_start;
 
         // Stall attribution: the foreground thread is stalled for the
         // whole interval; tile its stall window with cause-tagged
@@ -456,11 +637,16 @@ impl MemoryPersistence for ProsperMechanism {
             let s3 = acct.now_ns();
             acct.advance(phases.apply);
             let s4 = acct.now_ns();
+            acct.advance(phases.merge);
+            let s5 = acct.now_ns();
             acct.record_segment(tid, StallCause::Quiesce, seq, s0, s1);
             acct.record_segment(tid, StallCause::Inspect, seq, s1, s2);
             acct.record_segment(tid, StallCause::Stage, seq, s2, s3);
             acct.record_segment(tid, StallCause::Apply, seq, s3, s4);
-            acct.record_window(tid, s0, s4);
+            if s5 > s4 {
+                acct.record_segment(tid, StallCause::Merge, seq, s4, s5);
+            }
+            acct.record_window(tid, s0, s5);
         }
 
         stats.runs = self.last_runs.len() as u64;
@@ -471,6 +657,8 @@ impl MemoryPersistence for ProsperMechanism {
         self.totals.words_read += stats.words_read;
         self.totals.words_cleared += stats.words_cleared;
         self.totals.pages_probed += stats.pages_probed;
+        self.totals.merges += stats.merges;
+        self.totals.merged_bytes += stats.merged_bytes;
 
         // Adaptive extensions: the inspection above cleared every set
         // bit (the watermark bounds all dirty state), so retuning the
@@ -539,6 +727,72 @@ mod tests {
         let bench = MicroBench::new(spec, 7);
         let res = mgr.run_stack_only(bench, &mut mech, intervals);
         (mech.totals, res.bytes_copied)
+    }
+
+    /// Runs `spec` on a fresh machine, returning the mechanism and
+    /// the machine's per-phase NVM byte tally after the run.
+    fn run_with_phases(
+        spec: MicroSpec,
+        mech: &mut ProsperMechanism,
+        intervals: u64,
+    ) -> prosper_memsim::NvmPhaseBytes {
+        let mut machine = Machine::new(MachineConfig::setup_i());
+        {
+            let mut mgr = CheckpointManager::new(&mut machine, 30_000);
+            let bench = MicroBench::new(spec, 7);
+            mgr.run_stack_only(bench, mech, intervals);
+        }
+        machine.ckpt_nvm_bytes()
+    }
+
+    #[test]
+    fn spine_mode_defers_apply_and_cuts_write_amplification() {
+        // Stream re-dirties the same array every interval, so the
+        // spine's batches overlap heavily and the merge dedups them.
+        let spec = MicroSpec::Stream { array_bytes: 8192 };
+        let mut eager_mech = ProsperMechanism::with_defaults();
+        let eager = run_with_phases(spec, &mut eager_mech, 6);
+        let mut spine_mech = ProsperMechanism::with_defaults().with_spine(SpineConfig::default());
+        let spine = run_with_phases(spec, &mut spine_mech, 6);
+
+        assert_eq!(spine.stage, eager.stage, "stage copies are identical");
+        assert_eq!(spine.seal, eager.seal, "one seal record per interval");
+        assert!(
+            spine.apply < eager.apply,
+            "batch append ({}) beats the eager apply copy ({})",
+            spine.apply,
+            eager.apply
+        );
+        assert!(spine_mech.totals.merges > 0, "the overlap policy fired");
+        assert_eq!(eager_mech.totals.merges, 0, "eager mode never merges");
+        assert!(spine.merge > 0, "merges wrote the deduplicated coverage");
+        assert!(
+            spine.merge < eager.apply,
+            "merge writes the distinct coverage, not every batch"
+        );
+        assert!(
+            spine.total() < eager.total(),
+            "write amplification strictly lower: spine {} vs eager {}",
+            spine.total(),
+            eager.total()
+        );
+        assert_eq!(
+            spine_mech.spine_config(),
+            Some(SpineConfig::default()),
+            "policy is observable"
+        );
+    }
+
+    #[test]
+    fn lazy_spine_accumulates_batches_until_count_pressure() {
+        let spec = MicroSpec::Sparse { pages: 16 };
+        let mut mech = ProsperMechanism::with_defaults().with_spine(SpineConfig::lazy(64));
+        run_with_phases(spec, &mut mech, 3);
+        assert_eq!(mech.totals.merges, 0, "lazy policy never fired");
+        assert!(
+            mech.spine_batches() > 0,
+            "unmerged batches stay resident on the spine"
+        );
     }
 
     #[test]

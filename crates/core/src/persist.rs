@@ -10,6 +10,22 @@
 //! re-applying the (complete) staging buffer; a crash before the
 //! staging buffer is sealed discards it — either way the persistent
 //! stack reflects a whole checkpoint, never a torn one.
+//!
+//! # Staged-delta spine (PR 8)
+//!
+//! The eager protocol pays the dirty-byte bill twice per interval:
+//! once DRAM→staging and once staging→persistent-stack, with the
+//! second copy on the commit critical path. The spine mode removes
+//! the second copy from the critical path LSM-style: sealing a commit
+//! **appends** the staged buffer to an NVM-resident spine of
+//! immutable [`DeltaBatch`]es instead of applying it, and the seal
+//! remains the sole durability point. A deferred **merge** —
+//! triggered by batch count or overlapping-byte ratio, tunable via
+//! [`SpineConfig`] — folds the spine newest-wins into the persistent
+//! image, writing each surviving byte exactly once (overlapped bytes
+//! from older batches are never written). Recovery folds the same
+//! way; reads that need the durable state consult the spine-aware
+//! [`PersistentStack::read_effective`].
 
 use prosper_gemos::crash::Persistent;
 use prosper_gemos::image::MemoryImage;
@@ -35,6 +51,170 @@ enum CommitPhase {
 struct StagedRun {
     start: VirtAddr,
     data: Vec<u8>,
+}
+
+/// Tuning of the deferred spine merge (the LSM compaction policy).
+///
+/// A merge is triggered when **either** threshold is crossed: the
+/// spine holds at least `max_batches` batches (bounding recovery
+/// fold work), or the overlapping-byte ratio across batches reaches
+/// `overlap_permille` (the write-amplification win of merging — every
+/// overlapped byte is a byte the fold never writes — outweighs the
+/// cost of rewriting the distinct coverage).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpineConfig {
+    /// Merge when the spine reaches this many batches (>= 2).
+    pub max_batches: usize,
+    /// Merge when `1000 * overlapped_bytes / total_batch_bytes`
+    /// reaches this threshold (0 merges at every opportunity; 1001
+    /// never triggers on overlap alone).
+    pub overlap_permille: u32,
+}
+
+impl Default for SpineConfig {
+    fn default() -> Self {
+        Self {
+            max_batches: 8,
+            overlap_permille: 300,
+        }
+    }
+}
+
+impl SpineConfig {
+    /// An eager-ish policy: merge as soon as two batches exist.
+    #[must_use]
+    pub fn merge_always() -> Self {
+        Self {
+            max_batches: 2,
+            overlap_permille: 0,
+        }
+    }
+
+    /// A lazy policy: merge only on batch-count pressure, never on
+    /// overlap.
+    #[must_use]
+    pub fn lazy(max_batches: usize) -> Self {
+        Self {
+            max_batches,
+            overlap_permille: 1001,
+        }
+    }
+}
+
+/// One immutable sealed delta batch on the spine: the staged runs of
+/// exactly one committed sequence. Never mutated after
+/// [`PersistentStack::seal_to_spine`] creates it; merges fold batches
+/// into the persistent image and retire them wholesale.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeltaBatch {
+    sequence: u64,
+    runs: Vec<StagedRun>,
+}
+
+impl DeltaBatch {
+    /// The committed sequence this batch holds.
+    pub fn sequence(&self) -> u64 {
+        self.sequence
+    }
+
+    /// Number of runs in the batch.
+    pub fn runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Total payload bytes in the batch.
+    pub fn bytes(&self) -> u64 {
+        self.runs.iter().map(|r| r.data.len() as u64).sum()
+    }
+}
+
+/// One step of a spine merge: the deduplicated writes for one batch
+/// (newest-first fold order), precomputed so fault injection can
+/// crash between any two steps.
+#[derive(Clone, Debug)]
+pub struct MergeStep {
+    writes: Vec<StagedRun>,
+    batches_folded: u32,
+}
+
+impl MergeStep {
+    /// NVM bytes this step writes (already deduplicated against
+    /// newer batches' coverage).
+    pub fn bytes(&self) -> u64 {
+        self.writes.iter().map(|r| r.data.len() as u64).sum()
+    }
+
+    /// How many batches are folded once this step completes.
+    pub fn batches_folded(&self) -> u32 {
+        self.batches_folded
+    }
+}
+
+/// What a completed merge did — the inputs for write-amplification
+/// accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Batches folded into the persistent image and retired.
+    pub batches_folded: u64,
+    /// Total payload bytes across the folded batches.
+    pub input_bytes: u64,
+    /// Distinct NVM bytes actually written by the fold (always
+    /// `<= input_bytes`; the difference is the overlap the merge
+    /// never rewrites).
+    pub written_bytes: u64,
+}
+
+/// Byte intervals `[start, end)`, kept sorted and disjoint.
+type Coverage = Vec<(u64, u64)>;
+
+/// Parts of `[start, end)` not covered by `coverage`.
+fn subtract_coverage(start: u64, end: u64, coverage: &Coverage) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    let mut cursor = start;
+    for &(cs, ce) in coverage {
+        if ce <= cursor {
+            continue;
+        }
+        if cs >= end {
+            break;
+        }
+        if cs > cursor {
+            out.push((cursor, cs.min(end)));
+        }
+        cursor = cursor.max(ce);
+        if cursor >= end {
+            return out;
+        }
+    }
+    if cursor < end {
+        out.push((cursor, end));
+    }
+    out
+}
+
+/// Inserts `[start, end)` into `coverage`, merging adjacent and
+/// overlapping intervals.
+fn insert_coverage(coverage: &mut Coverage, start: u64, end: u64) {
+    let mut merged = (start, end);
+    let mut out = Vec::with_capacity(coverage.len() + 1);
+    let mut placed = false;
+    for &(cs, ce) in coverage.iter() {
+        if ce < merged.0 {
+            out.push((cs, ce));
+        } else if cs > merged.1 {
+            if !placed {
+                out.push(merged);
+                placed = true;
+            }
+            out.push((cs, ce));
+        } else {
+            merged = (merged.0.min(cs), merged.1.max(ce));
+        }
+    }
+    if !placed {
+        out.push(merged);
+    }
+    *coverage = out;
 }
 
 /// The per-thread persistent stack store.
@@ -82,6 +262,9 @@ pub struct PersistentStack {
     /// Sequence number of the last fully-applied commit.
     committed_sequence: u64,
     next_sequence: u64,
+    /// NVM-resident spine of immutable sealed delta batches, oldest
+    /// first (ascending sequence). Empty in eager-apply mode.
+    spine: Vec<DeltaBatch>,
 }
 
 impl PersistentStack {
@@ -98,6 +281,7 @@ impl PersistentStack {
             phase: CommitPhase::Idle,
             committed_sequence: 0,
             next_sequence: 1,
+            spine: Vec::new(),
         }
     }
 
@@ -314,6 +498,185 @@ impl PersistentStack {
         }
         self.volatile = self.persistent.clone();
     }
+
+    // ------------------------------------------------------------------
+    // Staged-delta spine (PR 8)
+    // ------------------------------------------------------------------
+
+    /// **Spine-mode step two**: retire the sealed staging buffer as an
+    /// immutable delta batch appended to the spine, and durably record
+    /// `sequence` as committed. No data is copied — the staging buffer
+    /// *becomes* the batch — so the apply copy disappears from the
+    /// commit critical path. The caller vouches for the commit point
+    /// (this stack's seal or a whole-process commit record — the
+    /// latter never writes the per-stack seal marker, so only an open
+    /// staging buffer is required here).
+    pub fn seal_to_spine(&mut self, sequence: u64) {
+        debug_assert!(
+            self.phase != CommitPhase::Idle,
+            "seal_to_spine without an open staging buffer"
+        );
+        let runs = std::mem::take(&mut self.staging);
+        self.spine.push(DeltaBatch { sequence, runs });
+        self.committed_sequence = sequence;
+        self.next_sequence = self.next_sequence.max(sequence + 1);
+        self.staging_sequence = 0;
+        self.sealed = false;
+        self.phase = CommitPhase::Idle;
+    }
+
+    /// The spine, oldest batch first.
+    pub fn spine(&self) -> &[DeltaBatch] {
+        &self.spine
+    }
+
+    /// Number of batches currently on the spine.
+    pub fn spine_batches(&self) -> usize {
+        self.spine.len()
+    }
+
+    /// Total payload bytes across all spine batches.
+    pub fn spine_bytes(&self) -> u64 {
+        self.spine.iter().map(DeltaBatch::bytes).sum()
+    }
+
+    /// Distinct bytes the spine covers (each byte counted once no
+    /// matter how many batches touch it) — what a merge would write.
+    pub fn spine_distinct_bytes(&self) -> u64 {
+        let mut coverage: Coverage = Vec::new();
+        for batch in &self.spine {
+            for run in &batch.runs {
+                let s = run.start.raw();
+                insert_coverage(&mut coverage, s, s + run.data.len() as u64);
+            }
+        }
+        coverage.iter().map(|(s, e)| e - s).sum()
+    }
+
+    /// `1000 * overlapped_bytes / total_bytes` across the spine (0
+    /// when the spine is empty or nothing overlaps).
+    pub fn spine_overlap_permille(&self) -> u32 {
+        let total = self.spine_bytes();
+        if total == 0 {
+            return 0;
+        }
+        let overlap = total - self.spine_distinct_bytes();
+        u32::try_from(overlap * 1000 / total).unwrap_or(1000)
+    }
+
+    /// Whether the merge policy triggers right now.
+    pub fn should_merge(&self, cfg: &SpineConfig) -> bool {
+        self.spine.len() >= 2
+            && (self.spine.len() >= cfg.max_batches
+                || self.spine_overlap_permille() >= cfg.overlap_permille)
+    }
+
+    /// Plans a full-spine merge: one [`MergeStep`] per batch in
+    /// **newest-first** fold order, each step's writes already
+    /// deduplicated against the coverage of every newer batch. Newer
+    /// data is written first and older overlapped bytes are skipped,
+    /// so newest-wins holds and every surviving byte is written
+    /// exactly once. Each completed prefix of steps writes a subset of
+    /// the full fold's writes with identical values, which is what
+    /// makes a crash between steps recoverable by simply re-merging.
+    pub fn merge_plan(&self) -> Vec<MergeStep> {
+        let mut coverage: Coverage = Vec::new();
+        let mut steps = Vec::with_capacity(self.spine.len());
+        for (rank, batch) in self.spine.iter().rev().enumerate() {
+            let mut writes = Vec::new();
+            for run in &batch.runs {
+                let s = run.start.raw();
+                let e = s + run.data.len() as u64;
+                for (ws, we) in subtract_coverage(s, e, &coverage) {
+                    let lo = (ws - s) as usize;
+                    let hi = (we - s) as usize;
+                    writes.push(StagedRun {
+                        start: VirtAddr::new(ws),
+                        data: run.data[lo..hi].to_vec(),
+                    });
+                }
+                insert_coverage(&mut coverage, s, e);
+            }
+            steps.push(MergeStep {
+                writes,
+                batches_folded: (rank + 1) as u32,
+            });
+        }
+        steps
+    }
+
+    /// Applies one merge step's deduplicated writes to the persistent
+    /// image. Idempotent: re-applying a step rewrites identical bytes.
+    pub fn apply_merge_step(&mut self, step: &MergeStep) {
+        for run in &step.writes {
+            self.persistent.write(run.start, &run.data);
+        }
+    }
+
+    /// Retires the spine after every merge step was applied: the
+    /// batches' data now lives (deduplicated) in the persistent image.
+    /// Returns the number of batches retired.
+    pub fn retire_spine(&mut self) -> usize {
+        let n = self.spine.len();
+        self.spine.clear();
+        n
+    }
+
+    /// Folds the whole spine newest-wins into the persistent image
+    /// and retires it. Off the commit critical path; also the recovery
+    /// fold. Idempotent and crash-safe: batches are immutable and a
+    /// partial fold writes a value-identical subset of the full fold.
+    pub fn merge_spine(&mut self) -> MergeStats {
+        let input_bytes = self.spine_bytes();
+        let mut written = 0;
+        for step in self.merge_plan() {
+            written += step.bytes();
+            self.apply_merge_step(&step);
+        }
+        let folded = self.retire_spine();
+        MergeStats {
+            batches_folded: folded as u64,
+            input_bytes,
+            written_bytes: written,
+        }
+    }
+
+    /// Spine-aware durable read: the persistent image with every spine
+    /// batch folded over it, newest-wins, for `len` bytes at `addr`.
+    /// What recovery and coherence checks consult while batches are
+    /// still unmerged.
+    pub fn read_effective(&self, addr: VirtAddr, len: usize) -> Vec<u8> {
+        let mut out = self.persistent.read(addr, len);
+        let (lo, hi) = (addr.raw(), addr.raw() + len as u64);
+        // Oldest→newest overlay: later batches overwrite earlier ones.
+        for batch in &self.spine {
+            for run in &batch.runs {
+                let rs = run.start.raw();
+                let re = rs + run.data.len() as u64;
+                let (s, e) = (rs.max(lo), re.min(hi));
+                if s < e {
+                    out[(s - lo) as usize..(e - lo) as usize]
+                        .copy_from_slice(&run.data[(s - rs) as usize..(e - rs) as usize]);
+                }
+            }
+        }
+        out
+    }
+
+    /// Spine-mode crash recovery: a sealed staging buffer (crash after
+    /// the seal, before the batch append) is retired to the spine —
+    /// redo, the seal was the commit point — and an unsealed one is
+    /// discarded. The spine is then folded into the persistent image
+    /// and the volatile image rebuilt from it.
+    pub fn recover_spine_after_crash(&mut self) {
+        if self.sealed {
+            self.seal_to_spine(self.next_sequence);
+        } else {
+            self.discard_staging();
+        }
+        self.merge_spine();
+        self.volatile = self.persistent.clone();
+    }
 }
 
 impl Persistent for PersistentStack {
@@ -506,6 +869,136 @@ mod tests {
         s.finish_apply(9);
         assert_eq!(s.staging_sequence(), 0);
         assert_eq!(s.committed_sequence(), 9);
+    }
+
+    #[test]
+    fn spine_commit_defers_apply_and_reads_effective() {
+        let mut s = store();
+        s.record_store(VirtAddr::new(0x7000_0100), b"alpha");
+        s.stage(&[run(0x7000_0100, 8)]);
+        s.seal_to_spine(1);
+        assert_eq!(s.committed_sequence(), 1);
+        assert_eq!(s.spine_batches(), 1);
+        // The apply copy never ran: the persistent image is untouched…
+        assert_eq!(s.persistent().read(VirtAddr::new(0x7000_0100), 5), [0; 5]);
+        // …but the spine-aware durable read sees the committed bytes.
+        assert_eq!(s.read_effective(VirtAddr::new(0x7000_0100), 5), b"alpha");
+    }
+
+    #[test]
+    fn spine_newest_wins_on_overlap() {
+        let mut s = store();
+        for (seq, val) in [(1u64, b"aaaaaaaa"), (2, b"bbbbbbbb")] {
+            s.record_store(VirtAddr::new(0x7000_0100), val);
+            s.stage(&[run(0x7000_0100, 8)]);
+            s.seal_to_spine(seq);
+        }
+        assert_eq!(s.read_effective(VirtAddr::new(0x7000_0100), 8), b"bbbbbbbb");
+        let stats = s.merge_spine();
+        assert_eq!(stats.batches_folded, 2);
+        assert_eq!(stats.input_bytes, 16);
+        assert_eq!(stats.written_bytes, 8, "overlapped bytes written once");
+        assert_eq!(
+            s.persistent().read(VirtAddr::new(0x7000_0100), 8),
+            b"bbbbbbbb"
+        );
+        assert_eq!(s.spine_batches(), 0);
+    }
+
+    #[test]
+    fn merge_plan_partial_prefix_is_crash_safe() {
+        let mut s = store();
+        // Batch 1: two runs; batch 2 overlaps the first run's tail.
+        s.record_store(VirtAddr::new(0x7000_0100), b"oldoldold");
+        s.record_store(VirtAddr::new(0x7000_0200), b"keepme");
+        s.stage(&[run(0x7000_0100, 9), run(0x7000_0200, 6)]);
+        s.seal_to_spine(1);
+        s.record_store(VirtAddr::new(0x7000_0104), b"newnew");
+        s.stage(&[run(0x7000_0104, 6)]);
+        s.seal_to_spine(2);
+
+        let plan = s.merge_plan();
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan[0].batches_folded(), 1);
+        assert_eq!(plan[1].batches_folded(), 2);
+        // Newest step writes its full 6 bytes; the older one is
+        // shadowed where batch 2 covers it ([0x104, 0x109) = 5 bytes).
+        assert_eq!(plan[0].bytes(), 6);
+        assert_eq!(plan[1].bytes(), 9 - 5 + 6);
+
+        // Crash mid-merge: only the newest step applied, spine intact.
+        s.apply_merge_step(&plan[0]);
+        s.crash();
+        s.recover_spine_after_crash();
+        assert_eq!(
+            s.volatile().read(VirtAddr::new(0x7000_0100), 10),
+            b"oldonewnew"
+        );
+        assert_eq!(s.volatile().read(VirtAddr::new(0x7000_0200), 6), b"keepme");
+        assert_eq!(s.spine_batches(), 0, "recovery folds and retires");
+        assert_eq!(s.committed_sequence(), 2);
+    }
+
+    #[test]
+    fn spine_overlap_policy_triggers_merge() {
+        let mut s = store();
+        for seq in 1..=3u64 {
+            s.record_store(VirtAddr::new(0x7000_0100), &[seq as u8; 8]);
+            s.stage(&[run(0x7000_0100, 8)]);
+            s.seal_to_spine(seq);
+        }
+        // Fully overlapping batches: 16 of 24 bytes are overlap.
+        assert_eq!(s.spine_overlap_permille(), 666);
+        assert!(s.should_merge(&SpineConfig::default()));
+        assert!(!s.should_merge(&SpineConfig::lazy(8)), "lazy policy waits");
+        assert!(s.should_merge(&SpineConfig::lazy(3)), "count pressure");
+    }
+
+    #[test]
+    fn spine_recovery_after_seal_redoes_batch() {
+        let mut s = store();
+        s.record_store(VirtAddr::new(0x7000_0300), b"fresh");
+        s.stage(&[run(0x7000_0300, 8)]);
+        // Crash after seal, before the batch append: the seal is the
+        // commit point, recovery must retire it to the spine (redo).
+        s.crash();
+        s.recover_spine_after_crash();
+        assert_eq!(s.volatile().read(VirtAddr::new(0x7000_0300), 5), b"fresh");
+        assert_eq!(s.committed_sequence(), 1);
+
+        // Unsealed staging is discarded, durable batches survive.
+        s.record_store(VirtAddr::new(0x7000_0300), b"torn!");
+        s.stage_partial(&[run(0x7000_0300, 8)]);
+        s.crash();
+        s.recover_spine_after_crash();
+        assert_eq!(s.volatile().read(VirtAddr::new(0x7000_0300), 5), b"fresh");
+        assert_eq!(s.committed_sequence(), 1);
+    }
+
+    #[test]
+    fn spine_differential_matches_eager_apply() {
+        // The same commit history through both modes lands the same
+        // persistent image.
+        let mut eager = store();
+        let mut spine = store();
+        let writes: [(u64, &[u8]); 4] = [
+            (0x7000_0100, b"first"),
+            (0x7000_0140, b"second"),
+            (0x7000_0100, b"third"),
+            (0x7000_0108, b"fourth"),
+        ];
+        for (seq, (addr, bytes)) in writes.iter().enumerate() {
+            eager.record_store(VirtAddr::new(*addr), bytes);
+            eager.stage(&[run(*addr, bytes.len() as u64 + 2)]);
+            eager.apply();
+            spine.record_store(VirtAddr::new(*addr), bytes);
+            spine.stage(&[run(*addr, bytes.len() as u64 + 2)]);
+            spine.seal_to_spine(seq as u64 + 1);
+        }
+        spine.merge_spine();
+        let range = VirtRange::new(VirtAddr::new(0x7000_0000), VirtAddr::new(0x7000_1000));
+        assert!(eager.persistent().matches(spine.persistent(), range));
+        assert_eq!(eager.committed_sequence(), spine.committed_sequence());
     }
 
     #[test]

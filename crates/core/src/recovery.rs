@@ -88,6 +88,27 @@
 //! ([`PersistentProcess::commit_pipelined_pair_with_faults`]) walks the
 //! same schedule with a named [`CrashSite`] at every boundary,
 //! including [`CrashSite::MidPipelineStage`] inside the overlap.
+//!
+//! # Spine mode (staged-delta spine)
+//!
+//! With a [`SpineConfig`] installed
+//! ([`PersistentProcess::new_with_spine`]), phase two changes shape:
+//! instead of copying each sealed staging buffer into the persistent
+//! image, every stack retires its buffer as an immutable delta batch
+//! appended to its spine ([`PersistentStack::seal_to_spine`], an O(1)
+//! pointer swing) — the apply copy disappears from the commit critical
+//! path. The seal remains the sole durability point and the register
+//! tail is unchanged, so crash atomicity is identical to eager mode.
+//! A deferred, policy-gated merge ([`PersistentStack::should_merge`])
+//! then folds spines newest-wins into the persistent images off the
+//! critical path, charged to [`StallCause::Merge`]; recovery folds any
+//! surviving spine the same way, so the recovered image is always
+//! byte-identical to what eager apply would have produced (the
+//! differential proptests pin this). Merge never crosses an unsealed
+//! batch: only sealed-and-appended batches are ever folded, and a
+//! crash between merge steps is recovered by simply re-merging — each
+//! completed prefix of the newest-first fold writes a value-identical
+//! subset of the full fold.
 
 use std::collections::BTreeMap;
 
@@ -100,7 +121,7 @@ use prosper_gemos::restore::{NoValidCheckpoint, ProcessCheckpointStore};
 use prosper_memsim::addr::VirtRange;
 
 use crate::bitmap::CopyRun;
-use crate::persist::PersistentStack;
+use crate::persist::{MergeStats, PersistentStack, SpineConfig};
 
 /// The NVM process commit record: the staged register file plus the
 /// seal marker whose single durable write is the whole-process commit
@@ -148,6 +169,17 @@ pub enum CommitProbeEvent {
     Retire {
         /// Sequence that completed.
         sequence: u64,
+    },
+    /// Deferred spine merge: thread `tid`'s spine was folded into its
+    /// persistent image, covering every batch up to and including
+    /// `upto`. Merges only ever run between commits — never across an
+    /// unsealed batch — which the `prosper-analysis` order checker
+    /// enforces on this event.
+    MergeThread {
+        /// Thread whose spine was folded.
+        tid: u32,
+        /// Highest committed sequence the fold covered.
+        upto: u64,
     },
 }
 
@@ -216,6 +248,16 @@ pub mod commit_cost {
     pub const APPLY_BYTE_NS: u64 = 1;
     /// Apply: per register slot (the serial tail).
     pub const REGISTER_SLOT_NS: u64 = 30;
+    /// Spine mode: retiring one sealed staging buffer as an immutable
+    /// delta batch — a pointer swing plus one durable batch-header
+    /// write. This O(1) cost replaces the per-byte apply copy on the
+    /// commit critical path; the difference is the headline win the
+    /// perf suite's `spine` section measures.
+    pub const BATCH_APPEND_NS: u64 = 80;
+    /// Spine merge: per deduplicated run written by a fold step.
+    pub const MERGE_RUN_NS: u64 = 40;
+    /// Spine merge: per deduplicated byte written by a fold step.
+    pub const MERGE_BYTE_NS: u64 = 1;
     /// Recovery redo: per staged run replayed.
     pub const RECOVERY_RUN_NS: u64 = 50;
     /// Recovery redo: per staged byte replayed.
@@ -304,6 +346,10 @@ pub struct PersistentProcess {
     pending: Option<ProcessCommitRecord>,
     /// NVM: sequence number the next commit will use.
     next_sequence: u64,
+    /// Staged-delta spine mode: `Some` defers the apply copy behind
+    /// per-stack delta batches governed by this merge policy; `None`
+    /// is the classic eager apply.
+    spine_cfg: Option<SpineConfig>,
 }
 
 /// A recovered execution state.
@@ -365,7 +411,62 @@ impl PersistentProcess {
             live_regs: vec![RegisterFile::default(); stack_ranges.len()],
             pending: None,
             next_sequence: 1,
+            spine_cfg: None,
         }
+    }
+
+    /// [`Self::new`] in staged-delta spine mode: commits append delta
+    /// batches instead of eagerly applying, governed by `cfg`'s merge
+    /// policy (see the module docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stack_ranges` is empty.
+    pub fn new_with_spine(stack_ranges: &[VirtRange], cfg: SpineConfig) -> Self {
+        let mut p = Self::new(stack_ranges);
+        p.spine_cfg = Some(cfg);
+        p
+    }
+
+    /// The installed spine merge policy (`None` in eager-apply mode).
+    pub fn spine_config(&self) -> Option<SpineConfig> {
+        self.spine_cfg
+    }
+
+    /// Installs or removes the spine merge policy. Switching modes is
+    /// only safe between commits; any batches already on a spine stay
+    /// there and are folded by the next merge or recovery.
+    pub fn set_spine_config(&mut self, cfg: Option<SpineConfig>) {
+        self.spine_cfg = cfg;
+    }
+
+    /// Total delta batches currently on all stacks' spines.
+    pub fn spine_batches(&self) -> usize {
+        self.stacks
+            .values()
+            .map(PersistentStack::spine_batches)
+            .sum()
+    }
+
+    /// Total payload bytes currently on all stacks' spines.
+    pub fn spine_bytes(&self) -> u64 {
+        self.stacks.values().map(PersistentStack::spine_bytes).sum()
+    }
+
+    /// Folds every stack's spine into its persistent image regardless
+    /// of the merge policy and returns the aggregate stats — the
+    /// steady-state drain the perf suite uses to measure total NVM
+    /// write volume, and a way to force quiescence before inspecting
+    /// persistent images directly.
+    pub fn merge_all_spines(&mut self) -> MergeStats {
+        let mut total = MergeStats::default();
+        for stack in self.stacks.values_mut() {
+            let stats = stack.merge_spine();
+            total.batches_folded += stats.batches_folded;
+            total.input_bytes += stats.input_bytes;
+            total.written_bytes += stats.written_bytes;
+        }
+        total
     }
 
     /// Mutable access to thread `tid`'s live registers.
@@ -434,11 +535,21 @@ impl PersistentProcess {
         tids: &[u32],
         workers: usize,
         runs_per_thread: &BTreeMap<u32, Vec<CopyRun>>,
+        spine: bool,
     ) -> u64 {
         let cost = |tid: u32, per_run: u64, per_byte: u64| {
             runs_per_thread
                 .get(&tid)
                 .map_or(0, |runs| Self::runs_cost(runs, per_run, per_byte))
+        };
+        // Spine mode replaces the per-byte apply copy with an O(1)
+        // batch append per stack, so its phase-two term is flat.
+        let phase_two = if spine {
+            Self::stolen_phase_cost(tids, workers, |_| commit_cost::BATCH_APPEND_NS)
+        } else {
+            Self::stolen_phase_cost(tids, workers, |tid| {
+                cost(tid, commit_cost::APPLY_RUN_NS, commit_cost::APPLY_BYTE_NS)
+            })
         };
         2 * Self::spawn_cost(workers)
             + Self::stolen_phase_cost(tids, workers, |tid| {
@@ -446,9 +557,7 @@ impl PersistentProcess {
             })
             + commit_cost::SEAL_NS
             + tids.len() as u64 * commit_cost::BOOKKEEP_SLOT_NS
-            + Self::stolen_phase_cost(tids, workers, |tid| {
-                cost(tid, commit_cost::APPLY_RUN_NS, commit_cost::APPLY_BYTE_NS)
-            })
+            + phase_two
             + tids.len() as u64 * commit_cost::REGISTER_SLOT_NS
     }
 
@@ -477,7 +586,10 @@ impl PersistentProcess {
     fn select_workers(&self, runs_per_thread: &BTreeMap<u32, Vec<CopyRun>>) -> usize {
         let tids: Vec<u32> = self.stacks.keys().copied().collect();
         let cap = Self::default_workers(tids.len());
-        Self::argmin_workers(cap, |w| Self::modeled_commit_ns(&tids, w, runs_per_thread))
+        let spine = self.spine_cfg.is_some();
+        Self::argmin_workers(cap, |w| {
+            Self::modeled_commit_ns(&tids, w, runs_per_thread, spine)
+        })
     }
 
     /// Commits one whole-process checkpoint: every thread's stack runs
@@ -612,31 +724,99 @@ impl PersistentProcess {
             a.advance(commit_cost::SEAL_NS + tids.len() as u64 * commit_cost::BOOKKEEP_SLOT_NS);
             a.now_ns()
         });
-        // Phase two (parallel apply; the register slots stay serial).
+        // Phase two. Spine mode retires each stack's sealed staging
+        // buffer as an immutable delta batch — no apply copy — then
+        // runs the deferred, policy-gated merge off the critical path;
+        // eager mode takes the classic parallel apply.
         let apply_watch = telemetry::Stopwatch::start();
-        self.apply_record_parallel(&record, workers, probe);
-        let apply_ns = apply_watch.elapsed_ns();
-        let t3 = acct.map(|a| {
-            a.advance(
-                Self::stolen_phase_cost(&tids, workers, |tid| {
-                    Self::runs_cost(
-                        &runs_per_thread[&tid],
-                        commit_cost::APPLY_RUN_NS,
-                        commit_cost::APPLY_BYTE_NS,
-                    )
-                }) + tids.len() as u64 * commit_cost::REGISTER_SLOT_NS,
-            );
-            a.now_ns()
-        });
-        if let (Some(a), Some(t0), Some(t1), Some(t2), Some(t3)) = (acct, t0, t1, t2, t3) {
+        let mut merged: Option<(u64, MergeStats)> = None;
+        let (apply_ns, merge_ns, t3, t4) = if let Some(cfg) = self.spine_cfg {
+            Self::for_each_stack(&mut self.stacks, workers, |tid, stack| {
+                stack.seal_to_spine(sequence);
+                if let Some(p) = probe {
+                    p.record(CommitProbeEvent::ApplyThread { tid, sequence });
+                }
+            });
+            for (tid, regs) in record.staged_regs.iter().enumerate() {
+                self.registers.apply_thread_at(tid, *regs, sequence);
+            }
+            self.registers.set_committed_sequence(sequence);
+            self.pending = None;
+            self.next_sequence = sequence + 1;
+            if let Some(p) = probe {
+                p.record(CommitProbeEvent::Retire { sequence });
+            }
+            let apply_ns = apply_watch.elapsed_ns();
+            let t3 = acct.map(|a| {
+                a.advance(
+                    Self::stolen_phase_cost(&tids, workers, |_| commit_cost::BATCH_APPEND_NS)
+                        + tids.len() as u64 * commit_cost::REGISTER_SLOT_NS,
+                );
+                a.now_ns()
+            });
+            let merge_watch = telemetry::Stopwatch::start();
+            let mut stats = MergeStats::default();
+            let mut merges = 0u64;
+            let mut merge_model_ns = 0u64;
+            for (tid, stack) in &mut self.stacks {
+                if !stack.should_merge(&cfg) {
+                    continue;
+                }
+                let s = stack.merge_spine();
+                merges += 1;
+                merge_model_ns += s.batches_folded * commit_cost::MERGE_RUN_NS
+                    + s.written_bytes * commit_cost::MERGE_BYTE_NS;
+                stats.batches_folded += s.batches_folded;
+                stats.input_bytes += s.input_bytes;
+                stats.written_bytes += s.written_bytes;
+                if let Some(p) = probe {
+                    p.record(CommitProbeEvent::MergeThread {
+                        tid: *tid,
+                        upto: sequence,
+                    });
+                }
+            }
+            let merge_ns = merge_watch.elapsed_ns();
+            let t4 = acct.map(|a| {
+                if merges > 0 {
+                    a.advance(commit_cost::PHASE_BASE_NS + merge_model_ns);
+                }
+                a.now_ns()
+            });
+            merged = Some((merges, stats));
+            (apply_ns, merge_ns, t3, t4)
+        } else {
+            self.apply_record_parallel(&record, workers, probe);
+            let apply_ns = apply_watch.elapsed_ns();
+            let t3 = acct.map(|a| {
+                a.advance(
+                    Self::stolen_phase_cost(&tids, workers, |tid| {
+                        Self::runs_cost(
+                            &runs_per_thread[&tid],
+                            commit_cost::APPLY_RUN_NS,
+                            commit_cost::APPLY_BYTE_NS,
+                        )
+                    }) + tids.len() as u64 * commit_cost::REGISTER_SLOT_NS,
+                );
+                a.now_ns()
+            });
+            (apply_ns, 0, t3, t3)
+        };
+        if let (Some(a), Some(t0), Some(t1), Some(t2), Some(t3), Some(t4)) =
+            (acct, t0, t1, t2, t3, t4)
+        {
             for &tid in &tids {
                 a.record_segment(tid, StallCause::Stage, sequence, t0, t1);
                 a.record_segment(tid, StallCause::Seal, sequence, t1, t2);
                 a.record_segment(tid, StallCause::Apply, sequence, t2, t3);
-                a.record_window(tid, t0, t3);
+                if t4 > t3 {
+                    a.record_segment(tid, StallCause::Merge, sequence, t3, t4);
+                }
+                a.record_window(tid, t0, t4);
             }
         }
         if telemetry::enabled() {
+            let spine_total = self.spine_batches() as i64;
             telemetry::with(|t| {
                 let r = t.registry();
                 r.gauge("prosper.commit.workers").set(workers as i64);
@@ -645,6 +825,16 @@ impl PersistentProcess {
                 r.histogram("prosper.commit.phase.seal_ns").record(seal_ns);
                 r.histogram("prosper.commit.phase.apply_ns")
                     .record(apply_ns);
+                if let Some((merges, stats)) = merged {
+                    r.histogram("prosper.commit.phase.merge_ns")
+                        .record(merge_ns);
+                    r.gauge("prosper.spine.batches").set(spine_total);
+                    if merges > 0 {
+                        r.counter("prosper.spine.merges").add(merges);
+                        r.counter("prosper.spine.merged_bytes")
+                            .add(stats.written_bytes);
+                    }
+                }
             });
         }
     }
@@ -779,6 +969,24 @@ impl PersistentProcess {
             for tid in self.stacks.keys() {
                 assert!(batch.contains_key(tid), "no runs supplied for thread {tid}");
             }
+        }
+        if self.spine_cfg.is_some() {
+            // Spine mode has no apply drain to hide the next stage
+            // behind — the burst degenerates to back-to-back spine
+            // commits, each already free of the apply copy.
+            let burst_watch = telemetry::Stopwatch::start();
+            for batch in batches {
+                self.commit_attributed(batch, workers, probe, acct);
+            }
+            let burst_ns = burst_watch.elapsed_ns();
+            if telemetry::enabled() {
+                telemetry::with(|t| {
+                    t.registry()
+                        .histogram("prosper.commit.pipeline.burst_ns")
+                        .record(burst_ns);
+                });
+            }
+            return;
         }
         let tids: Vec<u32> = self.stacks.keys().copied().collect();
         let first = self.next_sequence;
@@ -964,6 +1172,16 @@ impl PersistentProcess {
         inj: &mut FaultInjector,
         acct: Option<&StallAccountant>,
     ) -> Result<(), CrashInjected> {
+        if self.spine_cfg.is_some() {
+            // Spine mode has no apply drain to hide stage(N+1) behind
+            // (see `commit_pipelined`): the pair degenerates to two
+            // back-to-back spine commits, each already free of the
+            // apply copy. The seal-counting recovery rule is
+            // unchanged — one `PostSeal` crossing per durable
+            // sequence.
+            self.commit_with_faults_attributed(runs_n, inj, acct)?;
+            return self.commit_with_faults_attributed(runs_n1, inj, acct);
+        }
         let mut scribe = acct.map(|a| {
             FaultScribe::new(a, self.stacks.keys().copied().collect(), self.next_sequence)
         });
@@ -1268,7 +1486,78 @@ impl PersistentProcess {
             s.next_phase(StallCause::Apply);
         }
         // Phase two.
+        if let Some(cfg) = self.spine_cfg {
+            return self.spine_phase_two(&record, cfg, inj, scribe);
+        }
         self.apply_record(&record, inj, scribe)
+    }
+
+    /// Spine-mode phase two of the fault-injected commit: every
+    /// stack's sealed staging buffer is retired to its spine (a crash
+    /// window at each [`CrashSite::BatchSeal`] boundary), the register
+    /// tail runs as in eager mode, the record retires, and the
+    /// deferred merge policy walks its crash-windowed steps
+    /// ([`CrashSite::MidMerge`] between fold steps,
+    /// [`CrashSite::MergeRetire`] after each spine retires).
+    /// Idempotent end to end: recovery re-appends any staging still
+    /// tagged with the record's sequence and re-folds any surviving
+    /// spine.
+    fn spine_phase_two(
+        &mut self,
+        record: &ProcessCommitRecord,
+        cfg: SpineConfig,
+        inj: &mut FaultInjector,
+        mut scribe: Option<&mut FaultScribe<'_>>,
+    ) -> Result<(), CrashInjected> {
+        debug_assert!(record.sealed, "spine phase two before the seal");
+        for (tid, stack) in &mut self.stacks {
+            stack.seal_to_spine(record.sequence);
+            if let Some(s) = scribe.as_deref_mut() {
+                s.work(commit_cost::BATCH_APPEND_NS);
+            }
+            crash_window!(inj, CrashSite::BatchSeal { tid: *tid });
+        }
+        crash_window!(inj, CrashSite::PostApplyPreRegisters);
+        for (tid, regs) in record.staged_regs.iter().enumerate() {
+            self.registers.apply_thread_at(tid, *regs, record.sequence);
+            if let Some(s) = scribe.as_deref_mut() {
+                s.work(commit_cost::REGISTER_SLOT_NS);
+            }
+            crash_window!(inj, CrashSite::MidRegisterApply { tid: tid as u32 });
+        }
+        self.registers.set_committed_sequence(record.sequence);
+        self.pending = None;
+        self.next_sequence = record.sequence + 1;
+        crash_window!(inj, CrashSite::PostCommit);
+        // Deferred merge: policy-gated, and it never crosses an
+        // unsealed batch — everything on the spine is sealed by
+        // construction, and the commit above fully retired before the
+        // first fold step runs.
+        for (tid, stack) in &mut self.stacks {
+            if !stack.should_merge(&cfg) {
+                continue;
+            }
+            if let Some(s) = scribe.as_deref_mut() {
+                s.next_phase(StallCause::Merge);
+            }
+            let plan = stack.merge_plan();
+            for step in &plan {
+                stack.apply_merge_step(step);
+                if let Some(s) = scribe.as_deref_mut() {
+                    s.work(commit_cost::MERGE_RUN_NS + step.bytes() * commit_cost::MERGE_BYTE_NS);
+                }
+                crash_window!(
+                    inj,
+                    CrashSite::MidMerge {
+                        tid: *tid,
+                        batches_folded: step.batches_folded(),
+                    }
+                );
+            }
+            stack.retire_spine();
+            crash_window!(inj, CrashSite::MergeRetire { tid: *tid });
+        }
+        Ok(())
     }
 
     /// The parallel twin of [`Self::apply_record`]: applies every
@@ -1407,10 +1696,22 @@ impl PersistentProcess {
         let Some(acct) = acct else {
             return self.recover_inner();
         };
+        // Spine mode also re-folds any surviving batches during the
+        // replay; in eager mode the spines are empty and this is zero.
+        let spine_fold_ns: u64 = self
+            .stacks
+            .values()
+            .map(|s| {
+                s.spine().iter().map(|b| b.runs() as u64).sum::<u64>()
+                    * commit_cost::RECOVERY_RUN_NS
+                    + s.spine_bytes() * commit_cost::RECOVERY_BYTE_NS
+            })
+            .sum();
         let (sequence, redo_ns) = match &self.pending {
             Some(record) if record.sealed => (
                 record.sequence,
                 commit_cost::RECOVERY_BASE_NS
+                    + spine_fold_ns
                     + self
                         .stacks
                         .values()
@@ -1420,7 +1721,7 @@ impl PersistentProcess {
                         })
                         .sum::<u64>(),
             ),
-            _ => (0, commit_cost::RECOVERY_BASE_NS),
+            _ => (0, commit_cost::RECOVERY_BASE_NS + spine_fold_ns),
         };
         let start = acct.now_ns();
         let result = self.recover_inner();
@@ -1434,6 +1735,9 @@ impl PersistentProcess {
     }
 
     fn recover_inner(&mut self) -> Result<RecoveredState, NoValidCheckpoint> {
+        if self.spine_cfg.is_some() || self.stacks.values().any(|s| s.spine_batches() > 0) {
+            return self.recover_inner_spine();
+        }
         match self.pending.clone() {
             Some(record) if record.sealed => {
                 // Redo through the parallel apply — the crash matrix
@@ -1462,6 +1766,57 @@ impl PersistentProcess {
         })
     }
 
+    /// Spine-mode recovery: a sealed record is redone by re-appending
+    /// any staging still tagged with its sequence (a batch-seal crash
+    /// leaves some stacks un-appended), staged-ahead or unsealed
+    /// buffers are discarded, then every surviving spine is folded
+    /// newest-wins into its persistent image and the volatile images
+    /// rebuilt — recovery always sees a prefix-closed spine of sealed
+    /// batches, so the fold lands byte-identical to eager apply.
+    /// Panic-free (`PA-PANIC004`): this whole path is recovery
+    /// surface.
+    fn recover_inner_spine(&mut self) -> Result<RecoveredState, NoValidCheckpoint> {
+        match self.pending.clone() {
+            Some(record) if record.sealed => {
+                for stack in self.stacks.values_mut() {
+                    if stack.staging_sequence() == record.sequence {
+                        // The seal was the commit point: redo the
+                        // batch append the crash interrupted.
+                        stack.seal_to_spine(record.sequence);
+                    } else if stack.staging_sequence() > record.sequence {
+                        // Staged ahead for a later, never-sealed
+                        // sequence: discard.
+                        stack.discard_staging();
+                    }
+                }
+                for (tid, regs) in record.staged_regs.iter().enumerate() {
+                    self.registers.apply_thread_at(tid, *regs, record.sequence);
+                }
+                self.registers.set_committed_sequence(record.sequence);
+                self.pending = None;
+                self.next_sequence = record.sequence + 1;
+            }
+            Some(_) => {
+                // The commit never sealed: discard it wholesale.
+                self.pending = None;
+                for stack in self.stacks.values_mut() {
+                    stack.discard_staging();
+                }
+            }
+            None => {}
+        }
+        for stack in self.stacks.values_mut() {
+            stack.merge_spine();
+            stack.recover_after_crash();
+        }
+        let regs = self.registers.recover()?;
+        self.live_regs.clone_from(&regs);
+        Ok(RecoveredState {
+            regs,
+            sequence: self.registers.committed_sequence,
+        })
+    }
+
     /// Checks the cross-component sequence invariant: every thread's
     /// stack, every thread's register slot, and the process store
     /// itself agree on one committed sequence. The fault-injection
@@ -1480,6 +1835,30 @@ impl PersistentProcess {
                         stack.committed_sequence()
                     ),
                 });
+            }
+            // Spine-aware lookup: unmerged batches must form an
+            // ascending, prefix-closed run of *committed* sequences —
+            // a batch beyond the committed sequence would mean a merge
+            // crossed an unsealed batch.
+            let mut prev = 0u64;
+            for batch in stack.spine() {
+                if batch.sequence() <= prev {
+                    return Err(SequenceSkew {
+                        detail: format!(
+                            "thread {tid} spine out of order: batch {} after {prev}",
+                            batch.sequence()
+                        ),
+                    });
+                }
+                if batch.sequence() > seq {
+                    return Err(SequenceSkew {
+                        detail: format!(
+                            "thread {tid} spine batch {} beyond committed sequence {seq}",
+                            batch.sequence()
+                        ),
+                    });
+                }
+                prev = batch.sequence();
             }
         }
         if seq > 0 {
@@ -1821,12 +2200,12 @@ mod tests {
             let tids: Vec<u32> = (0..threads as u32).collect();
             for (count, len) in [(0usize, 0u64), (1, 16), (1, 64), (4, 256), (64, 4096)] {
                 let runs = uniform_runs(&tids, count, len);
-                let serial = PersistentProcess::modeled_commit_ns(&tids, 1, &runs);
+                let serial = PersistentProcess::modeled_commit_ns(&tids, 1, &runs, false);
                 for cap in [1usize, 2, 4, 8, 64] {
                     let w = PersistentProcess::argmin_workers(cap, |w| {
-                        PersistentProcess::modeled_commit_ns(&tids, w, &runs)
+                        PersistentProcess::modeled_commit_ns(&tids, w, &runs, false)
                     });
-                    let chosen = PersistentProcess::modeled_commit_ns(&tids, w, &runs);
+                    let chosen = PersistentProcess::modeled_commit_ns(&tids, w, &runs, false);
                     assert!(
                         chosen <= serial,
                         "threads={threads} count={count} len={len} cap={cap}: \
@@ -1841,7 +2220,7 @@ mod tests {
             // even with parallelism available.
             let tiny = uniform_runs(&tids, 1, 16);
             let w = PersistentProcess::argmin_workers(8, |w| {
-                PersistentProcess::modeled_commit_ns(&tids, w, &tiny)
+                PersistentProcess::modeled_commit_ns(&tids, w, &tiny, false)
             });
             assert_eq!(w, 1, "threads={threads}: tiny commit must stay serial");
         }
@@ -2162,5 +2541,284 @@ mod tests {
                 .verify_conservation()
                 .unwrap_or_else(|e| panic!("site {site}: torn pair must conserve: {e}"));
         }
+    }
+
+    /// Drives `commits` identical store/commit rounds through a spine
+    /// process and an eager twin, returning both.
+    fn twin_processes(commits: u64, cfg: SpineConfig) -> (PersistentProcess, PersistentProcess) {
+        let mut spine = PersistentProcess::new_with_spine(&ranges(2), cfg);
+        let mut eager = PersistentProcess::new(&ranges(2));
+        for seq in 0..commits {
+            for p in [&mut spine, &mut eager] {
+                for tid in 0..2u32 {
+                    let r = p.stack(tid).range();
+                    // Hot word rewritten every round + one moving cold run.
+                    p.record_store(tid, r.start() + 0x100, &seq.to_le_bytes());
+                    p.record_store(tid, r.start() + 0x800 + seq * 32, &[seq as u8; 16]);
+                    p.regs_mut(tid).rip = 0x1000 + seq;
+                }
+                let runs: BTreeMap<u32, Vec<CopyRun>> = (0..2u32)
+                    .map(|tid| {
+                        let r = p.stack(tid).range();
+                        (
+                            tid,
+                            vec![
+                                CopyRun {
+                                    start: r.start() + 0x100,
+                                    len: 8,
+                                },
+                                CopyRun {
+                                    start: r.start() + 0x800 + seq * 32,
+                                    len: 16,
+                                },
+                            ],
+                        )
+                    })
+                    .collect();
+                p.commit(&runs);
+            }
+        }
+        (spine, eager)
+    }
+
+    #[test]
+    fn spine_commit_keeps_apply_copy_off_critical_path() {
+        // A lazy policy never merges during the run: every commit's
+        // phase two is an O(1) batch append, and all batches sit on
+        // the spine until explicitly drained.
+        let (mut spine, eager) = twin_processes(4, SpineConfig::lazy(64));
+        assert_eq!(spine.committed_sequence(), eager.committed_sequence());
+        assert_eq!(
+            spine.spine_batches(),
+            2 * 4,
+            "one batch per stack per commit"
+        );
+        // The persistent images lag until the drain...
+        let stats = spine.merge_all_spines();
+        assert_eq!(stats.batches_folded, 8);
+        assert!(
+            stats.written_bytes < stats.input_bytes,
+            "the repeated hot word must dedup in the fold"
+        );
+        // ...and then match eager apply byte for byte.
+        for tid in 0..2u32 {
+            assert!(
+                spine
+                    .stack(tid)
+                    .persistent()
+                    .matches(eager.stack(tid).persistent(), spine.stack(tid).range()),
+                "thread {tid}: spine fold differs from eager apply"
+            );
+        }
+    }
+
+    #[test]
+    fn spine_policy_merges_during_commit_and_stays_coherent() {
+        let (mut spine, eager) = twin_processes(6, SpineConfig::merge_always());
+        // merge_always folds after every commit, so at most the
+        // freshest batch per stack survives — here none, because the
+        // policy fires while the spine holds two.
+        assert!(
+            spine.spine_batches() <= 2,
+            "merge_always must keep the spine short, got {}",
+            spine.spine_batches()
+        );
+        spine.merge_all_spines();
+        for tid in 0..2u32 {
+            assert!(
+                spine
+                    .stack(tid)
+                    .persistent()
+                    .matches(eager.stack(tid).persistent(), spine.stack(tid).range()),
+                "thread {tid}: spine fold differs from eager apply"
+            );
+        }
+        assert_eq!(spine.verify_coherent().unwrap(), 6);
+    }
+
+    #[test]
+    fn spine_recovery_folds_to_eager_image() {
+        let (mut spine, eager) = twin_processes(5, SpineConfig::lazy(64));
+        spine.crash();
+        let rec = spine.recover().unwrap();
+        assert_eq!(rec.sequence, 5);
+        assert_eq!(spine.verify_coherent().unwrap(), 5);
+        assert_eq!(spine.spine_batches(), 0, "recovery folds the whole spine");
+        for tid in 0..2u32 {
+            assert!(
+                spine
+                    .stack(tid)
+                    .volatile()
+                    .matches(eager.stack(tid).persistent(), spine.stack(tid).range()),
+                "thread {tid}: recovered image differs from eager apply"
+            );
+            assert_eq!(spine.regs(tid).rip, 0x1000 + 4);
+        }
+    }
+
+    #[test]
+    fn spine_crash_sites_recover_on_the_committed_sequence() {
+        // Walk every crash site the spine-mode fault-injected commit
+        // exposes; all spine sites are post-seal, so recovery must
+        // land on the sealed sequence with the full payload visible.
+        let cfg = SpineConfig::merge_always();
+        let mut probe_p = PersistentProcess::new_with_spine(&ranges(2), cfg);
+        // Two warm-up commits put batches on the spine so the third
+        // commit's merge policy fires and MidMerge/MergeRetire appear.
+        let sites = {
+            let mut inj = FaultInjector::new(CrashPlan::Record);
+            for round in 0..3u64 {
+                for tid in 0..2u32 {
+                    let r = probe_p.stack(tid).range();
+                    probe_p.record_store(tid, r.start() + 0x100, &[round as u8; 8]);
+                }
+                let runs = partial_runs(&probe_p, 0x100, 8);
+                probe_p
+                    .commit_with_faults(&runs, &mut inj)
+                    .expect("record mode never fires");
+            }
+            inj.crossed().to_vec()
+        };
+        assert!(
+            sites
+                .iter()
+                .any(|s| matches!(s, CrashSite::BatchSeal { .. })),
+            "spine commit must cross a batch-seal site"
+        );
+        assert!(
+            sites
+                .iter()
+                .any(|s| matches!(s, CrashSite::MidMerge { .. })),
+            "merge_always must cross a mid-merge site"
+        );
+        assert!(
+            sites
+                .iter()
+                .any(|s| matches!(s, CrashSite::MergeRetire { .. })),
+            "merge_always must cross a merge-retire site"
+        );
+        for (idx, site) in sites.iter().enumerate() {
+            let mut p = PersistentProcess::new_with_spine(&ranges(2), cfg);
+            let mut inj = FaultInjector::new(CrashPlan::AtIndex(idx as u64));
+            let mut expected = 0u64;
+            let mut crashed = None;
+            for round in 0..3u64 {
+                for tid in 0..2u32 {
+                    let r = p.stack(tid).range();
+                    p.record_store(tid, r.start() + 0x100, &[round as u8; 8]);
+                }
+                let runs = partial_runs(&p, 0x100, 8);
+                match p.commit_with_faults(&runs, &mut inj) {
+                    Ok(()) => expected = round + 1,
+                    Err(c) => {
+                        if c.site.is_post_seal() {
+                            expected = round + 1;
+                        }
+                        crashed = Some(c.site);
+                        break;
+                    }
+                }
+            }
+            let crashed = crashed.unwrap_or_else(|| panic!("site {idx} ({site}) never fired"));
+            assert_eq!(crashed, *site, "enumeration must be deterministic");
+            p.crash();
+            if expected == 0 {
+                assert!(p.recover().is_err(), "site {site}: nothing to recover");
+                continue;
+            }
+            let rec = p.recover().unwrap();
+            assert_eq!(
+                rec.sequence, expected,
+                "site {site}: wrong recovered sequence"
+            );
+            assert_eq!(p.verify_coherent().unwrap(), expected);
+            if expected > 0 {
+                for tid in 0..2u32 {
+                    let r = p.stack(tid).range();
+                    assert_eq!(
+                        p.stack(tid).volatile().read(r.start() + 0x100, 8),
+                        vec![(expected - 1) as u8; 8],
+                        "site {site}: payload must match sequence {expected}"
+                    );
+                }
+            }
+        }
+    }
+
+    fn partial_runs(p: &PersistentProcess, offset: u64, len: u64) -> BTreeMap<u32, Vec<CopyRun>> {
+        (0..p.threads() as u32)
+            .map(|tid| {
+                let r = p.stack(tid).range();
+                (
+                    tid,
+                    vec![CopyRun {
+                        start: r.start() + offset,
+                        len,
+                    }],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn spine_pipelined_burst_degenerates_to_sequential_commits() {
+        let mut spine = PersistentProcess::new_with_spine(&ranges(2), SpineConfig::lazy(64));
+        let mut eager = PersistentProcess::new(&ranges(2));
+        for p in [&mut spine, &mut eager] {
+            let mut batches = Vec::new();
+            for seq in 0..3u64 {
+                for tid in 0..2u32 {
+                    let r = p.stack(tid).range();
+                    p.record_store(tid, r.start() + 0x40 * (seq + 1), &[seq as u8 + 1; 8]);
+                }
+                batches.push(
+                    (0..2u32)
+                        .map(|tid| {
+                            let r = p.stack(tid).range();
+                            (
+                                tid,
+                                vec![CopyRun {
+                                    start: r.start() + 0x40 * (seq + 1),
+                                    len: 8,
+                                }],
+                            )
+                        })
+                        .collect::<BTreeMap<_, _>>(),
+                );
+            }
+            p.commit_pipelined(&batches);
+        }
+        assert_eq!(spine.committed_sequence(), 3);
+        assert_eq!(eager.committed_sequence(), 3);
+        spine.merge_all_spines();
+        for tid in 0..2u32 {
+            assert!(
+                spine
+                    .stack(tid)
+                    .persistent()
+                    .matches(eager.stack(tid).persistent(), spine.stack(tid).range()),
+                "thread {tid}: pipelined spine burst differs from eager"
+            );
+        }
+    }
+
+    #[test]
+    fn spine_commit_attributes_merge_stalls() {
+        let acct = StallAccountant::new_virtual();
+        let mut p = PersistentProcess::new_with_spine(&ranges(2), SpineConfig::merge_always());
+        for round in 0..2u64 {
+            for tid in 0..2u32 {
+                let r = p.stack(tid).range();
+                p.record_store(tid, r.start() + 0x100, &[round as u8; 8]);
+            }
+            let runs = partial_runs(&p, 0x100, 8);
+            p.commit_attributed(&runs, 1, None, Some(&acct));
+        }
+        let snap = acct.snapshot();
+        snap.verify_conservation().unwrap();
+        assert!(
+            snap.segments.iter().any(|s| s.cause == StallCause::Merge),
+            "merge_always under attribution must record Merge segments"
+        );
     }
 }

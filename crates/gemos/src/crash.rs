@@ -126,6 +126,31 @@ pub enum CrashSite {
     /// Context switch-in: the incoming thread's MSRs are restored, but
     /// the switch has not completed.
     MidSwitchRestore,
+    /// Spine-mode commit: thread `tid`'s sealed staging buffer was
+    /// appended to its delta spine as an immutable batch; later
+    /// threads' batches are not yet appended. The process record seal
+    /// already passed, so recovery redoes the batch appends.
+    BatchSeal {
+        /// Thread whose batch was just appended.
+        tid: u32,
+    },
+    /// Spine merge in progress on thread `tid`: `batches_folded`
+    /// newest batches are folded into the persistent image, the spine
+    /// itself is untouched. Recovery simply re-merges — a partial
+    /// fold wrote a value-identical subset of the full fold.
+    MidMerge {
+        /// Thread whose merge was interrupted.
+        tid: u32,
+        /// Newest-first batches folded so far.
+        batches_folded: u32,
+    },
+    /// Spine merge on thread `tid` fully folded and the batches
+    /// retired (spine truncated); the durable image already carries
+    /// every batch's surviving bytes.
+    MergeRetire {
+        /// Thread whose merge just retired its batches.
+        tid: u32,
+    },
 }
 
 impl std::fmt::Display for CrashSite {
@@ -150,6 +175,14 @@ impl std::fmt::Display for CrashSite {
             CrashSite::MidBitmapClear { tid } => write!(f, "mid-bitmap-clear(tid={tid})"),
             CrashSite::MidSwitchSave => write!(f, "mid-switch-save"),
             CrashSite::MidSwitchRestore => write!(f, "mid-switch-restore"),
+            CrashSite::BatchSeal { tid } => write!(f, "batch-seal(tid={tid})"),
+            CrashSite::MidMerge {
+                tid,
+                batches_folded,
+            } => {
+                write!(f, "mid-merge(tid={tid}, folded={batches_folded})")
+            }
+            CrashSite::MergeRetire { tid } => write!(f, "merge-retire(tid={tid})"),
         }
     }
 }
@@ -177,6 +210,9 @@ impl CrashSite {
         "MidBitmapClear",
         "MidSwitchSave",
         "MidSwitchRestore",
+        "BatchSeal",
+        "MidMerge",
+        "MergeRetire",
     ];
 
     /// `true` for sites at or after the seal: the commit point has
@@ -184,7 +220,10 @@ impl CrashSite {
     /// rather than discard it. `MidPipelineStage` is post-seal for the
     /// *draining* sequence N — the overlap window opens only after
     /// seal(N), and the staged-ahead N+1 buffers are still unsealed —
-    /// so recovery lands on N.
+    /// so recovery lands on N. The spine sites (`BatchSeal`,
+    /// `MidMerge`, `MergeRetire`) only exist after the process record
+    /// sealed — the batch append and the deferred merge both operate
+    /// on committed data — so they are post-seal too.
     pub fn is_post_seal(&self) -> bool {
         matches!(
             self,
@@ -195,6 +234,9 @@ impl CrashSite {
                 | CrashSite::PostApplyPreRegisters
                 | CrashSite::MidRegisterApply { .. }
                 | CrashSite::PostCommit
+                | CrashSite::BatchSeal { .. }
+                | CrashSite::MidMerge { .. }
+                | CrashSite::MergeRetire { .. }
         )
     }
 }
@@ -521,6 +563,14 @@ mod tests {
         assert!(CrashSite::PostCommit.is_post_seal());
         assert!(!CrashSite::MidBitmapClear { tid: 0 }.is_post_seal());
         assert!(!CrashSite::MidSwitchSave.is_post_seal());
+        // Spine sites operate on already-committed data: post-seal.
+        assert!(CrashSite::BatchSeal { tid: 0 }.is_post_seal());
+        assert!(CrashSite::MidMerge {
+            tid: 0,
+            batches_folded: 1
+        }
+        .is_post_seal());
+        assert!(CrashSite::MergeRetire { tid: 1 }.is_post_seal());
     }
 
     #[test]

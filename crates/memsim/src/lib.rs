@@ -49,7 +49,7 @@ pub mod tlb;
 
 pub use addr::{PhysAddr, VirtAddr};
 pub use config::MachineConfig;
-pub use machine::Machine;
+pub use machine::{CkptPhase, Machine, NvmPhaseBytes};
 
 /// A simulated clock-cycle count at the core frequency (3 GHz in both
 /// Table II setups).

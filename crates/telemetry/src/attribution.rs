@@ -70,18 +70,22 @@ pub enum StallCause {
     Apply,
     /// Tracker quiescence handshake (MSR write + flush + poll).
     Quiesce,
+    /// Deferred spine-merge compaction: folding delta batches into
+    /// the persistent image, off the commit critical path.
+    Merge,
     /// Redo replay after a crash.
     Recovery,
 }
 
 impl StallCause {
     /// Every cause, in tax-report column order.
-    pub const ALL: [StallCause; 6] = [
+    pub const ALL: [StallCause; 7] = [
         StallCause::Inspect,
         StallCause::Stage,
         StallCause::Seal,
         StallCause::Apply,
         StallCause::Quiesce,
+        StallCause::Merge,
         StallCause::Recovery,
     ];
 
@@ -94,6 +98,7 @@ impl StallCause {
             StallCause::Seal => "seal",
             StallCause::Apply => "apply",
             StallCause::Quiesce => "quiesce",
+            StallCause::Merge => "merge",
             StallCause::Recovery => "recovery",
         }
     }
@@ -615,6 +620,7 @@ pub fn report_to_registry(snap: &AttributionSnapshot, registry: &crate::Registry
             StallCause::Seal => "prosper.stall.seal_ns",
             StallCause::Apply => "prosper.stall.apply_ns",
             StallCause::Quiesce => "prosper.stall.quiesce_ns",
+            StallCause::Merge => "prosper.stall.merge_ns",
             StallCause::Recovery => "prosper.stall.recovery_ns",
         };
         registry.counter(name).add(snap.cause_total_ns(cause));

@@ -81,12 +81,17 @@ pub const REGISTERED: &[(&str, InstrumentKind)] = &[
     ("prosper.ckpt.interval_cycles", InstrumentKind::Histogram),
     ("prosper.ckpt.intervals", InstrumentKind::Counter),
     ("prosper.ckpt.metadata_cycles", InstrumentKind::Histogram),
+    ("prosper.ckpt.nvm_bytes_apply", InstrumentKind::Counter),
+    ("prosper.ckpt.nvm_bytes_merge", InstrumentKind::Counter),
+    ("prosper.ckpt.nvm_bytes_seal", InstrumentKind::Counter),
+    ("prosper.ckpt.nvm_bytes_stage", InstrumentKind::Counter),
     ("prosper.ckpt.phase.apply_cycles", InstrumentKind::Histogram),
     ("prosper.ckpt.phase.clear_cycles", InstrumentKind::Histogram),
     (
         "prosper.ckpt.phase.inspect_cycles",
         InstrumentKind::Histogram,
     ),
+    ("prosper.ckpt.phase.merge_cycles", InstrumentKind::Histogram),
     ("prosper.ckpt.phase.stage_cycles", InstrumentKind::Histogram),
     (SPAN_CKPT_QUIESCE, InstrumentKind::Span),
     (SPAN_CKPT_REGISTERS, InstrumentKind::Span),
@@ -94,6 +99,7 @@ pub const REGISTERED: &[(&str, InstrumentKind)] = &[
     (SPAN_CKPT_SCAN, InstrumentKind::Span),
     (SPAN_CKPT_COPY, InstrumentKind::Span),
     ("prosper.commit.phase.apply_ns", InstrumentKind::Histogram),
+    ("prosper.commit.phase.merge_ns", InstrumentKind::Histogram),
     ("prosper.commit.phase.seal_ns", InstrumentKind::Histogram),
     ("prosper.commit.phase.stage_ns", InstrumentKind::Histogram),
     (
@@ -121,8 +127,12 @@ pub const REGISTERED: &[(&str, InstrumentKind)] = &[
     ("prosper.slo.p999_ns", InstrumentKind::Gauge),
     ("prosper.slo.p99_ns", InstrumentKind::Gauge),
     ("prosper.slo.violations", InstrumentKind::Counter),
+    ("prosper.spine.batches", InstrumentKind::Gauge),
+    ("prosper.spine.merged_bytes", InstrumentKind::Counter),
+    ("prosper.spine.merges", InstrumentKind::Counter),
     ("prosper.stall.apply_ns", InstrumentKind::Counter),
     ("prosper.stall.inspect_ns", InstrumentKind::Counter),
+    ("prosper.stall.merge_ns", InstrumentKind::Counter),
     ("prosper.stall.quiesce_ns", InstrumentKind::Counter),
     ("prosper.stall.recovery_ns", InstrumentKind::Counter),
     ("prosper.stall.seal_ns", InstrumentKind::Counter),

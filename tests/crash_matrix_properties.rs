@@ -13,6 +13,7 @@ use prosper_repro::core::faultinject::{
     CrashMatrixConfig,
 };
 use prosper_repro::core::recovery::PersistentProcess;
+use prosper_repro::core::SpineConfig;
 use prosper_repro::gemos::crash::{CrashSite, FaultInjector};
 use prosper_repro::gemos::image::MemoryImage;
 use prosper_repro::gemos::process::RegisterFile;
@@ -48,9 +49,13 @@ proptest! {
     /// final state.
     #[test]
     fn random_crash_placement_always_recovers(
-        params in (1u32..4, 1u32..4, 1u32..9, any::<u64>(), any::<u64>(), any::<bool>())
+        params in (
+            (1u32..4, 1u32..4, 1u32..9),
+            (any::<u64>(), any::<u64>(), any::<bool>(), 0u8..3),
+        )
     ) {
-        let (threads, intervals, stores_per_interval, seed, pick, pipelined_epilogue) = params;
+        let ((threads, intervals, stores_per_interval), (seed, pick, pipelined_epilogue, spine_mode)) =
+            params;
         let cfg = CrashMatrixConfig {
             threads,
             intervals,
@@ -58,6 +63,11 @@ proptest! {
             seed,
             resume_after_recovery: true,
             pipelined_epilogue,
+            spine: match spine_mode {
+                0 => None,
+                1 => Some(SpineConfig::merge_always()),
+                _ => Some(SpineConfig::lazy(64)),
+            },
         };
         let sites = enumerate_crash_sites(&cfg);
         prop_assert!(!sites.is_empty());
@@ -89,6 +99,7 @@ proptest! {
             seed,
             resume_after_recovery: true,
             pipelined_epilogue: true,
+            spine: None,
         };
         let sites = enumerate_crash_sites(&cfg);
         let first_overlap = sites
