@@ -1,9 +1,11 @@
-//! Fixture: the matrix also misses `MidApply` and `MidMerge`.
+//! Fixture: the matrix also misses `MidApply`, `MidMerge`, and
+//! `AllocReservationSteal`.
 pub fn sites() -> Vec<CrashSite> {
     vec![
         CrashSite::PreStage,
         CrashSite::PostSeal { tid: 0 },
         CrashSite::BatchSeal { tid: 1 },
         CrashSite::MergeRetire { tid: 1 },
+        CrashSite::AllocSubtreePersist { subtree: 2 },
     ]
 }

@@ -1,5 +1,6 @@
-//! Fixture: `MidApply` and `MidMerge` have neither injection nor
-//! matrix coverage; the other spine sites are covered.
+//! Fixture: `MidApply`, `MidMerge`, and `AllocReservationSteal` have
+//! neither injection nor matrix coverage; the other spine and
+//! allocator sites are covered.
 pub enum CrashSite {
     PreStage,
     PostSeal { tid: u32 },
@@ -7,4 +8,6 @@ pub enum CrashSite {
     BatchSeal { tid: u32 },
     MidMerge { tid: u32, batches_folded: u64 },
     MergeRetire { tid: u32 },
+    AllocSubtreePersist { subtree: u32 },
+    AllocReservationSteal { worker: u32 },
 }

@@ -1,0 +1,6 @@
+//! Fixture: the allocator injects only the subtree-persist site; the
+//! reservation-steal window is missing.
+pub fn persist_nvm(inj: &mut FaultInjector) {
+    stage_subtree();
+    crash_window!(inj, CrashSite::AllocSubtreePersist { subtree: 0 });
+}

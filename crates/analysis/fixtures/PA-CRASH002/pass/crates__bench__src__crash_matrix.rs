@@ -9,5 +9,7 @@ pub fn sites() -> Vec<CrashSite> {
             batches_folded: 2,
         },
         CrashSite::MergeRetire { tid: 1 },
+        CrashSite::AllocSubtreePersist { subtree: 0 },
+        CrashSite::AllocReservationSteal { worker: 1 },
     ]
 }

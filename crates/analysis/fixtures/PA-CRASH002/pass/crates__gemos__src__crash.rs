@@ -1,5 +1,5 @@
 //! Fixture: a fully covered crash-site enum, including the
-//! staged-delta-spine sites.
+//! staged-delta-spine and lock-free-allocator sites.
 pub enum CrashSite {
     /// Before anything was staged.
     PreStage,
@@ -11,4 +11,8 @@ pub enum CrashSite {
     MidMerge { tid: u32, batches_folded: u64 },
     /// After the fold, before the merged batches retire.
     MergeRetire { tid: u32 },
+    /// After a subtree's durable word was staged, seal not written.
+    AllocSubtreePersist { subtree: u32 },
+    /// A worker's drained reservation is moving to a new subtree.
+    AllocReservationSteal { worker: u32 },
 }

@@ -1,0 +1,10 @@
+//! Fixture: injection points for the allocator crash sites live in
+//! the allocator itself, not the commit pipeline.
+pub fn persist_nvm(inj: &mut FaultInjector) {
+    stage_subtree();
+    crash_window!(inj, CrashSite::AllocSubtreePersist { subtree: 0 });
+}
+
+pub fn steal(inj: &mut FaultInjector) {
+    crash_window!(inj, CrashSite::AllocReservationSteal { worker: 3 });
+}

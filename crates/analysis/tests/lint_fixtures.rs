@@ -66,18 +66,20 @@ fn nvm001_durable_write_discipline() {
 
 #[test]
 fn crash002_exhaustiveness() {
-    // `MidApply` and the spine's `MidMerge` are each missing both an
-    // injection point and a matrix ref; the covered spine sites
-    // (`BatchSeal`, `MergeRetire`) must not be flagged.
-    assert_rule("PA-CRASH002", 4);
+    // `MidApply`, the spine's `MidMerge`, and the allocator's
+    // `AllocReservationSteal` are each missing both an injection point
+    // and a matrix ref; the covered spine sites (`BatchSeal`,
+    // `MergeRetire`) and `AllocSubtreePersist` must not be flagged.
+    assert_rule("PA-CRASH002", 6);
     let fail = load("PA-CRASH002", "fail");
     let got = findings("PA-CRASH002", &fail);
     assert!(
-        got.iter()
-            .all(|m| m.contains("MidApply") || m.contains("MidMerge")),
+        got.iter().all(|m| m.contains("MidApply")
+            || m.contains("MidMerge")
+            || m.contains("AllocReservationSteal")),
         "only the uncovered variants should be flagged: {got:?}"
     );
-    for uncovered in ["MidApply", "MidMerge"] {
+    for uncovered in ["MidApply", "MidMerge", "AllocReservationSteal"] {
         assert_eq!(
             got.iter().filter(|m| m.contains(uncovered)).count(),
             2,
@@ -90,9 +92,10 @@ fn crash002_exhaustiveness() {
 fn tel003_name_hygiene() {
     // Typo + kind mismatch + ill-formed name, plus the
     // stall/slo/tax misuse corpus (typo, two kind mismatches, one
-    // unregistered name) and the spine/write-amp misuse corpus
-    // (typo, kind mismatch, unregistered phase counter).
-    assert_rule("PA-TEL003", 10);
+    // unregistered name), the spine/write-amp misuse corpus (typo,
+    // kind mismatch, unregistered phase counter), and the alloc/fleet
+    // misuse corpus (typo, kind mismatch, unregistered gauge).
+    assert_rule("PA-TEL003", 13);
 }
 
 #[test]

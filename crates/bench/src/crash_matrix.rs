@@ -62,6 +62,8 @@ pub fn site_kind(site: &CrashSite) -> &'static str {
         CrashSite::BatchSeal { .. } => "batch-seal",
         CrashSite::MidMerge { .. } => "mid-merge",
         CrashSite::MergeRetire { .. } => "merge-retire",
+        CrashSite::AllocSubtreePersist { .. } => "alloc-subtree-persist",
+        CrashSite::AllocReservationSteal { .. } => "alloc-reservation-steal",
     }
 }
 
@@ -84,6 +86,8 @@ pub fn kind_coverage(report: &CrashMatrixReport) -> Vec<KindCoverage> {
         "batch-seal",
         "mid-merge",
         "merge-retire",
+        "alloc-subtree-persist",
+        "alloc-reservation-steal",
     ];
     order
         .iter()
@@ -165,6 +169,16 @@ pub fn default_suite() -> Vec<(&'static str, CrashMatrixConfig)> {
                 ..Default::default()
             },
         ),
+        (
+            "2 threads x 2 intervals + allocator epilogue",
+            CrashMatrixConfig {
+                threads: 2,
+                intervals: 2,
+                stores_per_interval: 8,
+                alloc_epilogue: true,
+                ..Default::default()
+            },
+        ),
     ]
 }
 
@@ -206,6 +220,16 @@ pub fn quick_suite() -> Vec<(&'static str, CrashMatrixConfig)> {
                 intervals: 2,
                 stores_per_interval: 5,
                 spine: Some(SpineConfig::merge_always()),
+                ..Default::default()
+            },
+        ),
+        (
+            "1 thread x 1 interval + allocator epilogue",
+            CrashMatrixConfig {
+                threads: 1,
+                intervals: 1,
+                stores_per_interval: 4,
+                alloc_epilogue: true,
                 ..Default::default()
             },
         ),
@@ -376,6 +400,7 @@ mod tests {
             intervals: 2,
             stores_per_interval: 6,
             pipelined_epilogue: true,
+            alloc_epilogue: true,
             ..Default::default()
         };
         let spine_cfg = CrashMatrixConfig {
@@ -387,8 +412,8 @@ mod tests {
         };
         let eager_cov = kind_coverage(&run_crash_matrix(&eager_cfg));
         let spine_cov = kind_coverage(&run_crash_matrix(&spine_cfg));
-        assert_eq!(eager_cov.len(), 16, "one row per site kind");
-        assert_eq!(spine_cov.len(), 16, "one row per site kind");
+        assert_eq!(eager_cov.len(), 18, "one row per site kind");
+        assert_eq!(spine_cov.len(), 18, "one row per site kind");
         for (e, s) in eager_cov.iter().zip(&spine_cov) {
             assert!(
                 e.exercised + s.exercised > 0,
@@ -407,5 +432,9 @@ mod tests {
         assert!(exercised(&spine_cov, "batch-seal") > 0);
         assert!(exercised(&spine_cov, "mid-merge") > 0);
         assert!(exercised(&spine_cov, "merge-retire") > 0);
+        // The allocator sites exist only on the allocator epilogue.
+        assert_eq!(exercised(&spine_cov, "alloc-subtree-persist"), 0);
+        assert!(exercised(&eager_cov, "alloc-subtree-persist") > 0);
+        assert!(exercised(&eager_cov, "alloc-reservation-steal") > 0);
     }
 }

@@ -32,6 +32,7 @@ use std::sync::Arc;
 use prosper_core::faultinject::{
     enumerate_crash_sites, run_attributed, run_crash_attributed, AttributedRun, CrashMatrixConfig,
 };
+use prosper_core::fleet::{CheckpointFleet, FleetConfig};
 use prosper_core::ProsperMechanism;
 use prosper_gemos::checkpoint::CheckpointManager;
 use prosper_memsim::config::MachineConfig;
@@ -76,8 +77,11 @@ pub struct TaxThreadRow {
     pub quiesce_ns: u64,
     /// Recovery replay after a crash.
     pub recovery_ns: u64,
+    /// Fleet-scale backpressure: the commit deferred because shared
+    /// staging occupancy crossed the high-water mark.
+    pub backpressure_ns: u64,
     /// Total measured stall (sum of this thread's windows) —
-    /// conservation guarantees it equals the seven causes' sum.
+    /// conservation guarantees it equals the causes' sum.
     pub stall_ns: u64,
     /// Stall windows this thread crossed.
     pub windows: u64,
@@ -194,6 +198,7 @@ pub fn section_from_run(
             merge_ns: cause_ns(&t.by_cause, StallCause::Merge),
             quiesce_ns: cause_ns(&t.by_cause, StallCause::Quiesce),
             recovery_ns: cause_ns(&t.by_cause, StallCause::Recovery),
+            backpressure_ns: cause_ns(&t.by_cause, StallCause::Backpressure),
             stall_ns: t.window_ns,
             windows: t.windows,
             segments: t.segments,
@@ -240,6 +245,32 @@ fn micro_run(
         },
         NvmBytesRow::from_phases(machine.ckpt_nvm_bytes()),
     )
+}
+
+/// The fleet section: a backpressured, staggered fleet run
+/// ([`FleetConfig::choked`]) with every tenant's ledger folded into
+/// the tax table. The section's wall time spans the run through its
+/// last commit (deferral included), and the SLO report is the
+/// fleet's own — per-tenant commit latency measured from each
+/// scheduled tick, so queueing and backpressure burn the budget.
+fn fleet_section() -> Result<TaxSection, String> {
+    let cfg = FleetConfig::choked();
+    let result = CheckpointFleet::new(cfg).run();
+    let span = result
+        .attribution
+        .windows
+        .iter()
+        .map(|w| w.end_ns)
+        .max()
+        .unwrap_or(result.horizon_ns);
+    let run = AttributedRun {
+        snapshot: result.attribution,
+        total_cycles: span,
+    };
+    let mut section = section_from_run("fleet", u64::from(cfg.shards), &run)?;
+    section.slo = result.slo;
+    section.nvm_bytes = Some(NvmBytesRow::from_phases(result.nvm_phase_bytes));
+    Ok(section)
 }
 
 fn commit_cfg(quick: bool) -> CrashMatrixConfig {
@@ -294,6 +325,7 @@ pub fn collect(quick: bool) -> Result<TaxReport, String> {
     let last = (sites.len() as u64).saturating_sub(1);
     let (_, crash_run) = run_crash_attributed(&cfg, last)?;
     sections.push(section_from_run("crash_recover", 0, &crash_run)?);
+    sections.push(fleet_section()?);
     Ok(TaxReport {
         schema: TAX_SCHEMA.to_string(),
         quick,
@@ -402,7 +434,7 @@ pub fn render_text(report: &TaxReport) -> String {
             format!("{} — per-thread stall tax", s.name),
             &[
                 "tid", "useful", "quiesce", "inspect", "stage", "seal", "apply", "merge",
-                "recovery", "stall", "tax",
+                "recovery", "backpr", "stall", "tax",
             ],
         );
         for r in &s.threads {
@@ -416,6 +448,7 @@ pub fn render_text(report: &TaxReport) -> String {
                 r.apply_ns.to_string(),
                 r.merge_ns.to_string(),
                 r.recovery_ns.to_string(),
+                r.backpressure_ns.to_string(),
                 r.stall_ns.to_string(),
                 pct(r.stall_ns, s.total_ns),
             ]);
@@ -510,8 +543,8 @@ pub fn diff_reports(base: &TaxReport, current: &TaxReport) -> Vec<String> {
 }
 
 /// Structural check against the recorded perf baseline
-/// (`prosper-perf-baseline/v1`, `/v2` or `/v3`, e.g.
-/// `BENCH_pr3.json`, `BENCH_pr7.json` or `BENCH_pr8.json`): every
+/// (`prosper-perf-baseline/v1` through `/v4`, e.g.
+/// `BENCH_pr3.json`, `BENCH_pr8.json` or `BENCH_pr9.json`): every
 /// checkpoint phase the baseline reports mean cycles for must be
 /// attributed somewhere in the tax report's micro section (the
 /// baseline's `clear` phase folds into `inspect` attribution, and a
@@ -530,7 +563,10 @@ pub fn check_against_perf_baseline(report: &TaxReport, baseline_json: &str) -> R
         .ok_or("baseline has no schema tag")?;
     if !matches!(
         schema,
-        "prosper-perf-baseline/v1" | "prosper-perf-baseline/v2" | "prosper-perf-baseline/v3"
+        "prosper-perf-baseline/v1"
+            | "prosper-perf-baseline/v2"
+            | "prosper-perf-baseline/v3"
+            | "prosper-perf-baseline/v4"
     ) {
         return Err(format!("unexpected baseline schema {schema}"));
     }
@@ -600,7 +636,8 @@ mod tests {
                 "commit_w1",
                 "commit_w2",
                 "commit_w4",
-                "crash_recover"
+                "crash_recover",
+                "fleet"
             ]
         );
         for s in &rep.sections {
@@ -615,14 +652,32 @@ mod tests {
                         + t.merge_ns
                         + t.quiesce_ns
                         + t.recovery_ns
+                        + t.backpressure_ns
                 })
                 .sum();
             assert_eq!(attributed, s.stall_ns, "section {} conserves", s.name);
         }
-        let crash = rep.sections.last().unwrap();
+        let crash = rep
+            .sections
+            .iter()
+            .find(|s| s.name == "crash_recover")
+            .unwrap();
         assert!(
             crash.threads.iter().any(|t| t.recovery_ns > 0),
             "crash_recover section attributes recovery replay"
+        );
+        let fleet = rep.sections.iter().find(|s| s.name == "fleet").unwrap();
+        assert!(
+            fleet.threads.iter().any(|t| t.backpressure_ns > 0),
+            "choked fleet section attributes backpressure deferrals"
+        );
+        assert!(
+            fleet.nvm_bytes.is_some(),
+            "fleet section records per-phase NVM bytes"
+        );
+        assert!(
+            !fleet.slo.per_thread.is_empty(),
+            "fleet section carries per-tenant SLO percentiles"
         );
     }
 

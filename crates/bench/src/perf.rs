@@ -34,13 +34,28 @@
 //!    out separately — it is off the critical path by construction),
 //!    and NVM write amplification from the machine model's per-phase
 //!    byte tally. The gates require spine critical latency ≤ eager at
-//!    every pattern×policy, and strictly lower steady-state write
-//!    amplification on the repeated-hot-words workload.
+//!    every pattern×policy, spine write amplification ≤ eager on
+//!    *every* pattern (seal-time descriptor coalescing reclaimed the
+//!    sparse many-tiny-runs arm that used to lose), and strictly
+//!    lower steady-state amplification on repeated-hot-words.
+//! 6. **Frame-allocator throughput (PR 9)** — alloc/free churn on the
+//!    lock-free hierarchical [`FrameAlloc`] vs the retained
+//!    `Mutex<PhysMemory>` reference across 1/2/4/8 workers, each arm
+//!    timed as the minimum over several repetitions (the PR-7 argmin
+//!    discipline). Gates: lock-free ≥ reference at one worker, and
+//!    lock-free throughput monotone non-degrading up to the host's
+//!    parallelism cap — auto-skipped with a warning on 1-core hosts.
+//! 7. **Fleet bandwidth smoothing (PR 9)** — [`CheckpointFleet`] with
+//!    staggered vs aligned shard schedules at equal total checkpoint
+//!    bytes, compared on the peak-to-mean NVM write-bandwidth ratio
+//!    from the machine model's per-phase byte tagging. The gate
+//!    requires the staggered ratio strictly below the aligned one.
 //!
 //! [`run_all`] produces a [`PerfReport`]; the `perf_baseline` binary
-//! renders it, writes the JSON artifact (`BENCH_pr8.json` since the
-//! spine section landed; `BENCH_pr3.json`/`BENCH_pr7.json` are the
-//! earlier records), and enforces [`validate`].
+//! renders it, writes the JSON artifact (`BENCH_pr9.json` since the
+//! alloc/fleet sections landed; `BENCH_pr3.json`/`BENCH_pr7.json`/
+//! `BENCH_pr8.json` are the earlier records), and enforces
+//! [`validate`].
 
 use std::collections::BTreeMap;
 use std::hint::black_box;
@@ -48,11 +63,14 @@ use std::time::Instant;
 
 use prosper_core::bitmap::reference::SparseDirtyBitmap;
 use prosper_core::bitmap::{BitmapGeometry, CopyRun, DirtyBitmap};
+use prosper_core::fleet::{CheckpointFleet, FleetConfig};
 use prosper_core::oscomp::ProsperMechanism;
 use prosper_core::recovery::PersistentProcess;
 use prosper_gemos::checkpoint::CheckpointManager;
+use prosper_gemos::llalloc::FrameAlloc;
+use prosper_gemos::physmem::{PhysMemory, Pool};
 use prosper_memsim::addr::{VirtAddr, VirtRange};
-use prosper_memsim::config::MachineConfig;
+use prosper_memsim::config::{MachineConfig, MemoryLayout};
 use prosper_memsim::machine::Machine;
 use prosper_telemetry as telemetry;
 use prosper_telemetry::{HistogramSnapshot, MetricsSnapshot, NoopSink, Telemetry};
@@ -70,8 +88,12 @@ use crate::scheduler::run_scheduled;
 /// `pipeline` section (pipelined commit scaling + adaptive gate);
 /// `v3` added the `spine` section (staged-delta spine latency and
 /// write-amplification comparison) and a top-level
-/// `host_parallelism`.
-pub const SCHEMA: &str = "prosper-perf-baseline/v3";
+/// `host_parallelism`; `v4` added the `alloc` section (lock-free
+/// frame-allocator throughput vs the serial reference) and the
+/// `fleet` section (staggered vs aligned NVM bandwidth smoothing),
+/// and tightened the spine write-amplification arms from
+/// reported-only to gated.
+pub const SCHEMA: &str = "prosper-perf-baseline/v4";
 
 /// Minimum sparse-stack inspection speedup the baseline must record.
 pub const SPARSE_STACK_GATE: f64 = 5.0;
@@ -81,6 +103,17 @@ pub const SPARSE_STACK_GATE: f64 = 5.0;
 /// 1`). The adaptive selector may *pick* serial — then the speedup is
 /// 1.0 by construction — but it must never pick a losing fan-out.
 pub const PIPELINE_GATE: f64 = 1.0;
+
+/// Minimum lock-free-vs-reference alloc/free speedup at one worker:
+/// the lock-free tree must not lose to the mutex-guarded serial
+/// reference even without contention to amortize.
+pub const ALLOC_SERIAL_GATE: f64 = 1.0;
+
+/// Tolerance on the alloc scaling gate: adding workers (up to the
+/// host's parallelism cap) must keep lock-free throughput at or above
+/// this fraction of the previous worker count's — "monotone
+/// non-degrading" with slack for scheduler noise on shared CI hosts.
+pub const ALLOC_SCALING_FLOOR: f64 = 0.85;
 
 /// Iteration budgets for one suite run.
 #[derive(Clone, Copy, Debug)]
@@ -155,6 +188,30 @@ impl PerfConfig {
             16
         } else {
             48
+        }
+    }
+
+    fn alloc_workers(&self) -> &'static [usize] {
+        if self.quick {
+            &[1, 2, 4]
+        } else {
+            &[1, 2, 4, 8]
+        }
+    }
+
+    /// Alloc/free rounds per worker per timed repetition. Not reduced
+    /// in quick mode: a 40-round rep finishes in ~0.3 ms, where timer
+    /// granularity alone can swing the serial-gate ratio by 5%.
+    fn alloc_rounds(&self) -> u64 {
+        200
+    }
+
+    /// Timed repetitions per alloc arm; the argmin is reported.
+    fn alloc_reps(&self) -> u64 {
+        if self.quick {
+            5
+        } else {
+            7
         }
     }
 }
@@ -775,8 +832,9 @@ pub struct SpineSection {
     /// Latency comparison, one row per dirty pattern × merge policy.
     pub latency: Vec<SpineLatencyRow>,
     /// Write-amplification comparison across dirty patterns (default
-    /// merge policy). Reported, not gated: descriptor overhead can
-    /// legitimately lose on many-tiny-runs patterns.
+    /// merge policy). Gated spine ≤ eager on every row since v4:
+    /// seal-time run coalescing plus the packed descriptor table
+    /// removed the overhead that let many-tiny-runs patterns lose.
     pub write_amp: Vec<SpineAmpRow>,
     /// The steady-state repeated-hot-words workload — the strictly
     /// gated write-amplification win.
@@ -932,6 +990,227 @@ pub fn spine_section(cfg: &PerfConfig) -> SpineSection {
 }
 
 // ---------------------------------------------------------------------------
+// Section 6: frame-allocator throughput (PR 9)
+// ---------------------------------------------------------------------------
+
+/// Frames each worker holds at the top of an alloc/free round.
+const ALLOC_BURST: u64 = 128;
+
+/// One worker-count configuration of the allocator study.
+#[derive(Clone, Debug, Serialize)]
+pub struct AllocRow {
+    /// Concurrent workers hammering the allocator.
+    pub workers: usize,
+    /// Total alloc+free operations per timed repetition (all workers).
+    pub ops: u64,
+    /// Best (minimum) wall time across repetitions, lock-free tree.
+    pub lockfree_ns: u64,
+    /// Best (minimum) wall time across repetitions,
+    /// `Mutex<PhysMemory>` reference.
+    pub reference_ns: u64,
+    /// Lock-free throughput at the best repetition (million ops/s).
+    pub lockfree_mops: f64,
+    /// Reference throughput at the best repetition (million ops/s).
+    pub reference_mops: f64,
+    /// `reference_ns / lockfree_ns` — same op count per arm.
+    pub speedup: f64,
+}
+
+/// The frame-allocator scaling study: lock-free [`FrameAlloc`] vs the
+/// mutex-guarded serial [`PhysMemory`] reference.
+#[derive(Clone, Debug, Serialize)]
+pub struct AllocSection {
+    /// `available_parallelism()` on the recording host — the scaling
+    /// gate only judges worker counts up to this cap.
+    pub host_parallelism: usize,
+    /// DRAM frames installed in the arena.
+    pub dram_frames: u64,
+    /// Frames each worker holds at the top of a round.
+    pub burst: u64,
+    /// Alloc/free rounds per worker per repetition.
+    pub rounds: u64,
+    /// Timed repetitions per arm (the minimum is reported).
+    pub reps: u64,
+    /// Whether [`validate`] enforces the scaling gate on this report
+    /// (false on single-core hosts, where concurrent workers cannot
+    /// scale by construction).
+    pub gate_enforced: bool,
+    /// One row per worker count.
+    pub rows: Vec<AllocRow>,
+}
+
+/// Arena sized so eight workers' bursts plus per-worker subtree
+/// reservations never exhaust the DRAM pool.
+fn alloc_arena() -> MemoryLayout {
+    MemoryLayout {
+        dram_bytes: 32 * 1024 * 1024,
+        nvm_bytes: 2 * 1024 * 1024,
+    }
+}
+
+/// One timed repetition of the lock-free arm: `workers` scoped
+/// threads, each allocating a burst of frames and freeing them back,
+/// `rounds` times, through the shared `&self` allocator.
+fn alloc_lockfree_rep(workers: usize, rounds: u64) -> u64 {
+    let alloc = FrameAlloc::new(alloc_arena());
+    let t = Instant::now();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let alloc = &alloc;
+            scope.spawn(move || {
+                let mut held = Vec::with_capacity(ALLOC_BURST as usize);
+                for _ in 0..rounds {
+                    for _ in 0..ALLOC_BURST {
+                        held.push(alloc.alloc_for(Pool::Dram, w as u32).expect("dram frame"));
+                    }
+                    for pfn in held.drain(..) {
+                        alloc.free(pfn).expect("free");
+                    }
+                }
+            });
+        }
+    });
+    t.elapsed().as_nanos() as u64
+}
+
+/// One timed repetition of the reference arm: the same workload shape
+/// against `Mutex<PhysMemory>`, locking per operation — the cost the
+/// `&mut self` API imposes on every concurrent caller.
+fn alloc_reference_rep(workers: usize, rounds: u64) -> u64 {
+    let mem = std::sync::Mutex::new(PhysMemory::new(alloc_arena()));
+    let t = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let mem = &mem;
+            scope.spawn(move || {
+                let mut held = Vec::with_capacity(ALLOC_BURST as usize);
+                for _ in 0..rounds {
+                    for _ in 0..ALLOC_BURST {
+                        held.push(mem.lock().unwrap().alloc(Pool::Dram).expect("dram frame"));
+                    }
+                    for pfn in held.drain(..) {
+                        mem.lock().unwrap().free(pfn).expect("free");
+                    }
+                }
+            });
+        }
+    });
+    t.elapsed().as_nanos() as u64
+}
+
+/// Measures alloc/free throughput across worker counts, both arms
+/// timed as the minimum over `alloc_reps` repetitions.
+#[must_use]
+pub fn alloc_section(cfg: &PerfConfig) -> AllocSection {
+    let rounds = cfg.alloc_rounds();
+    let reps = cfg.alloc_reps();
+    let argmin = |time_rep: &dyn Fn() -> u64| (0..reps).map(|_| time_rep()).min().unwrap_or(1);
+    let mut rows = Vec::new();
+    for &workers in cfg.alloc_workers() {
+        let lockfree_ns = argmin(&|| alloc_lockfree_rep(workers, rounds)).max(1);
+        let reference_ns = argmin(&|| alloc_reference_rep(workers, rounds)).max(1);
+        let ops = workers as u64 * rounds * ALLOC_BURST * 2;
+        let mops = |ns: u64| ops as f64 * 1e3 / ns as f64;
+        rows.push(AllocRow {
+            workers,
+            ops,
+            lockfree_ns,
+            reference_ns,
+            lockfree_mops: mops(lockfree_ns),
+            reference_mops: mops(reference_ns),
+            speedup: reference_ns as f64 / lockfree_ns as f64,
+        });
+    }
+    let host_parallelism = host_parallelism();
+    AllocSection {
+        host_parallelism,
+        dram_frames: alloc_arena().dram_bytes / 4096,
+        burst: ALLOC_BURST,
+        rounds,
+        reps,
+        gate_enforced: host_parallelism > 1,
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Section 7: fleet bandwidth smoothing (PR 9)
+// ---------------------------------------------------------------------------
+
+/// One scheduling arm of the fleet study.
+#[derive(Clone, Debug, Serialize)]
+pub struct FleetArm {
+    /// Whether shard intervals were staggered.
+    pub staggered: bool,
+    /// Commits completed across the run.
+    pub commits: u64,
+    /// Commits deferred by staging backpressure.
+    pub deferred_commits: u64,
+    /// Total checkpoint NVM bytes across all phases.
+    pub ckpt_nvm_bytes: u64,
+    /// Hottest bandwidth window's byte count.
+    pub peak_window_bytes: u64,
+    /// Peak-to-mean NVM write-bandwidth ratio (milli-units) — the
+    /// gated number.
+    pub peak_to_mean_milli: u64,
+}
+
+/// The fleet bandwidth-smoothing study: identical workload, staggered
+/// vs aligned shard schedules.
+#[derive(Clone, Debug, Serialize)]
+pub struct FleetSection {
+    /// Shards in the fleet.
+    pub shards: u32,
+    /// Tenant processes per shard.
+    pub tenants_per_shard: u32,
+    /// Checkpoint intervals executed.
+    pub intervals: u32,
+    /// Bandwidth-window width on the virtual clock (ns).
+    pub window_ns: u64,
+    /// The staggered-schedule arm.
+    pub staggered: FleetArm,
+    /// The aligned-schedule arm.
+    pub aligned: FleetArm,
+    /// `aligned.peak_to_mean_milli - staggered.peak_to_mean_milli` —
+    /// how much of the bandwidth spike the stagger removed.
+    pub smoothing_milli: u64,
+}
+
+fn fleet_arm(cfg: FleetConfig) -> FleetArm {
+    let result = CheckpointFleet::new(cfg).run();
+    FleetArm {
+        staggered: cfg.staggered,
+        commits: result.commits,
+        deferred_commits: result.deferred_commits,
+        ckpt_nvm_bytes: result.nvm_phase_bytes.total(),
+        peak_window_bytes: result.peak_window_bytes,
+        peak_to_mean_milli: result.peak_to_mean_milli,
+    }
+}
+
+/// Runs both fleet arms on the deterministic virtual clock. The two
+/// configs differ only in the `staggered` flag, so total checkpoint
+/// bytes match by construction and the peak-to-mean comparison is
+/// pure scheduling.
+#[must_use]
+pub fn fleet_section() -> FleetSection {
+    let cfg = FleetConfig::smoke();
+    let staggered = fleet_arm(cfg);
+    let aligned = fleet_arm(FleetConfig::smoke_aligned());
+    FleetSection {
+        shards: cfg.shards,
+        tenants_per_shard: cfg.tenants_per_shard,
+        intervals: cfg.intervals,
+        window_ns: cfg.window_ns,
+        smoothing_milli: aligned
+            .peak_to_mean_milli
+            .saturating_sub(staggered.peak_to_mean_milli),
+        staggered,
+        aligned,
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Report assembly
 // ---------------------------------------------------------------------------
 
@@ -963,6 +1242,17 @@ pub struct Summary {
     pub ckpt_phase_mean_cycles: BTreeMap<String, f64>,
     /// Mean per-phase commit wall time at the max worker count (ns).
     pub commit_phase_mean_ns: BTreeMap<String, f64>,
+    /// Lock-free allocator speedup vs the reference at one worker
+    /// (gated at [`ALLOC_SERIAL_GATE`]).
+    pub alloc_serial_speedup: f64,
+    /// Lock-free allocator speedup at the largest measured worker
+    /// count.
+    pub alloc_speedup_at_max_workers: f64,
+    /// Staggered fleet peak-to-mean NVM bandwidth ratio (milli).
+    pub fleet_staggered_peak_to_mean_milli: u64,
+    /// Aligned fleet peak-to-mean ratio — gated strictly above the
+    /// staggered number.
+    pub fleet_aligned_peak_to_mean_milli: u64,
 }
 
 /// The full perf-baseline report, serialized to `BENCH_pr3.json`.
@@ -989,6 +1279,10 @@ pub struct PerfReport {
     pub scheduler: Vec<ScheduleRow>,
     /// Section 5: staged-delta spine vs eager apply.
     pub spine: SpineSection,
+    /// Section 6: lock-free frame-allocator throughput.
+    pub alloc: AllocSection,
+    /// Section 7: fleet NVM bandwidth smoothing.
+    pub fleet: FleetSection,
     /// Headline numbers.
     pub summary: Summary,
 }
@@ -1020,6 +1314,8 @@ pub fn run_all(cfg: &PerfConfig) -> PerfReport {
     let workloads = workload_section(cfg);
     let scheduler = schedule_section(cfg);
     let spine = spine_section(cfg);
+    let alloc = alloc_section(cfg);
+    let fleet = fleet_section();
 
     if installed {
         let _ = telemetry::uninstall();
@@ -1051,6 +1347,14 @@ pub fn run_all(cfg: &PerfConfig) -> PerfReport {
                 ("apply".to_string(), r.apply_ns_mean),
             ])
         }),
+        alloc_serial_speedup: alloc.rows.first().map_or(0.0, |r| r.speedup),
+        alloc_speedup_at_max_workers: alloc
+            .rows
+            .iter()
+            .max_by_key(|r| r.workers)
+            .map_or(0.0, |r| r.speedup),
+        fleet_staggered_peak_to_mean_milli: fleet.staggered.peak_to_mean_milli,
+        fleet_aligned_peak_to_mean_milli: fleet.aligned.peak_to_mean_milli,
     };
 
     PerfReport {
@@ -1064,6 +1368,8 @@ pub fn run_all(cfg: &PerfConfig) -> PerfReport {
         workloads,
         scheduler,
         spine,
+        alloc,
+        fleet,
         summary,
     }
 }
@@ -1130,6 +1436,18 @@ pub fn validate(report: &PerfReport) -> Result<(), String> {
             ));
         }
     }
+    // v4: seal-time descriptor coalescing flipped every write-amp arm
+    // from reported-only to gated — including the sparse
+    // many-tiny-runs pattern that used to lose to descriptor
+    // overhead.
+    for row in &s.write_amp {
+        if row.spine.write_amp_milli > row.eager.write_amp_milli {
+            return Err(format!(
+                "spine write amplification {} exceeds eager {} on pattern {}",
+                row.spine.write_amp_milli, row.eager.write_amp_milli, row.pattern
+            ));
+        }
+    }
     let hw = &s.hot_words;
     if hw.eager.stage != hw.spine.stage {
         return Err(format!(
@@ -1143,6 +1461,55 @@ pub fn validate(report: &PerfReport) -> Result<(), String> {
             "spine write amplification {} not strictly below eager {} on the \
              repeated-hot-words workload",
             hw.spine.write_amp_milli, hw.eager.write_amp_milli
+        ));
+    }
+
+    let a = &report.alloc;
+    if a.rows.is_empty() || a.rows[0].workers != 1 {
+        return Err("alloc sweep must start at one worker".into());
+    }
+    if a.gate_enforced != (a.host_parallelism > 1) {
+        return Err("alloc gate flag disagrees with host parallelism".into());
+    }
+    if a.rows[0].speedup < ALLOC_SERIAL_GATE {
+        return Err(format!(
+            "lock-free allocator is {:.2}x the serial reference at one \
+             worker, below the {ALLOC_SERIAL_GATE}x gate",
+            a.rows[0].speedup
+        ));
+    }
+    if a.gate_enforced {
+        for pair in a.rows.windows(2) {
+            if pair[1].workers > a.host_parallelism {
+                break;
+            }
+            if pair[1].lockfree_mops < pair[0].lockfree_mops * ALLOC_SCALING_FLOOR {
+                return Err(format!(
+                    "lock-free throughput degrades from {:.1} Mops/s at {} \
+                     workers to {:.1} at {} (floor {:.0}% on a {}-way host)",
+                    pair[0].lockfree_mops,
+                    pair[0].workers,
+                    pair[1].lockfree_mops,
+                    pair[1].workers,
+                    ALLOC_SCALING_FLOOR * 100.0,
+                    a.host_parallelism
+                ));
+            }
+        }
+    }
+
+    let f = &report.fleet;
+    if f.staggered.ckpt_nvm_bytes != f.aligned.ckpt_nvm_bytes {
+        return Err(format!(
+            "fleet arms checkpointed different NVM byte totals ({} vs {}) — \
+             the smoothing comparison is apples to oranges",
+            f.staggered.ckpt_nvm_bytes, f.aligned.ckpt_nvm_bytes
+        ));
+    }
+    if f.staggered.peak_to_mean_milli >= f.aligned.peak_to_mean_milli {
+        return Err(format!(
+            "staggered fleet peak-to-mean {} not strictly below aligned {}",
+            f.staggered.peak_to_mean_milli, f.aligned.peak_to_mean_milli
         ));
     }
     Ok(())
@@ -1348,6 +1715,65 @@ pub fn render(report: &PerfReport) -> Vec<Table> {
     }
     tables.push(t);
 
+    let a = &report.alloc;
+    let mut t = Table::new(
+        format!(
+            "Frame allocator: lock-free vs Mutex<PhysMemory>, burst {} x {} rounds, \
+             best of {} reps, scaling gate {}",
+            a.burst,
+            a.rounds,
+            a.reps,
+            if a.gate_enforced {
+                "enforced"
+            } else {
+                "skipped (single-core host)"
+            }
+        ),
+        &["workers", "lock-free Mops/s", "reference Mops/s", "speedup"],
+    );
+    for r in &a.rows {
+        t.push_row(&[
+            r.workers.to_string(),
+            format!("{:.1}", r.lockfree_mops),
+            format!("{:.1}", r.reference_mops),
+            ratio(r.speedup),
+        ]);
+    }
+    tables.push(t);
+
+    let f = &report.fleet;
+    let mut t = Table::new(
+        format!(
+            "Fleet NVM bandwidth smoothing: {} shards x {} tenants x {} intervals, \
+             {} ns windows",
+            f.shards, f.tenants_per_shard, f.intervals, f.window_ns
+        ),
+        &[
+            "schedule",
+            "commits",
+            "deferred",
+            "nvm bytes",
+            "peak window B",
+            "peak/mean milli",
+        ],
+    );
+    for arm in [&f.staggered, &f.aligned] {
+        t.push_row(&[
+            if arm.staggered {
+                "staggered"
+            } else {
+                "aligned"
+            }
+            .to_string(),
+            arm.commits.to_string(),
+            arm.deferred_commits.to_string(),
+            arm.ckpt_nvm_bytes.to_string(),
+            arm.peak_window_bytes.to_string(),
+            arm.peak_to_mean_milli.to_string(),
+        ]);
+    }
+    tables.push(t);
+
     tables
 }
 
@@ -1386,6 +1812,19 @@ mod tests {
             report.summary.spine_hot_words_write_amp_milli
                 < report.summary.eager_hot_words_write_amp_milli
         );
+        // The allocator study ran at 1..=4 workers and its serial gate
+        // number made it into the summary.
+        assert!(report.alloc.rows.iter().any(|r| r.workers >= 4));
+        assert!(report.summary.alloc_serial_speedup >= ALLOC_SERIAL_GATE);
+        // The fleet arms moved identical bytes and the stagger won.
+        assert_eq!(
+            report.fleet.staggered.ckpt_nvm_bytes,
+            report.fleet.aligned.ckpt_nvm_bytes
+        );
+        assert!(
+            report.summary.fleet_staggered_peak_to_mean_milli
+                < report.summary.fleet_aligned_peak_to_mean_milli
+        );
         assert!(report.host_parallelism >= 1);
         // The report serializes and re-parses.
         let json = serde_json::to_string_pretty(&report).unwrap();
@@ -1401,7 +1840,7 @@ mod tests {
     fn render_covers_every_section() {
         let report = run_all(&tiny());
         let tables = render(&report);
-        assert_eq!(tables.len(), 8);
+        assert_eq!(tables.len(), 10);
         for t in &tables {
             assert!(!t.rows.is_empty(), "{} has rows", t.title);
         }

@@ -55,9 +55,20 @@ const PER_RUN_OVERHEAD: Cycles = 60;
 /// commit sequence write).
 const SEAL_RECORD_BYTES: u64 = 8;
 
-/// Bytes per run descriptor in a spine delta-batch append (start,
-/// length — the staged data itself is already in NVM).
-const RUN_DESC_BYTES: u64 = 16;
+/// Bytes of the fixed header a spine delta-batch append persists
+/// (sequence number and run count — the staged data itself is
+/// already in NVM).
+const BATCH_HEADER_BYTES: u64 = 16;
+
+/// Bytes per *coalesced* run descriptor in a spine delta-batch
+/// append. Seal-time coalescing leaves each batch's runs sorted,
+/// disjoint, and granule-aligned, so the descriptor table
+/// delta-encodes them as (granule gap from the previous run's end,
+/// granule length) — one u16 pair per run instead of the 16 B
+/// (start, length) pair an unsorted table would need. This is what
+/// flipped the sparse many-tiny-runs pattern from losing on write
+/// amplification to winning.
+const PACKED_DESC_BYTES: u64 = 4;
 
 /// Cycles for the OS to poll the status MSR until quiescent. The
 /// functional tracker quiesces immediately, so a single poll suffices;
@@ -169,18 +180,31 @@ impl SpineModel {
         }
     }
 
-    /// Appends the interval's sealed runs as one delta batch. An empty
-    /// interval seals nothing and leaves the spine unchanged.
-    fn push_batch(&mut self, runs: &[CopyRun]) {
+    /// Appends the interval's sealed runs as one delta batch,
+    /// coalescing adjacent and overlapping spans exactly like the
+    /// data plane's `seal_to_spine`, and returns the number of run
+    /// descriptors the batch actually persists. An empty interval
+    /// seals nothing and leaves the spine unchanged.
+    fn push_batch(&mut self, runs: &[CopyRun]) -> usize {
         if runs.is_empty() {
-            return;
+            return 0;
         }
         self.total_bytes += runs.iter().map(|r| r.len).sum::<u64>();
-        self.batches.push(
-            runs.iter()
-                .map(|r| (r.start.raw(), r.start.raw() + r.len))
-                .collect(),
-        );
+        let mut spans: Vec<(u64, u64)> = runs
+            .iter()
+            .map(|r| (r.start.raw(), r.start.raw() + r.len))
+            .collect();
+        spans.sort_unstable();
+        let mut coalesced: Vec<(u64, u64)> = Vec::with_capacity(spans.len());
+        for (s, e) in spans {
+            match coalesced.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => coalesced.push((s, e)),
+            }
+        }
+        let descs = coalesced.len();
+        self.batches.push(coalesced);
+        descs
     }
 
     /// Distinct bytes the resident batches cover — what a merge
@@ -586,9 +610,9 @@ impl MemoryPersistence for ProsperMechanism {
             // descriptors hit NVM; the staged payload stays where the
             // stage copy put it. The apply copy vanishes from the
             // interval's critical path.
-            spine.push_batch(&self.last_runs);
-            let desc_bytes = self.last_runs.len() as u64 * RUN_DESC_BYTES;
-            if desc_bytes > 0 {
+            let descs = spine.push_batch(&self.last_runs) as u64;
+            if descs > 0 {
+                let desc_bytes = BATCH_HEADER_BYTES + descs * PACKED_DESC_BYTES;
                 machine.bulk_copy_nvm_to_nvm_phase(desc_bytes, CkptPhase::Apply);
             }
         } else if bytes > 0 {

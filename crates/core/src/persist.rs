@@ -217,6 +217,44 @@ fn insert_coverage(coverage: &mut Coverage, start: u64, end: u64) {
     *coverage = out;
 }
 
+/// Folds a staged-run list into the minimal set of disjoint, maximal
+/// runs with newest-wins byte values: where runs overlap, the
+/// last-staged bytes survive; abutting runs concatenate into one
+/// descriptor. A batch sealed from the result covers exactly the same
+/// bytes with the same final values, but carries the fewest possible
+/// run descriptors — which is what the spine persists per batch and
+/// what every later merge walks.
+fn coalesce_runs(runs: Vec<StagedRun>) -> Vec<StagedRun> {
+    let mut coverage: Coverage = Vec::new();
+    let mut pieces: Vec<StagedRun> = Vec::new();
+    // Newest-first: only the parts of older runs not shadowed by a
+    // newer run survive.
+    for run in runs.iter().rev() {
+        let s = run.start.raw();
+        let e = s + run.data.len() as u64;
+        for (ws, we) in subtract_coverage(s, e, &coverage) {
+            let lo = (ws - s) as usize;
+            let hi = (we - s) as usize;
+            pieces.push(StagedRun {
+                start: VirtAddr::new(ws),
+                data: run.data[lo..hi].to_vec(),
+            });
+        }
+        insert_coverage(&mut coverage, s, e);
+    }
+    pieces.sort_by_key(|r| r.start.raw());
+    let mut out: Vec<StagedRun> = Vec::with_capacity(pieces.len());
+    for piece in pieces {
+        match out.last_mut() {
+            Some(prev) if prev.start.raw() + prev.data.len() as u64 == piece.start.raw() => {
+                prev.data.extend_from_slice(&piece.data);
+            }
+            _ => out.push(piece),
+        }
+    }
+    out
+}
+
 /// The per-thread persistent stack store.
 ///
 /// `volatile` mirrors the thread's live stack (in DRAM); `persistent`
@@ -511,12 +549,17 @@ impl PersistentStack {
     /// (this stack's seal or a whole-process commit record — the
     /// latter never writes the per-stack seal marker, so only an open
     /// staging buffer is required here).
+    ///
+    /// The staged runs are coalesced before the batch is sealed:
+    /// overlapping runs collapse to their newest-wins bytes and
+    /// abutting runs concatenate, so the batch persists the minimal
+    /// descriptor list for its coverage.
     pub fn seal_to_spine(&mut self, sequence: u64) {
         debug_assert!(
             self.phase != CommitPhase::Idle,
             "seal_to_spine without an open staging buffer"
         );
-        let runs = std::mem::take(&mut self.staging);
+        let runs = coalesce_runs(std::mem::take(&mut self.staging));
         self.spine.push(DeltaBatch { sequence, runs });
         self.committed_sequence = sequence;
         self.next_sequence = self.next_sequence.max(sequence + 1);
@@ -903,6 +946,53 @@ mod tests {
             b"bbbbbbbb"
         );
         assert_eq!(s.spine_batches(), 0);
+    }
+
+    #[test]
+    fn seal_coalesces_adjacent_and_overlapping_runs() {
+        let mut s = store();
+        // Three abutting runs plus an overlapping restage: one
+        // descriptor should survive, carrying the newest bytes.
+        s.record_store(VirtAddr::new(0x7000_0100), b"abcdefghijkl");
+        s.stage(&[
+            run(0x7000_0100, 4),
+            run(0x7000_0104, 4),
+            run(0x7000_0108, 4),
+        ]);
+        s.seal_to_spine(1);
+        assert_eq!(s.spine()[0].runs(), 1, "abutting runs coalesce");
+        assert_eq!(s.spine()[0].bytes(), 12);
+        assert_eq!(
+            s.read_effective(VirtAddr::new(0x7000_0100), 12),
+            b"abcdefghijkl"
+        );
+
+        // Overlapping restage inside one buffer: newest bytes win and
+        // the batch still holds a single maximal run.
+        s.record_store(VirtAddr::new(0x7000_0200), b"old-old-");
+        s.begin_stage();
+        s.stage_run(&run(0x7000_0200, 8));
+        s.record_store(VirtAddr::new(0x7000_0204), b"NEW!");
+        s.stage_run(&run(0x7000_0204, 4));
+        s.seal_to_spine(2);
+        let batch = &s.spine()[1];
+        assert_eq!(batch.runs(), 1, "overlap folds into one descriptor");
+        assert_eq!(batch.bytes(), 8, "shadowed bytes dropped from the batch");
+        assert_eq!(s.read_effective(VirtAddr::new(0x7000_0200), 8), b"old-NEW!");
+
+        // Disjoint runs stay separate descriptors.
+        s.record_store(VirtAddr::new(0x7000_0300), b"aaaa");
+        s.record_store(VirtAddr::new(0x7000_0400), b"bbbb");
+        s.stage(&[run(0x7000_0300, 4), run(0x7000_0400, 4)]);
+        s.seal_to_spine(3);
+        assert_eq!(s.spine()[2].runs(), 2, "a gap keeps runs apart");
+
+        // The merged image agrees with the volatile truth.
+        s.merge_spine();
+        assert_eq!(
+            s.persistent().read(VirtAddr::new(0x7000_0200), 8),
+            b"old-NEW!"
+        );
     }
 
     #[test]

@@ -1,0 +1,897 @@
+//! Lock-free two-level hierarchical frame allocator.
+//!
+//! The serial [`crate::physmem::PhysMemory`] free-list allocator
+//! becomes the bottleneck long before NVM bandwidth does once many
+//! tenants checkpoint concurrently: every alloc/free serializes on
+//! `&mut self`. [`FrameAlloc`] replaces it on the hot path with the
+//! design of the llfree allocator (a page allocator built for hybrid
+//! DRAM+NVM machines with multicore scalability *and* crash
+//! consistency as its two goals):
+//!
+//! * **Lower level** — one atomic `u64` bitfield word per 64 frames
+//!   (bit set = allocated). Claiming a frame is a `fetch_or` on the
+//!   word; freeing is a `fetch_and`. The bitfield is the *only*
+//!   ground truth — every counter above it is reconstructible by
+//!   popcount, which is what makes the allocator crash-recoverable
+//!   without logging.
+//! * **Upper level** — a tree of atomic free-counters: one counter
+//!   per fixed-size *subtree* of [`SUBTREE_FRAMES`] frames, plus one
+//!   root counter per pool. An alloc reserves a unit at the root,
+//!   then at a subtree, then claims a bit; a free releases in the
+//!   opposite order. The root counter makes exhaustion a single
+//!   atomic check; the subtree counters let the search skip full
+//!   regions without touching their cache lines.
+//! * **Per-worker reservations** — each worker keeps a preferred
+//!   subtree and allocates from it until it drains, so concurrent
+//!   workers mostly touch disjoint cache lines. Draining triggers a
+//!   *steal* ([`CrashSite::AllocReservationSteal`]): the worker
+//!   claims the emptiest unreserved subtree. Reservations are purely
+//!   volatile — recovery starts every worker unreserved.
+//!
+//! The whole API is `&self`: no `Mutex`, no `&mut` — only
+//! [`AtomicU64`]s.
+//!
+//! # Crash consistency
+//!
+//! The NVM pool's bitfield is persisted through the same staging/seal
+//! discipline as the persistent stacks: [`FrameAlloc::persist_nvm`]
+//! stages every subtree's durable words into a [`DurableAllocTree`]
+//! (crash window [`CrashSite::AllocSubtreePersist`] after each
+//! subtree, seal not yet written), then writes the seal — the single
+//! durability point. Recovery discards an unsealed staging buffer and
+//! rebuilds all counters by popcount from the last sealed snapshot.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use prosper_memsim::addr::PhysAddr;
+use prosper_memsim::config::MemoryLayout;
+use prosper_memsim::PAGE_SIZE;
+use prosper_telemetry as telemetry;
+
+use crate::crash::{CrashInjected, CrashSite, FaultInjector};
+use crate::physmem::{FreeError, OutOfMemory, Pool};
+
+/// Frames covered by one bitfield word.
+const WORD_FRAMES: u64 = 64;
+/// Bitfield words per subtree.
+const SUBTREE_WORDS: usize = 8;
+/// Frames covered by one subtree counter (8 words × 64 bits).
+pub const SUBTREE_FRAMES: u64 = SUBTREE_WORDS as u64 * WORD_FRAMES;
+/// Per-worker reservation slots. Workers above this share slots
+/// (modulo), which only costs contention, never correctness.
+pub const WORKER_SLOTS: usize = 16;
+
+/// Atomically decrements `c` if it is non-zero. Returns `false` when
+/// the counter was already zero (the resource is exhausted).
+fn try_dec(c: &AtomicU64) -> bool {
+    c.fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| v.checked_sub(1))
+        .is_ok()
+}
+
+/// One pool's two-level tree: the atomic bitfield plus the counter
+/// hierarchy above it.
+#[derive(Debug)]
+struct PoolTree {
+    /// First frame number this tree covers.
+    base_pfn: u64,
+    /// Usable frames (padding bits beyond this are permanently set).
+    frames: u64,
+    /// Bit set = allocated. The ground truth.
+    bitmap: Vec<AtomicU64>,
+    /// Free frames per subtree of [`SUBTREE_WORDS`] words.
+    subtree_free: Vec<AtomicU64>,
+    /// Free frames in the whole pool — the exhaustion gate.
+    total_free: AtomicU64,
+    /// Per-worker reserved subtree, encoded as `index + 1` (0 = none).
+    reservations: Vec<AtomicU64>,
+}
+
+impl PoolTree {
+    fn new(base_pfn: u64, frames: u64) -> Self {
+        let words = (frames.div_ceil(WORD_FRAMES) as usize).max(1);
+        let bitmap: Vec<AtomicU64> = (0..words)
+            .map(|wi| {
+                // Padding bits past `frames` are born allocated so the
+                // claim scan can never hand them out.
+                let word_base = wi as u64 * WORD_FRAMES;
+                let usable = frames.saturating_sub(word_base).min(WORD_FRAMES);
+                AtomicU64::new(if usable >= WORD_FRAMES {
+                    0
+                } else {
+                    !((1u64 << usable) - 1)
+                })
+            })
+            .collect();
+        let subtrees = words.div_ceil(SUBTREE_WORDS);
+        let subtree_free = (0..subtrees)
+            .map(|s| {
+                let lo = s as u64 * SUBTREE_FRAMES;
+                AtomicU64::new(frames.saturating_sub(lo).min(SUBTREE_FRAMES))
+            })
+            .collect();
+        Self {
+            base_pfn,
+            frames,
+            bitmap,
+            subtree_free,
+            total_free: AtomicU64::new(frames),
+            reservations: (0..WORKER_SLOTS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn subtree_count(&self) -> usize {
+        self.subtree_free.len()
+    }
+
+    /// Word range `[w0, w1)` of subtree `s`.
+    fn subtree_words(&self, s: usize) -> (usize, usize) {
+        let w0 = s * SUBTREE_WORDS;
+        (w0, (w0 + SUBTREE_WORDS).min(self.bitmap.len()))
+    }
+
+    /// Claims the lowest clear bit in subtree `s`. The caller must
+    /// hold one unit of `subtree_free[s]`, which guarantees a clear
+    /// bit exists; a `None` means a racing free/claim moved it behind
+    /// the scan cursor and the caller should rescan.
+    fn claim_in_subtree(&self, s: usize) -> Option<u64> {
+        let (w0, w1) = self.subtree_words(s);
+        for wi in w0..w1 {
+            loop {
+                let cur = self.bitmap[wi].load(Ordering::Acquire);
+                if cur == u64::MAX {
+                    break;
+                }
+                let bit = (!cur).trailing_zeros() as u64;
+                let mask = 1u64 << bit;
+                let prev = self.bitmap[wi].fetch_or(mask, Ordering::AcqRel);
+                if prev & mask == 0 {
+                    return Some(self.base_pfn + wi as u64 * WORD_FRAMES + bit);
+                }
+                // Raced with another claimer on that bit: rescan.
+            }
+        }
+        None
+    }
+
+    /// Lowest-index subtree with free frames whose counter we manage
+    /// to decrement — the deterministic serial policy (globally lowest
+    /// free frame, matching the `PhysMemory` reference exactly).
+    fn take_lowest_subtree(&self) -> Option<usize> {
+        loop {
+            let s = (0..self.subtree_count())
+                .find(|&s| self.subtree_free[s].load(Ordering::Acquire) > 0)?;
+            if try_dec(&self.subtree_free[s]) {
+                return Some(s);
+            }
+        }
+    }
+
+    /// The subtree with the most free frames, skipping (when possible)
+    /// subtrees reserved by other workers — the steal target that
+    /// maximizes cache-line disjointness. Ties break to the lowest
+    /// index for determinism.
+    fn steal_target(&self, slot: usize) -> Option<usize> {
+        let reserved: Vec<u64> = self
+            .reservations
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != slot)
+            .map(|(_, r)| r.load(Ordering::Acquire))
+            .collect();
+        let best = |skip_reserved: bool| {
+            (0..self.subtree_count())
+                .filter(|&s| !(skip_reserved && reserved.contains(&(s as u64 + 1))))
+                .map(|s| (s, self.subtree_free[s].load(Ordering::Acquire)))
+                .filter(|&(_, f)| f > 0)
+                .max_by_key(|&(s, f)| (f, std::cmp::Reverse(s)))
+                .map(|(s, _)| s)
+        };
+        best(true).or_else(|| best(false))
+    }
+
+    /// Releases the claim on `pfn`'s bit and returns the counter
+    /// units. Returns `false` if the bit was already clear (a
+    /// double-free — counters untouched).
+    fn release(&self, pfn: u64) -> bool {
+        let rel = pfn - self.base_pfn;
+        let wi = (rel / WORD_FRAMES) as usize;
+        let mask = 1u64 << (rel % WORD_FRAMES);
+        let prev = self.bitmap[wi].fetch_and(!mask, Ordering::AcqRel);
+        if prev & mask == 0 {
+            return false;
+        }
+        let s = wi / SUBTREE_WORDS;
+        // Subtree before root: the invariant `sum(subtree_free) >=
+        // total_free + in-flight allocs` is what guarantees every
+        // alloc that passed the root gate finds a subtree.
+        self.subtree_free[s].fetch_add(1, Ordering::AcqRel);
+        self.total_free.fetch_add(1, Ordering::AcqRel);
+        true
+    }
+
+    /// Tries to claim exactly `pfn`: root gate, subtree counter, then
+    /// the bit. Rolls back on any conflict. The reservation path uses
+    /// this to assemble contiguous regions.
+    fn try_claim_frame(&self, pfn: u64) -> bool {
+        if !try_dec(&self.total_free) {
+            return false;
+        }
+        let rel = pfn - self.base_pfn;
+        let wi = (rel / WORD_FRAMES) as usize;
+        let s = wi / SUBTREE_WORDS;
+        if !try_dec(&self.subtree_free[s]) {
+            self.total_free.fetch_add(1, Ordering::AcqRel);
+            return false;
+        }
+        let mask = 1u64 << (rel % WORD_FRAMES);
+        let prev = self.bitmap[wi].fetch_or(mask, Ordering::AcqRel);
+        if prev & mask != 0 {
+            self.subtree_free[s].fetch_add(1, Ordering::AcqRel);
+            self.total_free.fetch_add(1, Ordering::AcqRel);
+            return false;
+        }
+        true
+    }
+
+    /// First allocated frame in `[start, start + pages)`, if any — the
+    /// optimistic pre-scan of the reservation search.
+    fn first_conflict(&self, start: u64, pages: u64) -> Option<u64> {
+        (start..start + pages).find(|&pfn| {
+            let rel = pfn - self.base_pfn;
+            let wi = (rel / WORD_FRAMES) as usize;
+            self.bitmap[wi].load(Ordering::Acquire) & (1u64 << (rel % WORD_FRAMES)) != 0
+        })
+    }
+
+    /// Overwrites the bitfield with `words` and rebuilds every counter
+    /// by popcount. Only sound before the tree is shared (recovery
+    /// construction). Never panics: extra words are ignored, missing
+    /// words leave the freshly-initialized state.
+    fn restore_words(&self, words: &[u64]) {
+        for (wi, &w) in words.iter().enumerate().take(self.bitmap.len()) {
+            // Keep padding bits allocated whatever the snapshot says.
+            let word_base = wi as u64 * WORD_FRAMES;
+            let usable = self.frames.saturating_sub(word_base).min(WORD_FRAMES);
+            let pad = if usable >= WORD_FRAMES {
+                0
+            } else {
+                !((1u64 << usable) - 1)
+            };
+            self.bitmap[wi].store(w | pad, Ordering::Release);
+        }
+        let mut total = 0u64;
+        for s in 0..self.subtree_count() {
+            let (w0, w1) = self.subtree_words(s);
+            let lo = s as u64 * SUBTREE_FRAMES;
+            let capacity = self.frames.saturating_sub(lo).min(SUBTREE_FRAMES);
+            let set: u64 = (w0..w1)
+                .map(|wi| u64::from(self.bitmap[wi].load(Ordering::Acquire).count_ones()))
+                .sum();
+            let pad = (w1 - w0) as u64 * WORD_FRAMES - capacity;
+            let free = capacity.saturating_sub(set.saturating_sub(pad));
+            self.subtree_free[s].store(free, Ordering::Release);
+            total += free;
+        }
+        self.total_free.store(total, Ordering::Release);
+        for r in &self.reservations {
+            r.store(0, Ordering::Release);
+        }
+    }
+
+    /// Every allocated frame number, lowest first (padding excluded).
+    fn allocated_pfns(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for (wi, w) in self.bitmap.iter().enumerate() {
+            let mut bits = w.load(Ordering::Acquire);
+            while bits != 0 {
+                let bit = bits.trailing_zeros() as u64;
+                let rel = wi as u64 * WORD_FRAMES + bit;
+                if rel < self.frames {
+                    out.push(self.base_pfn + rel);
+                }
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+}
+
+/// The lock-free hierarchical frame allocator over the hybrid layout.
+/// Drop-in replacement for [`crate::physmem::PhysMemory`], but every
+/// operation takes `&self`, so concurrent workers allocate and free
+/// without any lock.
+#[derive(Debug)]
+pub struct FrameAlloc {
+    layout: MemoryLayout,
+    dram: PoolTree,
+    nvm: PoolTree,
+}
+
+impl FrameAlloc {
+    /// Creates an allocator over `layout`, all frames free.
+    pub fn new(layout: MemoryLayout) -> Self {
+        let dram_frames = layout.dram_bytes / PAGE_SIZE;
+        let nvm_frames = layout.nvm_bytes / PAGE_SIZE;
+        Self {
+            layout,
+            dram: PoolTree::new(0, dram_frames),
+            nvm: PoolTree::new(dram_frames, nvm_frames),
+        }
+    }
+
+    /// The layout this allocator serves.
+    pub fn layout(&self) -> MemoryLayout {
+        self.layout
+    }
+
+    fn tree(&self, pool: Pool) -> &PoolTree {
+        match pool {
+            Pool::Dram => &self.dram,
+            Pool::Nvm => &self.nvm,
+        }
+    }
+
+    /// The tree owning `pfn`, or `None` when out of range.
+    fn tree_of(&self, pfn: u64) -> Option<&PoolTree> {
+        if pfn < self.dram.frames {
+            Some(&self.dram)
+        } else if pfn < self.nvm.base_pfn + self.nvm.frames {
+            Some(&self.nvm)
+        } else {
+            None
+        }
+    }
+
+    fn alloc_inner(
+        &self,
+        pool: Pool,
+        worker: Option<u32>,
+        mut inj: Option<&mut FaultInjector>,
+    ) -> Result<Result<u64, OutOfMemory>, CrashInjected> {
+        let t = self.tree(pool);
+        // Root gate: one atomic check decides exhaustion.
+        if !try_dec(&t.total_free) {
+            return Ok(Err(OutOfMemory { pool }));
+        }
+        loop {
+            let s = match worker {
+                None => t.take_lowest_subtree(),
+                Some(w) => {
+                    let slot = w as usize % WORKER_SLOTS;
+                    let reserved = t.reservations[slot].load(Ordering::Acquire);
+                    let held = reserved
+                        .checked_sub(1)
+                        .map(|s| s as usize)
+                        .filter(|&s| s < t.subtree_count() && try_dec(&t.subtree_free[s]));
+                    match held {
+                        Some(s) => Some(s),
+                        None => {
+                            // The reserved subtree drained (or none was
+                            // held): steal a fresh one. Crash window —
+                            // reservations are volatile, so a power
+                            // failure here must leave the durable tree
+                            // untouched.
+                            let site = CrashSite::AllocReservationSteal { worker: w };
+                            if let Some(inj) = inj.as_deref_mut() {
+                                if inj.observe(site) {
+                                    t.total_free.fetch_add(1, Ordering::AcqRel);
+                                    return Err(CrashInjected { site });
+                                }
+                            }
+                            if telemetry::enabled() {
+                                telemetry::with(|tel| {
+                                    tel.registry()
+                                        .counter("prosper.alloc.reservation_steals")
+                                        .inc();
+                                });
+                            }
+                            match t.steal_target(slot) {
+                                Some(s) if try_dec(&t.subtree_free[s]) => {
+                                    t.reservations[slot].store(s as u64 + 1, Ordering::Release);
+                                    Some(s)
+                                }
+                                _ => None,
+                            }
+                        }
+                    }
+                }
+            };
+            let Some(s) = s else {
+                // Transient: the root gate passed, so free frames
+                // exist; racing counters just moved them. Rescan.
+                std::hint::spin_loop();
+                continue;
+            };
+            loop {
+                if let Some(pfn) = t.claim_in_subtree(s) {
+                    return Ok(Ok(pfn));
+                }
+                // We hold a unit of this subtree's counter, so a clear
+                // bit exists; a racing free moved it behind the scan.
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Allocates one frame from `pool` — the deterministic serial
+    /// policy (always the **lowest** free frame, exactly matching the
+    /// [`crate::physmem::PhysMemory`] reference).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfMemory`] when the pool is exhausted.
+    pub fn alloc(&self, pool: Pool) -> Result<u64, OutOfMemory> {
+        match self.alloc_inner(pool, None, None) {
+            Ok(r) => r,
+            // Unreachable without an injector, but never panic here.
+            Err(_) => Err(OutOfMemory { pool }),
+        }
+    }
+
+    /// Allocates one frame from `pool` on `worker`'s reserved subtree
+    /// — the scalable path: workers mostly touch disjoint cache
+    /// lines, stealing a fresh subtree only when theirs drains.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfMemory`] when the pool is exhausted.
+    pub fn alloc_for(&self, pool: Pool, worker: u32) -> Result<u64, OutOfMemory> {
+        match self.alloc_inner(pool, Some(worker), None) {
+            Ok(r) => r,
+            Err(_) => Err(OutOfMemory { pool }),
+        }
+    }
+
+    /// [`Self::alloc_for`] with a crash boundary at the reservation
+    /// steal ([`CrashSite::AllocReservationSteal`]).
+    ///
+    /// # Errors
+    ///
+    /// The outer error is the injected crash; the inner is pool
+    /// exhaustion.
+    pub fn alloc_for_with_faults(
+        &self,
+        pool: Pool,
+        worker: u32,
+        inj: &mut FaultInjector,
+    ) -> Result<Result<u64, OutOfMemory>, CrashInjected> {
+        self.alloc_inner(pool, Some(worker), Some(inj))
+    }
+
+    /// Returns a frame to its pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FreeError::OutOfRange`] for a frame number outside
+    /// installed memory and [`FreeError::DoubleFree`] when the frame
+    /// is not currently allocated.
+    pub fn free(&self, pfn: u64) -> Result<(), FreeError> {
+        let Some(t) = self.tree_of(pfn) else {
+            return Err(FreeError::OutOfRange { pfn });
+        };
+        if t.release(pfn) {
+            Ok(())
+        } else {
+            if telemetry::enabled() {
+                telemetry::with(|tel| {
+                    tel.registry()
+                        .counter("prosper.alloc.double_frees_rejected")
+                        .inc();
+                });
+            }
+            Err(FreeError::DoubleFree { pfn })
+        }
+    }
+
+    /// Reserves a contiguous NVM region of `bytes` (page-rounded),
+    /// returning its base physical address. First-fit over the whole
+    /// pool — freed frames are reused, matching the fixed reference.
+    /// Frames are claimed one by one through the counter hierarchy
+    /// and rolled back wholesale on any conflict, so concurrent
+    /// allocs never observe a half-reserved region as theirs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfMemory`] if no contiguous run of free frames is
+    /// long enough.
+    pub fn reserve_nvm_region(&self, bytes: u64) -> Result<PhysAddr, OutOfMemory> {
+        let pages = bytes.div_ceil(PAGE_SIZE).max(1);
+        let t = &self.nvm;
+        let limit = t.base_pfn + t.frames;
+        let mut start = t.base_pfn;
+        'search: while start + pages <= limit {
+            if let Some(c) = t.first_conflict(start, pages) {
+                start = c + 1;
+                continue;
+            }
+            let mut claimed = 0u64;
+            while claimed < pages {
+                if t.try_claim_frame(start + claimed) {
+                    claimed += 1;
+                } else {
+                    for pfn in start..start + claimed {
+                        t.release(pfn);
+                    }
+                    start += claimed + 1;
+                    continue 'search;
+                }
+            }
+            return Ok(PhysAddr::new(start * PAGE_SIZE));
+        }
+        Err(OutOfMemory { pool: Pool::Nvm })
+    }
+
+    /// Frames currently free in `pool` — one relaxed load of the root
+    /// counter.
+    pub fn available_frames(&self, pool: Pool) -> u64 {
+        self.tree(pool).total_free.load(Ordering::Acquire)
+    }
+
+    /// Every allocated NVM frame number, lowest first — what the
+    /// durable tree protects and what crash verification compares.
+    pub fn nvm_allocated_pfns(&self) -> Vec<u64> {
+        self.nvm.allocated_pfns()
+    }
+
+    /// Number of NVM subtrees (persist-cycle crash windows).
+    pub fn nvm_subtrees(&self) -> usize {
+        self.nvm.subtree_count()
+    }
+
+    /// Persists the NVM pool's bitfield into `durable` through the
+    /// staging/seal discipline: every subtree's words are staged
+    /// (unsealed), then the seal record is written — the single
+    /// durability point. Returns the sealed sequence number.
+    pub fn persist_nvm(&self, durable: &mut DurableAllocTree) -> u64 {
+        let mut inj = FaultInjector::disabled();
+        // A disabled injector never fires, so this cannot fail.
+        self.persist_nvm_with_faults(durable, &mut inj)
+            .map_or(durable.committed_sequence(), |seq| seq)
+    }
+
+    /// [`Self::persist_nvm`] with a crash boundary after each
+    /// subtree's words are staged ([`CrashSite::AllocSubtreePersist`]
+    /// — seal not yet written, so recovery discards the staging).
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected crash; `durable` is left with an unsealed
+    /// staging buffer, exactly as a power failure would.
+    pub fn persist_nvm_with_faults(
+        &self,
+        durable: &mut DurableAllocTree,
+        inj: &mut FaultInjector,
+    ) -> Result<u64, CrashInjected> {
+        durable.begin_stage();
+        for s in 0..self.nvm.subtree_count() {
+            let (w0, w1) = self.nvm.subtree_words(s);
+            for wi in w0..w1 {
+                durable.stage_word(wi, self.nvm.bitmap[wi].load(Ordering::Acquire));
+            }
+            let site = CrashSite::AllocSubtreePersist { subtree: s as u32 };
+            if inj.observe(site) {
+                return Err(CrashInjected { site });
+            }
+        }
+        let seq = durable.seal_and_apply();
+        if telemetry::enabled() {
+            telemetry::with(|tel| {
+                let r = tel.registry();
+                r.counter("prosper.alloc.subtree_persists")
+                    .add(self.nvm.subtree_count() as u64);
+                r.gauge("prosper.alloc.nvm_free_frames")
+                    .set(i64::try_from(self.available_frames(Pool::Nvm)).unwrap_or(i64::MAX));
+            });
+        }
+        Ok(seq)
+    }
+
+    /// Rebuilds an allocator after a crash: `durable` recovers its
+    /// last sealed snapshot (replaying a sealed-but-unapplied staging
+    /// buffer, discarding an unsealed one), the NVM tree's bitfield
+    /// is restored from it with every counter recomputed by popcount,
+    /// and the DRAM pool starts fresh (volatile frames did not
+    /// survive). Reservations start empty. Never panics — this runs
+    /// on the recovery path.
+    pub fn recover(layout: MemoryLayout, durable: &mut DurableAllocTree) -> Self {
+        durable.recover();
+        let alloc = Self::new(layout);
+        alloc.nvm.restore_words(durable.committed_words());
+        alloc
+    }
+}
+
+/// The NVM-resident durable copy of the allocator's NVM bitfield,
+/// maintained through the two-step staging/seal discipline: staged
+/// words are worthless until the seal record is written; recovery
+/// replays a sealed buffer idempotently and discards an unsealed one.
+#[derive(Clone, Debug, Default)]
+pub struct DurableAllocTree {
+    /// Last sealed-and-applied bitfield snapshot.
+    committed: Vec<u64>,
+    /// Sequence of the last sealed snapshot.
+    committed_sequence: u64,
+    /// Staged `(word index, word value)` pairs (NVM staging buffer).
+    staging: Vec<(usize, u64)>,
+    /// Seal marker — durably written after all words are staged.
+    sealed: bool,
+    /// Sequence the open staging buffer would commit as.
+    staging_sequence: u64,
+}
+
+impl DurableAllocTree {
+    /// An empty durable tree (nothing committed yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a fresh staging buffer, discarding any previous one.
+    pub fn begin_stage(&mut self) {
+        self.staging.clear();
+        self.sealed = false;
+        self.staging_sequence = self.committed_sequence + 1;
+    }
+
+    /// Stages one bitfield word into the open buffer.
+    pub fn stage_word(&mut self, idx: usize, word: u64) {
+        self.staging.push((idx, word));
+    }
+
+    /// Writes the seal marker and applies the staged words — the
+    /// durability point. Returns the committed sequence.
+    pub fn seal_and_apply(&mut self) -> u64 {
+        self.sealed = true;
+        self.apply_staged();
+        self.committed_sequence
+    }
+
+    /// Applies a sealed staging buffer into the committed snapshot and
+    /// retires it. Idempotent: staged words carry absolute values.
+    fn apply_staged(&mut self) {
+        for &(idx, word) in &self.staging {
+            if self.committed.len() <= idx {
+                self.committed.resize(idx + 1, 0);
+            }
+            self.committed[idx] = word;
+        }
+        self.committed_sequence = self.staging_sequence.max(self.committed_sequence);
+        self.staging.clear();
+        self.sealed = false;
+        self.staging_sequence = 0;
+    }
+
+    /// Crash recovery: a sealed buffer is replayed (the crash hit
+    /// between seal and apply-complete); an unsealed one is discarded
+    /// (the crash hit mid-staging — [`CrashSite::AllocSubtreePersist`]).
+    /// Never panics — this runs on the recovery path.
+    pub fn recover(&mut self) {
+        if self.sealed {
+            self.apply_staged();
+        } else {
+            self.staging.clear();
+            self.staging_sequence = 0;
+        }
+    }
+
+    /// The last sealed bitfield snapshot.
+    pub fn committed_words(&self) -> &[u64] {
+        &self.committed
+    }
+
+    /// Sequence of the last sealed snapshot (0 = never persisted).
+    pub fn committed_sequence(&self) -> u64 {
+        self.committed_sequence
+    }
+
+    /// Whether an unapplied staging buffer is open (sealed or not).
+    pub fn staging_open(&self) -> bool {
+        !self.staging.is_empty()
+    }
+
+    /// Whether the open staging buffer is sealed.
+    pub fn is_sealed(&self) -> bool {
+        self.sealed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crash::CrashPlan;
+
+    fn layout(dram_frames: u64, nvm_frames: u64) -> MemoryLayout {
+        MemoryLayout {
+            dram_bytes: dram_frames * PAGE_SIZE,
+            nvm_bytes: nvm_frames * PAGE_SIZE,
+        }
+    }
+
+    #[test]
+    fn serial_policy_hands_out_lowest_free_frame() {
+        let a = FrameAlloc::new(layout(8, 8));
+        assert_eq!(a.alloc(Pool::Dram).unwrap(), 0);
+        assert_eq!(a.alloc(Pool::Dram).unwrap(), 1);
+        assert_eq!(a.alloc(Pool::Nvm).unwrap(), 8);
+        a.free(0).unwrap();
+        assert_eq!(a.alloc(Pool::Dram).unwrap(), 0);
+    }
+
+    #[test]
+    fn exhaustion_and_double_free_detected() {
+        let a = FrameAlloc::new(layout(2, 2));
+        let x = a.alloc(Pool::Dram).unwrap();
+        let _ = a.alloc(Pool::Dram).unwrap();
+        assert_eq!(a.alloc(Pool::Dram).unwrap_err().pool, Pool::Dram);
+        a.free(x).unwrap();
+        assert_eq!(a.free(x).unwrap_err(), FreeError::DoubleFree { pfn: x });
+        assert_eq!(a.free(99).unwrap_err(), FreeError::OutOfRange { pfn: 99 });
+        assert_eq!(a.available_frames(Pool::Dram), 1);
+    }
+
+    #[test]
+    fn padding_bits_are_never_handed_out() {
+        // 70 frames: the second word has 58 padding bits.
+        let a = FrameAlloc::new(layout(70, 0));
+        for expect in 0..70 {
+            assert_eq!(a.alloc(Pool::Dram).unwrap(), expect);
+        }
+        assert!(a.alloc(Pool::Dram).is_err());
+    }
+
+    #[test]
+    fn worker_reservations_spread_subtrees() {
+        // 2 subtrees of 512 frames each.
+        let a = FrameAlloc::new(layout(2 * SUBTREE_FRAMES, 0));
+        let p0 = a.alloc_for(Pool::Dram, 0).unwrap();
+        let p1 = a.alloc_for(Pool::Dram, 1).unwrap();
+        // Worker 0 stole the emptier subtree first; worker 1 then
+        // skipped 0's reservation.
+        assert_ne!(
+            p0 / SUBTREE_FRAMES,
+            p1 / SUBTREE_FRAMES,
+            "workers should land on disjoint subtrees"
+        );
+        // Subsequent allocs stay on the reservation (no steal).
+        let p0b = a.alloc_for(Pool::Dram, 0).unwrap();
+        assert_eq!(p0 / SUBTREE_FRAMES, p0b / SUBTREE_FRAMES);
+    }
+
+    #[test]
+    fn reservation_reuses_freed_frames_first_fit() {
+        let a = FrameAlloc::new(layout(0, 8));
+        let x = a.alloc(Pool::Nvm).unwrap();
+        let y = a.alloc(Pool::Nvm).unwrap();
+        a.free(x).unwrap();
+        a.free(y).unwrap();
+        let base = a.reserve_nvm_region(8 * PAGE_SIZE).unwrap();
+        assert_eq!(base.raw(), 0);
+        assert_eq!(a.available_frames(Pool::Nvm), 0);
+        assert!(a.reserve_nvm_region(PAGE_SIZE).is_err());
+    }
+
+    #[test]
+    fn reservation_skips_holes() {
+        let a = FrameAlloc::new(layout(0, 8));
+        let f: Vec<u64> = (0..3).map(|_| a.alloc(Pool::Nvm).unwrap()).collect();
+        a.free(f[0]).unwrap();
+        a.free(f[1]).unwrap();
+        // Free run [0,2), hole at 2, tail [3,8).
+        let base = a.reserve_nvm_region(3 * PAGE_SIZE).unwrap();
+        assert_eq!(base.raw(), 3 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn persist_seal_recover_round_trip() {
+        let a = FrameAlloc::new(layout(4, 2 * SUBTREE_FRAMES));
+        let d0 = a.alloc(Pool::Dram).unwrap();
+        let n0 = a.alloc(Pool::Nvm).unwrap();
+        let n1 = a.alloc(Pool::Nvm).unwrap();
+        a.free(n0).unwrap();
+        let mut durable = DurableAllocTree::new();
+        assert_eq!(a.persist_nvm(&mut durable), 1);
+
+        let recovered = FrameAlloc::recover(a.layout(), &mut durable);
+        // NVM survives exactly; DRAM starts fresh.
+        assert_eq!(recovered.nvm_allocated_pfns(), vec![n1]);
+        assert_eq!(recovered.available_frames(Pool::Dram), 4);
+        assert_eq!(
+            recovered.available_frames(Pool::Nvm),
+            2 * SUBTREE_FRAMES - 1
+        );
+        // The freed frame is allocatable again, lowest-first.
+        assert_eq!(recovered.alloc(Pool::Nvm).unwrap(), n0);
+        let _ = d0;
+    }
+
+    #[test]
+    fn crash_mid_persist_discards_unsealed_staging() {
+        let a = FrameAlloc::new(layout(0, 2 * SUBTREE_FRAMES));
+        let n0 = a.alloc(Pool::Nvm).unwrap();
+        let mut durable = DurableAllocTree::new();
+        a.persist_nvm(&mut durable);
+
+        // Allocate more, then crash during the next persist cycle.
+        let _n1 = a.alloc(Pool::Nvm).unwrap();
+        let mut inj = FaultInjector::new(CrashPlan::AtSite(CrashSite::AllocSubtreePersist {
+            subtree: 0,
+        }));
+        let err = a
+            .persist_nvm_with_faults(&mut durable, &mut inj)
+            .unwrap_err();
+        assert_eq!(err.site, CrashSite::AllocSubtreePersist { subtree: 0 });
+        assert!(durable.staging_open() && !durable.is_sealed());
+
+        // Recovery lands on the last *sealed* snapshot: only n0.
+        let recovered = FrameAlloc::recover(a.layout(), &mut durable);
+        assert_eq!(recovered.nvm_allocated_pfns(), vec![n0]);
+        assert_eq!(durable.committed_sequence(), 1);
+    }
+
+    #[test]
+    fn sealed_staging_is_replayed_on_recovery() {
+        let a = FrameAlloc::new(layout(0, SUBTREE_FRAMES));
+        let n0 = a.alloc(Pool::Nvm).unwrap();
+        let mut durable = DurableAllocTree::new();
+        // Stage and seal by hand, modeling a crash after the seal but
+        // before the apply finished.
+        durable.begin_stage();
+        durable.stage_word(0, 1u64 << (n0 % WORD_FRAMES));
+        durable.sealed = true;
+        durable.recover();
+        assert_eq!(durable.committed_sequence(), 1);
+        let recovered = FrameAlloc::recover(a.layout(), &mut durable);
+        assert_eq!(recovered.nvm_allocated_pfns(), vec![n0]);
+    }
+
+    #[test]
+    fn steal_crash_site_fires_and_leaves_tree_consistent() {
+        let a = FrameAlloc::new(layout(SUBTREE_FRAMES, 0));
+        let mut inj = FaultInjector::new(CrashPlan::AtSite(CrashSite::AllocReservationSteal {
+            worker: 3,
+        }));
+        // First alloc for worker 3 must steal (no reservation yet).
+        let err = a
+            .alloc_for_with_faults(Pool::Dram, 3, &mut inj)
+            .unwrap_err();
+        assert_eq!(err.site, CrashSite::AllocReservationSteal { worker: 3 });
+        // The rolled-back gate leaves accounting exact.
+        assert_eq!(a.available_frames(Pool::Dram), SUBTREE_FRAMES);
+        assert_eq!(a.alloc(Pool::Dram).unwrap(), 0);
+    }
+
+    #[test]
+    fn concurrent_alloc_free_accounting_is_exact() {
+        let frames = 4 * SUBTREE_FRAMES;
+        let a = FrameAlloc::new(layout(frames, 0));
+        let threads = 4;
+        let per_thread = 200usize;
+        std::thread::scope(|scope| {
+            for w in 0..threads {
+                let a = &a;
+                scope.spawn(move || {
+                    let mut held = Vec::new();
+                    for i in 0..per_thread {
+                        let pfn = a.alloc_for(Pool::Dram, w).unwrap();
+                        held.push(pfn);
+                        if i % 3 == 0 {
+                            let pfn = held.swap_remove(held.len() / 2);
+                            a.free(pfn).unwrap();
+                        }
+                    }
+                    for pfn in held {
+                        a.free(pfn).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(a.available_frames(Pool::Dram), frames);
+        assert!(a.dram.allocated_pfns().is_empty());
+        let sum: u64 = a
+            .dram
+            .subtree_free
+            .iter()
+            .map(|c| c.load(Ordering::Acquire))
+            .sum();
+        assert_eq!(sum, frames);
+    }
+}

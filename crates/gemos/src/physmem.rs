@@ -5,6 +5,16 @@
 //! either pool and supports contiguous NVM region reservations for
 //! checkpoint areas (persistent stacks, staging buffers, commit
 //! bitmaps).
+//!
+//! [`PhysMemory`] is the *serial reference implementation*: simple,
+//! ordered, `&mut self`. The scalable lock-free allocator that
+//! replaced it on the hot path is [`crate::llalloc::FrameAlloc`]; the
+//! differential suite in `tests/alloc_differential.rs` drives both
+//! against each other, which is why the reference allocates the
+//! lowest free frame first — the same deterministic policy the
+//! lock-free tree's serial mode uses.
+
+use std::collections::BTreeSet;
 
 use prosper_memsim::addr::PhysAddr;
 use prosper_memsim::config::MemoryLayout;
@@ -25,6 +35,34 @@ impl std::fmt::Display for OutOfMemory {
 
 impl std::error::Error for OutOfMemory {}
 
+/// Error returned when a [`PhysMemory::free`] (or
+/// [`crate::llalloc::FrameAlloc::free`]) is invalid.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FreeError {
+    /// The frame is not currently allocated — either it was already
+    /// freed (the classic double-free) or it was never handed out.
+    DoubleFree {
+        /// The offending frame number.
+        pfn: u64,
+    },
+    /// The frame number lies outside installed memory.
+    OutOfRange {
+        /// The offending frame number.
+        pfn: u64,
+    },
+}
+
+impl std::fmt::Display for FreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::DoubleFree { pfn } => write!(f, "double free of frame {pfn}"),
+            Self::OutOfRange { pfn } => write!(f, "frame {pfn} outside installed memory"),
+        }
+    }
+}
+
+impl std::error::Error for FreeError {}
+
 /// The two physical pools.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Pool {
@@ -39,9 +77,9 @@ pub enum Pool {
 pub struct PhysMemory {
     layout: MemoryLayout,
     dram_next: u64,
-    dram_free: Vec<u64>,
+    dram_free: BTreeSet<u64>,
     nvm_next: u64,
-    nvm_free: Vec<u64>,
+    nvm_free: BTreeSet<u64>,
 }
 
 impl PhysMemory {
@@ -50,9 +88,9 @@ impl PhysMemory {
         Self {
             layout,
             dram_next: 0,
-            dram_free: Vec::new(),
+            dram_free: BTreeSet::new(),
             nvm_next: layout.dram_bytes / PAGE_SIZE,
-            nvm_free: Vec::new(),
+            nvm_free: BTreeSet::new(),
         }
     }
 
@@ -69,6 +107,9 @@ impl PhysMemory {
     }
 
     /// Allocates one frame from `pool`, returning its frame number.
+    /// Always hands out the **lowest** free frame — the deterministic
+    /// policy the lock-free tree's serial mode mirrors, so the
+    /// differential suite can compare pfn streams exactly.
     ///
     /// # Errors
     ///
@@ -79,7 +120,7 @@ impl PhysMemory {
             Pool::Dram => (&mut self.dram_free, &mut self.dram_next),
             Pool::Nvm => (&mut self.nvm_free, &mut self.nvm_next),
         };
-        if let Some(pfn) = free.pop() {
+        if let Some(pfn) = free.pop_first() {
             return Ok(pfn);
         }
         if *next >= limit {
@@ -92,23 +133,37 @@ impl PhysMemory {
 
     /// Returns a frame to its pool.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the frame number does not belong to either pool.
-    pub fn free(&mut self, pfn: u64) {
+    /// Returns [`FreeError::OutOfRange`] when the frame number belongs
+    /// to neither pool and [`FreeError::DoubleFree`] when the frame is
+    /// not currently allocated (already free, or never handed out) —
+    /// the silent double-free that used to push the same pfn onto the
+    /// free list twice and hand one frame to two owners.
+    pub fn free(&mut self, pfn: u64) -> Result<(), FreeError> {
         let dram_limit = self.layout.dram_bytes / PAGE_SIZE;
-        if pfn < dram_limit {
-            self.dram_free.push(pfn);
+        let (free, next) = if pfn < dram_limit {
+            (&mut self.dram_free, self.dram_next)
         } else if pfn < self.pool_limit_pfn(Pool::Nvm) {
-            self.nvm_free.push(pfn);
+            (&mut self.nvm_free, self.nvm_next)
         } else {
-            panic!("frame {pfn} outside installed memory");
+            return Err(FreeError::OutOfRange { pfn });
+        };
+        if pfn >= next || !free.insert(pfn) {
+            return Err(FreeError::DoubleFree { pfn });
         }
+        Ok(())
     }
 
     /// Reserves a contiguous NVM region of `bytes` (page-rounded),
     /// returning its base physical address. Used for persistent stacks
     /// and staging buffers.
+    ///
+    /// The search is first-fit over *all* free NVM frames — runs of
+    /// consecutive frames on the free set as well as the
+    /// never-allocated tail (fused with a free run that abuts it).
+    /// Previously only the tail was consulted, so frames counted by
+    /// [`Self::available_frames`] could be unreservable forever.
     ///
     /// # Errors
     ///
@@ -117,12 +172,32 @@ impl PhysMemory {
     pub fn reserve_nvm_region(&mut self, bytes: u64) -> Result<PhysAddr, OutOfMemory> {
         let pages = bytes.div_ceil(PAGE_SIZE).max(1);
         let limit = self.pool_limit_pfn(Pool::Nvm);
-        if self.nvm_next + pages > limit {
-            return Err(OutOfMemory { pool: Pool::Nvm });
+        // Sorted maximal runs of consecutive free frames, with the
+        // never-allocated tail [nvm_next, limit) fused onto a run
+        // that ends exactly at nvm_next.
+        let mut runs: Vec<(u64, u64)> = Vec::new();
+        for &pfn in &self.nvm_free {
+            match runs.last_mut() {
+                Some((_, end)) if *end == pfn => *end += 1,
+                _ => runs.push((pfn, pfn + 1)),
+            }
         }
-        let base = self.nvm_next;
-        self.nvm_next += pages;
-        Ok(PhysAddr::new(base * PAGE_SIZE))
+        match runs.last_mut() {
+            Some((_, end)) if *end == self.nvm_next => *end = limit,
+            _ => runs.push((self.nvm_next, limit)),
+        }
+        let (start, _) = runs
+            .into_iter()
+            .find(|&(s, e)| e - s >= pages)
+            .ok_or(OutOfMemory { pool: Pool::Nvm })?;
+        for pfn in start..start + pages {
+            if pfn >= self.nvm_next {
+                self.nvm_next = pfn + 1;
+            } else {
+                self.nvm_free.remove(&pfn);
+            }
+        }
+        Ok(PhysAddr::new(start * PAGE_SIZE))
     }
 
     /// Frames still available in `pool` (ignoring the free list's
@@ -171,14 +246,35 @@ mod tests {
     fn free_recycles() {
         let mut pm = small();
         let a = pm.alloc(Pool::Dram).unwrap();
-        pm.free(a);
+        pm.free(a).unwrap();
         assert_eq!(pm.alloc(Pool::Dram).unwrap(), a);
     }
 
     #[test]
-    #[should_panic(expected = "outside installed memory")]
-    fn free_bad_frame_panics() {
-        small().free(99);
+    fn free_bad_frame_rejected() {
+        let err = small().free(99).unwrap_err();
+        assert_eq!(err, FreeError::OutOfRange { pfn: 99 });
+        assert!(err.to_string().contains("outside installed memory"));
+    }
+
+    /// Regression: `free()` used to push the same pfn onto the free
+    /// list twice, so two later allocs both received it.
+    #[test]
+    fn double_free_rejected_not_double_allocated() {
+        let mut pm = small();
+        let a = pm.alloc(Pool::Dram).unwrap();
+        pm.free(a).unwrap();
+        assert_eq!(pm.free(a).unwrap_err(), FreeError::DoubleFree { pfn: a });
+        let x = pm.alloc(Pool::Dram).unwrap();
+        let y = pm.alloc(Pool::Dram).unwrap();
+        assert_ne!(x, y, "double-free handed one frame to two owners");
+    }
+
+    /// Freeing a frame that was never allocated is a double-free too.
+    #[test]
+    fn free_of_unallocated_frame_rejected() {
+        let mut pm = small();
+        assert_eq!(pm.free(2).unwrap_err(), FreeError::DoubleFree { pfn: 2 });
     }
 
     #[test]
@@ -191,12 +287,49 @@ mod tests {
         assert!(pm.reserve_nvm_region(2 * PAGE_SIZE).is_err());
     }
 
+    /// Regression: `reserve_nvm_region` only consulted the
+    /// never-allocated tail, so freed frames counted by
+    /// `available_frames` could never be reserved.
+    #[test]
+    fn reservation_reuses_freed_frames() {
+        let mut pm = small();
+        let a = pm.alloc(Pool::Nvm).unwrap();
+        let b = pm.alloc(Pool::Nvm).unwrap();
+        pm.free(a).unwrap();
+        pm.free(b).unwrap();
+        assert_eq!(pm.available_frames(Pool::Nvm), 4);
+        // 4 frames available and contiguous (free run fuses with the
+        // tail) — the whole pool is reservable again.
+        let base = pm.reserve_nvm_region(4 * PAGE_SIZE).unwrap();
+        assert_eq!(base.raw(), 4 * PAGE_SIZE);
+        assert_eq!(pm.available_frames(Pool::Nvm), 0);
+    }
+
+    /// A free run *not* adjacent to the tail is still found first-fit.
+    #[test]
+    fn reservation_first_fit_over_free_runs() {
+        let mut pm = small();
+        let a = pm.alloc(Pool::Nvm).unwrap();
+        let b = pm.alloc(Pool::Nvm).unwrap();
+        let _c = pm.alloc(Pool::Nvm).unwrap();
+        pm.free(a).unwrap();
+        pm.free(b).unwrap();
+        // Free run [4,6), hole at 6, tail [7,8).
+        let base = pm.reserve_nvm_region(2 * PAGE_SIZE).unwrap();
+        assert_eq!(base.raw(), a * PAGE_SIZE);
+        assert_eq!(pm.available_frames(Pool::Nvm), 1);
+        // The reserved frames are gone: a single-frame request now
+        // lands on the tail.
+        let tail = pm.reserve_nvm_region(PAGE_SIZE).unwrap();
+        assert_eq!(tail.raw(), 7 * PAGE_SIZE);
+    }
+
     #[test]
     fn available_frames_counts_freelist() {
         let mut pm = small();
         let a = pm.alloc(Pool::Dram).unwrap();
         assert_eq!(pm.available_frames(Pool::Dram), 3);
-        pm.free(a);
+        pm.free(a).unwrap();
         assert_eq!(pm.available_frames(Pool::Dram), 4);
     }
 }

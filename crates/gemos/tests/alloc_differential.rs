@@ -1,0 +1,314 @@
+//! Differential property tests: the lock-free hierarchical frame
+//! allocator against the serial free-list reference.
+//!
+//! A [`FrameAlloc`] and a [`PhysMemory`] built over the same layout
+//! are driven through identical random alloc/free/reserve sequences.
+//! The serial `FrameAlloc::alloc` path implements the exact same
+//! deterministic policy as the reference (always the lowest free
+//! frame), so the comparison is *exact*: identical frame numbers,
+//! identical out-of-memory occurrences, identical free errors,
+//! identical `available_frames` after every single operation — plus
+//! frame conservation (held + available == installed) and
+//! no-double-hand-out invariants that each side must uphold
+//! independently. A scoped-thread smoke test then hammers the
+//! reservation-based `alloc_for` path concurrently and checks exact
+//! accounting afterwards, which the reference cannot do at all.
+
+use proptest::prelude::*;
+use prosper_gemos::llalloc::FrameAlloc;
+use prosper_gemos::physmem::{PhysMemory, Pool};
+use prosper_memsim::config::MemoryLayout;
+use prosper_memsim::PAGE_SIZE;
+use std::collections::BTreeSet;
+
+/// Small enough that random sequences actually exhaust both pools.
+const DRAM_FRAMES: u64 = 24;
+const NVM_FRAMES: u64 = 18;
+
+fn small_layout() -> MemoryLayout {
+    MemoryLayout {
+        dram_bytes: DRAM_FRAMES * PAGE_SIZE,
+        nvm_bytes: NVM_FRAMES * PAGE_SIZE,
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Allocate one frame from the given pool on both allocators.
+    Alloc(Pool),
+    /// Free a currently-held frame (picked by index into the held
+    /// set) on both allocators.
+    FreeHeld(usize),
+    /// Free a raw, probably-invalid frame number on both allocators —
+    /// exercises `OutOfRange` / `DoubleFree` parity.
+    FreeRaw(u64),
+    /// Reserve a contiguous NVM region of `pages` frames on both.
+    ReserveNvm(u64),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => prop_oneof![Just(Pool::Dram), Just(Pool::Nvm)].prop_map(Op::Alloc),
+        3 => any::<usize>().prop_map(Op::FreeHeld),
+        1 => (0u64..DRAM_FRAMES + NVM_FRAMES + 8).prop_map(Op::FreeRaw),
+        2 => (1u64..5).prop_map(Op::ReserveNvm),
+    ]
+}
+
+/// Drives the lock-free allocator and the serial reference in
+/// lock-step over the same layout.
+struct Differential {
+    lockfree: FrameAlloc,
+    reference: PhysMemory,
+    /// Every frame currently handed out, in hand-out order.
+    held: Vec<u64>,
+}
+
+impl Differential {
+    fn new() -> Self {
+        Differential {
+            lockfree: FrameAlloc::new(small_layout()),
+            reference: PhysMemory::new(small_layout()),
+            held: Vec::new(),
+        }
+    }
+
+    fn alloc(&mut self, pool: Pool) {
+        let lf = self.lockfree.alloc(pool);
+        let rf = self.reference.alloc(pool);
+        assert_eq!(lf, rf, "alloc({pool:?}) diverged");
+        if let Ok(pfn) = lf {
+            assert!(
+                !self.held.contains(&pfn),
+                "frame {pfn} handed out twice while still held"
+            );
+            self.held.push(pfn);
+        }
+    }
+
+    fn free_held(&mut self, index: usize) {
+        if self.held.is_empty() {
+            return;
+        }
+        let pfn = self.held.swap_remove(index % self.held.len());
+        let lf = self.lockfree.free(pfn);
+        let rf = self.reference.free(pfn);
+        assert_eq!(lf, rf, "free({pfn}) diverged");
+        assert_eq!(lf, Ok(()), "freeing a held frame must succeed");
+    }
+
+    fn free_raw(&mut self, pfn: u64) {
+        // Only compare errors: a raw pfn that happens to be held is
+        // a legitimate free and must go through `free_held`'s
+        // bookkeeping instead.
+        if self.held.contains(&pfn) {
+            return;
+        }
+        let lf = self.lockfree.free(pfn);
+        let rf = self.reference.free(pfn);
+        assert_eq!(lf, rf, "free({pfn}) error diverged");
+        assert!(lf.is_err(), "freeing an unheld frame must fail");
+    }
+
+    fn reserve_nvm(&mut self, pages: u64) {
+        let bytes = pages * PAGE_SIZE;
+        let lf = self.lockfree.reserve_nvm_region(bytes);
+        let rf = self.reference.reserve_nvm_region(bytes);
+        assert_eq!(lf, rf, "reserve_nvm_region({pages} pages) diverged");
+        if let Ok(base) = lf {
+            let base_pfn = base.raw() / PAGE_SIZE;
+            for pfn in base_pfn..base_pfn + pages {
+                assert!(
+                    !self.held.contains(&pfn),
+                    "reserved frame {pfn} was already held"
+                );
+                self.held.push(pfn);
+            }
+        }
+    }
+
+    /// The invariants that must hold after *every* operation:
+    /// identical availability on both sides, and exact frame
+    /// conservation against the held set.
+    fn check_accounting(&self) {
+        for (pool, installed) in [(Pool::Dram, DRAM_FRAMES), (Pool::Nvm, NVM_FRAMES)] {
+            let lf = self.lockfree.available_frames(pool);
+            let rf = self.reference.available_frames(pool);
+            assert_eq!(lf, rf, "available_frames({pool:?}) diverged");
+            let held_in_pool = self
+                .held
+                .iter()
+                .filter(|&&pfn| match pool {
+                    Pool::Dram => pfn < DRAM_FRAMES,
+                    Pool::Nvm => pfn >= DRAM_FRAMES,
+                })
+                .count() as u64;
+            assert_eq!(
+                held_in_pool + lf,
+                installed,
+                "{pool:?} frames not conserved: {held_in_pool} held + {lf} available != {installed}"
+            );
+        }
+        // The lock-free side's NVM bitmap must agree with the held set
+        // exactly (the reference has no equivalent introspection).
+        let nvm_held: BTreeSet<u64> = self
+            .held
+            .iter()
+            .copied()
+            .filter(|&pfn| pfn >= DRAM_FRAMES)
+            .collect();
+        let nvm_bitmap: BTreeSet<u64> = self.lockfree.nvm_allocated_pfns().into_iter().collect();
+        assert_eq!(nvm_bitmap, nvm_held, "NVM bitmap diverged from held set");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random alloc/free/reserve sequences: every operation must
+    /// return the identical result on both allocators, and after
+    /// every operation both report identical availability with exact
+    /// frame conservation.
+    #[test]
+    fn lockfree_matches_reference_on_random_sequences(
+        ops in prop::collection::vec(arb_op(), 1..120),
+    ) {
+        let mut d = Differential::new();
+        d.check_accounting();
+        for op in &ops {
+            match *op {
+                Op::Alloc(pool) => d.alloc(pool),
+                Op::FreeHeld(index) => d.free_held(index),
+                Op::FreeRaw(pfn) => d.free_raw(pfn),
+                Op::ReserveNvm(pages) => d.reserve_nvm(pages),
+            }
+            d.check_accounting();
+        }
+        // Drain everything: both sides must come back to a full pool.
+        while !d.held.is_empty() {
+            d.free_held(0);
+        }
+        d.check_accounting();
+        prop_assert_eq!(d.lockfree.available_frames(Pool::Dram), DRAM_FRAMES);
+        prop_assert_eq!(d.lockfree.available_frames(Pool::Nvm), NVM_FRAMES);
+    }
+
+    /// OOM parity under sustained pressure: allocate past exhaustion
+    /// in both pools, interleaving frees, and require that the two
+    /// allocators run dry at exactly the same operations.
+    #[test]
+    fn oom_parity_under_pressure(
+        frees in prop::collection::vec(any::<usize>(), 0..16),
+    ) {
+        let mut d = Differential::new();
+        let mut free_iter = frees.iter();
+        // 2x the installed frames guarantees both pools hit OOM even
+        // with every interleaved free landing in the same pool.
+        for i in 0..2 * (DRAM_FRAMES + NVM_FRAMES) {
+            let pool = if i % 2 == 0 { Pool::Dram } else { Pool::Nvm };
+            d.alloc(pool);
+            if i % 7 == 3 {
+                if let Some(&index) = free_iter.next() {
+                    d.free_held(index);
+                }
+            }
+            d.check_accounting();
+        }
+        // Both must be reporting OOM on at least one pool by now.
+        let dram_dry = d.lockfree.available_frames(Pool::Dram) == 0;
+        let nvm_dry = d.lockfree.available_frames(Pool::Nvm) == 0;
+        prop_assert!(dram_dry || nvm_dry, "pressure loop never exhausted a pool");
+    }
+}
+
+/// Concurrent smoke test for the reservation path: scoped threads
+/// hammer `alloc_for`/`free` on the lock-free allocator, then the
+/// main thread checks exact accounting — every kept frame unique,
+/// held + available == installed, and a full drain restores both
+/// pools to their installed capacity.
+#[test]
+fn concurrent_alloc_free_keeps_exact_accounting() {
+    const WORKERS: u32 = 8;
+    const ROUNDS: usize = 20;
+    const BURST: usize = 24;
+    let dram_frames = 4096u64;
+    let nvm_frames = 512u64;
+    let alloc = FrameAlloc::new(MemoryLayout {
+        dram_bytes: dram_frames * PAGE_SIZE,
+        nvm_bytes: nvm_frames * PAGE_SIZE,
+    });
+
+    let kept: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..WORKERS)
+            .map(|w| {
+                let alloc = &alloc;
+                scope.spawn(move || {
+                    let mut mine: Vec<u64> = Vec::new();
+                    for round in 0..ROUNDS {
+                        let pool = if round % 4 == 3 {
+                            Pool::Nvm
+                        } else {
+                            Pool::Dram
+                        };
+                        let mut burst: Vec<u64> = Vec::with_capacity(BURST);
+                        for _ in 0..BURST {
+                            let pfn = alloc
+                                .alloc_for(pool, w)
+                                .expect("arena sized so concurrent bursts never OOM");
+                            burst.push(pfn);
+                        }
+                        // Free the even half immediately, keep the odd
+                        // half to stress cross-thread accounting.
+                        for (i, pfn) in burst.into_iter().enumerate() {
+                            if i % 2 == 0 {
+                                alloc.free(pfn).expect("freeing own frame");
+                            } else {
+                                mine.push(pfn);
+                            }
+                        }
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // No frame was ever handed to two workers at once.
+    let all_kept: Vec<u64> = kept.into_iter().flatten().collect();
+    let unique: BTreeSet<u64> = all_kept.iter().copied().collect();
+    assert_eq!(
+        unique.len(),
+        all_kept.len(),
+        "concurrent allocation handed out a frame twice"
+    );
+
+    // Exact conservation while the kept frames are still held.
+    let kept_dram = all_kept.iter().filter(|&&pfn| pfn < dram_frames).count() as u64;
+    let kept_nvm = all_kept.len() as u64 - kept_dram;
+    assert_eq!(
+        alloc.available_frames(Pool::Dram) + kept_dram,
+        dram_frames,
+        "DRAM frames not conserved after concurrent hammering"
+    );
+    assert_eq!(
+        alloc.available_frames(Pool::Nvm) + kept_nvm,
+        nvm_frames,
+        "NVM frames not conserved after concurrent hammering"
+    );
+    let nvm_held: BTreeSet<u64> = all_kept
+        .iter()
+        .copied()
+        .filter(|&p| p >= dram_frames)
+        .collect();
+    let nvm_bitmap: BTreeSet<u64> = alloc.nvm_allocated_pfns().into_iter().collect();
+    assert_eq!(nvm_bitmap, nvm_held, "NVM bitmap diverged from kept set");
+
+    // Full drain restores both pools exactly.
+    for pfn in all_kept {
+        alloc.free(pfn).expect("draining kept frames");
+    }
+    assert_eq!(alloc.available_frames(Pool::Dram), dram_frames);
+    assert_eq!(alloc.available_frames(Pool::Nvm), nvm_frames);
+    assert!(alloc.nvm_allocated_pfns().is_empty());
+}

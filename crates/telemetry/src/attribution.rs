@@ -75,11 +75,16 @@ pub enum StallCause {
     Merge,
     /// Redo replay after a crash.
     Recovery,
+    /// Fleet-scale global backpressure: a shard's commit deferred
+    /// because staging-buffer occupancy crossed the high-water mark.
+    /// The tenant is ready to checkpoint but the orchestrator holds
+    /// it back to protect NVM bandwidth.
+    Backpressure,
 }
 
 impl StallCause {
     /// Every cause, in tax-report column order.
-    pub const ALL: [StallCause; 7] = [
+    pub const ALL: [StallCause; 8] = [
         StallCause::Inspect,
         StallCause::Stage,
         StallCause::Seal,
@@ -87,6 +92,7 @@ impl StallCause {
         StallCause::Quiesce,
         StallCause::Merge,
         StallCause::Recovery,
+        StallCause::Backpressure,
     ];
 
     /// Stable lowercase label (`"stage"`, `"quiesce"`, ...).
@@ -100,6 +106,7 @@ impl StallCause {
             StallCause::Quiesce => "quiesce",
             StallCause::Merge => "merge",
             StallCause::Recovery => "recovery",
+            StallCause::Backpressure => "backpressure",
         }
     }
 }
@@ -622,6 +629,7 @@ pub fn report_to_registry(snap: &AttributionSnapshot, registry: &crate::Registry
             StallCause::Quiesce => "prosper.stall.quiesce_ns",
             StallCause::Merge => "prosper.stall.merge_ns",
             StallCause::Recovery => "prosper.stall.recovery_ns",
+            StallCause::Backpressure => "prosper.stall.backpressure_ns",
         };
         registry.counter(name).add(snap.cause_total_ns(cause));
     }

@@ -69,6 +69,13 @@ pub const SPAN_CKPT_REGISTERS: &str = "prosper.ckpt.registers";
 
 /// Every registered name with its kind, sorted by name.
 pub const REGISTERED: &[(&str, InstrumentKind)] = &[
+    (
+        "prosper.alloc.double_frees_rejected",
+        InstrumentKind::Counter,
+    ),
+    ("prosper.alloc.nvm_free_frames", InstrumentKind::Gauge),
+    ("prosper.alloc.reservation_steals", InstrumentKind::Counter),
+    ("prosper.alloc.subtree_persists", InstrumentKind::Counter),
     ("prosper.ckpt.bitmap_pages_probed", InstrumentKind::Counter),
     ("prosper.ckpt.bitmap_words_cleared", InstrumentKind::Counter),
     ("prosper.ckpt.bitmap_words_read", InstrumentKind::Counter),
@@ -110,6 +117,10 @@ pub const REGISTERED: &[(&str, InstrumentKind)] = &[
     ("prosper.crashmatrix.failures", InstrumentKind::Counter),
     ("prosper.crashmatrix.sites", InstrumentKind::Counter),
     ("prosper.crashmatrix.survived", InstrumentKind::Counter),
+    ("prosper.fleet.ckpt_nvm_bytes", InstrumentKind::Counter),
+    ("prosper.fleet.commits", InstrumentKind::Counter),
+    ("prosper.fleet.deferred_commits", InstrumentKind::Counter),
+    ("prosper.fleet.peak_to_mean_milli", InstrumentKind::Gauge),
     ("prosper.gemos.ckpt.bytes_copied", InstrumentKind::Counter),
     ("prosper.gemos.ckpt.cycles", InstrumentKind::Histogram),
     ("prosper.gemos.ckpt.intervals", InstrumentKind::Counter),
@@ -131,6 +142,7 @@ pub const REGISTERED: &[(&str, InstrumentKind)] = &[
     ("prosper.spine.merged_bytes", InstrumentKind::Counter),
     ("prosper.spine.merges", InstrumentKind::Counter),
     ("prosper.stall.apply_ns", InstrumentKind::Counter),
+    ("prosper.stall.backpressure_ns", InstrumentKind::Counter),
     ("prosper.stall.inspect_ns", InstrumentKind::Counter),
     ("prosper.stall.merge_ns", InstrumentKind::Counter),
     ("prosper.stall.quiesce_ns", InstrumentKind::Counter),
