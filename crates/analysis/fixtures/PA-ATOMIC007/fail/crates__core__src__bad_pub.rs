@@ -1,0 +1,15 @@
+//! Must-fail fixture: a Relaxed store on a durable-state flag.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct SealFlag {
+    sealed_seq: AtomicU64,
+}
+
+impl SealFlag {
+    pub fn publish(&self, seq: u64) {
+        // The seal must Release-order the staged words before it;
+        // Relaxed lets the seal reach NVM first.
+        self.sealed_seq.store(seq, Ordering::Relaxed);
+    }
+}

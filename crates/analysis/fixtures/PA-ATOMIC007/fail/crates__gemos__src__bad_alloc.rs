@@ -1,0 +1,23 @@
+//! Must-fail fixture: a Relaxed publication store and a raw
+//! `fetch_sub` counter decrement, the two shapes PA-ATOMIC007 bans.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct MiniAlloc {
+    bitmap: AtomicU64,
+    free: AtomicU64,
+}
+
+impl MiniAlloc {
+    pub fn claim(&self, bit: u64) -> bool {
+        // Publication store with no Release edge: the frame's prior
+        // writes are not ordered before the claim becomes visible.
+        let prev = self.bitmap.fetch_or(1 << bit, Ordering::Relaxed);
+        prev & (1 << bit) == 0
+    }
+
+    pub fn take_unit(&self) -> u64 {
+        // Raw decrement: underflows past zero under a racing free.
+        self.free.fetch_sub(1, Ordering::AcqRel)
+    }
+}

@@ -1,0 +1,34 @@
+//! Must-pass fixture: the sanctioned shapes — checked
+//! `fetch_update` decrements, Release/AcqRel publication, and one
+//! justified suppression for a debug sequence stamp.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct MiniAlloc {
+    bitmap: AtomicU64,
+    free: AtomicU64,
+    debug_stamp: AtomicU64,
+}
+
+impl MiniAlloc {
+    pub fn try_dec(&self) -> bool {
+        self.free
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| v.checked_sub(1))
+            .is_ok()
+    }
+
+    pub fn claim(&self, bit: u64) -> bool {
+        let prev = self.bitmap.fetch_or(1 << bit, Ordering::AcqRel);
+        prev & (1 << bit) == 0
+    }
+
+    pub fn release(&self, bit: u64) {
+        self.bitmap.fetch_and(!(1 << bit), Ordering::AcqRel);
+        self.free.fetch_add(1, Ordering::AcqRel);
+    }
+
+    pub fn stamp(&self, v: u64) {
+        // lint:allow(PA-ATOMIC007): debug-only stamp, read by no protocol path
+        self.debug_stamp.store(v, Ordering::Relaxed);
+    }
+}

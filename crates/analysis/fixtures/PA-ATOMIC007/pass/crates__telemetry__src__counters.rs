@@ -1,0 +1,17 @@
+//! Must-pass fixture: the telemetry crate is exempt by path prefix —
+//! observability counters are racy-by-design and never published as
+//! protocol state.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}

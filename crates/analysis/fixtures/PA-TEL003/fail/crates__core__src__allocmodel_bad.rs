@@ -1,0 +1,7 @@
+//! Fixture: misuse of the allocator-model-checker namespace — a typo,
+//! a kind mismatch, and an unregistered name.
+pub fn report(r: &Registry) {
+    r.counter("prosper.allocmodel.schedule").inc(); // typo: unregistered
+    r.gauge("prosper.allocmodel.memo_hits").set(3); // registered as counter
+    r.counter("prosper.allocmodel.violations").inc(); // unregistered
+}

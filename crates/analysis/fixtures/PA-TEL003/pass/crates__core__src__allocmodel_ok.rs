@@ -1,0 +1,8 @@
+//! Fixture: the allocator-model-checker names, registered and
+//! kind-correct.
+pub fn report(r: &Registry) {
+    r.counter("prosper.allocmodel.schedules").add(2646);
+    r.counter("prosper.allocmodel.memo_hits").add(15084);
+    r.counter("prosper.allocmodel.probe_ops").inc();
+    r.counter("prosper.allocmodel.probe_events").add(7);
+}

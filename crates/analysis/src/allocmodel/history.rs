@@ -1,0 +1,646 @@
+//! The allocator history checker — one checker, two witnesses.
+//!
+//! [`check_alloc_history`] validates a totally-ordered stream of
+//! allocator protocol events ([`AllocTraceEvent`]) against the
+//! two-level protocol's sequential specification. The same function
+//! runs over two very different witnesses:
+//!
+//! * event traces produced by the exhaustive allocator model
+//!   ([`super::model::AllocModel`]) at every completed schedule, and
+//! * `AllocProbe` logs recorded from the *real*
+//!   `prosper-gemos::llalloc::FrameAlloc` under concurrent load
+//!   (see `tests/alloc_conformance.rs`).
+//!
+//! # Why a total order is enough (linearizability)
+//!
+//! Every event in the stream corresponds to one successful atomic
+//! instruction — the root-gate `fetch_update`, the subtree-counter
+//! `fetch_update`, the bitfield `fetch_or`/`fetch_and`, the counter
+//! `fetch_add`s. Those instructions *are* the operations'
+//! linearization points, and the probe records each event while
+//! holding the lock around its instruction, so log order equals
+//! atomic order. Checking the replay of that total order against the
+//! sequential frame-set specification (allocs hand out free frames,
+//! gate failures only on a zero counter, frees return held frames,
+//! counters never go negative) is exactly a linearizability check
+//! with known linearization points. The optional serial-policy mode
+//! additionally pins the serial path to the `PhysMemory` reference
+//! (always the lowest free frame).
+//!
+//! The replayed counters are *exact*, not conservative: the event
+//! stream contains every successful atomic on each counter, so a
+//! replayed decrement below zero or a gate passing a zero counter can
+//! only mean a reordered or forged stream — which is what the
+//! forged-reorder rejection tests prove.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One allocator protocol event. Each corresponds to one successful
+/// atomic instruction on the real allocator (or one model micro-step).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocTraceEvent {
+    /// Root-counter gate passed (`total_free` decremented).
+    Gate {
+        /// Operation id.
+        op: u64,
+    },
+    /// A subtree counter was decremented for this op.
+    SubtreeAcquire {
+        /// Operation id.
+        op: u64,
+        /// Subtree index.
+        subtree: u32,
+        /// True when the unit came from a reservation steal.
+        stolen: bool,
+    },
+    /// The bitfield bit was claimed (`fetch_or` won).
+    Claim {
+        /// Operation id.
+        op: u64,
+        /// Frame number handed out.
+        pfn: u64,
+    },
+    /// Root-counter gate failed: the pool is exhausted.
+    Oom {
+        /// Operation id.
+        op: u64,
+    },
+    /// The bitfield bit was cleared (`fetch_and` on a set bit).
+    FreeClear {
+        /// Operation id.
+        op: u64,
+        /// Frame number returned.
+        pfn: u64,
+    },
+    /// The subtree counter was re-incremented by a free.
+    FreeSubtree {
+        /// Operation id.
+        op: u64,
+        /// Subtree index.
+        subtree: u32,
+    },
+    /// The root counter was re-incremented by a free.
+    FreeRoot {
+        /// Operation id.
+        op: u64,
+    },
+    /// One bitfield word was staged into the durable tree.
+    StageWord {
+        /// Staging sequence (epoch).
+        seq: u64,
+        /// Word index.
+        word: u32,
+        /// Staged word value.
+        value: u64,
+    },
+    /// The seal record was written — the durability point.
+    Seal {
+        /// Staging sequence (epoch).
+        seq: u64,
+    },
+}
+
+/// Geometry and policy context for one history check.
+#[derive(Clone, Debug)]
+pub struct HistoryContext {
+    /// Total usable frames (all free at history start).
+    pub total_frames: u64,
+    /// First frame number of the pool.
+    pub base_pfn: u64,
+    /// Frames per subtree (maps a pfn to its subtree).
+    pub frames_per_subtree: u64,
+    /// Number of subtrees.
+    pub subtrees: usize,
+    /// Bitfield words every seal must cover (`StageWord` count per
+    /// epoch before its `Seal`).
+    pub words_per_seal: usize,
+    /// Pin claims to the serial `PhysMemory` reference policy (the
+    /// lowest free frame). Only valid for serial (one-op-at-a-time)
+    /// histories — reservations legally diverge from it.
+    pub enforce_serial_policy: bool,
+}
+
+/// A violation of the allocator protocol found in an event stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AllocHistoryViolation {
+    /// A `Claim` with no prior `SubtreeAcquire` for the op — the bit
+    /// was taken without holding a counter unit.
+    ClaimWithoutAcquire {
+        /// Operation id.
+        op: u64,
+    },
+    /// A `SubtreeAcquire` with no prior `Gate` for the op.
+    AcquireWithoutGate {
+        /// Operation id.
+        op: u64,
+    },
+    /// An op repeated a protocol phase (two gates, two claims, …).
+    DuplicatePhase {
+        /// Operation id.
+        op: u64,
+        /// Phase name.
+        phase: &'static str,
+    },
+    /// A free's phases ran out of order (clear → subtree → root).
+    FreePhaseOrder {
+        /// Operation id.
+        op: u64,
+        /// Offending phase.
+        phase: &'static str,
+    },
+    /// The gate passed while the replayed root counter was zero.
+    GateUnbacked {
+        /// Operation id.
+        op: u64,
+    },
+    /// A subtree decrement while the replayed counter was zero.
+    AcquireUnbacked {
+        /// Operation id.
+        op: u64,
+        /// Subtree index.
+        subtree: u32,
+    },
+    /// The gate reported exhaustion while the replayed root counter
+    /// still had free frames.
+    OomWithFreeFrames {
+        /// Operation id.
+        op: u64,
+        /// Replayed root counter at that point.
+        total_free: u64,
+    },
+    /// A frame was handed out while already outstanding.
+    DoubleHandOut {
+        /// Operation id.
+        op: u64,
+        /// Frame number.
+        pfn: u64,
+    },
+    /// A frame was freed while not outstanding.
+    PhantomFree {
+        /// Operation id.
+        op: u64,
+        /// Frame number.
+        pfn: u64,
+    },
+    /// The claimed frame lies outside the acquired subtree.
+    ClaimOutsideSubtree {
+        /// Operation id.
+        op: u64,
+        /// Frame number.
+        pfn: u64,
+        /// Subtree the op acquired.
+        acquired: u32,
+    },
+    /// `sum(subtree_free) >= total_free + in-flight` failed — the
+    /// invariant that guarantees every gated alloc finds a subtree.
+    InFlightInvariant {
+        /// Replayed sum of subtree counters.
+        sum_subtree_free: u64,
+        /// Replayed root counter.
+        total_free: u64,
+        /// Ops past the gate without a subtree unit.
+        in_flight: u64,
+    },
+    /// Serial-policy mode: the claim was not the lowest free frame.
+    SerialPolicy {
+        /// Operation id.
+        op: u64,
+        /// Frame claimed.
+        pfn: u64,
+        /// Lowest free frame at that point.
+        lowest: u64,
+    },
+    /// A seal was written before all of its epoch's words were staged.
+    SealBeforeStagedWords {
+        /// Staging sequence.
+        seq: u64,
+        /// Words still missing at the seal.
+        missing: usize,
+    },
+    /// A word was staged after its epoch's seal.
+    StageAfterSeal {
+        /// Staging sequence.
+        seq: u64,
+        /// Word index.
+        word: u32,
+    },
+    /// Seal sequences must be strictly increasing.
+    SealSequenceRegressed {
+        /// Offending sequence.
+        seq: u64,
+        /// Previously sealed sequence.
+        prior: u64,
+    },
+}
+
+impl fmt::Display for AllocHistoryViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ClaimWithoutAcquire { op } => {
+                write!(f, "op {op}: bit claimed without holding a subtree unit")
+            }
+            Self::AcquireWithoutGate { op } => {
+                write!(
+                    f,
+                    "op {op}: subtree unit taken without passing the root gate"
+                )
+            }
+            Self::DuplicatePhase { op, phase } => {
+                write!(f, "op {op}: duplicate {phase} phase")
+            }
+            Self::FreePhaseOrder { op, phase } => {
+                write!(
+                    f,
+                    "op {op}: free phase {phase} out of order (clear -> subtree -> root)"
+                )
+            }
+            Self::GateUnbacked { op } => {
+                write!(f, "op {op}: root gate passed with a zero replayed counter")
+            }
+            Self::AcquireUnbacked { op, subtree } => {
+                write!(
+                    f,
+                    "op {op}: subtree {subtree} decremented below zero in replay"
+                )
+            }
+            Self::OomWithFreeFrames { op, total_free } => {
+                write!(
+                    f,
+                    "op {op}: OOM reported with {total_free} frames free in replay"
+                )
+            }
+            Self::DoubleHandOut { op, pfn } => {
+                write!(
+                    f,
+                    "op {op}: frame {pfn} handed out while already outstanding"
+                )
+            }
+            Self::PhantomFree { op, pfn } => {
+                write!(f, "op {op}: frame {pfn} freed while not outstanding")
+            }
+            Self::ClaimOutsideSubtree { op, pfn, acquired } => {
+                write!(
+                    f,
+                    "op {op}: frame {pfn} claimed outside acquired subtree {acquired}"
+                )
+            }
+            Self::InFlightInvariant {
+                sum_subtree_free,
+                total_free,
+                in_flight,
+            } => write!(
+                f,
+                "counter invariant broken: sum(subtree_free)={sum_subtree_free} < \
+                 total_free={total_free} + in-flight={in_flight}"
+            ),
+            Self::SerialPolicy { op, pfn, lowest } => {
+                write!(
+                    f,
+                    "op {op}: claimed {pfn}, serial policy requires lowest free {lowest}"
+                )
+            }
+            Self::SealBeforeStagedWords { seq, missing } => {
+                write!(f, "seq {seq}: sealed with {missing} staged word(s) missing")
+            }
+            Self::StageAfterSeal { seq, word } => {
+                write!(f, "seq {seq}: word {word} staged after the seal")
+            }
+            Self::SealSequenceRegressed { seq, prior } => {
+                write!(f, "seal sequence {seq} not above prior {prior}")
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy, Default)]
+struct OpProgress {
+    gated: bool,
+    acquired: Option<u32>,
+    claimed: bool,
+    oomed: bool,
+    cleared: Option<u64>,
+    sub_released: bool,
+    root_released: bool,
+}
+
+/// Replays `events` against the allocator's sequential specification
+/// and returns every violation found. See the module docs for why
+/// this total-order replay is a linearizability check.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn check_alloc_history(
+    events: &[AllocTraceEvent],
+    ctx: &HistoryContext,
+) -> Vec<AllocHistoryViolation> {
+    let mut out = Vec::new();
+    let mut ops: std::collections::BTreeMap<u64, OpProgress> = std::collections::BTreeMap::new();
+    let mut handed: BTreeSet<u64> = BTreeSet::new();
+    let mut total_free: i64 = i64::try_from(ctx.total_frames).unwrap_or(i64::MAX);
+    let mut sub_free: Vec<i64> = (0..ctx.subtrees)
+        .map(|s| {
+            let lo = s as u64 * ctx.frames_per_subtree;
+            i64::try_from(
+                ctx.total_frames
+                    .saturating_sub(lo)
+                    .min(ctx.frames_per_subtree),
+            )
+            .unwrap_or(i64::MAX)
+        })
+        .collect();
+    // Per-epoch staging progress: (staged word count, sealed).
+    let mut epochs: std::collections::BTreeMap<u64, (usize, bool)> =
+        std::collections::BTreeMap::new();
+    let mut last_sealed_seq: u64 = 0;
+
+    let subtree_of = |pfn: u64| -> u32 {
+        u32::try_from((pfn - ctx.base_pfn) / ctx.frames_per_subtree).unwrap_or(u32::MAX)
+    };
+
+    for &ev in events {
+        match ev {
+            AllocTraceEvent::Gate { op } => {
+                let p = ops.entry(op).or_default();
+                if p.gated || p.oomed {
+                    out.push(AllocHistoryViolation::DuplicatePhase { op, phase: "gate" });
+                }
+                p.gated = true;
+                if total_free == 0 {
+                    out.push(AllocHistoryViolation::GateUnbacked { op });
+                }
+                total_free -= 1;
+            }
+            AllocTraceEvent::Oom { op } => {
+                let p = ops.entry(op).or_default();
+                if p.gated || p.oomed {
+                    out.push(AllocHistoryViolation::DuplicatePhase { op, phase: "gate" });
+                }
+                p.oomed = true;
+                if total_free > 0 {
+                    out.push(AllocHistoryViolation::OomWithFreeFrames {
+                        op,
+                        total_free: u64::try_from(total_free).unwrap_or(0),
+                    });
+                }
+            }
+            AllocTraceEvent::SubtreeAcquire { op, subtree, .. } => {
+                let p = ops.entry(op).or_default();
+                if !p.gated {
+                    out.push(AllocHistoryViolation::AcquireWithoutGate { op });
+                }
+                if p.acquired.is_some() {
+                    out.push(AllocHistoryViolation::DuplicatePhase {
+                        op,
+                        phase: "acquire",
+                    });
+                }
+                p.acquired = Some(subtree);
+                let s = subtree as usize;
+                if s < sub_free.len() {
+                    if sub_free[s] == 0 {
+                        out.push(AllocHistoryViolation::AcquireUnbacked { op, subtree });
+                    }
+                    sub_free[s] -= 1;
+                }
+            }
+            AllocTraceEvent::Claim { op, pfn } => {
+                let p = ops.entry(op).or_default();
+                match p.acquired {
+                    None => out.push(AllocHistoryViolation::ClaimWithoutAcquire { op }),
+                    Some(acquired) if subtree_of(pfn) != acquired => {
+                        out.push(AllocHistoryViolation::ClaimOutsideSubtree { op, pfn, acquired });
+                    }
+                    Some(_) => {}
+                }
+                if p.claimed {
+                    out.push(AllocHistoryViolation::DuplicatePhase { op, phase: "claim" });
+                }
+                p.claimed = true;
+                if ctx.enforce_serial_policy {
+                    let lowest = (ctx.base_pfn..ctx.base_pfn + ctx.total_frames)
+                        .find(|q| !handed.contains(q))
+                        .unwrap_or(pfn);
+                    if pfn != lowest {
+                        out.push(AllocHistoryViolation::SerialPolicy { op, pfn, lowest });
+                    }
+                }
+                if !handed.insert(pfn) {
+                    out.push(AllocHistoryViolation::DoubleHandOut { op, pfn });
+                }
+            }
+            AllocTraceEvent::FreeClear { op, pfn } => {
+                let p = ops.entry(op).or_default();
+                if p.cleared.is_some() {
+                    out.push(AllocHistoryViolation::DuplicatePhase { op, phase: "clear" });
+                }
+                p.cleared = Some(pfn);
+                if !handed.remove(&pfn) {
+                    out.push(AllocHistoryViolation::PhantomFree { op, pfn });
+                }
+            }
+            AllocTraceEvent::FreeSubtree { op, subtree } => {
+                let p = ops.entry(op).or_default();
+                if p.cleared.is_none() || p.sub_released {
+                    out.push(AllocHistoryViolation::FreePhaseOrder {
+                        op,
+                        phase: "subtree-inc",
+                    });
+                }
+                if p.root_released {
+                    // Root came back before the subtree — the exact
+                    // reordering the in-flight invariant forbids.
+                    out.push(AllocHistoryViolation::FreePhaseOrder {
+                        op,
+                        phase: "subtree-inc-after-root",
+                    });
+                }
+                p.sub_released = true;
+                if (subtree as usize) < sub_free.len() {
+                    sub_free[subtree as usize] += 1;
+                }
+            }
+            AllocTraceEvent::FreeRoot { op } => {
+                let p = ops.entry(op).or_default();
+                if !p.sub_released {
+                    out.push(AllocHistoryViolation::FreePhaseOrder {
+                        op,
+                        phase: "root-inc",
+                    });
+                }
+                if p.root_released {
+                    out.push(AllocHistoryViolation::DuplicatePhase {
+                        op,
+                        phase: "root-inc",
+                    });
+                }
+                p.root_released = true;
+                total_free += 1;
+            }
+            AllocTraceEvent::StageWord { seq, word, .. } => {
+                let e = epochs.entry(seq).or_insert((0, false));
+                if e.1 {
+                    out.push(AllocHistoryViolation::StageAfterSeal { seq, word });
+                }
+                e.0 += 1;
+            }
+            AllocTraceEvent::Seal { seq } => {
+                let e = epochs.entry(seq).or_insert((0, false));
+                if e.0 < ctx.words_per_seal {
+                    out.push(AllocHistoryViolation::SealBeforeStagedWords {
+                        seq,
+                        missing: ctx.words_per_seal - e.0,
+                    });
+                }
+                e.1 = true;
+                if seq <= last_sealed_seq {
+                    out.push(AllocHistoryViolation::SealSequenceRegressed {
+                        seq,
+                        prior: last_sealed_seq,
+                    });
+                }
+                last_sealed_seq = seq;
+            }
+        }
+        // The in-flight invariant, replayed after every event: the
+        // subtree counters must always cover the root counter plus
+        // every alloc that passed the gate but holds no subtree unit
+        // yet — otherwise a gated alloc can find no subtree and spin.
+        let in_flight = ops
+            .values()
+            .filter(|p| p.gated && p.acquired.is_none() && !p.claimed)
+            .count() as u64;
+        let sum: i64 = sub_free.iter().sum();
+        if sum < total_free + i64::try_from(in_flight).unwrap_or(0) {
+            out.push(AllocHistoryViolation::InFlightInvariant {
+                sum_subtree_free: u64::try_from(sum.max(0)).unwrap_or(0),
+                total_free: u64::try_from(total_free.max(0)).unwrap_or(0),
+                in_flight,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> HistoryContext {
+        HistoryContext {
+            total_frames: 4,
+            base_pfn: 0,
+            frames_per_subtree: 2,
+            subtrees: 2,
+            words_per_seal: 2,
+            enforce_serial_policy: false,
+        }
+    }
+
+    fn alloc_events(op: u64, subtree: u32, pfn: u64) -> Vec<AllocTraceEvent> {
+        vec![
+            AllocTraceEvent::Gate { op },
+            AllocTraceEvent::SubtreeAcquire {
+                op,
+                subtree,
+                stolen: false,
+            },
+            AllocTraceEvent::Claim { op, pfn },
+        ]
+    }
+
+    #[test]
+    fn clean_serial_history_passes() {
+        let mut ev = alloc_events(1, 0, 0);
+        ev.extend(alloc_events(2, 0, 1));
+        ev.extend([
+            AllocTraceEvent::FreeClear { op: 3, pfn: 0 },
+            AllocTraceEvent::FreeSubtree { op: 3, subtree: 0 },
+            AllocTraceEvent::FreeRoot { op: 3 },
+            AllocTraceEvent::StageWord {
+                seq: 1,
+                word: 0,
+                value: 2,
+            },
+            AllocTraceEvent::StageWord {
+                seq: 1,
+                word: 1,
+                value: 0,
+            },
+            AllocTraceEvent::Seal { seq: 1 },
+        ]);
+        let mut c = ctx();
+        c.enforce_serial_policy = true;
+        assert!(check_alloc_history(&ev, &c).is_empty());
+    }
+
+    #[test]
+    fn double_hand_out_is_flagged() {
+        let mut ev = alloc_events(1, 0, 0);
+        ev.extend(alloc_events(2, 0, 0));
+        assert!(check_alloc_history(&ev, &ctx())
+            .iter()
+            .any(|v| matches!(v, AllocHistoryViolation::DoubleHandOut { pfn: 0, .. })));
+    }
+
+    #[test]
+    fn claim_without_acquire_is_flagged() {
+        let ev = [
+            AllocTraceEvent::Gate { op: 1 },
+            AllocTraceEvent::Claim { op: 1, pfn: 0 },
+        ];
+        assert!(check_alloc_history(&ev, &ctx())
+            .iter()
+            .any(|v| matches!(v, AllocHistoryViolation::ClaimWithoutAcquire { op: 1 })));
+    }
+
+    #[test]
+    fn root_before_subtree_free_breaks_in_flight_invariant() {
+        let mut ev = alloc_events(1, 0, 0);
+        ev.extend([
+            AllocTraceEvent::FreeClear { op: 2, pfn: 0 },
+            AllocTraceEvent::FreeRoot { op: 2 },
+            AllocTraceEvent::FreeSubtree { op: 2, subtree: 0 },
+        ]);
+        let got = check_alloc_history(&ev, &ctx());
+        assert!(got
+            .iter()
+            .any(|v| matches!(v, AllocHistoryViolation::FreePhaseOrder { .. })));
+        assert!(got
+            .iter()
+            .any(|v| matches!(v, AllocHistoryViolation::InFlightInvariant { .. })));
+    }
+
+    #[test]
+    fn seal_before_staged_words_is_flagged() {
+        let ev = [
+            AllocTraceEvent::StageWord {
+                seq: 1,
+                word: 0,
+                value: 0,
+            },
+            AllocTraceEvent::Seal { seq: 1 },
+            AllocTraceEvent::StageWord {
+                seq: 1,
+                word: 1,
+                value: 0,
+            },
+        ];
+        let got = check_alloc_history(&ev, &ctx());
+        assert!(got
+            .iter()
+            .any(|v| matches!(v, AllocHistoryViolation::SealBeforeStagedWords { .. })));
+        assert!(got
+            .iter()
+            .any(|v| matches!(v, AllocHistoryViolation::StageAfterSeal { .. })));
+    }
+
+    #[test]
+    fn serial_policy_divergence_is_flagged() {
+        let ev = alloc_events(1, 1, 2);
+        let mut c = ctx();
+        c.enforce_serial_policy = true;
+        assert!(check_alloc_history(&ev, &c)
+            .iter()
+            .any(|v| matches!(v, AllocHistoryViolation::SerialPolicy { lowest: 0, .. })));
+    }
+}

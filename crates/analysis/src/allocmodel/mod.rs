@@ -1,0 +1,32 @@
+//! Allocator linearizability + persist-ordering model checker.
+//!
+//! Verification layer for the llfree-style lock-free frame allocator
+//! (`prosper-gemos::llalloc::FrameAlloc`) and its durable NVM tree,
+//! built on the generic bounded-preemption explorer from
+//! [`crate::interleave`]:
+//!
+//! * [`model`] — an operation-level model of the two-level atomic
+//!   protocol (root gate → subtree dec → bit claim; free in reverse;
+//!   reservation steal; staged persist + seal), with exact
+//!   conservation invariants checked at every explored state and
+//!   seeded ordering bugs ([`model::AllocBug`]) proving detection.
+//! * [`history`] — the shared linearizability checker over allocator
+//!   event streams: the model's traces and the real allocator's
+//!   `AllocProbe` logs go through the same replay ("one checker, two
+//!   witnesses"; see `tests/alloc_conformance.rs`).
+//! * [`persist`] — seal-barrier subset semantics: exhaustive
+//!   enumeration of reachable post-crash durable images, asserting
+//!   recovery's popcount rebuild is conservation-preserving for all
+//!   of them.
+//! * [`probe`] — the 1:1 bridge from real `AllocProbe` event streams
+//!   to the checker's trace vocabulary.
+
+pub mod history;
+pub mod model;
+pub mod persist;
+pub mod probe;
+
+pub use history::{check_alloc_history, AllocHistoryViolation, AllocTraceEvent, HistoryContext};
+pub use model::{AllocBug, AllocConfig, AllocModel, AllocViolation};
+pub use persist::{check_crash_images, DurableStore, PersistViolation};
+pub use probe::probe_trace;

@@ -1,0 +1,821 @@
+//! Operation-level model of the `FrameAlloc` two-level atomic
+//! protocol, explored exhaustively by the generic interleave engine.
+//!
+//! Each worker thread runs a script of alloc/free operations broken
+//! into the protocol's atomic micro-steps, exactly mirroring
+//! `prosper-gemos::llalloc`:
+//!
+//! * **alloc**: root-counter gate (`fetch_update` dec, or OOM) →
+//!   subtree-counter dec (via the worker's reservation, or a steal of
+//!   the fullest subtree followed by the reservation-slot publish) →
+//!   bitfield bit claim (`fetch_or` of the lowest clear bit);
+//! * **free**: bitfield bit clear → subtree-counter inc →
+//!   root-counter inc (the reverse order, which is what keeps the
+//!   in-flight invariant);
+//! * **persist** (optional extra thread): stage every bitfield word
+//!   into the durable log, then seal.
+//!
+//! Retry loops in the real code (`claim_in_subtree`'s load +
+//! `fetch_or` loop, `take_lowest_subtree`'s scan) are coarsened into
+//! one atomic find-and-update micro-step each; this is sound because
+//! a failed CAS iteration writes nothing another thread can observe.
+//! The steal's target scan + counter dec is coarsened the same way.
+//!
+//! After every step the model checks the exact conservation equations
+//! (free bits = counter + held units + pending increments, at the
+//! root and per subtree) plus the documented inequality
+//! `sum(subtree_free) >= total_free + in-flight` — the invariant that
+//! guarantees a gated alloc always finds a subtree. At every
+//! completed schedule the event history goes through
+//! [`check_alloc_history`] (linearizability against the serial
+//! reference) and the durable log through [`check_crash_images`]
+//! (every seal-consistent post-crash image recovers conservatively).
+//!
+//! [`AllocBug`] seeds ordering bugs that each drop or reorder exactly
+//! one synchronization or persist edge, proving the checks have
+//! teeth.
+
+use super::history::{check_alloc_history, AllocHistoryViolation, AllocTraceEvent, HistoryContext};
+use super::persist::{check_crash_images, DurableStore, PersistViolation};
+use crate::interleave::{ModelProgram, StepEffect};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Seeded ordering bugs. Each drops or reorders exactly one edge of
+/// the protocol; the model must detect every one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocBug {
+    /// Correct protocol.
+    None,
+    /// The reservation path claims the bitfield bit *before* the
+    /// subtree-counter decrement lands (drops the dec→claim edge).
+    CounterStoreBeforeBitClaim,
+    /// The steal publishes the reservation slot without the
+    /// unit-transferring counter CAS (drops the CAS→publish edge).
+    StealWithoutReservationCas,
+    /// A free re-increments the root counter before the subtree
+    /// counter (reorders the subtree-inc→root-inc edge).
+    FreeRootBeforeSubtree,
+    /// The persist thread seals before the last staged word is
+    /// issued (reorders the stage→seal persist edge).
+    SealBeforeStagedWords,
+}
+
+impl AllocBug {
+    /// Every seeded bug.
+    pub const ALL: [Self; 4] = [
+        Self::CounterStoreBeforeBitClaim,
+        Self::StealWithoutReservationCas,
+        Self::FreeRootBeforeSubtree,
+        Self::SealBeforeStagedWords,
+    ];
+
+    /// Stable name for reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::None => "none",
+            Self::CounterStoreBeforeBitClaim => "counter-store-before-bit-claim",
+            Self::StealWithoutReservationCas => "steal-without-reservation-cas",
+            Self::FreeRootBeforeSubtree => "free-root-before-subtree",
+            Self::SealBeforeStagedWords => "seal-before-staged-words",
+        }
+    }
+}
+
+/// Model geometry and workload.
+#[derive(Clone, Copy, Debug)]
+pub struct AllocConfig {
+    /// Concurrent worker threads.
+    pub workers: usize,
+    /// Subtrees (one bitfield word each).
+    pub subtrees: usize,
+    /// Frames per subtree (at most 64).
+    pub frames_per_subtree: u64,
+    /// Allocations each worker performs.
+    pub allocs_per_worker: usize,
+    /// Each worker frees its first allocated frame after its allocs.
+    pub free_first: bool,
+    /// Use the reservation/steal path (`alloc_for`); otherwise the
+    /// serial lowest-subtree path (`alloc`), checked against the
+    /// `PhysMemory` lowest-free reference policy when single-worker.
+    pub reservations: bool,
+    /// Add the persist thread (stage every word, then seal).
+    pub persist: bool,
+    /// Seeded bug to plant.
+    pub bug: AllocBug,
+}
+
+impl Default for AllocConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            subtrees: 2,
+            frames_per_subtree: 2,
+            allocs_per_worker: 2,
+            free_first: true,
+            reservations: true,
+            persist: false,
+            bug: AllocBug::None,
+        }
+    }
+}
+
+/// An invariant violation found by the allocator model.
+#[derive(Clone, Debug)]
+pub enum AllocViolation {
+    /// `free_bits != total_free + gate-held units + pending root
+    /// increments` — the root conservation equation.
+    RootConservation {
+        /// Free bits in the bitfield.
+        free_bits: u64,
+        /// Root counter value.
+        total_free: u64,
+        /// Units held between gate and claim.
+        units: u64,
+        /// Frees past the clear, root inc outstanding.
+        pending: u64,
+    },
+    /// The per-subtree conservation equation failed.
+    SubtreeConservation {
+        /// Subtree index.
+        subtree: usize,
+        /// Free bits in the subtree's word.
+        free_bits: u64,
+        /// Subtree counter value.
+        counter: u64,
+        /// Units held between acquire and claim.
+        units: u64,
+        /// Frees past the clear, subtree inc outstanding.
+        pending: u64,
+    },
+    /// `sum(subtree_free) >= total_free + in-flight` failed.
+    InFlight {
+        /// Sum of subtree counters.
+        sum_subtree_free: u64,
+        /// Root counter value.
+        total_free: u64,
+        /// Gated allocs holding no subtree unit.
+        in_flight: u64,
+    },
+    /// A claim found a frame already outstanding.
+    DoubleHandOut {
+        /// Frame number.
+        pfn: u64,
+    },
+    /// A claim found no clear bit in its acquired subtree.
+    ClaimWithoutFreeBit {
+        /// Subtree index.
+        subtree: usize,
+    },
+    /// At quiescence, a bitfield bit is set with no owner.
+    LostFrame {
+        /// Frame number.
+        pfn: u64,
+    },
+    /// The event history failed the linearizability replay.
+    History(AllocHistoryViolation),
+    /// A reachable post-crash image recovers incoherently.
+    Persist(PersistViolation),
+}
+
+impl fmt::Display for AllocViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::RootConservation {
+                free_bits,
+                total_free,
+                units,
+                pending,
+            } => write!(
+                f,
+                "root conservation broken: free_bits={free_bits} != \
+                 total_free={total_free} + units={units} + pending={pending}"
+            ),
+            Self::SubtreeConservation {
+                subtree,
+                free_bits,
+                counter,
+                units,
+                pending,
+            } => write!(
+                f,
+                "subtree {subtree} conservation broken: free_bits={free_bits} != \
+                 counter={counter} + units={units} + pending={pending}"
+            ),
+            Self::InFlight {
+                sum_subtree_free,
+                total_free,
+                in_flight,
+            } => write!(
+                f,
+                "in-flight invariant broken: sum(subtree_free)={sum_subtree_free} < \
+                 total_free={total_free} + in-flight={in_flight}"
+            ),
+            Self::DoubleHandOut { pfn } => write!(f, "frame {pfn} handed out twice"),
+            Self::ClaimWithoutFreeBit { subtree } => {
+                write!(f, "claim found no clear bit in subtree {subtree}")
+            }
+            Self::LostFrame { pfn } => write!(f, "frame {pfn} allocated with no owner"),
+            Self::History(v) => write!(f, "history: {v}"),
+            Self::Persist(v) => write!(f, "persist: {v}"),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Op {
+    Alloc,
+    Free(usize),
+}
+
+/// Micro-step cursor within the current operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Micro {
+    /// Alloc: root gate. Free: bit clear.
+    Start,
+    /// Alloc: subtree-counter acquire (reservation or steal).
+    Acquire,
+    /// Alloc: publish the stolen subtree into the reservation slot.
+    StealPublish,
+    /// Alloc: bitfield bit claim.
+    Claim,
+    /// Bugged reservation path only: the deferred counter decrement.
+    LateDec,
+    /// Free: first counter re-increment (subtree, or root under the
+    /// reordering bug).
+    FreeMid1,
+    /// Free: second counter re-increment.
+    FreeMid2,
+}
+
+#[derive(Clone, Debug, Hash)]
+struct WorkerState {
+    op: usize,
+    micro: Micro,
+    target: usize,
+    stolen: bool,
+    late_dec: bool,
+    has_root_unit: bool,
+    has_sub_unit: Option<usize>,
+    pending_sub: Option<usize>,
+    pending_root: bool,
+    free_pfn: u64,
+    held: Vec<u64>,
+}
+
+/// Per-schedule model state.
+#[derive(Clone, Debug)]
+pub struct AllocState {
+    bitmap: Vec<u64>,
+    subtree_free: Vec<u64>,
+    total_free: u64,
+    reservations: Vec<u64>,
+    handed: BTreeSet<u64>,
+    workers: Vec<WorkerState>,
+    persist_pc: usize,
+    durable_log: Vec<DurableStore>,
+    history: Vec<AllocTraceEvent>,
+    /// Violations found during the last executed step, drained (by
+    /// clone) by `check_step`; cleared at the start of each step.
+    fresh: Vec<AllocViolation>,
+}
+
+/// The allocator model: a [`ModelProgram`] over [`AllocState`].
+#[derive(Clone, Debug)]
+pub struct AllocModel {
+    cfg: AllocConfig,
+    scripts: Vec<Vec<Op>>,
+}
+
+impl AllocModel {
+    /// Builds the model for `cfg`.
+    ///
+    /// # Panics
+    /// When `frames_per_subtree` exceeds 64 (one bitfield word per
+    /// subtree) or the geometry is degenerate.
+    #[must_use]
+    pub fn new(cfg: AllocConfig) -> Self {
+        assert!(
+            cfg.frames_per_subtree >= 1 && cfg.frames_per_subtree <= 64,
+            "one bitfield word per subtree"
+        );
+        assert!(cfg.subtrees >= 1 && cfg.workers >= 1);
+        let mut script = vec![Op::Alloc; cfg.allocs_per_worker];
+        if cfg.free_first && cfg.allocs_per_worker > 0 {
+            script.push(Op::Free(0));
+        }
+        Self {
+            scripts: vec![script; cfg.workers],
+            cfg,
+        }
+    }
+
+    /// The model's geometry as a [`HistoryContext`] for the shared
+    /// history checker.
+    #[must_use]
+    pub fn history_ctx(&self) -> HistoryContext {
+        HistoryContext {
+            total_frames: self.total_frames(),
+            base_pfn: 0,
+            frames_per_subtree: self.cfg.frames_per_subtree,
+            subtrees: self.cfg.subtrees,
+            words_per_seal: self.cfg.subtrees,
+            enforce_serial_policy: !self.cfg.reservations && self.cfg.workers == 1,
+        }
+    }
+
+    fn total_frames(&self) -> u64 {
+        self.cfg.subtrees as u64 * self.cfg.frames_per_subtree
+    }
+
+    fn word_mask(&self) -> u64 {
+        if self.cfg.frames_per_subtree == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.cfg.frames_per_subtree) - 1
+        }
+    }
+
+    fn free_bits(&self, state: &AllocState, s: usize) -> u64 {
+        self.cfg.frames_per_subtree - u64::from((state.bitmap[s] & self.word_mask()).count_ones())
+    }
+
+    /// Steal target: the subtree with the most free frames (ties to
+    /// the lowest index), preferring ones not reserved by another
+    /// worker, falling back to reserved ones — mirroring
+    /// `FrameAlloc::steal_target`.
+    fn steal_target(&self, state: &AllocState, tid: usize) -> Option<usize> {
+        let reserved_by_other = |s: usize| {
+            state
+                .reservations
+                .iter()
+                .enumerate()
+                .any(|(w, &r)| w != tid && r == s as u64 + 1)
+        };
+        let best = |skip_reserved: bool| {
+            (0..self.cfg.subtrees)
+                .filter(|&s| state.subtree_free[s] > 0)
+                .filter(|&s| !skip_reserved || !reserved_by_other(s))
+                .max_by_key(|&s| (state.subtree_free[s], std::cmp::Reverse(s)))
+        };
+        best(true).or_else(|| best(false))
+    }
+
+    fn alloc_step(&self, state: &mut AllocState, tid: usize) -> &'static str {
+        let op_id = op_id(tid, state.workers[tid].op);
+        match state.workers[tid].micro {
+            Micro::Start => {
+                if state.total_free == 0 {
+                    state.history.push(AllocTraceEvent::Oom { op: op_id });
+                    finish_op(&mut state.workers[tid]);
+                    return "alloc:gate-oom";
+                }
+                state.total_free -= 1;
+                state.workers[tid].has_root_unit = true;
+                state.workers[tid].micro = Micro::Acquire;
+                state.history.push(AllocTraceEvent::Gate { op: op_id });
+                "alloc:gate"
+            }
+            Micro::Acquire => {
+                if self.cfg.reservations {
+                    let slot = state.reservations[tid];
+                    if self.cfg.bug == AllocBug::CounterStoreBeforeBitClaim && slot != 0 {
+                        // Seeded bug: the reservation path defers the
+                        // counter decrement until after the bit claim.
+                        let w = &mut state.workers[tid];
+                        w.target = slot as usize - 1;
+                        w.stolen = false;
+                        w.late_dec = true;
+                        w.micro = Micro::Claim;
+                        return "alloc:acquire-deferred";
+                    }
+                    if slot != 0 && state.subtree_free[slot as usize - 1] > 0 {
+                        let s = slot as usize - 1;
+                        state.subtree_free[s] -= 1;
+                        let w = &mut state.workers[tid];
+                        w.target = s;
+                        w.stolen = false;
+                        w.has_sub_unit = Some(s);
+                        w.micro = Micro::Claim;
+                        state.history.push(AllocTraceEvent::SubtreeAcquire {
+                            op: op_id,
+                            subtree: u32::try_from(s).unwrap_or(u32::MAX),
+                            stolen: false,
+                        });
+                        return "alloc:acquire-reserved";
+                    }
+                    // Steal. `enabled` guarantees a target exists.
+                    let s = self
+                        .steal_target(state, tid)
+                        .expect("enabled() admits steals only with a free subtree");
+                    let w = &mut state.workers[tid];
+                    w.target = s;
+                    w.stolen = true;
+                    w.micro = Micro::StealPublish;
+                    if self.cfg.bug == AllocBug::StealWithoutReservationCas {
+                        // Seeded bug: publish without the
+                        // unit-transferring counter CAS.
+                        return "alloc:steal-nocas";
+                    }
+                    state.subtree_free[s] -= 1;
+                    state.workers[tid].has_sub_unit = Some(s);
+                    state.history.push(AllocTraceEvent::SubtreeAcquire {
+                        op: op_id,
+                        subtree: u32::try_from(s).unwrap_or(u32::MAX),
+                        stolen: true,
+                    });
+                    "alloc:steal"
+                } else {
+                    // Serial path: lowest subtree with a free frame.
+                    let s = (0..self.cfg.subtrees)
+                        .find(|&s| state.subtree_free[s] > 0)
+                        .expect("enabled() admits serial acquire only with a free subtree");
+                    state.subtree_free[s] -= 1;
+                    let w = &mut state.workers[tid];
+                    w.target = s;
+                    w.stolen = false;
+                    w.has_sub_unit = Some(s);
+                    w.micro = Micro::Claim;
+                    state.history.push(AllocTraceEvent::SubtreeAcquire {
+                        op: op_id,
+                        subtree: u32::try_from(s).unwrap_or(u32::MAX),
+                        stolen: false,
+                    });
+                    "alloc:acquire-lowest"
+                }
+            }
+            Micro::StealPublish => {
+                let s = state.workers[tid].target;
+                state.reservations[tid] = s as u64 + 1;
+                state.workers[tid].micro = Micro::Claim;
+                "alloc:steal-publish"
+            }
+            Micro::Claim => {
+                let s = state.workers[tid].target;
+                let Some(bit) =
+                    (0..self.cfg.frames_per_subtree).find(|b| state.bitmap[s] & (1 << b) == 0)
+                else {
+                    state
+                        .fresh
+                        .push(AllocViolation::ClaimWithoutFreeBit { subtree: s });
+                    finish_op(&mut state.workers[tid]);
+                    return "alloc:claim-empty";
+                };
+                state.bitmap[s] |= 1 << bit;
+                let pfn = s as u64 * self.cfg.frames_per_subtree + bit;
+                if !state.handed.insert(pfn) {
+                    state.fresh.push(AllocViolation::DoubleHandOut { pfn });
+                }
+                state
+                    .history
+                    .push(AllocTraceEvent::Claim { op: op_id, pfn });
+                let w = &mut state.workers[tid];
+                w.held.push(pfn);
+                w.has_root_unit = false;
+                w.has_sub_unit = None;
+                if w.late_dec {
+                    w.micro = Micro::LateDec;
+                } else {
+                    finish_op(w);
+                }
+                "alloc:claim"
+            }
+            Micro::LateDec => {
+                // The deferred decrement of the seeded bug, emitted
+                // as a late acquire event so the history checker sees
+                // the misordering too.
+                let s = state.workers[tid].target;
+                state.subtree_free[s] = state.subtree_free[s].saturating_sub(1);
+                state.history.push(AllocTraceEvent::SubtreeAcquire {
+                    op: op_id,
+                    subtree: u32::try_from(s).unwrap_or(u32::MAX),
+                    stolen: false,
+                });
+                finish_op(&mut state.workers[tid]);
+                "alloc:late-dec"
+            }
+            Micro::FreeMid1 | Micro::FreeMid2 => unreachable!("free micro in alloc op"),
+        }
+    }
+
+    fn free_step(&self, state: &mut AllocState, tid: usize, idx: usize) -> &'static str {
+        let op_id = op_id(tid, state.workers[tid].op);
+        let root_first = self.cfg.bug == AllocBug::FreeRootBeforeSubtree;
+        match state.workers[tid].micro {
+            Micro::Start => {
+                if state.workers[tid].held.len() <= idx {
+                    // The alloc this free pairs with hit OOM.
+                    finish_op(&mut state.workers[tid]);
+                    return "free:skip";
+                }
+                let pfn = state.workers[tid].held.remove(idx);
+                let s = (pfn / self.cfg.frames_per_subtree) as usize;
+                state.bitmap[s] &= !(1 << (pfn % self.cfg.frames_per_subtree));
+                state.handed.remove(&pfn);
+                let w = &mut state.workers[tid];
+                w.free_pfn = pfn;
+                w.target = s;
+                w.pending_sub = Some(s);
+                w.pending_root = true;
+                w.micro = Micro::FreeMid1;
+                state
+                    .history
+                    .push(AllocTraceEvent::FreeClear { op: op_id, pfn });
+                "free:clear"
+            }
+            Micro::FreeMid1 => {
+                state.workers[tid].micro = Micro::FreeMid2;
+                if root_first {
+                    state.total_free += 1;
+                    state.workers[tid].pending_root = false;
+                    state.history.push(AllocTraceEvent::FreeRoot { op: op_id });
+                    "free:root-early"
+                } else {
+                    let s = state.workers[tid].target;
+                    state.subtree_free[s] += 1;
+                    state.workers[tid].pending_sub = None;
+                    state.history.push(AllocTraceEvent::FreeSubtree {
+                        op: op_id,
+                        subtree: u32::try_from(s).unwrap_or(u32::MAX),
+                    });
+                    "free:subtree"
+                }
+            }
+            Micro::FreeMid2 => {
+                let label = if root_first {
+                    let s = state.workers[tid].target;
+                    state.subtree_free[s] += 1;
+                    state.workers[tid].pending_sub = None;
+                    state.history.push(AllocTraceEvent::FreeSubtree {
+                        op: op_id,
+                        subtree: u32::try_from(s).unwrap_or(u32::MAX),
+                    });
+                    "free:subtree-late"
+                } else {
+                    state.total_free += 1;
+                    state.workers[tid].pending_root = false;
+                    state.history.push(AllocTraceEvent::FreeRoot { op: op_id });
+                    "free:root"
+                };
+                finish_op(&mut state.workers[tid]);
+                label
+            }
+            _ => unreachable!("alloc micro in free op"),
+        }
+    }
+
+    /// The persist thread's step schedule: word indices to stage in
+    /// issue order, with the seal's position among them.
+    fn persist_plan(&self) -> (Vec<usize>, usize) {
+        let words: Vec<usize> = (0..self.cfg.subtrees).collect();
+        if self.cfg.bug == AllocBug::SealBeforeStagedWords && self.cfg.subtrees >= 2 {
+            // Seal is issued before the last staged word.
+            (words, self.cfg.subtrees - 1)
+        } else {
+            (words, self.cfg.subtrees)
+        }
+    }
+
+    fn persist_step(&self, state: &mut AllocState) -> &'static str {
+        let (words, seal_at) = self.persist_plan();
+        let pc = state.persist_pc;
+        state.persist_pc += 1;
+        if pc == seal_at {
+            state.durable_log.push(DurableStore::Seal);
+            state.history.push(AllocTraceEvent::Seal { seq: 1 });
+            return "persist:seal";
+        }
+        let wi = if pc < seal_at { pc } else { pc - 1 };
+        let idx = words[wi];
+        let val = state.bitmap[idx] & self.word_mask();
+        state.durable_log.push(DurableStore::Word { idx, val });
+        state.history.push(AllocTraceEvent::StageWord {
+            seq: 1,
+            word: u32::try_from(idx).unwrap_or(u32::MAX),
+            value: val,
+        });
+        "persist:stage"
+    }
+
+    fn persist_len(&self) -> usize {
+        if self.cfg.persist {
+            self.cfg.subtrees + 1
+        } else {
+            0
+        }
+    }
+}
+
+fn op_id(tid: usize, op: usize) -> u64 {
+    tid as u64 * 100 + op as u64
+}
+
+fn finish_op(w: &mut WorkerState) {
+    w.op += 1;
+    w.micro = Micro::Start;
+    w.stolen = false;
+    w.late_dec = false;
+}
+
+impl ModelProgram for AllocModel {
+    type State = AllocState;
+    type Violation = AllocViolation;
+
+    fn thread_count(&self) -> usize {
+        self.cfg.workers + usize::from(self.cfg.persist)
+    }
+
+    fn thread_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = (0..self.cfg.workers)
+            .map(|w| format!("worker-{w}"))
+            .collect();
+        if self.cfg.persist {
+            names.push("persist".to_owned());
+        }
+        names
+    }
+
+    fn init_state(&self) -> AllocState {
+        AllocState {
+            bitmap: vec![0; self.cfg.subtrees],
+            subtree_free: vec![self.cfg.frames_per_subtree; self.cfg.subtrees],
+            total_free: self.total_frames(),
+            reservations: vec![0; self.cfg.workers],
+            handed: BTreeSet::new(),
+            workers: (0..self.cfg.workers)
+                .map(|_| WorkerState {
+                    op: 0,
+                    micro: Micro::Start,
+                    target: 0,
+                    stolen: false,
+                    late_dec: false,
+                    has_root_unit: false,
+                    has_sub_unit: None,
+                    pending_sub: None,
+                    pending_root: false,
+                    free_pfn: 0,
+                    held: Vec::new(),
+                })
+                .collect(),
+            persist_pc: 0,
+            durable_log: Vec::new(),
+            history: Vec::new(),
+            fresh: Vec::new(),
+        }
+    }
+
+    fn thread_done(&self, state: &AllocState, tid: usize) -> bool {
+        if tid >= self.cfg.workers {
+            return state.persist_pc >= self.persist_len();
+        }
+        state.workers[tid].op >= self.scripts[tid].len()
+    }
+
+    fn enabled(&self, state: &AllocState, tid: usize, _sem_counts: &[u64]) -> bool {
+        if tid >= self.cfg.workers {
+            return state.persist_pc < self.persist_len();
+        }
+        let w = &state.workers[tid];
+        let Some(op) = self.scripts[tid].get(w.op) else {
+            return false;
+        };
+        if !matches!(op, Op::Alloc) || w.micro != Micro::Acquire {
+            return true;
+        }
+        // The acquire micro-step needs a subtree with a free counter
+        // unit; under the correct protocol the in-flight invariant
+        // guarantees one exists for every gated alloc, so a deadlock
+        // here is itself a detected bug. The deferred-decrement bug
+        // path proceeds on the reservation alone.
+        (self.cfg.bug == AllocBug::CounterStoreBeforeBitClaim
+            && self.cfg.reservations
+            && state.reservations[tid] != 0)
+            || state.subtree_free.iter().any(|&c| c > 0)
+    }
+
+    fn step(&self, state: &mut AllocState, tid: usize) -> StepEffect {
+        state.fresh.clear();
+        let label = if tid >= self.cfg.workers {
+            self.persist_step(state)
+        } else {
+            match self.scripts[tid][state.workers[tid].op] {
+                Op::Alloc => self.alloc_step(state, tid),
+                Op::Free(idx) => self.free_step(state, tid, idx),
+            }
+        };
+        StepEffect {
+            sync: None,
+            // Every model micro-step is one atomic instruction in the
+            // real allocator; there are no unordered plain accesses
+            // to race on, so the location table stays empty.
+            accesses: Vec::new(),
+            label,
+        }
+    }
+
+    fn check_step(&self, state: &AllocState) -> Vec<AllocViolation> {
+        let mut out = state.fresh.clone();
+        // Root conservation: free bits = root counter + gate-held
+        // units + pending root increments.
+        let free_bits: u64 = (0..self.cfg.subtrees)
+            .map(|s| self.free_bits(state, s))
+            .sum();
+        let units = state.workers.iter().filter(|w| w.has_root_unit).count() as u64;
+        let pending = state.workers.iter().filter(|w| w.pending_root).count() as u64;
+        if free_bits != state.total_free + units + pending {
+            out.push(AllocViolation::RootConservation {
+                free_bits,
+                total_free: state.total_free,
+                units,
+                pending,
+            });
+        }
+        // Per-subtree conservation.
+        for s in 0..self.cfg.subtrees {
+            let fb = self.free_bits(state, s);
+            let units = state
+                .workers
+                .iter()
+                .filter(|w| w.has_sub_unit == Some(s))
+                .count() as u64;
+            let pending = state
+                .workers
+                .iter()
+                .filter(|w| w.pending_sub == Some(s))
+                .count() as u64;
+            if fb != state.subtree_free[s] + units + pending {
+                out.push(AllocViolation::SubtreeConservation {
+                    subtree: s,
+                    free_bits: fb,
+                    counter: state.subtree_free[s],
+                    units,
+                    pending,
+                });
+            }
+        }
+        // In-flight coverage: every gated alloc without a subtree
+        // unit must still be able to find one.
+        let in_flight = state
+            .workers
+            .iter()
+            .filter(|w| w.has_root_unit && w.has_sub_unit.is_none())
+            .count() as u64;
+        let sum: u64 = state.subtree_free.iter().sum();
+        if sum < state.total_free + in_flight {
+            out.push(AllocViolation::InFlight {
+                sum_subtree_free: sum,
+                total_free: state.total_free,
+                in_flight,
+            });
+        }
+        out
+    }
+
+    fn check_leaf(&self, state: &AllocState) -> Vec<AllocViolation> {
+        let mut out = Vec::new();
+        // Quiescent conservation: every set bit has an owner.
+        for s in 0..self.cfg.subtrees {
+            for b in 0..self.cfg.frames_per_subtree {
+                let pfn = s as u64 * self.cfg.frames_per_subtree + b;
+                if state.bitmap[s] & (1 << b) != 0 && !state.handed.contains(&pfn) {
+                    out.push(AllocViolation::LostFrame { pfn });
+                }
+            }
+        }
+        // Linearizability of the full event history.
+        out.extend(
+            check_alloc_history(&state.history, &self.history_ctx())
+                .into_iter()
+                .map(AllocViolation::History),
+        );
+        // Every seal-consistent post-crash image recovers coherently.
+        if self.cfg.persist {
+            let base = vec![0u64; self.cfg.subtrees];
+            out.extend(
+                check_crash_images(&base, &state.durable_log)
+                    .into_iter()
+                    .map(AllocViolation::Persist),
+            );
+        }
+        out
+    }
+
+    /// Fingerprint over everything the step-level checks and the
+    /// remaining execution depend on — including the durable log (the
+    /// persist leaf check stays memoization-safe) but excluding the
+    /// event history, whose leaf replay only covers first-visit
+    /// continuations under memoization (the documented trade-off).
+    fn fingerprint(&self, state: &AllocState) -> Option<u64> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        state.bitmap.hash(&mut h);
+        state.subtree_free.hash(&mut h);
+        state.total_free.hash(&mut h);
+        state.reservations.hash(&mut h);
+        state.workers.hash(&mut h);
+        state.persist_pc.hash(&mut h);
+        state.durable_log.hash(&mut h);
+        Some(h.finish())
+    }
+}

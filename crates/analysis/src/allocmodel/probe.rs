@@ -1,0 +1,81 @@
+//! Bridge from the real allocator's probe stream to the model
+//! checker's trace vocabulary.
+//!
+//! [`prosper_gemos::llalloc::AllocProbe`] records every protocol
+//! atomic the instrumented `FrameAlloc` executes, in linearization
+//! order (the probe lock is held around each instruction and its log
+//! append). The event vocabularies are deliberately identical, so the
+//! conversion is 1:1 and the *same* [`check_alloc_history`] run
+//! validates model traces and real-hardware traces alike — the "one
+//! checker, two witnesses" half of the conformance argument.
+//!
+//! [`check_alloc_history`]: super::check_alloc_history
+
+use super::AllocTraceEvent;
+use prosper_gemos::llalloc::{AllocProbe, AllocProbeEvent};
+
+impl From<AllocProbeEvent> for AllocTraceEvent {
+    fn from(ev: AllocProbeEvent) -> Self {
+        match ev {
+            AllocProbeEvent::Gate { op } => Self::Gate { op },
+            AllocProbeEvent::Oom { op } => Self::Oom { op },
+            AllocProbeEvent::SubtreeAcquire {
+                op,
+                subtree,
+                stolen,
+            } => Self::SubtreeAcquire {
+                op,
+                subtree,
+                stolen,
+            },
+            AllocProbeEvent::Claim { op, pfn } => Self::Claim { op, pfn },
+            AllocProbeEvent::FreeClear { op, pfn } => Self::FreeClear { op, pfn },
+            AllocProbeEvent::FreeSubtree { op, subtree } => Self::FreeSubtree { op, subtree },
+            AllocProbeEvent::FreeRoot { op } => Self::FreeRoot { op },
+            AllocProbeEvent::StageWord { seq, word, value } => Self::StageWord { seq, word, value },
+            AllocProbeEvent::Seal { seq } => Self::Seal { seq },
+        }
+    }
+}
+
+/// Drains a probe's recorded events as checker-ready trace events, in
+/// linearization order.
+#[must_use]
+pub fn probe_trace(probe: &AllocProbe) -> Vec<AllocTraceEvent> {
+    probe.events().into_iter().map(Into::into).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_is_field_faithful() {
+        let ev = AllocProbeEvent::SubtreeAcquire {
+            op: 7,
+            subtree: 3,
+            stolen: true,
+        };
+        assert_eq!(
+            AllocTraceEvent::from(ev),
+            AllocTraceEvent::SubtreeAcquire {
+                op: 7,
+                subtree: 3,
+                stolen: true
+            }
+        );
+        let ev = AllocProbeEvent::StageWord {
+            seq: 2,
+            word: 5,
+            value: 0xAB,
+        };
+        assert_eq!(
+            AllocTraceEvent::from(ev),
+            AllocTraceEvent::StageWord {
+                seq: 2,
+                word: 5,
+                value: 0xAB
+            }
+        );
+    }
+}

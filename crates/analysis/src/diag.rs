@@ -16,6 +16,14 @@ pub struct Diagnostic {
     pub file: String,
     /// 1-based line number.
     pub line: usize,
+    /// 1-based column of the finding on its line, when the rule knows
+    /// the exact position (token-level rules do; structural rules that
+    /// anchor to a whole line leave it `None`).
+    pub col: Option<usize>,
+    /// Byte offset of the finding in the file, for editor jump-to and
+    /// machine consumers that slice the source directly. Tracks `col`:
+    /// both are set or neither.
+    pub offset: Option<usize>,
     /// Human-readable description of the violation.
     pub message: String,
     /// The offending source line, trimmed.
@@ -41,11 +49,21 @@ impl Diagnostic {
             rule: rule.to_owned(),
             file: file.to_owned(),
             line,
+            col: None,
+            offset: None,
             message: message.into(),
             snippet: snippet.into(),
             suppressed: false,
             justification: None,
         }
+    }
+
+    /// Attaches the finding's exact byte offset and 1-based column.
+    #[must_use]
+    pub fn with_offset(mut self, offset: usize, col: usize) -> Self {
+        self.offset = Some(offset);
+        self.col = Some(col);
+        self
     }
 }
 
@@ -125,6 +143,14 @@ impl LintReport {
             json_string(&mut out, &d.file);
             out.push_str(",\"line\":");
             out.push_str(&d.line.to_string());
+            if let Some(col) = d.col {
+                out.push_str(",\"col\":");
+                out.push_str(&col.to_string());
+            }
+            if let Some(offset) = d.offset {
+                out.push_str(",\"offset\":");
+                out.push_str(&offset.to_string());
+            }
             out.push_str(",\"message\":");
             json_string(&mut out, &d.message);
             out.push_str(",\"snippet\":");
@@ -194,5 +220,28 @@ mod tests {
         assert!(json.contains("\"suppressed\":true"));
         assert!(json.contains("\"justification\":\"known\""));
         assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn offsets_appear_in_json_but_not_text() {
+        let d = Diagnostic::new("PA-TEST000", "src/lib.rs", 3, "bad", "let x = bad();")
+            .with_offset(42, 9);
+        let mut report = LintReport::default();
+        report.diagnostics.push(d.clone());
+        let json = report.to_json();
+        assert!(json.contains("\"line\":3,\"col\":9,\"offset\":42"));
+        // The human-readable rendering stays file:line only.
+        assert_eq!(d.to_string(), "PA-TEST000: src/lib.rs:3: bad");
+    }
+
+    #[test]
+    fn offsetless_diagnostics_omit_the_keys() {
+        let mut report = LintReport::default();
+        report
+            .diagnostics
+            .push(Diagnostic::new("PA-TEST000", "src/lib.rs", 3, "bad", ""));
+        let json = report.to_json();
+        assert!(!json.contains("\"col\""));
+        assert!(!json.contains("\"offset\""));
     }
 }

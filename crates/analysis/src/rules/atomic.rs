@@ -1,0 +1,87 @@
+//! `PA-ATOMIC007` — atomic-ordering discipline.
+//!
+//! The allocator's correctness argument (see the `allocmodel` module
+//! and DESIGN.md §10) leans on two sync edges that a single weakened
+//! ordering silently deletes: publication stores must Release so the
+//! frame's prior writes are visible to the next owner, and durable
+//! staged stores must order before their seal. `Ordering::Relaxed`
+//! anywhere in protocol code is therefore treated as a bug until
+//! justified — the model checker explores reorderings, but only the
+//! ones the source admits, so a Relaxed store is precisely the class
+//! of defect that never shows up in testing and always shows up in a
+//! crash dump.
+//!
+//! The second half of the discipline is counter updates: a raw
+//! `fetch_sub` on a free counter can underflow past zero under a
+//! racing free (the exact shape of the seeded
+//! `counter-store-before-bit-claim` bug). Decrements must go through
+//! the checked `fetch_update`-based helpers (`try_dec`), which refuse
+//! to go below zero.
+//!
+//! Telemetry counters are exempt by path prefix
+//! ([`LintConfig::atomic_exempt_prefixes`]): observability counters
+//! are monotonic, racy-by-design, and never published as protocol
+//! state. Anything else needs a justified
+//! `// lint:allow(PA-ATOMIC007): reason` marker.
+
+use super::{LintConfig, Rule};
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+/// See module docs.
+#[derive(Debug)]
+pub struct AtomicDiscipline;
+
+impl Rule for AtomicDiscipline {
+    fn id(&self) -> &'static str {
+        "PA-ATOMIC007"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no Relaxed atomics or raw fetch_sub in protocol code; counters go through checked helpers"
+    }
+
+    fn check(&self, files: &[SourceFile], cfg: &LintConfig) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for file in files {
+            if cfg
+                .atomic_exempt_prefixes
+                .iter()
+                .any(|p| file.path.starts_with(p.as_str()))
+            {
+                continue;
+            }
+            for off in file.code_token_matches("Ordering::Relaxed") {
+                let line = file.line_of(off);
+                out.push(
+                    Diagnostic::new(
+                        self.id(),
+                        &file.path,
+                        line,
+                        "`Ordering::Relaxed` in protocol code; publication stores \
+                         need Release and counter RMWs need AcqRel so the model \
+                         checker's sync edges match the binary's",
+                        file.line_text(line),
+                    )
+                    .with_offset(off, file.col_of(off)),
+                );
+            }
+            for off in file.code_matches(".fetch_sub(") {
+                let line = file.line_of(off);
+                out.push(
+                    Diagnostic::new(
+                        self.id(),
+                        &file.path,
+                        line,
+                        "raw `fetch_sub` on a shared counter can underflow under a \
+                         racing free; decrement through the checked fetch_update \
+                         helper (`try_dec`) instead",
+                        file.line_text(line),
+                    )
+                    .with_offset(off, file.col_of(off)),
+                );
+            }
+        }
+        out
+    }
+}

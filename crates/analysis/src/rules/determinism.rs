@@ -48,17 +48,20 @@ impl Rule for DeterministicSim {
             for tok in NONDET_TOKENS {
                 for off in file.code_token_matches(tok) {
                     let line = file.line_of(off);
-                    out.push(Diagnostic::new(
-                        self.id(),
-                        &file.path,
-                        line,
-                        format!(
-                            "`{tok}` in deterministic simulator code; use the \
-                             simulated clock / a seeded RNG (telemetry timing goes \
-                             through prosper_telemetry::Stopwatch)"
-                        ),
-                        file.line_text(line),
-                    ));
+                    out.push(
+                        Diagnostic::new(
+                            self.id(),
+                            &file.path,
+                            line,
+                            format!(
+                                "`{tok}` in deterministic simulator code; use the \
+                                 simulated clock / a seeded RNG (telemetry timing goes \
+                                 through prosper_telemetry::Stopwatch)"
+                            ),
+                            file.line_text(line),
+                        )
+                        .with_offset(off, file.col_of(off)),
+                    );
                 }
             }
         }

@@ -8,11 +8,13 @@
 //! | `PA-PANIC004` | no `panic!`/`unwrap`/`expect` in recovery/redo/apply/restore paths |
 //! | `PA-DET005` | no wall-clock or ambient randomness in deterministic simulator crates |
 //! | `PA-UNSAFE006` | every crate root carries `#![forbid(unsafe_code)]` and no `unsafe` token appears |
+//! | `PA-ATOMIC007` | atomic-ordering discipline: no `Ordering::Relaxed` or raw `fetch_sub` in protocol code |
 //!
 //! Suppression: `// lint:allow(RULE-ID): reason` on the finding's line
 //! or the line above. A marker without a reason is itself reported
 //! (`PA-META000`).
 
+mod atomic;
 mod crashsite;
 mod determinism;
 mod nvm;
@@ -45,6 +47,9 @@ pub struct LintConfig {
     pub telemetry_exempt_prefixes: Vec<String>,
     /// Function-name prefixes that mark recovery/redo paths.
     pub recovery_fn_prefixes: Vec<String>,
+    /// Path prefixes exempt from atomic-ordering discipline
+    /// (`PA-ATOMIC007`): racy-by-design observability counters.
+    pub atomic_exempt_prefixes: Vec<String>,
 }
 
 impl LintConfig {
@@ -84,6 +89,7 @@ impl LintConfig {
                 "apply_pending".into(),
                 "restore".into(),
             ],
+            atomic_exempt_prefixes: vec!["crates/telemetry/".into()],
         }
     }
 }
@@ -115,6 +121,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(panic_free::PanicFreeRecovery),
         Box::new(determinism::DeterministicSim),
         Box::new(unsafe_code::ForbidUnsafe),
+        Box::new(atomic::AtomicDiscipline),
     ]
 }
 

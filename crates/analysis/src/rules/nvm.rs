@@ -47,18 +47,21 @@ impl Rule for DurableWriteDiscipline {
             for tok in STAGING_TOKENS {
                 for off in file.code_matches(tok) {
                     let line = file.line_of(off);
-                    out.push(Diagnostic::new(
-                        self.id(),
-                        &file.path,
-                        line,
-                        format!(
-                            "`{}` mutates staging/NVM state; only {} may do that \
-                             — route this through the commit pipeline",
-                            tok.trim_matches(|c| c == '.' || c == '(' || c == ' '),
-                            cfg.staging_allowlist.join(", "),
-                        ),
-                        file.line_text(line),
-                    ));
+                    out.push(
+                        Diagnostic::new(
+                            self.id(),
+                            &file.path,
+                            line,
+                            format!(
+                                "`{}` mutates staging/NVM state; only {} may do that \
+                                 — route this through the commit pipeline",
+                                tok.trim_matches(|c| c == '.' || c == '(' || c == ' '),
+                                cfg.staging_allowlist.join(", "),
+                            ),
+                            file.line_text(line),
+                        )
+                        .with_offset(off, file.col_of(off)),
+                    );
                 }
             }
         }

@@ -49,18 +49,21 @@ impl Rule for PanicFreeRecovery {
                         continue;
                     }
                     let line = file.line_of(off);
-                    out.push(Diagnostic::new(
-                        self.id(),
-                        &file.path,
-                        line,
-                        format!(
-                            "`{}` in recovery-path function `{}`; recovery must \
-                             degrade structurally, not panic",
-                            tok.trim_matches(|c| c == '.' || c == '('),
-                            f.name
-                        ),
-                        file.line_text(line),
-                    ));
+                    out.push(
+                        Diagnostic::new(
+                            self.id(),
+                            &file.path,
+                            line,
+                            format!(
+                                "`{}` in recovery-path function `{}`; recovery must \
+                                 degrade structurally, not panic",
+                                tok.trim_matches(|c| c == '.' || c == '('),
+                                f.name
+                            ),
+                            file.line_text(line),
+                        )
+                        .with_offset(off, file.col_of(off)),
+                    );
                 }
             }
         }

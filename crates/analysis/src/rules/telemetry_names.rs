@@ -80,43 +80,53 @@ impl Rule for TelemetryNameHygiene {
                     continue;
                 };
                 let line = file.line_of(lit.offset);
+                let col = file.col_of(lit.offset);
                 if !names::is_well_formed(&lit.value) {
-                    out.push(Diagnostic::new(
-                        self.id(),
-                        &file.path,
-                        line,
-                        format!(
-                            "telemetry name `{}` is not well-formed (expected \
-                             `prosper.`-prefixed lowercase dotted segments)",
-                            lit.value
-                        ),
-                        file.line_text(line),
-                    ));
+                    out.push(
+                        Diagnostic::new(
+                            self.id(),
+                            &file.path,
+                            line,
+                            format!(
+                                "telemetry name `{}` is not well-formed (expected \
+                                 `prosper.`-prefixed lowercase dotted segments)",
+                                lit.value
+                            ),
+                            file.line_text(line),
+                        )
+                        .with_offset(lit.offset, col),
+                    );
                     continue;
                 }
                 match names::lookup(&lit.value) {
-                    None => out.push(Diagnostic::new(
-                        self.id(),
-                        &file.path,
-                        line,
-                        format!(
-                            "telemetry name `{}` is not in the registered catalogue \
-                             (crates/telemetry/src/names.rs); register it or fix the typo",
-                            lit.value
-                        ),
-                        file.line_text(line),
-                    )),
-                    Some(kind) if kind != expected => out.push(Diagnostic::new(
-                        self.id(),
-                        &file.path,
-                        line,
-                        format!(
-                            "telemetry name `{}` is registered as {kind:?} but used \
-                             as {expected:?}",
-                            lit.value
-                        ),
-                        file.line_text(line),
-                    )),
+                    None => out.push(
+                        Diagnostic::new(
+                            self.id(),
+                            &file.path,
+                            line,
+                            format!(
+                                "telemetry name `{}` is not in the registered catalogue \
+                                 (crates/telemetry/src/names.rs); register it or fix the typo",
+                                lit.value
+                            ),
+                            file.line_text(line),
+                        )
+                        .with_offset(lit.offset, col),
+                    ),
+                    Some(kind) if kind != expected => out.push(
+                        Diagnostic::new(
+                            self.id(),
+                            &file.path,
+                            line,
+                            format!(
+                                "telemetry name `{}` is registered as {kind:?} but used \
+                                 as {expected:?}",
+                                lit.value
+                            ),
+                            file.line_text(line),
+                        )
+                        .with_offset(lit.offset, col),
+                    ),
                     Some(_) => {}
                 }
             }

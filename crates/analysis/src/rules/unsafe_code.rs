@@ -40,14 +40,17 @@ impl Rule for ForbidUnsafe {
             }
             for off in file.code_token_matches("unsafe") {
                 let line = file.line_of(off);
-                out.push(Diagnostic::new(
-                    self.id(),
-                    &file.path,
-                    line,
-                    "`unsafe` token in production code; the workspace is \
-                     forbid(unsafe_code)",
-                    file.line_text(line),
-                ));
+                out.push(
+                    Diagnostic::new(
+                        self.id(),
+                        &file.path,
+                        line,
+                        "`unsafe` token in production code; the workspace is \
+                         forbid(unsafe_code)",
+                        file.line_text(line),
+                    )
+                    .with_offset(off, file.col_of(off)),
+                );
             }
         }
         out

@@ -117,6 +117,12 @@ impl SourceFile {
         }
     }
 
+    /// 1-based column of a byte offset on its line.
+    #[must_use]
+    pub fn col_of(&self, offset: usize) -> usize {
+        offset - self.line_starts[self.line_of(offset) - 1] + 1
+    }
+
     /// The trimmed text of a 1-based line.
     #[must_use]
     pub fn line_text(&self, line: usize) -> &str {
@@ -613,5 +619,13 @@ mod tests {
         assert_eq!(f.line_of(0), 1);
         assert_eq!(f.line_of(9), 2);
         assert_eq!(f.line_text(2), "line two");
+    }
+
+    #[test]
+    fn col_of_is_one_based_per_line() {
+        let src = "line one\nline two\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert_eq!(f.col_of(0), 1);
+        assert_eq!(f.col_of(src.find("two").unwrap()), 6);
     }
 }

@@ -1,0 +1,280 @@
+//! One checker, two witnesses: `AllocProbe` event streams recorded
+//! from the *real* `FrameAlloc` under serial and concurrent load are
+//! validated by the same history checker that validates the
+//! exhaustive allocator model's traces — and forged reorderings of a
+//! genuine trace are rejected.
+//!
+//! The probed paths hold the probe lock around each instrumented
+//! atomic, so log order is linearization order, and every counter
+//! mutation in these scenarios goes through a probed operation —
+//! which is what makes the checker's exact counter replay valid.
+//! (`reserve_nvm_region`/`try_claim_frame` mutate counters unprobed
+//! and must not run during a probed scenario.)
+
+use prosper_analysis::allocmodel::{
+    check_alloc_history, check_crash_images, probe_trace as trace_of, AllocHistoryViolation,
+    AllocTraceEvent, DurableStore, HistoryContext,
+};
+use prosper_gemos::llalloc::{AllocProbe, DurableAllocTree, FrameAlloc, SUBTREE_FRAMES};
+use prosper_gemos::physmem::Pool;
+use prosper_memsim::config::MemoryLayout;
+use prosper_memsim::PAGE_SIZE;
+
+fn layout(dram_frames: u64, nvm_frames: u64) -> MemoryLayout {
+    MemoryLayout {
+        dram_bytes: dram_frames * PAGE_SIZE,
+        nvm_bytes: nvm_frames * PAGE_SIZE,
+    }
+}
+
+fn assert_clean(trace: &[AllocTraceEvent], ctx: &HistoryContext, what: &str) {
+    let violations = check_alloc_history(trace, ctx);
+    assert!(
+        violations.is_empty(),
+        "{what}: real-allocator trace failed the checker: {:?}",
+        violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn serial_probed_trace_passes_with_policy_pinned() {
+    let a = FrameAlloc::new(layout(8, 0));
+    let probe = AllocProbe::new();
+    let x = a.alloc_probed(Pool::Dram, &probe).unwrap();
+    let y = a.alloc_probed(Pool::Dram, &probe).unwrap();
+    let _z = a.alloc_probed(Pool::Dram, &probe).unwrap();
+    a.free_probed(y, &probe).unwrap();
+    // Serial policy: the freed (lowest) frame comes back first.
+    assert_eq!(a.alloc_probed(Pool::Dram, &probe).unwrap(), y);
+    a.free_probed(x, &probe).unwrap();
+    let ctx = HistoryContext {
+        total_frames: 8,
+        base_pfn: 0,
+        frames_per_subtree: SUBTREE_FRAMES,
+        subtrees: 1,
+        words_per_seal: 1,
+        enforce_serial_policy: true,
+    };
+    assert_clean(&trace_of(&probe), &ctx, "serial");
+}
+
+#[test]
+fn exhaustion_trace_passes_oom_replay() {
+    let a = FrameAlloc::new(layout(2, 0));
+    let probe = AllocProbe::new();
+    let _ = a.alloc_probed(Pool::Dram, &probe).unwrap();
+    let _ = a.alloc_probed(Pool::Dram, &probe).unwrap();
+    assert!(a.alloc_probed(Pool::Dram, &probe).is_err());
+    let ctx = HistoryContext {
+        total_frames: 2,
+        base_pfn: 0,
+        frames_per_subtree: SUBTREE_FRAMES,
+        subtrees: 1,
+        words_per_seal: 1,
+        enforce_serial_policy: true,
+    };
+    let trace = trace_of(&probe);
+    assert!(trace.contains(&AllocTraceEvent::Oom { op: 2 }));
+    assert_clean(&trace, &ctx, "exhaustion");
+}
+
+/// Concurrent workers on the reservation/steal path, racing frees:
+/// the recorded linearization passes the exact-replay checker.
+#[test]
+fn concurrent_probed_trace_passes_checker() {
+    // Two full subtrees so steals and reservations both happen.
+    let frames = 2 * SUBTREE_FRAMES;
+    let a = FrameAlloc::new(layout(frames, 0));
+    let probe = AllocProbe::new();
+    std::thread::scope(|scope| {
+        for w in 0..3u32 {
+            let a = &a;
+            let probe = &probe;
+            scope.spawn(move || {
+                let mut held = Vec::new();
+                for i in 0..40 {
+                    held.push(a.alloc_for_probed(Pool::Dram, w, probe).unwrap());
+                    if i % 3 == 0 {
+                        let pfn = held.remove(0);
+                        a.free_probed(pfn, probe).unwrap();
+                    }
+                }
+                for pfn in held {
+                    a.free_probed(pfn, probe).unwrap();
+                }
+            });
+        }
+    });
+    let ctx = HistoryContext {
+        total_frames: frames,
+        base_pfn: 0,
+        frames_per_subtree: SUBTREE_FRAMES,
+        subtrees: 2,
+        words_per_seal: 16,
+        enforce_serial_policy: false,
+    };
+    let trace = trace_of(&probe);
+    assert!(
+        trace
+            .iter()
+            .any(|e| matches!(e, AllocTraceEvent::SubtreeAcquire { stolen: true, .. })),
+        "expected at least one reservation steal in the trace"
+    );
+    assert_clean(&trace, &ctx, "concurrent");
+}
+
+/// Allocators racing the persist thread: the history passes, and
+/// every seal-consistent post-crash image of each epoch's durable
+/// store log recovers to the intended snapshot.
+#[test]
+fn concurrent_persist_trace_and_crash_images_pass() {
+    let nvm_frames = 2 * SUBTREE_FRAMES;
+    let a = FrameAlloc::new(layout(0, nvm_frames));
+    let probe = AllocProbe::new();
+    let mut durable = DurableAllocTree::new();
+    std::thread::scope(|scope| {
+        for w in 0..2u32 {
+            let a = &a;
+            let probe = &probe;
+            scope.spawn(move || {
+                let mut held = Vec::new();
+                for _ in 0..30 {
+                    held.push(a.alloc_for_probed(Pool::Nvm, w, probe).unwrap());
+                }
+                for pfn in held.into_iter().step_by(2) {
+                    a.free_probed(pfn, probe).unwrap();
+                }
+            });
+        }
+        scope.spawn(|| {
+            let mut d = DurableAllocTree::new();
+            a.persist_nvm_probed(&mut d, &probe);
+            a.persist_nvm_probed(&mut d, &probe);
+            durable = d;
+        });
+    });
+    assert_eq!(durable.committed_sequence(), 2);
+    let ctx = HistoryContext {
+        total_frames: nvm_frames,
+        base_pfn: a.nvm_base_pfn(),
+        frames_per_subtree: SUBTREE_FRAMES,
+        subtrees: a.nvm_subtrees(),
+        words_per_seal: a.nvm_bitmap_words(),
+        enforce_serial_policy: false,
+    };
+    let trace = trace_of(&probe);
+    assert_clean(&trace, &ctx, "concurrent+persist");
+
+    // Rebuild each epoch's durable store log and enumerate its
+    // reachable post-crash images.
+    for epoch in [1u64, 2u64] {
+        let log: Vec<DurableStore> = trace
+            .iter()
+            .filter_map(|e| match *e {
+                AllocTraceEvent::StageWord { seq, word, value } if seq == epoch => {
+                    Some(DurableStore::Word {
+                        idx: word as usize,
+                        val: value,
+                    })
+                }
+                AllocTraceEvent::Seal { seq } if seq == epoch => Some(DurableStore::Seal),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(log.len(), a.nvm_bitmap_words() + 1);
+        let base = vec![0u64; a.nvm_bitmap_words()];
+        let torn = check_crash_images(&base, &log);
+        assert!(
+            torn.is_empty(),
+            "epoch {epoch}: torn crash images: {:?}",
+            torn.iter().map(ToString::to_string).collect::<Vec<_>>()
+        );
+    }
+}
+
+/// The rejection half of the conformance argument: forged reorderings
+/// of a genuine trace must be flagged. Each forgery moves or
+/// duplicates exactly one event.
+#[test]
+fn forged_reorderings_are_rejected() {
+    let a = FrameAlloc::new(layout(8, 8));
+    let probe = AllocProbe::new();
+    let x = a.alloc_probed(Pool::Dram, &probe).unwrap();
+    let _y = a.alloc_probed(Pool::Dram, &probe).unwrap();
+    a.free_probed(x, &probe).unwrap();
+    let mut durable = DurableAllocTree::new();
+    a.persist_nvm_probed(&mut durable, &probe);
+    let genuine = trace_of(&probe);
+    let ctx = HistoryContext {
+        total_frames: 8,
+        base_pfn: 0,
+        frames_per_subtree: SUBTREE_FRAMES,
+        subtrees: 1,
+        words_per_seal: 1,
+        enforce_serial_policy: false,
+    };
+    assert_clean(&genuine, &ctx, "genuine");
+
+    // Forgery 1: swap the free's subtree-inc after its root-inc (the
+    // reordering the free-root-before-subtree seeded bug performs).
+    let mut forged = genuine.clone();
+    let si = forged
+        .iter()
+        .position(|e| matches!(e, AllocTraceEvent::FreeSubtree { .. }))
+        .unwrap();
+    forged.swap(si, si + 1);
+    let v = check_alloc_history(&forged, &ctx);
+    assert!(
+        v.iter()
+            .any(|x| matches!(x, AllocHistoryViolation::FreePhaseOrder { .. }))
+            && v.iter()
+                .any(|x| matches!(x, AllocHistoryViolation::InFlightInvariant { .. })),
+        "swapped free order not rejected: {v:?}"
+    );
+
+    // Forgery 2: move the seal before its staged word.
+    let mut forged = genuine.clone();
+    let wi = forged
+        .iter()
+        .position(|e| matches!(e, AllocTraceEvent::StageWord { .. }))
+        .unwrap();
+    forged.swap(wi, wi + 1);
+    let v = check_alloc_history(&forged, &ctx);
+    assert!(
+        v.iter()
+            .any(|x| matches!(x, AllocHistoryViolation::SealBeforeStagedWords { .. })),
+        "early seal not rejected: {v:?}"
+    );
+
+    // Forgery 3: duplicate a claim (a double hand-out).
+    let mut forged = genuine.clone();
+    let ci = forged
+        .iter()
+        .position(|e| matches!(e, AllocTraceEvent::Claim { .. }))
+        .unwrap();
+    let dup = forged[ci];
+    forged.insert(ci + 1, dup);
+    let v = check_alloc_history(&forged, &ctx);
+    assert!(
+        v.iter()
+            .any(|x| matches!(x, AllocHistoryViolation::DoubleHandOut { .. })),
+        "duplicated claim not rejected: {v:?}"
+    );
+
+    // Forgery 4: drop a subtree acquire so its claim floats free.
+    let mut forged = genuine;
+    let ai = forged
+        .iter()
+        .position(|e| matches!(e, AllocTraceEvent::SubtreeAcquire { .. }))
+        .unwrap();
+    forged.remove(ai);
+    let v = check_alloc_history(&forged, &ctx);
+    assert!(
+        v.iter()
+            .any(|x| matches!(x, AllocHistoryViolation::ClaimWithoutAcquire { .. })),
+        "dropped acquire not rejected: {v:?}"
+    );
+}

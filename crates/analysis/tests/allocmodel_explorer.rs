@@ -1,0 +1,230 @@
+//! End-to-end allocator-model exploration: the correct protocol is
+//! clean at 1/2/3 workers, every seeded ordering/persistency bug is
+//! detected, and memoization preserves per-state findings while
+//! cutting schedule counts.
+
+use prosper_analysis::allocmodel::{AllocBug, AllocConfig, AllocModel, AllocViolation};
+use prosper_analysis::interleave::{explore_model, ExplorerConfig, ModelReport};
+
+fn run(cfg: AllocConfig, bound: usize, memoize: bool) -> ModelReport<AllocViolation> {
+    let model = AllocModel::new(cfg);
+    let report = explore_model(
+        &model,
+        &ExplorerConfig {
+            preemption_bound: bound,
+            max_schedules: 2_000_000,
+            memoize,
+        },
+    );
+    assert!(!report.truncated, "exploration truncated");
+    report
+}
+
+fn assert_clean(report: &ModelReport<AllocViolation>, what: &str) {
+    assert!(report.schedules > 0, "{what}: no schedules explored");
+    assert!(
+        report.is_clean(),
+        "{what}: deadlocks={} violations={:?} races={:?}",
+        report.deadlocks,
+        report
+            .violations
+            .iter()
+            .map(|(v, _)| v.to_string())
+            .collect::<Vec<_>>(),
+        report.races
+    );
+}
+
+#[test]
+fn serial_path_is_clean_and_policy_pinned() {
+    let r = run(
+        AllocConfig {
+            workers: 1,
+            reservations: false,
+            persist: true,
+            ..AllocConfig::default()
+        },
+        2,
+        false,
+    );
+    assert_clean(&r, "serial");
+}
+
+#[test]
+fn one_worker_reservation_path_is_clean() {
+    let r = run(
+        AllocConfig {
+            workers: 1,
+            persist: true,
+            ..AllocConfig::default()
+        },
+        2,
+        false,
+    );
+    assert_clean(&r, "1 worker");
+}
+
+#[test]
+fn two_workers_are_clean() {
+    let r = run(
+        AllocConfig {
+            workers: 2,
+            persist: true,
+            ..AllocConfig::default()
+        },
+        2,
+        false,
+    );
+    assert_clean(&r, "2 workers");
+}
+
+#[test]
+fn three_workers_are_clean_with_memoization() {
+    let r = run(
+        AllocConfig {
+            workers: 3,
+            subtrees: 2,
+            frames_per_subtree: 2,
+            allocs_per_worker: 2,
+            ..AllocConfig::default()
+        },
+        2,
+        true,
+    );
+    assert_clean(&r, "3 workers");
+    assert!(r.memo_hits > 0, "memoization never pruned at 3 workers");
+}
+
+/// Memoization must not change *whether* the model is clean, only
+/// how many schedules prove it.
+#[test]
+fn memoization_preserves_cleanliness_and_prunes() {
+    let cfg = AllocConfig {
+        workers: 2,
+        persist: true,
+        ..AllocConfig::default()
+    };
+    let plain = run(cfg, 2, false);
+    let memo = run(cfg, 2, true);
+    assert_clean(&plain, "plain");
+    assert_clean(&memo, "memoized");
+    assert!(memo.memo_hits > 0);
+    assert!(
+        memo.schedules < plain.schedules,
+        "memoization did not reduce schedules: {} vs {}",
+        memo.schedules,
+        plain.schedules
+    );
+}
+
+/// Exhaustion is modeled, not an error: more allocs than frames
+/// forces legal OOMs, which the history replay accepts.
+#[test]
+fn oversubscribed_pool_ooms_cleanly() {
+    let r = run(
+        AllocConfig {
+            workers: 3,
+            subtrees: 2,
+            frames_per_subtree: 1,
+            allocs_per_worker: 1,
+            free_first: false,
+            ..AllocConfig::default()
+        },
+        2,
+        false,
+    );
+    assert_clean(&r, "oversubscribed");
+}
+
+fn bug_cfg(bug: AllocBug) -> AllocConfig {
+    AllocConfig {
+        workers: 2,
+        persist: bug == AllocBug::SealBeforeStagedWords,
+        bug,
+        ..AllocConfig::default()
+    }
+}
+
+#[test]
+fn counter_store_before_bit_claim_is_detected() {
+    let r = run(bug_cfg(AllocBug::CounterStoreBeforeBitClaim), 2, false);
+    assert!(
+        r.violations
+            .iter()
+            .any(|(v, _)| matches!(v, AllocViolation::SubtreeConservation { .. })),
+        "expected a subtree-conservation violation: {:?}",
+        r.violations
+            .iter()
+            .map(|(v, _)| v.to_string())
+            .collect::<Vec<_>>()
+    );
+    assert!(r
+        .violations
+        .iter()
+        .any(|(v, _)| matches!(v, AllocViolation::History(_))));
+}
+
+#[test]
+fn steal_without_reservation_cas_is_detected() {
+    let r = run(bug_cfg(AllocBug::StealWithoutReservationCas), 2, false);
+    assert!(
+        r.violations
+            .iter()
+            .any(|(v, _)| matches!(v, AllocViolation::SubtreeConservation { .. })),
+        "expected a subtree-conservation violation: {:?}",
+        r.violations
+            .iter()
+            .map(|(v, _)| v.to_string())
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn free_root_before_subtree_is_detected() {
+    let r = run(bug_cfg(AllocBug::FreeRootBeforeSubtree), 2, false);
+    assert!(
+        r.violations
+            .iter()
+            .any(|(v, _)| matches!(v, AllocViolation::InFlight { .. })),
+        "expected an in-flight invariant violation: {:?}",
+        r.violations
+            .iter()
+            .map(|(v, _)| v.to_string())
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn seal_before_staged_words_is_detected() {
+    let r = run(bug_cfg(AllocBug::SealBeforeStagedWords), 2, false);
+    let strings: Vec<String> = r.violations.iter().map(|(v, _)| v.to_string()).collect();
+    assert!(
+        r.violations
+            .iter()
+            .any(|(v, _)| matches!(v, AllocViolation::Persist(_))),
+        "expected a torn-crash-image violation: {strings:?}"
+    );
+    assert!(
+        r.violations
+            .iter()
+            .any(|(v, _)| matches!(v, AllocViolation::History(_))),
+        "expected the history checker to flag the early seal: {strings:?}"
+    );
+}
+
+/// Every seeded bug is detected, and each run reports a witness
+/// schedule for at least one violation.
+#[test]
+fn every_seeded_bug_is_detected_with_witness() {
+    for bug in AllocBug::ALL {
+        let r = run(bug_cfg(bug), 2, false);
+        assert!(!r.is_clean(), "bug {} went undetected", bug.name());
+        if !r.violations.is_empty() {
+            assert!(
+                r.violations.iter().all(|(_, sched)| !sched.is_empty()),
+                "bug {}: violation without witness schedule",
+                bug.name()
+            );
+        }
+    }
+}

@@ -93,9 +93,11 @@ fn tel003_name_hygiene() {
     // Typo + kind mismatch + ill-formed name, plus the
     // stall/slo/tax misuse corpus (typo, two kind mismatches, one
     // unregistered name), the spine/write-amp misuse corpus (typo,
-    // kind mismatch, unregistered phase counter), and the alloc/fleet
-    // misuse corpus (typo, kind mismatch, unregistered gauge).
-    assert_rule("PA-TEL003", 13);
+    // kind mismatch, unregistered phase counter), the alloc/fleet
+    // misuse corpus (typo, kind mismatch, unregistered gauge), and
+    // the allocmodel misuse corpus (typo, kind mismatch, unregistered
+    // counter).
+    assert_rule("PA-TEL003", 16);
 }
 
 #[test]
@@ -116,6 +118,41 @@ fn det005_determinism() {
 fn unsafe006_forbid_unsafe() {
     // Missing attribute + an unsafe block.
     assert_rule("PA-UNSAFE006", 2);
+}
+
+#[test]
+fn atomic007_ordering_discipline() {
+    // A Relaxed publication fetch_or, a raw fetch_sub, and a Relaxed
+    // durable-flag store; the pass corpus holds the exempt telemetry
+    // counter, the sanctioned fetch_update/AcqRel shapes, and a
+    // justified suppression.
+    assert_rule("PA-ATOMIC007", 3);
+}
+
+#[test]
+fn atomic007_findings_carry_offsets() {
+    let fail = load("PA-ATOMIC007", "fail");
+    let report = rules::run(&fail, &LintConfig::workspace_default());
+    for d in report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "PA-ATOMIC007")
+    {
+        let (off, col) = (
+            d.offset.expect("token rules attach byte offsets"),
+            d.col.expect("token rules attach columns"),
+        );
+        // The offset really points at the finding in the fixture.
+        let f = fail.iter().find(|f| f.path == d.file).unwrap();
+        assert_eq!(f.line_of(off), d.line);
+        assert_eq!(f.col_of(off), col);
+        let at = &f.raw[off..];
+        assert!(
+            at.starts_with("Ordering::Relaxed") || at.starts_with(".fetch_sub("),
+            "offset {off} does not point at a banned token: {:?}",
+            &at[..at.len().min(24)]
+        );
+    }
 }
 
 #[test]

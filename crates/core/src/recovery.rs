@@ -1370,6 +1370,7 @@ impl PersistentProcess {
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
+                    // lint:allow(PA-ATOMIC007): work-queue ticket counter — only uniqueness matters; each task is published through its Mutex, not this index
                     let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     let Some(task) = tasks.get(i) else { break };
                     if let Some((tid, stack)) = task.lock().ok().and_then(|mut t| t.take()) {

@@ -42,6 +42,7 @@
 //! rebuilds all counters by popcount from the last sealed snapshot.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
 
 use prosper_memsim::addr::PhysAddr;
 use prosper_memsim::config::MemoryLayout;
@@ -66,6 +67,146 @@ pub const WORKER_SLOTS: usize = 16;
 fn try_dec(c: &AtomicU64) -> bool {
     c.fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| v.checked_sub(1))
         .is_ok()
+}
+
+/// One observed allocator protocol event. Each corresponds to one
+/// successful atomic instruction of the two-level protocol; the probe
+/// records it while holding the probe lock *around* that instruction,
+/// so log order equals true atomic order. The event vocabulary
+/// mirrors `prosper-analysis::allocmodel`'s trace events — the same
+/// history checker validates both ("one checker, two witnesses").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocProbeEvent {
+    /// Root-counter gate passed.
+    Gate {
+        /// Probe operation id.
+        op: u64,
+    },
+    /// Root-counter gate failed: pool exhausted.
+    Oom {
+        /// Probe operation id.
+        op: u64,
+    },
+    /// A subtree counter was decremented for this op.
+    SubtreeAcquire {
+        /// Probe operation id.
+        op: u64,
+        /// Subtree index within the pool tree.
+        subtree: u32,
+        /// True when the unit came from a reservation steal.
+        stolen: bool,
+    },
+    /// The bitfield bit was claimed (`fetch_or` won).
+    Claim {
+        /// Probe operation id.
+        op: u64,
+        /// Absolute frame number handed out.
+        pfn: u64,
+    },
+    /// The bitfield bit was cleared by a free.
+    FreeClear {
+        /// Probe operation id.
+        op: u64,
+        /// Absolute frame number returned.
+        pfn: u64,
+    },
+    /// The subtree counter was re-incremented by a free.
+    FreeSubtree {
+        /// Probe operation id.
+        op: u64,
+        /// Subtree index within the pool tree.
+        subtree: u32,
+    },
+    /// The root counter was re-incremented by a free.
+    FreeRoot {
+        /// Probe operation id.
+        op: u64,
+    },
+    /// One bitfield word was staged into the durable tree.
+    StageWord {
+        /// Staging sequence (epoch).
+        seq: u64,
+        /// Word index.
+        word: u32,
+        /// Staged word value.
+        value: u64,
+    },
+    /// The seal record was written — the durability point.
+    Seal {
+        /// Staging sequence (epoch).
+        seq: u64,
+    },
+}
+
+/// Event recorder for the probed allocator paths
+/// ([`FrameAlloc::alloc_for_probed`] and friends).
+///
+/// The probe's lock is held around each instrumented atomic
+/// instruction *and* the corresponding log append, so the recorded
+/// order is the real linearization order — the property that lets
+/// `prosper-analysis`'s allocator history checker replay the log with
+/// exact counters and reject any forged reordering. Probed paths pay
+/// for that lock; the regular paths compile it away entirely (they
+/// pass no probe).
+#[derive(Debug, Default)]
+pub struct AllocProbe {
+    log: Mutex<Vec<AllocProbeEvent>>,
+    next_op: AtomicU64,
+}
+
+impl AllocProbe {
+    /// An empty probe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh operation id for one probed alloc/free.
+    pub fn begin_op(&self) -> u64 {
+        if telemetry::enabled() {
+            telemetry::with(|tel| {
+                tel.registry().counter("prosper.allocmodel.probe_ops").inc();
+            });
+        }
+        self.next_op.fetch_add(1, Ordering::AcqRel)
+    }
+
+    /// The recorded event log, in linearization order.
+    pub fn events(&self) -> Vec<AllocProbeEvent> {
+        self.log
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Runs `f` (one atomic instruction) under the probe lock and
+    /// appends the event it reports, keeping log order equal to
+    /// atomic order.
+    fn atomic<R>(&self, f: impl FnOnce() -> (R, Option<AllocProbeEvent>)) -> R {
+        let mut log = self.log.lock().unwrap_or_else(PoisonError::into_inner);
+        let (r, ev) = f();
+        if let Some(ev) = ev {
+            log.push(ev);
+            if telemetry::enabled() {
+                telemetry::with(|tel| {
+                    tel.registry()
+                        .counter("prosper.allocmodel.probe_events")
+                        .inc();
+                });
+            }
+        }
+        r
+    }
+}
+
+/// A probed path's context: the probe plus the running operation id.
+type ProbeCtx<'a> = Option<(&'a AllocProbe, u64)>;
+
+/// Runs `f` under the probe lock when probing, bare otherwise.
+fn probe_atomic<R>(probe: ProbeCtx<'_>, f: impl FnOnce() -> (R, Option<AllocProbeEvent>)) -> R {
+    match probe {
+        Some((p, _)) => p.atomic(f),
+        None => f().0,
+    }
 }
 
 /// One pool's two-level tree: the atomic bitfield plus the counter
@@ -133,8 +274,9 @@ impl PoolTree {
     /// hold one unit of `subtree_free[s]`, which guarantees a clear
     /// bit exists; a `None` means a racing free/claim moved it behind
     /// the scan cursor and the caller should rescan.
-    fn claim_in_subtree(&self, s: usize) -> Option<u64> {
+    fn claim_in_subtree(&self, s: usize, probe: ProbeCtx<'_>) -> Option<u64> {
         let (w0, w1) = self.subtree_words(s);
+        let op = probe.map_or(0, |(_, o)| o);
         for wi in w0..w1 {
             loop {
                 let cur = self.bitmap[wi].load(Ordering::Acquire);
@@ -143,9 +285,17 @@ impl PoolTree {
                 }
                 let bit = (!cur).trailing_zeros() as u64;
                 let mask = 1u64 << bit;
-                let prev = self.bitmap[wi].fetch_or(mask, Ordering::AcqRel);
-                if prev & mask == 0 {
-                    return Some(self.base_pfn + wi as u64 * WORD_FRAMES + bit);
+                let pfn = self.base_pfn + wi as u64 * WORD_FRAMES + bit;
+                let won = probe_atomic(probe, || {
+                    let prev = self.bitmap[wi].fetch_or(mask, Ordering::AcqRel);
+                    let ok = prev & mask == 0;
+                    (
+                        ok,
+                        (ok && probe.is_some()).then_some(AllocProbeEvent::Claim { op, pfn }),
+                    )
+                });
+                if won {
+                    return Some(pfn);
                 }
                 // Raced with another claimer on that bit: rescan.
             }
@@ -156,11 +306,23 @@ impl PoolTree {
     /// Lowest-index subtree with free frames whose counter we manage
     /// to decrement — the deterministic serial policy (globally lowest
     /// free frame, matching the `PhysMemory` reference exactly).
-    fn take_lowest_subtree(&self) -> Option<usize> {
+    fn take_lowest_subtree(&self, probe: ProbeCtx<'_>) -> Option<usize> {
+        let op = probe.map_or(0, |(_, o)| o);
         loop {
             let s = (0..self.subtree_count())
                 .find(|&s| self.subtree_free[s].load(Ordering::Acquire) > 0)?;
-            if try_dec(&self.subtree_free[s]) {
+            let took = probe_atomic(probe, || {
+                let ok = try_dec(&self.subtree_free[s]);
+                (
+                    ok,
+                    (ok && probe.is_some()).then_some(AllocProbeEvent::SubtreeAcquire {
+                        op,
+                        subtree: s as u32,
+                        stolen: false,
+                    }),
+                )
+            });
+            if took {
                 return Some(s);
             }
         }
@@ -192,20 +354,43 @@ impl PoolTree {
     /// Releases the claim on `pfn`'s bit and returns the counter
     /// units. Returns `false` if the bit was already clear (a
     /// double-free — counters untouched).
-    fn release(&self, pfn: u64) -> bool {
+    fn release(&self, pfn: u64, probe: ProbeCtx<'_>) -> bool {
         let rel = pfn - self.base_pfn;
         let wi = (rel / WORD_FRAMES) as usize;
         let mask = 1u64 << (rel % WORD_FRAMES);
-        let prev = self.bitmap[wi].fetch_and(!mask, Ordering::AcqRel);
-        if prev & mask == 0 {
+        let op = probe.map_or(0, |(_, o)| o);
+        let cleared = probe_atomic(probe, || {
+            let prev = self.bitmap[wi].fetch_and(!mask, Ordering::AcqRel);
+            let ok = prev & mask != 0;
+            (
+                ok,
+                (ok && probe.is_some()).then_some(AllocProbeEvent::FreeClear { op, pfn }),
+            )
+        });
+        if !cleared {
             return false;
         }
         let s = wi / SUBTREE_WORDS;
         // Subtree before root: the invariant `sum(subtree_free) >=
         // total_free + in-flight allocs` is what guarantees every
         // alloc that passed the root gate finds a subtree.
-        self.subtree_free[s].fetch_add(1, Ordering::AcqRel);
-        self.total_free.fetch_add(1, Ordering::AcqRel);
+        probe_atomic(probe, || {
+            self.subtree_free[s].fetch_add(1, Ordering::AcqRel);
+            (
+                (),
+                probe.is_some().then_some(AllocProbeEvent::FreeSubtree {
+                    op,
+                    subtree: s as u32,
+                }),
+            )
+        });
+        probe_atomic(probe, || {
+            self.total_free.fetch_add(1, Ordering::AcqRel);
+            (
+                (),
+                probe.is_some().then_some(AllocProbeEvent::FreeRoot { op }),
+            )
+        });
         true
     }
 
@@ -347,22 +532,48 @@ impl FrameAlloc {
         pool: Pool,
         worker: Option<u32>,
         mut inj: Option<&mut FaultInjector>,
+        probe: ProbeCtx<'_>,
     ) -> Result<Result<u64, OutOfMemory>, CrashInjected> {
         let t = self.tree(pool);
+        let op = probe.map_or(0, |(_, o)| o);
         // Root gate: one atomic check decides exhaustion.
-        if !try_dec(&t.total_free) {
+        let gated = probe_atomic(probe, || {
+            let ok = try_dec(&t.total_free);
+            let ev = probe.is_some().then_some(if ok {
+                AllocProbeEvent::Gate { op }
+            } else {
+                AllocProbeEvent::Oom { op }
+            });
+            (ok, ev)
+        });
+        if !gated {
             return Ok(Err(OutOfMemory { pool }));
         }
         loop {
             let s = match worker {
-                None => t.take_lowest_subtree(),
+                None => t.take_lowest_subtree(probe),
                 Some(w) => {
                     let slot = w as usize % WORKER_SLOTS;
                     let reserved = t.reservations[slot].load(Ordering::Acquire);
                     let held = reserved
                         .checked_sub(1)
                         .map(|s| s as usize)
-                        .filter(|&s| s < t.subtree_count() && try_dec(&t.subtree_free[s]));
+                        .filter(|&s| s < t.subtree_count())
+                        .filter(|&s| {
+                            probe_atomic(probe, || {
+                                let ok = try_dec(&t.subtree_free[s]);
+                                (
+                                    ok,
+                                    (ok && probe.is_some()).then_some(
+                                        AllocProbeEvent::SubtreeAcquire {
+                                            op,
+                                            subtree: s as u32,
+                                            stolen: false,
+                                        },
+                                    ),
+                                )
+                            })
+                        });
                     match held {
                         Some(s) => Some(s),
                         None => {
@@ -385,13 +596,25 @@ impl FrameAlloc {
                                         .inc();
                                 });
                             }
-                            match t.steal_target(slot) {
-                                Some(s) if try_dec(&t.subtree_free[s]) => {
-                                    t.reservations[slot].store(s as u64 + 1, Ordering::Release);
-                                    Some(s)
-                                }
-                                _ => None,
+                            let stolen = t.steal_target(slot).filter(|&s| {
+                                probe_atomic(probe, || {
+                                    let ok = try_dec(&t.subtree_free[s]);
+                                    (
+                                        ok,
+                                        (ok && probe.is_some()).then_some(
+                                            AllocProbeEvent::SubtreeAcquire {
+                                                op,
+                                                subtree: s as u32,
+                                                stolen: true,
+                                            },
+                                        ),
+                                    )
+                                })
+                            });
+                            if let Some(s) = stolen {
+                                t.reservations[slot].store(s as u64 + 1, Ordering::Release);
                             }
+                            stolen
                         }
                     }
                 }
@@ -403,7 +626,7 @@ impl FrameAlloc {
                 continue;
             };
             loop {
-                if let Some(pfn) = t.claim_in_subtree(s) {
+                if let Some(pfn) = t.claim_in_subtree(s, probe) {
                     return Ok(Ok(pfn));
                 }
                 // We hold a unit of this subtree's counter, so a clear
@@ -421,9 +644,23 @@ impl FrameAlloc {
     ///
     /// Returns [`OutOfMemory`] when the pool is exhausted.
     pub fn alloc(&self, pool: Pool) -> Result<u64, OutOfMemory> {
-        match self.alloc_inner(pool, None, None) {
+        match self.alloc_inner(pool, None, None, None) {
             Ok(r) => r,
             // Unreachable without an injector, but never panic here.
+            Err(_) => Err(OutOfMemory { pool }),
+        }
+    }
+
+    /// [`Self::alloc`] with every protocol atomic recorded into
+    /// `probe`, in linearization order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfMemory`] when the pool is exhausted.
+    pub fn alloc_probed(&self, pool: Pool, probe: &AllocProbe) -> Result<u64, OutOfMemory> {
+        let op = probe.begin_op();
+        match self.alloc_inner(pool, None, None, Some((probe, op))) {
+            Ok(r) => r,
             Err(_) => Err(OutOfMemory { pool }),
         }
     }
@@ -436,7 +673,26 @@ impl FrameAlloc {
     ///
     /// Returns [`OutOfMemory`] when the pool is exhausted.
     pub fn alloc_for(&self, pool: Pool, worker: u32) -> Result<u64, OutOfMemory> {
-        match self.alloc_inner(pool, Some(worker), None) {
+        match self.alloc_inner(pool, Some(worker), None, None) {
+            Ok(r) => r,
+            Err(_) => Err(OutOfMemory { pool }),
+        }
+    }
+
+    /// [`Self::alloc_for`] with every protocol atomic recorded into
+    /// `probe`, in linearization order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfMemory`] when the pool is exhausted.
+    pub fn alloc_for_probed(
+        &self,
+        pool: Pool,
+        worker: u32,
+        probe: &AllocProbe,
+    ) -> Result<u64, OutOfMemory> {
+        let op = probe.begin_op();
+        match self.alloc_inner(pool, Some(worker), None, Some((probe, op))) {
             Ok(r) => r,
             Err(_) => Err(OutOfMemory { pool }),
         }
@@ -455,7 +711,7 @@ impl FrameAlloc {
         worker: u32,
         inj: &mut FaultInjector,
     ) -> Result<Result<u64, OutOfMemory>, CrashInjected> {
-        self.alloc_inner(pool, Some(worker), Some(inj))
+        self.alloc_inner(pool, Some(worker), Some(inj), None)
     }
 
     /// Returns a frame to its pool.
@@ -466,10 +722,25 @@ impl FrameAlloc {
     /// installed memory and [`FreeError::DoubleFree`] when the frame
     /// is not currently allocated.
     pub fn free(&self, pfn: u64) -> Result<(), FreeError> {
+        self.free_inner(pfn, None)
+    }
+
+    /// [`Self::free`] with every protocol atomic recorded into
+    /// `probe`, in linearization order.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::free`].
+    pub fn free_probed(&self, pfn: u64, probe: &AllocProbe) -> Result<(), FreeError> {
+        let op = probe.begin_op();
+        self.free_inner(pfn, Some((probe, op)))
+    }
+
+    fn free_inner(&self, pfn: u64, probe: ProbeCtx<'_>) -> Result<(), FreeError> {
         let Some(t) = self.tree_of(pfn) else {
             return Err(FreeError::OutOfRange { pfn });
         };
-        if t.release(pfn) {
+        if t.release(pfn, probe) {
             Ok(())
         } else {
             if telemetry::enabled() {
@@ -510,7 +781,7 @@ impl FrameAlloc {
                     claimed += 1;
                 } else {
                     for pfn in start..start + claimed {
-                        t.release(pfn);
+                        t.release(pfn, None);
                     }
                     start += claimed + 1;
                     continue 'search;
@@ -536,6 +807,17 @@ impl FrameAlloc {
     /// Number of NVM subtrees (persist-cycle crash windows).
     pub fn nvm_subtrees(&self) -> usize {
         self.nvm.subtree_count()
+    }
+
+    /// Number of NVM bitfield words — how many `StageWord` stores one
+    /// persist epoch issues before its seal.
+    pub fn nvm_bitmap_words(&self) -> usize {
+        self.nvm.bitmap.len()
+    }
+
+    /// First NVM frame number (the pool's `base_pfn`).
+    pub fn nvm_base_pfn(&self) -> u64 {
+        self.nvm.base_pfn
     }
 
     /// Persists the NVM pool's bitfield into `durable` through the
@@ -584,6 +866,35 @@ impl FrameAlloc {
             });
         }
         Ok(seq)
+    }
+
+    /// [`Self::persist_nvm`] with every staged-word and seal store
+    /// recorded into `probe`, in issue order. Returns the sealed
+    /// sequence number.
+    pub fn persist_nvm_probed(&self, durable: &mut DurableAllocTree, probe: &AllocProbe) -> u64 {
+        durable.begin_stage();
+        let seq = durable.committed_sequence() + 1;
+        for s in 0..self.nvm.subtree_count() {
+            let (w0, w1) = self.nvm.subtree_words(s);
+            for wi in w0..w1 {
+                probe.atomic(|| {
+                    let value = self.nvm.bitmap[wi].load(Ordering::Acquire);
+                    durable.stage_word(wi, value);
+                    (
+                        (),
+                        Some(AllocProbeEvent::StageWord {
+                            seq,
+                            word: wi as u32,
+                            value,
+                        }),
+                    )
+                });
+            }
+        }
+        probe.atomic(|| {
+            let sealed = durable.seal_and_apply();
+            (sealed, Some(AllocProbeEvent::Seal { seq: sealed }))
+        })
     }
 
     /// Rebuilds an allocator after a crash: `durable` recovers its
